@@ -1,0 +1,58 @@
+// Ablation: the tree-split batch size b (Sec. IV-C2). The paper argues the
+// number of overflowed trees is low in practice, so a small b suffices; this
+// bench sweeps b and reports quality plus the number of trees after
+// splitting. Larger b re-sorts SL less often but splits on staler utility
+// orders.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/progressive_er.h"
+#include "eval/report.h"
+#include "mechanism/sorted_neighbor.h"
+
+namespace progres {
+namespace {
+
+constexpr int64_t kEntities = 16000;
+constexpr int kMachines = 10;
+
+void Main() {
+  const bench::PublicationSetup setup =
+      bench::MakePublicationSetup(kEntities);
+  const SortedNeighborMechanism sn;
+
+  std::printf("=== Ablation: split batch size b ===\n\n");
+  TextTable table({"b", "trees_after_split", "quality", "final_recall"});
+  double horizon = 0.0;
+
+  for (int b : {1, 2, 4, 8, 16}) {
+    ProgressiveErOptions options;
+    options.cluster = bench::MakeCluster(kMachines);
+    options.batch_size = b;
+    const ProgressiveEr er(setup.blocking, setup.match, sn, setup.prob,
+                           options);
+    const ProgressiveEr::Preprocessed pre = er.Preprocess(setup.data.dataset);
+    size_t trees = 0;
+    for (const AnnotatedForest& forest : pre.forests) {
+      trees += forest.tree_roots().size();
+    }
+    const ErRunResult result = er.Run(setup.data.dataset);
+    const RecallCurve curve =
+        RecallCurve::FromEvents(result.events, setup.data.truth);
+    if (horizon == 0.0) horizon = result.total_time;
+    table.AddRow({std::to_string(b), std::to_string(trees),
+                  FormatDouble(bench::QualityOverHorizon(curve, horizon), 3),
+                  FormatDouble(curve.final_recall(), 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace progres
+
+int main() {
+  progres::Main();
+  return 0;
+}

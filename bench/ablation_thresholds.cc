@@ -1,0 +1,73 @@
+// Ablation: per-level aggressiveness (Sec. III-A, VI-A5): window sizes and
+// Frac values for leaf / middle / root blocks. The paper's settings resolve
+// leaves most aggressively; this bench compares flatter and steeper
+// policies.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/progressive_er.h"
+#include "eval/report.h"
+#include "mechanism/sorted_neighbor.h"
+
+namespace progres {
+namespace {
+
+constexpr int64_t kEntities = 16000;
+constexpr int kMachines = 10;
+
+struct Policy {
+  const char* name;
+  int window_root;
+  int window_middle;
+  int window_leaf;
+  double frac_leaf;
+  double frac_middle;
+  double th_factor;
+};
+
+void Main() {
+  const bench::PublicationSetup setup =
+      bench::MakePublicationSetup(kEntities);
+  const SortedNeighborMechanism sn;
+
+  std::printf("=== Ablation: per-level windows and Frac ===\n\n");
+  const Policy policies[] = {
+      {"paper (15/10/5, Th=|X|)", 15, 10, 5, 0.8, 0.9, 1.0},
+      {"tight Th (Th=|X|/4)", 15, 10, 5, 0.8, 0.9, 0.25},
+      {"loose Th (Th=4|X|)", 15, 10, 5, 0.8, 0.9, 4.0},
+      {"aggressive leaves (15/8/3)", 15, 8, 3, 0.7, 0.85, 1.0},
+      {"small root window (8/6/4)", 8, 6, 4, 0.8, 0.9, 1.0},
+  };
+  TextTable table({"policy", "comparisons", "quality", "final_recall"});
+  double horizon = 0.0;
+  for (const Policy& policy : policies) {
+    ProgressiveErOptions options;
+    options.cluster = bench::MakeCluster(kMachines);
+    options.estimate.window_root = policy.window_root;
+    options.estimate.window_middle = policy.window_middle;
+    options.estimate.window_leaf = policy.window_leaf;
+    options.estimate.frac_leaf = policy.frac_leaf;
+    options.estimate.frac_middle = policy.frac_middle;
+    options.estimate.th_factor = policy.th_factor;
+    const ProgressiveEr er(setup.blocking, setup.match, sn, setup.prob,
+                           options);
+    const ErRunResult result = er.Run(setup.data.dataset);
+    const RecallCurve curve =
+        RecallCurve::FromEvents(result.events, setup.data.truth);
+    if (horizon == 0.0) horizon = result.total_time * 1.5;
+    table.AddRow({policy.name, std::to_string(result.comparisons),
+                  FormatDouble(bench::QualityOverHorizon(curve, horizon), 3),
+                  FormatDouble(curve.final_recall(), 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace progres
+
+int main() {
+  progres::Main();
+  return 0;
+}

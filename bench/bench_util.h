@@ -1,0 +1,134 @@
+#ifndef PROGRES_BENCH_BENCH_UTIL_H_
+#define PROGRES_BENCH_BENCH_UTIL_H_
+
+// Shared setup for the figure/table reproduction benches: the synthetic
+// CiteSeerX-like and OL-Books-like workloads (Sec. VI-A2), their blocking
+// functions (Table II, scaled prefix lengths), match functions (Sec. VI-A2),
+// and the simulated cluster.
+
+#include <cstdint>
+#include <vector>
+
+#include "blocking/blocking_function.h"
+#include "datagen/generators.h"
+#include "estimate/prob_model.h"
+#include "eval/recall_curve.h"
+#include "mapreduce/cluster.h"
+#include "similarity/match_function.h"
+
+namespace progres {
+namespace bench {
+
+// The paper's cluster: mu machines, two map and two reduce slots each.
+inline ClusterConfig MakeCluster(int machines) {
+  ClusterConfig cluster;
+  cluster.machines = machines;
+  cluster.map_slots_per_machine = 2;
+  cluster.reduce_slots_per_machine = 2;
+  cluster.seconds_per_cost_unit = 0.02;
+  cluster.execution_threads = 0;  // use all hardware threads
+  return cluster;
+}
+
+struct PublicationSetup {
+  LabeledDataset train;
+  LabeledDataset data;
+  BlockingConfig blocking{std::vector<FamilySpec>{}};
+  MatchFunction match{{}, 0.75};
+  ProbabilityModel prob;
+};
+
+// CiteSeerX-like workload: three main blocking functions on title (two
+// sub-blocking functions), abstract, and venue (one each), X > Y > Z.
+inline PublicationSetup MakePublicationSetup(int64_t n, uint64_t seed = 2017) {
+  PublicationSetup setup;
+  PublicationConfig train_gen;
+  train_gen.num_entities = std::max<int64_t>(500, n / 5);
+  train_gen.seed = seed + 1;
+  setup.train = GeneratePublications(train_gen);
+  PublicationConfig gen;
+  gen.num_entities = n;
+  gen.seed = seed;
+  setup.data = GeneratePublications(gen);
+  setup.blocking = BlockingConfig({{"X", kPubTitle, {2, 4, 8}, -1},
+                                   {"Y", kPubAbstract, {3, 5}, -1},
+                                   {"Z", kPubVenue, {3, 5}, -1}});
+  setup.match = MatchFunction(
+      {{kPubTitle, AttributeSimilarity::kEditDistance, 0.5, 0},
+       {kPubAbstract, AttributeSimilarity::kEditDistance, 0.3, 350},
+       {kPubVenue, AttributeSimilarity::kEditDistance, 0.2, 0}},
+      0.75);
+  setup.prob =
+      ProbabilityModel::Train(setup.train.dataset, setup.train.truth,
+                              setup.blocking);
+  return setup;
+}
+
+// Basic uses the main blocking functions only.
+inline BlockingConfig PublicationMainBlocking() {
+  return BlockingConfig({{"X", kPubTitle, {2}, -1},
+                         {"Y", kPubAbstract, {3}, -1},
+                         {"Z", kPubVenue, {3}, -1}});
+}
+
+struct BookSetup {
+  LabeledDataset train;
+  LabeledDataset data;
+  BlockingConfig blocking{std::vector<FamilySpec>{}};
+  MatchFunction match{{}, 0.75};
+  ProbabilityModel prob;
+};
+
+// OL-Books-like workload: title (two sub-blocking functions), authors and
+// publisher (one each); eight attributes compared with edit distance or
+// exact matching.
+inline BookSetup MakeBookSetup(int64_t n, uint64_t seed = 1337) {
+  BookSetup setup;
+  BookConfig train_gen;
+  train_gen.num_entities = std::max<int64_t>(500, n / 5);
+  train_gen.seed = seed + 1;
+  setup.train = GenerateBooks(train_gen);
+  BookConfig gen;
+  gen.num_entities = n;
+  gen.seed = seed;
+  setup.data = GenerateBooks(gen);
+  setup.blocking = BlockingConfig({{"X", kBookTitle, {3, 5, 8}, -1},
+                                   {"Y", kBookAuthors, {3, 5}, -1},
+                                   {"Z", kBookPublisher, {3, 5}, -1}});
+  setup.match = MatchFunction(
+      {{kBookTitle, AttributeSimilarity::kEditDistance, 0.35, 0},
+       {kBookAuthors, AttributeSimilarity::kEditDistance, 0.2, 0},
+       {kBookPublisher, AttributeSimilarity::kEditDistance, 0.1, 0},
+       {kBookYear, AttributeSimilarity::kExact, 0.1, 0},
+       {kBookIsbn, AttributeSimilarity::kEditDistance, 0.1, 0},
+       {kBookPages, AttributeSimilarity::kExact, 0.05, 0},
+       {kBookLanguage, AttributeSimilarity::kExact, 0.05, 0},
+       {kBookEdition, AttributeSimilarity::kExact, 0.05, 0}},
+      0.75);
+  setup.prob = ProbabilityModel::Train(setup.train.dataset, setup.train.truth,
+                                       setup.blocking);
+  return setup;
+}
+
+inline BlockingConfig BookMainBlocking() {
+  return BlockingConfig({{"X", kBookTitle, {3}, -1},
+                         {"Y", kBookAuthors, {3}, -1},
+                         {"Z", kBookPublisher, {3}, -1}});
+}
+
+// Quality (Eq. 1) with a 10-point uniform cost vector over [0, horizon] and
+// linearly decaying weights.
+inline double QualityOverHorizon(const RecallCurve& curve, double horizon) {
+  std::vector<double> times;
+  std::vector<double> weights;
+  for (int i = 1; i <= 10; ++i) {
+    times.push_back(horizon * i / 10.0);
+    weights.push_back(1.0 - (i - 1) * 0.1);
+  }
+  return Quality(curve, times, weights);
+}
+
+}  // namespace bench
+}  // namespace progres
+
+#endif  // PROGRES_BENCH_BENCH_UTIL_H_

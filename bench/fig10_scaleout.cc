@@ -1,0 +1,91 @@
+// Reproduces Figure 10: our approach vs Basic on the books workload (PSNM
+// mechanism) while varying theta = entities / machines. The paper fixes the
+// dataset (30M books) and uses 20, 10, and 5 machines; we do the same at a
+// laptop-friendly scale.
+//
+// Expected shape (Sec. VI-B3): our approach wins everywhere; its advantage
+// grows with theta; at the smallest theta Basic is competitive early because
+// of our preprocessing (stats job + schedule generation) overhead.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/basic_er.h"
+#include "core/progressive_er.h"
+#include "eval/report.h"
+#include "mechanism/psnm.h"
+
+namespace progres {
+namespace {
+
+constexpr int64_t kEntities = 18000;
+
+void Main() {
+  const bench::BookSetup setup = bench::MakeBookSetup(kEntities);
+  const PsnmMechanism psnm;
+  const BlockingConfig basic_blocking = bench::BookMainBlocking();
+
+  std::printf("=== Fig. 10: entities per machine (books, PSNM) ===\n");
+  std::printf("books=%lld ground-truth pairs=%lld\n\n",
+              static_cast<long long>(kEntities),
+              static_cast<long long>(setup.data.truth.num_duplicate_pairs()));
+
+  TextTable summary({"machines", "theta", "approach", "quality_early",
+                     "t(recall=0.6)_sec", "final_recall"});
+  for (int machines : {20, 10, 5}) {
+    const ClusterConfig cluster = bench::MakeCluster(machines);
+    std::vector<std::pair<std::string, RecallCurve>> curves;
+    double horizon = 0.0;
+    double ours_preprocessing = 0.0;
+
+    ProgressiveErOptions options;
+    options.cluster = cluster;
+    const ProgressiveEr ours(setup.blocking, setup.match, psnm, setup.prob,
+                             options);
+    const ErRunResult ours_result = ours.Run(setup.data.dataset);
+    ours_preprocessing = ours_result.preprocessing_end;
+    horizon = std::max(horizon, ours_result.total_time);
+    curves.emplace_back(
+        "Our Approach",
+        RecallCurve::FromEvents(ours_result.events, setup.data.truth));
+
+    for (double threshold : {0.0005, 0.005, 0.05}) {
+      BasicErOptions basic_options;
+      basic_options.cluster = cluster;
+      basic_options.window = 15;
+      basic_options.popcorn_threshold = threshold;
+      const BasicEr basic(basic_blocking, setup.match, psnm, basic_options);
+      const ErRunResult result = basic.Run(setup.data.dataset);
+      horizon = std::max(horizon, result.total_time);
+      curves.emplace_back(
+          "Basic " + FormatDouble(threshold, 4),
+          RecallCurve::FromEvents(result.events, setup.data.truth));
+    }
+
+    std::printf("--- mu = %d, theta = %lld (preprocessing ends at %.0f s) ---\n",
+                machines, static_cast<long long>(kEntities / machines),
+                ours_preprocessing);
+    for (const auto& [name, curve] : curves) {
+      std::printf("%s", FormatCurveSeries(name, curve, horizon, 12).c_str());
+      summary.AddRow({std::to_string(machines),
+                      std::to_string(kEntities / machines), name,
+                      FormatDouble(
+                          bench::QualityOverHorizon(curve, horizon / 2.0), 3),
+                      FormatDouble(curve.TimeToRecall(0.6), 0),
+                      FormatDouble(curve.final_recall(), 3)});
+    }
+    std::printf("\n");
+  }
+  std::printf("--- summary ---\n%s", summary.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace progres
+
+int main() {
+  progres::Main();
+  return 0;
+}

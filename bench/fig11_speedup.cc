@@ -1,0 +1,72 @@
+// Reproduces Figure 11: recall speedup of our approach relative to 5
+// machines, for recall levels 0.1 .. 0.9 and mu in {5, 10, 15, 20, 25}.
+//
+// Expected shape (Sec. VI-B4): higher recall levels enjoy better speedup —
+// low recall levels are dominated by the constant preprocessing cost (stats
+// job + schedule generation), which does not shrink with more machines.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/progressive_er.h"
+#include "eval/report.h"
+#include "mechanism/psnm.h"
+
+namespace progres {
+namespace {
+
+constexpr int64_t kEntities = 18000;
+
+void Main() {
+  const bench::BookSetup setup = bench::MakeBookSetup(kEntities);
+  const PsnmMechanism psnm;
+
+  std::printf("=== Fig. 11: recall speedup (relative to 5 machines) ===\n");
+  std::printf("books=%lld\n\n", static_cast<long long>(kEntities));
+
+  const std::vector<int> machine_counts = {5, 10, 15, 20, 25};
+  std::map<int, RecallCurve> curves;
+  for (int machines : machine_counts) {
+    ProgressiveErOptions options;
+    options.cluster = bench::MakeCluster(machines);
+    const ProgressiveEr er(setup.blocking, setup.match, psnm, setup.prob,
+                           options);
+    const ErRunResult result = er.Run(setup.data.dataset);
+    curves.emplace(machines,
+                   RecallCurve::FromEvents(result.events, setup.data.truth));
+  }
+
+  std::vector<std::string> headers = {"recall"};
+  for (int machines : machine_counts) {
+    headers.push_back("mu=" + std::to_string(machines));
+  }
+  TextTable table(headers);
+  for (int r = 1; r <= 9; ++r) {
+    const double recall = r / 10.0;
+    const double base = curves.at(5).TimeToRecall(recall);
+    std::vector<std::string> row = {FormatDouble(recall, 1)};
+    for (int machines : machine_counts) {
+      const double t = curves.at(machines).TimeToRecall(recall);
+      if (std::isinf(base) || std::isinf(t)) {
+        row.push_back("-");
+      } else {
+        row.push_back(FormatDouble(base / t, 2));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("--- speedup(recall, mu) = t_5(recall) / t_mu(recall) ---\n%s",
+              table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace progres
+
+int main() {
+  progres::Main();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Microbenchmarks of the blocking substrate: forest construction, overlap
+// statistics, estimation, and schedule generation throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "blocking/forest.h"
+#include "datagen/generators.h"
+#include "estimate/annotated_forest.h"
+#include "estimate/prob_model.h"
+#include "schedule/schedule.h"
+
+namespace progres {
+namespace {
+
+BlockingConfig PublicationBlocking() {
+  return BlockingConfig({{"X", kPubTitle, {2, 4, 8}, -1},
+                         {"Y", kPubAbstract, {3, 5}, -1},
+                         {"Z", kPubVenue, {3, 5}, -1}});
+}
+
+const LabeledDataset& SharedData(int64_t n) {
+  static LabeledDataset* data = [] {
+    PublicationConfig gen;
+    gen.num_entities = 20000;
+    gen.seed = 7;
+    return new LabeledDataset(GeneratePublications(gen));
+  }();
+  (void)n;
+  return *data;
+}
+
+void BM_BuildForests(benchmark::State& state) {
+  const LabeledDataset& data = SharedData(state.range(0));
+  const BlockingConfig config = PublicationBlocking();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildForests(data.dataset, config, /*keep_members=*/false));
+  }
+  state.SetItemsProcessed(state.iterations() * data.dataset.size());
+}
+BENCHMARK(BM_BuildForests)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_ComputeUncoveredPairs(benchmark::State& state) {
+  const LabeledDataset& data = SharedData(state.range(0));
+  const BlockingConfig config = PublicationBlocking();
+  for (auto _ : state) {
+    std::vector<Forest> forests =
+        BuildForests(data.dataset, config, /*keep_members=*/false);
+    ComputeUncoveredPairs(data.dataset, config, &forests);
+    benchmark::DoNotOptimize(forests);
+  }
+  state.SetItemsProcessed(state.iterations() * data.dataset.size());
+}
+BENCHMARK(BM_ComputeUncoveredPairs)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateSchedule(benchmark::State& state) {
+  const LabeledDataset& data = SharedData(state.range(0));
+  const BlockingConfig config = PublicationBlocking();
+  std::vector<Forest> raw =
+      BuildForests(data.dataset, config, /*keep_members=*/false);
+  ComputeUncoveredPairs(data.dataset, config, &raw);
+  const ProbabilityModel prob =
+      ProbabilityModel::Train(data.dataset, data.truth, config);
+  const EstimateParams params;
+  for (auto _ : state) {
+    std::vector<AnnotatedForest> forests =
+        AnnotateForests(raw, params, prob, data.dataset.size());
+    ScheduleParams sp;
+    sp.num_reduce_tasks = 20;
+    benchmark::DoNotOptimize(GenerateSchedule(&forests, sp));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GenerateSchedule)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace progres
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Microbenchmarks of the MapReduce runtime: shuffle + sort + group
+// throughput at several task counts.
+
+#include <cstdint>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "mapreduce/job.h"
+
+namespace progres {
+namespace {
+
+void BM_ShuffleThroughput(benchmark::State& state) {
+  using Job = MapReduceJob<int64_t, int64_t, int64_t>;
+  const int tasks = static_cast<int>(state.range(0));
+  std::vector<int64_t> input;
+  input.reserve(200000);
+  for (int64_t i = 0; i < 200000; ++i) input.push_back(i * 2654435761 % 9973);
+
+  ClusterConfig cluster;
+  cluster.machines = tasks;
+  cluster.map_slots_per_machine = 1;
+  cluster.reduce_slots_per_machine = 1;
+  for (auto _ : state) {
+    Job job(tasks, tasks);
+    const auto result = job.Run(
+        input,
+        [](const int64_t& record, Job::MapContext* ctx) {
+          ctx->Emit(record % 1024, record);
+        },
+        [](const int64_t& key, std::vector<int64_t>* values,
+           Job::ReduceContext* ctx) {
+          int64_t sum = 0;
+          for (int64_t v : *values) sum += v;
+          ctx->Emit(key, sum);
+        },
+        cluster);
+    benchmark::DoNotOptimize(result.outputs);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_ShuffleThroughput)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace progres
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+#include "blocking/blocking_function.h"
+
+#include "common/string_util.h"
+
+namespace progres {
+
+std::string BlockingConfig::Key(int f, int level, const Entity& e) const {
+  const FamilySpec& spec = families_[static_cast<size_t>(f)];
+  const std::string_view value =
+      e.attribute(static_cast<size_t>(spec.attribute_index));
+  const size_t len =
+      static_cast<size_t>(spec.prefix_lens[static_cast<size_t>(level - 1)]);
+  return ToLowerAscii(Prefix(value, len));
+}
+
+std::string BlockingConfig::Path(int f, int level, const Entity& e) const {
+  std::string path;
+  for (int l = 1; l <= level; ++l) {
+    if (l > 1) path.push_back(kPathSeparator);
+    path += Key(f, l, e);
+  }
+  return path;
+}
+
+}  // namespace progres

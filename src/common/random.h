@@ -1,0 +1,50 @@
+#ifndef PROGRES_COMMON_RANDOM_H_
+#define PROGRES_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace progres {
+
+// Deterministic pseudo-random number generator (xoshiro256**) used across the
+// library so that datasets, schedules, and benchmarks are reproducible from a
+// single seed. Not thread-safe; create one instance per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Returns the next 64 uniformly distributed random bits.
+  uint64_t NextU64();
+
+  // Returns a uniformly distributed integer in [0, bound). `bound` must be
+  // greater than zero.
+  uint64_t UniformU64(uint64_t bound);
+
+  // Returns a uniformly distributed integer in [lo, hi], inclusive on both
+  // ends. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Returns a uniformly distributed double in [0, 1).
+  double UniformDouble();
+
+  // Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Returns a value in [0, n) drawn from a Zipf distribution with exponent
+  // `s` (s > 0). Smaller indexes are more likely. Uses an inverted-CDF table
+  // built lazily per (n, s) pair, so repeated draws with the same parameters
+  // are cheap.
+  int64_t Zipf(int64_t n, double s);
+
+ private:
+  uint64_t state_[4];
+
+  // Cached CDF for Zipf sampling: valid when zipf_n_ == n and zipf_s_ == s.
+  int64_t zipf_n_ = 0;
+  double zipf_s_ = 0.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_COMMON_RANDOM_H_

@@ -1,0 +1,30 @@
+#ifndef PROGRES_COMMON_STOPWATCH_H_
+#define PROGRES_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace progres {
+
+// Wall-clock stopwatch for coarse timing of pipeline phases. The figures in
+// the reproduction use the deterministic cost clock instead (see
+// mapreduce/cost_clock.h); this class backs the optional wall-clock counters.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Resets the stopwatch to zero.
+  void Reset() { start_ = Clock::now(); }
+
+  // Returns seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_COMMON_STOPWATCH_H_

@@ -1,0 +1,29 @@
+#ifndef PROGRES_COMMON_STRING_UTIL_H_
+#define PROGRES_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace progres {
+
+// Returns the first `n` characters of `s` (or all of `s` if shorter). This is
+// the substring operation used by the paper's prefix blocking keys
+// (Table II: e.g. title.sub(0, 3)).
+std::string_view Prefix(std::string_view s, size_t n);
+
+// Returns a copy of `s` with ASCII letters lower-cased.
+std::string ToLowerAscii(std::string_view s);
+
+// Splits `s` on `delim` without trimming; empty fields are preserved.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, char delim);
+
+// Returns true if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace progres
+
+#endif  // PROGRES_COMMON_STRING_UTIL_H_

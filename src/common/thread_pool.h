@@ -1,0 +1,55 @@
+#ifndef PROGRES_COMMON_THREAD_POOL_H_
+#define PROGRES_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace progres {
+
+// Fixed-size pool of worker threads used by the MapReduce runtime to execute
+// map/reduce tasks concurrently. Tasks are plain std::function<void()>;
+// exceptions must not escape a task.
+//
+// Usage:
+//   ThreadPool pool(8);
+//   for (...) pool.Submit([&] { ... });
+//   pool.Wait();  // blocks until all submitted tasks have finished
+class ThreadPool {
+ public:
+  // Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+
+  // Waits for outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task` for execution.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has completed. New tasks may be
+  // submitted afterwards; the pool stays usable until destruction.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled when work arrives or stop
+  std::condition_variable idle_cv_;   // signalled when the pool drains
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_COMMON_THREAD_POOL_H_

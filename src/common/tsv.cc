@@ -1,0 +1,38 @@
+#include "common/tsv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace progres {
+
+bool WriteTsv(const std::string& path,
+              const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << '\t';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool ReadTsv(const std::string& path,
+             std::vector<std::vector<std::string>>* rows) {
+  std::ifstream in(path);
+  if (!in) return false;
+  rows->clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    std::vector<std::string> fields;
+    for (std::string_view f : Split(line, '\t')) fields.emplace_back(f);
+    rows->push_back(std::move(fields));
+  }
+  return true;
+}
+
+}  // namespace progres

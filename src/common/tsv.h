@@ -1,0 +1,25 @@
+#ifndef PROGRES_COMMON_TSV_H_
+#define PROGRES_COMMON_TSV_H_
+
+#include <string>
+#include <vector>
+
+namespace progres {
+
+// Minimal tab-separated-values reader/writer used to persist datasets and
+// ground truth. Fields must not contain tabs or newlines; the datagen module
+// sanitizes generated values accordingly.
+
+// Writes `rows` to `path`, one row per line, fields joined by tabs. Returns
+// false on I/O failure.
+bool WriteTsv(const std::string& path,
+              const std::vector<std::vector<std::string>>& rows);
+
+// Reads `path` into rows of fields. Returns false on I/O failure. An empty
+// file yields an empty vector.
+bool ReadTsv(const std::string& path,
+             std::vector<std::vector<std::string>>* rows);
+
+}  // namespace progres
+
+#endif  // PROGRES_COMMON_TSV_H_

@@ -1,0 +1,132 @@
+#include "core/basic_er.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "mapreduce/job.h"
+#include "mapreduce/serde.h"
+#include "redundancy/kolb.h"
+
+namespace progres {
+
+namespace {
+
+constexpr double kMapEmitCost = 0.05;
+
+struct TaskState {
+  std::vector<std::pair<double, PairKey>> raw_events;
+  int64_t duplicates = 0;
+  int64_t distinct = 0;
+  int64_t skipped = 0;
+};
+
+}  // namespace
+
+BasicEr::BasicEr(const BlockingConfig& blocking, const MatchFunction& match,
+                 const ProgressiveMechanism& mechanism, BasicErOptions options)
+    : blocking_(blocking),
+      match_(match),
+      mechanism_(mechanism),
+      options_(std::move(options)) {}
+
+ErRunResult BasicEr::Run(const Dataset& dataset) const {
+  const int map_tasks = options_.num_map_tasks > 0
+                            ? options_.num_map_tasks
+                            : options_.cluster.map_slots();
+  const int reduce_tasks = options_.num_reduce_tasks > 0
+                               ? options_.num_reduce_tasks
+                               : options_.cluster.reduce_slots();
+  const int num_families = blocking_.num_families();
+
+  using Job = MapReduceJob<Entity, std::string, EntityId>;
+  Job job(map_tasks, reduce_tasks);
+  job.set_map_cost_per_record(0.1);
+  // The default hash partitioner stands; keys are "blocking key value
+  // followed by the function ID" (Sec. II-C, footnote 3).
+
+  const auto map_fn = [&, this](const Entity& e, Job::MapContext* ctx) {
+    for (int f = 0; f < num_families; ++f) {
+      std::string key = blocking_.Key(f, 1, e);
+      key.push_back(kPathSeparator);
+      key.push_back(static_cast<char>('0' + f));
+      ctx->clock().Charge(kMapEmitCost);
+      ctx->counters().Increment("map.emitted_pairs");
+      ctx->counters().Increment(
+          "shuffle.bytes",
+          static_cast<int64_t>(VarintSize(key.size())) +
+              static_cast<int64_t>(key.size()) +
+              VarintSize(static_cast<uint64_t>(e.id)));
+      ctx->Emit(std::move(key), e.id);
+    }
+  };
+
+  std::vector<TaskState> states(static_cast<size_t>(reduce_tasks));
+  const auto reduce_fn = [&, this](const std::string& key,
+                                   std::vector<EntityId>* values,
+                                   Job::ReduceContext* ctx) {
+    const int family = key.back() - '0';
+    TaskState& state = states[static_cast<size_t>(ctx->task_id())];
+
+    std::vector<const Entity*> members;
+    members.reserve(values->size());
+    for (EntityId id : *values) members.push_back(&dataset.entity(id));
+
+    ResolveRequest request;
+    request.block = &members;
+    request.sort_attribute = blocking_.SortAttribute(family);
+    request.match = &match_;
+    request.options.window = options_.window;
+    request.options.termination_distinct = -1;
+    request.options.popcorn_threshold = options_.popcorn_threshold;
+    request.options.popcorn_window = options_.popcorn_window;
+    request.clock = &ctx->clock();
+
+    std::function<bool(const Entity&, const Entity&)> predicate;
+    if (options_.kolb_redundancy) {
+      predicate = [&, family](const Entity& a, const Entity& b) {
+        return KolbShouldResolve(a, b, family, blocking_);
+      };
+      request.should_resolve = &predicate;
+    }
+
+    request.on_duplicate = [&](EntityId a, EntityId b) {
+      state.raw_events.emplace_back(ctx->clock().units(), MakePairKey(a, b));
+    };
+
+    const ResolveOutcome outcome = mechanism_.Resolve(request);
+    state.duplicates += outcome.duplicates;
+    state.distinct += outcome.distinct;
+    state.skipped += outcome.skipped;
+    ctx->counters().Increment("reduce.blocks_resolved");
+    ctx->counters().Increment("reduce.duplicates", outcome.duplicates);
+    ctx->counters().Increment("reduce.comparisons",
+                              outcome.duplicates + outcome.distinct);
+    ctx->counters().Increment("reduce.skipped", outcome.skipped);
+    if (outcome.stopped_early) {
+      ctx->counters().Increment("reduce.blocks_stopped_early");
+    }
+  };
+
+  const Job::Result run = job.Run(dataset.entities(), map_fn, reduce_fn,
+                                  options_.cluster, /*submit_time=*/0.0);
+
+  ErRunResult result;
+  result.preprocessing_end = run.timing.map_end;
+  result.total_time = run.timing.end;
+  result.counters = run.counters;
+  const double spc = options_.cluster.seconds_per_cost_unit;
+  for (int t = 0; t < reduce_tasks; ++t) {
+    const TaskState& state = states[static_cast<size_t>(t)];
+    result.duplicate_count += state.duplicates;
+    result.distinct_count += state.distinct;
+    result.skipped_count += state.skipped;
+    result.comparisons += state.duplicates + state.distinct;
+    AppendTaskEvents(t, run.timing.reduce_start[static_cast<size_t>(t)],
+                     run.reduce_stats[static_cast<size_t>(t)].cost, spc,
+                     options_.alpha, state.raw_events, &result);
+  }
+  FinalizeDuplicates(&result);
+  return result;
+}
+
+}  // namespace progres

@@ -1,0 +1,56 @@
+#ifndef PROGRES_CORE_BASIC_ER_H_
+#define PROGRES_CORE_BASIC_ER_H_
+
+#include "blocking/blocking_function.h"
+#include "core/er_result.h"
+#include "mapreduce/cluster.h"
+#include "mechanism/mechanism.h"
+#include "model/dataset.h"
+#include "similarity/match_function.h"
+
+namespace progres {
+
+// Options of the Basic baseline (Sec. II-C).
+struct BasicErOptions {
+  ClusterConfig cluster;
+  int num_map_tasks = 0;     // 0 means all slots
+  int num_reduce_tasks = 0;  // 0 means all slots
+
+  // Window size w of the mechanism.
+  int window = 15;
+  // Popcorn stopping threshold [5]; <= 0 means the stopping condition is
+  // never met (the paper's "Basic F").
+  double popcorn_threshold = 0.0;
+  int popcorn_window = 1000;
+
+  // Kolb et al. [14] smallest-key redundancy elimination (Sec. VI-B1
+  // incorporates it into Basic).
+  bool kolb_redundancy = true;
+
+  // Incremental output interval alpha, in cost units.
+  double alpha = 5000.0;
+};
+
+// The basic single-job approach of Sec. II-C: map emits each entity once per
+// main blocking function keyed by blocking key + function id; the default
+// hash partitioner distributes blocks; each reduce call resolves one block
+// with mechanism M under the popcorn stopping condition. No sub-blocking, no
+// duplicate-aware scheduling, each block visited exactly once.
+class BasicEr {
+ public:
+  // `blocking` and `match` are copied; `mechanism` must outlive the driver.
+  BasicEr(const BlockingConfig& blocking, const MatchFunction& match,
+          const ProgressiveMechanism& mechanism, BasicErOptions options);
+
+  ErRunResult Run(const Dataset& dataset) const;
+
+ private:
+  BlockingConfig blocking_;
+  MatchFunction match_;
+  const ProgressiveMechanism& mechanism_;
+  BasicErOptions options_;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_CORE_BASIC_ER_H_

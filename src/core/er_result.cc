@@ -1,0 +1,55 @@
+#include "core/er_result.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace progres {
+
+std::vector<DuplicateEvent> EventsFromChunks(
+    const std::vector<ResultChunk>& chunks) {
+  std::vector<DuplicateEvent> events;
+  for (const ResultChunk& chunk : chunks) {
+    for (PairKey pair : chunk.pairs) {
+      events.push_back({chunk.flush_time, pair});
+    }
+  }
+  return events;
+}
+
+void AppendTaskEvents(
+    int task, double start_time, double task_cost,
+    double seconds_per_cost_unit, double alpha,
+    const std::vector<std::pair<double, PairKey>>& raw_events,
+    ErRunResult* result) {
+  ResultChunk chunk;
+  chunk.task = task;
+  int64_t chunk_index = 0;
+  for (const auto& [cost, pair] : raw_events) {
+    result->events.push_back({start_time + cost * seconds_per_cost_unit,
+                              pair});
+    while (cost > static_cast<double>(chunk_index + 1) * alpha) {
+      chunk.cost_begin = static_cast<double>(chunk_index) * alpha;
+      chunk.cost_end = static_cast<double>(chunk_index + 1) * alpha;
+      chunk.flush_time = start_time + chunk.cost_end * seconds_per_cost_unit;
+      result->chunks.push_back(std::move(chunk));
+      chunk = ResultChunk();
+      chunk.task = task;
+      ++chunk_index;
+    }
+    chunk.pairs.push_back(pair);
+  }
+  chunk.cost_begin = static_cast<double>(chunk_index) * alpha;
+  chunk.cost_end = task_cost;
+  chunk.flush_time = start_time + task_cost * seconds_per_cost_unit;
+  result->chunks.push_back(std::move(chunk));
+}
+
+void FinalizeDuplicates(ErRunResult* result) {
+  std::unordered_set<PairKey> unique;
+  unique.reserve(result->events.size());
+  for (const DuplicateEvent& event : result->events) unique.insert(event.pair);
+  result->duplicates.assign(unique.begin(), unique.end());
+  std::sort(result->duplicates.begin(), result->duplicates.end());
+}
+
+}  // namespace progres

@@ -1,0 +1,70 @@
+#ifndef PROGRES_CORE_ER_RESULT_H_
+#define PROGRES_CORE_ER_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/recall_curve.h"
+#include "mapreduce/counters.h"
+#include "model/entity.h"
+
+namespace progres {
+
+// One incremental-output file (Sec. III-B): every alpha cost units each
+// reduce task closes its current result file and starts a new one, so the
+// results available at time t are the union of all chunks with
+// flush_time <= t.
+struct ResultChunk {
+  int task = 0;
+  double cost_begin = 0.0;  // task-local cost units
+  double cost_end = 0.0;
+  double flush_time = 0.0;  // global simulated seconds when the chunk closed
+  std::vector<PairKey> pairs;
+};
+
+// Outcome of one end-to-end ER run (progressive or basic driver).
+struct ErRunResult {
+  // Fine-grained duplicate discoveries with global simulated times.
+  std::vector<DuplicateEvent> events;
+  // Unique duplicate pairs found over the whole run.
+  std::vector<PairKey> duplicates;
+  // Incremental output files.
+  std::vector<ResultChunk> chunks;
+
+  // End of preprocessing (first job + schedule generation); 0 for Basic.
+  double preprocessing_end = 0.0;
+  // Simulated completion time of the whole run.
+  double total_time = 0.0;
+
+  // Aggregate resolution counters (across all reduce tasks).
+  int64_t comparisons = 0;
+  int64_t duplicate_count = 0;
+  int64_t distinct_count = 0;
+  int64_t skipped_count = 0;
+
+  // Named MR counters merged across all tasks of the resolution job
+  // (e.g. "map.emitted_pairs", "reduce.blocks_resolved").
+  Counters counters;
+};
+
+// Coarsened event stream: each duplicate is visible only when its chunk is
+// flushed. Used by the alpha ablation to study the publish granularity.
+std::vector<DuplicateEvent> EventsFromChunks(
+    const std::vector<ResultChunk>& chunks);
+
+// Shared by the drivers: appends one reduce task's raw duplicate
+// discoveries ((task-local cost, pair), nondecreasing in cost) to `result`,
+// stamping global event times (start_time + cost * seconds_per_cost_unit)
+// and cutting `alpha`-sized incremental-output chunks.
+void AppendTaskEvents(
+    int task, double start_time, double task_cost,
+    double seconds_per_cost_unit, double alpha,
+    const std::vector<std::pair<double, PairKey>>& raw_events,
+    ErRunResult* result);
+
+// Fills ErRunResult::duplicates with the sorted unique pairs of `events`.
+void FinalizeDuplicates(ErRunResult* result);
+
+}  // namespace progres
+
+#endif  // PROGRES_CORE_ER_RESULT_H_

@@ -1,0 +1,50 @@
+#ifndef PROGRES_CORE_MRSN_ER_H_
+#define PROGRES_CORE_MRSN_ER_H_
+
+#include "blocking/blocking_function.h"
+#include "core/er_result.h"
+#include "mapreduce/cluster.h"
+#include "model/dataset.h"
+#include "similarity/match_function.h"
+
+namespace progres {
+
+// The multi-pass MapReduce Sorted Neighborhood baseline of Kolb et al. [8]
+// (RepSN), which the paper contrasts with in Sec. VII: a fixed,
+// non-progressive parallel ER algorithm that "needs to run to completion
+// before it can produce results". One MR job per pass (one pass per sort
+// attribute): entities are range-partitioned on the sort key so that each
+// reduce task holds a contiguous slice of the global sort order; the last
+// w - 1 entities of each range are replicated into the next range so the
+// sliding window never misses a cross-boundary pair; each reduce task slides
+// a window of size w over its slice.
+//
+// Range boundaries come from a boundary pre-pass over the sort keys — the
+// paper's deployment would run Hadoop's TotalOrderPartitioner sampling job;
+// in-process we compute exact quantiles, charging the equivalent cost.
+struct MrsnOptions {
+  ClusterConfig cluster;
+  int num_map_tasks = 0;     // 0 means all slots
+  int num_reduce_tasks = 0;  // 0 means all slots
+  int window = 15;
+  double alpha = 5000.0;
+};
+
+class MrsnEr {
+ public:
+  // One pass per family in `blocking`: the pass sorts on the family's sort
+  // attribute. Copies `blocking` and `match`.
+  MrsnEr(const BlockingConfig& blocking, const MatchFunction& match,
+         MrsnOptions options);
+
+  ErRunResult Run(const Dataset& dataset) const;
+
+ private:
+  BlockingConfig blocking_;
+  MatchFunction match_;
+  MrsnOptions options_;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_CORE_MRSN_ER_H_

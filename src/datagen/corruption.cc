@@ -1,0 +1,53 @@
+#include "datagen/corruption.h"
+
+namespace progres {
+
+namespace {
+
+constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+
+char RandomLetter(Rng* rng) {
+  return kAlphabet[rng->UniformU64(26)];
+}
+
+}  // namespace
+
+std::string CorruptValue(const std::string& value,
+                         const CorruptionConfig& config, Rng* rng) {
+  if (rng->Bernoulli(config.missing_rate)) return "";
+
+  std::string out;
+  out.reserve(value.size() + 4);
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (!rng->Bernoulli(config.typo_rate)) {
+      out.push_back(value[i]);
+      continue;
+    }
+    switch (rng->UniformU64(4)) {
+      case 0:  // substitution
+        out.push_back(RandomLetter(rng));
+        break;
+      case 1:  // deletion
+        break;
+      case 2:  // insertion (keeps the original character too)
+        out.push_back(RandomLetter(rng));
+        out.push_back(value[i]);
+        break;
+      default:  // transposition with the next character
+        if (i + 1 < value.size()) {
+          out.push_back(value[i + 1]);
+          out.push_back(value[i]);
+          ++i;
+        } else {
+          out.push_back(value[i]);
+        }
+        break;
+    }
+  }
+  if (out.size() > 8 && rng->Bernoulli(config.truncate_rate)) {
+    out.resize(out.size() / 2);
+  }
+  return out;
+}
+
+}  // namespace progres

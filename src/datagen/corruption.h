@@ -1,0 +1,29 @@
+#ifndef PROGRES_DATAGEN_CORRUPTION_H_
+#define PROGRES_DATAGEN_CORRUPTION_H_
+
+#include <string>
+
+#include "common/random.h"
+
+namespace progres {
+
+// Parameters of the attribute-corruption model used when generating
+// duplicate records: each character independently suffers a typo with
+// probability `typo_rate`; the whole value goes missing with probability
+// `missing_rate`; string values are truncated with probability
+// `truncate_rate`.
+struct CorruptionConfig {
+  double typo_rate = 0.015;
+  double missing_rate = 0.012;
+  double truncate_rate = 0.005;
+};
+
+// Returns a corrupted copy of `value`: typos are an even mix of character
+// substitution, deletion, insertion, and adjacent transposition, the classic
+// dirty-data edit operations. Deterministic given `rng`'s state.
+std::string CorruptValue(const std::string& value,
+                         const CorruptionConfig& config, Rng* rng);
+
+}  // namespace progres
+
+#endif  // PROGRES_DATAGEN_CORRUPTION_H_

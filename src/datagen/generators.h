@@ -1,0 +1,80 @@
+#ifndef PROGRES_DATAGEN_GENERATORS_H_
+#define PROGRES_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "datagen/corruption.h"
+#include "model/dataset.h"
+#include "model/ground_truth.h"
+
+namespace progres {
+
+// A dataset plus its ground truth (the duplicate clusters the generator
+// injected).
+struct LabeledDataset {
+  Dataset dataset;
+  GroundTruth truth;
+};
+
+// Synthetic substitute for the CiteSeerX publication dataset (Sec. VI-A2):
+// entities with title / abstract / venue attributes. Duplicate clusters have
+// Zipf-skewed sizes; copies are corrupted per `corruption`. Title and
+// abstract first words are Zipf-distributed over the vocabulary and venues
+// come from a small pool, reproducing the severe block-size skew the paper's
+// scheduler must handle.
+struct PublicationConfig {
+  int64_t num_entities = 20000;
+  // Fraction of entities that are duplicate copies of some base record.
+  double duplicate_fraction = 0.4;
+  // Zipf exponent for cluster sizes (larger = fewer big clusters).
+  double cluster_zipf = 1.8;
+  int max_cluster_size = 12;
+  // Zipf exponent for the title's first word (controls block skew).
+  double first_word_zipf = 1.1;
+  int vocabulary_size = 2000;
+  int num_venues = 24;
+  CorruptionConfig corruption;
+  uint64_t seed = 42;
+};
+
+// Attribute indexes of the publication schema.
+enum PublicationAttribute { kPubTitle = 0, kPubAbstract = 1, kPubVenue = 2 };
+
+LabeledDataset GeneratePublications(const PublicationConfig& config);
+
+// Synthetic substitute for the OL-Books dataset (Sec. VI-A2): eight
+// attributes (title, authors, publisher, year, isbn, pages, language,
+// edition), compared with edit distance or exact matching.
+struct BookConfig {
+  int64_t num_entities = 20000;
+  double duplicate_fraction = 0.35;
+  double cluster_zipf = 1.8;
+  int max_cluster_size = 10;
+  double first_word_zipf = 1.1;
+  int vocabulary_size = 2500;
+  int num_publishers = 30;
+  CorruptionConfig corruption;
+  uint64_t seed = 1337;
+};
+
+enum BookAttribute {
+  kBookTitle = 0,
+  kBookAuthors = 1,
+  kBookPublisher = 2,
+  kBookYear = 3,
+  kBookIsbn = 4,
+  kBookPages = 5,
+  kBookLanguage = 6,
+  kBookEdition = 7,
+};
+
+LabeledDataset GenerateBooks(const BookConfig& config);
+
+// The toy people dataset of Table I (9 entities, attributes name / state;
+// clusters {e1,e2,e3}, {e4,e5}, {e6}, {e7}, {e8}, {e9}).
+LabeledDataset GeneratePeopleToy();
+
+}  // namespace progres
+
+#endif  // PROGRES_DATAGEN_GENERATORS_H_

@@ -1,0 +1,30 @@
+#ifndef PROGRES_ESTIMATE_COST_MODEL_H_
+#define PROGRES_ESTIMATE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "mechanism/mechanism.h"
+
+namespace progres {
+
+// Closed-form cost predictions matching what the mechanisms in src/mechanism
+// actually charge (they share MechanismCosts), so the schedule generator's
+// Cost(.) values (Eqs. 3 and 5) line up with execution.
+
+// Number of pairs a sorted-neighborhood sweep with window `w` examines in a
+// block of `n` entities: sum over distances d = 1..min(w-1, n-1) of (n - d).
+int64_t WindowPairs(int64_t n, int w);
+
+// Additional cost CostA: reading and sorting the block (Sec. IV-B).
+double CostA(int64_t n, const MechanismCosts& costs);
+
+// Cost of resolving `dup` duplicate and `dis` distinct pairs (CostP).
+double CostP(double dup, double dis, const MechanismCosts& costs);
+
+// Cost of resolving a block fully (CostF): all window pairs, of which at
+// most `cov` are genuine comparisons and the remainder are redundancy skips.
+double CostF(int64_t n, int window, int64_t cov, const MechanismCosts& costs);
+
+}  // namespace progres
+
+#endif  // PROGRES_ESTIMATE_COST_MODEL_H_

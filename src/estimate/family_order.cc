@@ -1,0 +1,57 @@
+#include "estimate/family_order.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "blocking/forest.h"
+
+namespace progres {
+
+std::vector<FamilyQuality> MeasureFamilies(
+    const std::vector<FamilySpec>& candidates, const Dataset& train,
+    const GroundTruth& truth) {
+  std::vector<FamilyQuality> out;
+  out.reserve(candidates.size());
+  for (size_t f = 0; f < candidates.size(); ++f) {
+    // Measure the candidate in isolation: its root blocks over the sample.
+    FamilySpec root_only = candidates[f];
+    root_only.prefix_lens = {candidates[f].prefix_lens.front()};
+    const BlockingConfig config({root_only});
+    const std::vector<Forest> forests =
+        BuildForests(train, config, /*keep_members=*/true);
+
+    FamilyQuality quality;
+    quality.family = static_cast<int>(f);
+    for (const BlockNode& node : forests[0].nodes) {
+      if (node.size < 2) continue;
+      quality.total_pairs += PairsOf(node.size);
+      std::unordered_map<int32_t, int64_t> cluster_sizes;
+      for (EntityId id : node.entities) ++cluster_sizes[truth.cluster_of(id)];
+      for (const auto& [cluster, n] : cluster_sizes) {
+        (void)cluster;
+        quality.duplicate_pairs += PairsOf(n);
+      }
+    }
+    out.push_back(quality);
+  }
+  return out;
+}
+
+std::vector<FamilySpec> OrderFamiliesByDominance(
+    const std::vector<FamilySpec>& candidates, const Dataset& train,
+    const GroundTruth& truth) {
+  const std::vector<FamilyQuality> qualities =
+      MeasureFamilies(candidates, train, truth);
+  std::vector<int> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&qualities](int a, int b) {
+    return qualities[static_cast<size_t>(a)].ratio() >
+           qualities[static_cast<size_t>(b)].ratio();
+  });
+  std::vector<FamilySpec> ordered;
+  ordered.reserve(candidates.size());
+  for (int i : order) ordered.push_back(candidates[static_cast<size_t>(i)]);
+  return ordered;
+}
+
+}  // namespace progres

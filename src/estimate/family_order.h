@@ -1,0 +1,46 @@
+#ifndef PROGRES_ESTIMATE_FAMILY_ORDER_H_
+#define PROGRES_ESTIMATE_FAMILY_ORDER_H_
+
+#include <vector>
+
+#include "blocking/blocking_function.h"
+#include "model/dataset.h"
+#include "model/ground_truth.h"
+
+namespace progres {
+
+// Automatic specification of the dominance relation on main blocking
+// functions (Sec. IV-A): instead of a domain expert ordering the families,
+// estimate for each candidate function the number of duplicate and total
+// pairs in its blocks on a labeled training sample, and let X dominate Y
+// when X's duplicate-pair ratio is higher — the adaptive-blocking recipe
+// the paper cites from [20].
+
+// Per-family diagnostics from the training sample.
+struct FamilyQuality {
+  int family = 0;             // index into the candidate list
+  int64_t total_pairs = 0;    // pairs within the family's root blocks
+  int64_t duplicate_pairs = 0;
+  double ratio() const {
+    return total_pairs > 0 ? static_cast<double>(duplicate_pairs) /
+                                 static_cast<double>(total_pairs)
+                           : 0.0;
+  }
+};
+
+// Measures every candidate family on `train` / `truth`. Uses root blocks
+// only (the dominance relation is defined on main blocking functions).
+std::vector<FamilyQuality> MeasureFamilies(
+    const std::vector<FamilySpec>& candidates, const Dataset& train,
+    const GroundTruth& truth);
+
+// Returns `candidates` reordered by non-increasing duplicate-pair ratio
+// (ties keep the input order), i.e. the most dominating family first —
+// ready to construct a BlockingConfig.
+std::vector<FamilySpec> OrderFamiliesByDominance(
+    const std::vector<FamilySpec>& candidates, const Dataset& train,
+    const GroundTruth& truth);
+
+}  // namespace progres
+
+#endif  // PROGRES_ESTIMATE_FAMILY_ORDER_H_

@@ -1,0 +1,97 @@
+#include "estimate/prob_model.h"
+
+#include <unordered_map>
+
+#include "blocking/forest.h"
+
+namespace progres {
+
+namespace {
+
+// Logarithmic fraction boundaries: bucket i holds fractions in
+// (boundary[i-1], boundary[i]].
+constexpr double kBoundaries[] = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0};
+constexpr int kNumBuckets = static_cast<int>(std::size(kBoundaries));
+
+}  // namespace
+
+int ProbabilityModel::num_buckets() { return kNumBuckets; }
+
+int ProbabilityModel::BucketOf(int64_t block_size, int64_t dataset_size) {
+  const double fraction = dataset_size > 0
+                              ? static_cast<double>(block_size) /
+                                    static_cast<double>(dataset_size)
+                              : 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (fraction <= kBoundaries[i]) return i;
+  }
+  return kNumBuckets - 1;
+}
+
+ProbabilityModel ProbabilityModel::Train(const Dataset& train,
+                                         const GroundTruth& truth,
+                                         const BlockingConfig& config) {
+  ProbabilityModel model;
+  model.cells_.resize(static_cast<size_t>(config.num_families()));
+  for (int f = 0; f < config.num_families(); ++f) {
+    model.cells_[static_cast<size_t>(f)].assign(
+        static_cast<size_t>(config.family(f).levels()),
+        std::vector<Cell>(static_cast<size_t>(kNumBuckets)));
+  }
+  model.global_.assign(static_cast<size_t>(kNumBuckets), Cell());
+
+  const std::vector<Forest> forests = BuildForests(train, config,
+                                                   /*keep_members=*/true);
+  for (const Forest& forest : forests) {
+    for (const BlockNode& node : forest.nodes) {
+      if (node.size < 2) continue;
+      // True duplicate pairs inside the block: group members by truth
+      // cluster; every intra-cluster pair is a duplicate.
+      std::unordered_map<int32_t, int64_t> cluster_sizes;
+      for (EntityId id : node.entities) ++cluster_sizes[truth.cluster_of(id)];
+      int64_t dup_pairs = 0;
+      for (const auto& [cluster, n] : cluster_sizes) {
+        (void)cluster;
+        dup_pairs += PairsOf(n);
+      }
+      const int64_t total_pairs = PairsOf(node.size);
+      const int bucket = BucketOf(node.size, train.size());
+      Cell& cell = model.cells_[static_cast<size_t>(forest.family)]
+                               [static_cast<size_t>(node.id.level - 1)]
+                               [static_cast<size_t>(bucket)];
+      cell.dup_pairs += static_cast<double>(dup_pairs);
+      cell.total_pairs += static_cast<double>(total_pairs);
+      Cell& global = model.global_[static_cast<size_t>(bucket)];
+      global.dup_pairs += static_cast<double>(dup_pairs);
+      global.total_pairs += static_cast<double>(total_pairs);
+    }
+  }
+  return model;
+}
+
+double ProbabilityModel::Probability(int f, int level, int64_t block_size,
+                                     int64_t dataset_size) const {
+  const int bucket = BucketOf(block_size, dataset_size);
+  // Most specific first: (family, level, bucket), then any level of the
+  // family at that bucket, then the global bucket, then a small default.
+  if (f >= 0 && f < static_cast<int>(cells_.size())) {
+    const auto& levels = cells_[static_cast<size_t>(f)];
+    if (level >= 1 && level <= static_cast<int>(levels.size())) {
+      const Cell& cell =
+          levels[static_cast<size_t>(level - 1)][static_cast<size_t>(bucket)];
+      if (cell.total_pairs > 0.0) return cell.dup_pairs / cell.total_pairs;
+    }
+    for (const auto& per_level : levels) {
+      const Cell& cell = per_level[static_cast<size_t>(bucket)];
+      if (cell.total_pairs > 0.0) return cell.dup_pairs / cell.total_pairs;
+    }
+  }
+  if (bucket < static_cast<int>(global_.size()) &&
+      global_[static_cast<size_t>(bucket)].total_pairs > 0.0) {
+    const Cell& cell = global_[static_cast<size_t>(bucket)];
+    return cell.dup_pairs / cell.total_pairs;
+  }
+  return 0.01;
+}
+
+}  // namespace progres

@@ -1,0 +1,110 @@
+#include "eval/clustering.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "model/union_find.h"
+
+namespace progres {
+
+std::vector<int32_t> TransitiveClosure(
+    int64_t num_entities, const std::vector<PairKey>& duplicates) {
+  UnionFind uf(num_entities);
+  for (PairKey pair : duplicates) {
+    const auto [a, b] = PairKeyIds(pair);
+    uf.Union(a, b);
+  }
+  std::vector<int32_t> cluster_of(static_cast<size_t>(num_entities), -1);
+  std::unordered_map<int64_t, int32_t> dense;
+  for (int64_t i = 0; i < num_entities; ++i) {
+    const int64_t root = uf.Find(i);
+    const auto [it, inserted] =
+        dense.try_emplace(root, static_cast<int32_t>(dense.size()));
+    cluster_of[static_cast<size_t>(i)] = it->second;
+  }
+  return cluster_of;
+}
+
+std::vector<int32_t> CorrelationClustering(
+    int64_t num_entities, const std::vector<PairKey>& duplicates) {
+  // Adjacency of the duplicate graph.
+  std::unordered_map<EntityId, std::vector<EntityId>> adjacent;
+  for (PairKey pair : duplicates) {
+    const auto [a, b] = PairKeyIds(pair);
+    adjacent[a].push_back(b);
+    adjacent[b].push_back(a);
+  }
+  std::vector<int32_t> cluster_of(static_cast<size_t>(num_entities), -1);
+  int32_t next = 0;
+  // Deterministic pivot order: entity id ascending.
+  for (int64_t i = 0; i < num_entities; ++i) {
+    if (cluster_of[static_cast<size_t>(i)] >= 0) continue;
+    const int32_t cluster = next++;
+    cluster_of[static_cast<size_t>(i)] = cluster;
+    const auto it = adjacent.find(static_cast<EntityId>(i));
+    if (it == adjacent.end()) continue;
+    for (EntityId neighbor : it->second) {
+      if (cluster_of[static_cast<size_t>(neighbor)] < 0) {
+        cluster_of[static_cast<size_t>(neighbor)] = cluster;
+      }
+    }
+  }
+  return cluster_of;
+}
+
+namespace {
+
+PairMetrics FinishMetrics(int64_t true_positives, int64_t declared_pairs,
+                          int64_t truth_pairs) {
+  PairMetrics m;
+  m.true_positives = true_positives;
+  m.false_positives = declared_pairs - true_positives;
+  m.false_negatives = truth_pairs - true_positives;
+  m.precision = declared_pairs > 0
+                    ? static_cast<double>(true_positives) /
+                          static_cast<double>(declared_pairs)
+                    : 0.0;
+  m.recall = truth_pairs > 0 ? static_cast<double>(true_positives) /
+                                   static_cast<double>(truth_pairs)
+                             : 0.0;
+  m.f1 = (m.precision + m.recall) > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+}  // namespace
+
+PairMetrics EvaluateClustering(const std::vector<int32_t>& cluster_of,
+                               const GroundTruth& truth) {
+  std::unordered_map<int32_t, std::vector<EntityId>> members;
+  for (size_t i = 0; i < cluster_of.size(); ++i) {
+    members[cluster_of[i]].push_back(static_cast<EntityId>(i));
+  }
+  int64_t declared = 0;
+  int64_t true_positives = 0;
+  for (const auto& [cluster, ids] : members) {
+    (void)cluster;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      for (size_t j = i + 1; j < ids.size(); ++j) {
+        ++declared;
+        if (truth.IsDuplicate(ids[i], ids[j])) ++true_positives;
+      }
+    }
+  }
+  return FinishMetrics(true_positives, declared, truth.num_duplicate_pairs());
+}
+
+PairMetrics EvaluatePairs(const std::vector<PairKey>& duplicates,
+                          const GroundTruth& truth) {
+  std::unordered_set<PairKey> unique(duplicates.begin(), duplicates.end());
+  int64_t true_positives = 0;
+  for (PairKey pair : unique) {
+    const auto [a, b] = PairKeyIds(pair);
+    if (truth.IsDuplicate(a, b)) ++true_positives;
+  }
+  return FinishMetrics(true_positives, static_cast<int64_t>(unique.size()),
+                       truth.num_duplicate_pairs());
+}
+
+}  // namespace progres

@@ -1,0 +1,61 @@
+#include "eval/recall_curve.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace progres {
+
+RecallCurve RecallCurve::FromEvents(std::vector<DuplicateEvent> events,
+                                    const GroundTruth& truth) {
+  std::sort(events.begin(), events.end(),
+            [](const DuplicateEvent& a, const DuplicateEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.pair < b.pair;
+            });
+  RecallCurve curve;
+  const double n = static_cast<double>(truth.num_duplicate_pairs());
+  if (n <= 0.0) return curve;
+
+  std::unordered_set<PairKey> seen;
+  seen.reserve(events.size());
+  int64_t found = 0;
+  for (const DuplicateEvent& event : events) {
+    if (!seen.insert(event.pair).second) continue;
+    const auto [a, b] = PairKeyIds(event.pair);
+    if (!truth.IsDuplicate(a, b)) continue;
+    ++found;
+    curve.points_.push_back({event.time, static_cast<double>(found) / n});
+  }
+  return curve;
+}
+
+double RecallCurve::RecallAt(double t) const {
+  // Last point with time <= t.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double value, const Point& p) { return value < p.time; });
+  if (it == points_.begin()) return 0.0;
+  return (it - 1)->recall;
+}
+
+double RecallCurve::TimeToRecall(double recall) const {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), recall,
+      [](const Point& p, double value) { return p.recall < value; });
+  if (it == points_.end()) return std::numeric_limits<double>::infinity();
+  return it->time;
+}
+
+double Quality(const RecallCurve& curve, const std::vector<double>& times,
+               const std::vector<double>& weights) {
+  double quality = 0.0;
+  double previous = 0.0;
+  for (size_t i = 0; i < times.size() && i < weights.size(); ++i) {
+    const double recall = curve.RecallAt(times[i]);
+    quality += weights[i] * (recall - previous);
+    previous = recall;
+  }
+  return quality;
+}
+
+}  // namespace progres

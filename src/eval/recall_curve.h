@@ -1,0 +1,62 @@
+#ifndef PROGRES_EVAL_RECALL_CURVE_H_
+#define PROGRES_EVAL_RECALL_CURVE_H_
+
+#include <limits>
+#include <vector>
+
+#include "model/entity.h"
+#include "model/ground_truth.h"
+
+namespace progres {
+
+// One duplicate-pair discovery, stamped with its global simulated time
+// (seconds). Emitted by the drivers in src/core.
+struct DuplicateEvent {
+  double time = 0.0;
+  PairKey pair = 0;
+};
+
+// Duplicate recall as a function of execution time (the y/x axes of
+// Figs. 8-10): the ratio of correctly resolved duplicate pairs to the total
+// number of duplicate pairs in the ground truth. Pairs are counted once (at
+// their first discovery) and only if they are true duplicates.
+class RecallCurve {
+ public:
+  static RecallCurve FromEvents(std::vector<DuplicateEvent> events,
+                                const GroundTruth& truth);
+
+  // Recall achieved by time `t` (inclusive).
+  double RecallAt(double t) const;
+
+  // Earliest time at which recall reaches `recall`, or +infinity if the run
+  // never reaches it. Used for the speedup metric of Fig. 11.
+  double TimeToRecall(double recall) const;
+
+  double final_recall() const {
+    return points_.empty() ? 0.0 : points_.back().recall;
+  }
+  double end_time() const {
+    return points_.empty() ? 0.0 : points_.back().time;
+  }
+
+  struct Point {
+    double time = 0.0;
+    double recall = 0.0;
+  };
+  // Step points, one per counted duplicate, nondecreasing in both fields.
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+// The quality measure Qty(Result) of Eq. 1: sum over sampled times `c_i` of
+// W(c_i) times the recall gained in (c_{i-1}, c_i]. `times` must be
+// increasing and `weights` non-increasing with the same length. Returns a
+// value in [0, 1].
+double Quality(const RecallCurve& curve, const std::vector<double>& times,
+               const std::vector<double>& weights);
+
+}  // namespace progres
+
+#endif  // PROGRES_EVAL_RECALL_CURVE_H_

@@ -1,0 +1,53 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace progres {
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string FormatCurveSeries(const std::string& label,
+                              const RecallCurve& curve, double horizon,
+                              int num_samples) {
+  std::ostringstream out;
+  out << "# series: " << label << "  (time_sec recall)\n";
+  for (int i = 1; i <= num_samples; ++i) {
+    const double t =
+        horizon * static_cast<double>(i) / static_cast<double>(num_samples);
+    out << FormatDouble(t, 1) << ' ' << FormatDouble(curve.RecallAt(t), 4)
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace progres

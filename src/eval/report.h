@@ -1,0 +1,41 @@
+#ifndef PROGRES_EVAL_REPORT_H_
+#define PROGRES_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/recall_curve.h"
+
+namespace progres {
+
+// Fixed-width text table for bench output (the "same rows the paper
+// reports" format).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats `value` with `precision` fractional digits.
+std::string FormatDouble(double value, int precision);
+
+// Renders a recall curve as "time recall" sample rows at `num_samples`
+// evenly spaced times in [0, horizon]. Matches the series plotted in
+// Figs. 8-10.
+std::string FormatCurveSeries(const std::string& label,
+                              const RecallCurve& curve, double horizon,
+                              int num_samples);
+
+}  // namespace progres
+
+#endif  // PROGRES_EVAL_REPORT_H_

@@ -1,0 +1,71 @@
+#include "mapreduce/cluster.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace progres {
+
+std::vector<double> ClusterConfig::SlotSpeeds(int slots_per_machine) const {
+  std::vector<double> speeds;
+  speeds.reserve(static_cast<size_t>(machines * slots_per_machine));
+  for (int m = 0; m < machines; ++m) {
+    for (int s = 0; s < slots_per_machine; ++s) {
+      speeds.push_back(SpeedOfMachine(m));
+    }
+  }
+  return speeds;
+}
+
+std::vector<double> ScheduleTasksHeterogeneous(
+    const std::vector<double>& costs, const std::vector<double>& slot_speeds,
+    double start_time, double seconds_per_cost_unit, double* end_time) {
+  // Min-heap of (free time, slot index); ties resolve to the lowest slot.
+  using Slot = std::pair<double, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> free_at;
+  const int slots = std::max(1, static_cast<int>(slot_speeds.size()));
+  for (int i = 0; i < slots; ++i) free_at.push({start_time, i});
+
+  std::vector<double> starts(costs.size(), start_time);
+  double makespan = start_time;
+  for (size_t i = 0; i < costs.size(); ++i) {
+    const auto [slot_free, slot] = free_at.top();
+    free_at.pop();
+    starts[i] = slot_free;
+    const double speed = slot < static_cast<int>(slot_speeds.size()) &&
+                                 slot_speeds[static_cast<size_t>(slot)] > 0.0
+                             ? slot_speeds[static_cast<size_t>(slot)]
+                             : 1.0;
+    const double finish =
+        slot_free + costs[i] * seconds_per_cost_unit / speed;
+    free_at.push({finish, slot});
+    makespan = std::max(makespan, finish);
+  }
+  if (end_time != nullptr) *end_time = makespan;
+  return starts;
+}
+
+std::vector<double> ScheduleTasks(const std::vector<double>& costs,
+                                  int slots, double start_time,
+                                  double seconds_per_cost_unit,
+                                  double* end_time) {
+  slots = std::max(1, slots);
+  // Min-heap of slot free times.
+  std::priority_queue<double, std::vector<double>, std::greater<double>> free_at;
+  for (int i = 0; i < slots; ++i) free_at.push(start_time);
+
+  std::vector<double> starts(costs.size(), start_time);
+  double makespan = start_time;
+  for (size_t i = 0; i < costs.size(); ++i) {
+    const double slot_free = free_at.top();
+    free_at.pop();
+    starts[i] = slot_free;
+    const double finish = slot_free + costs[i] * seconds_per_cost_unit;
+    free_at.push(finish);
+    makespan = std::max(makespan, finish);
+  }
+  if (end_time != nullptr) *end_time = makespan;
+  return starts;
+}
+
+}  // namespace progres

@@ -1,0 +1,67 @@
+#ifndef PROGRES_MAPREDUCE_CLUSTER_H_
+#define PROGRES_MAPREDUCE_CLUSTER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace progres {
+
+// Configuration of the simulated Hadoop-style cluster. Mirrors the paper's
+// setup (Sec. VI-A1): mu machines, at most two concurrent map and two
+// concurrent reduce tasks per machine.
+struct ClusterConfig {
+  int machines = 10;
+  int map_slots_per_machine = 2;
+  int reduce_slots_per_machine = 2;
+
+  // Conversion from abstract cost units to simulated seconds. The default
+  // makes one million pair comparisons cost ~10 simulated seconds, in the
+  // ballpark of the paper's edit-distance match function.
+  double seconds_per_cost_unit = 1e-5;
+
+  // Number of real threads used to execute simulated tasks. 0 means use
+  // std::thread::hardware_concurrency().
+  int execution_threads = 0;
+
+  // Optional per-machine speed factors (1.0 = nominal). Homogeneous when
+  // empty. A machine with speed 0.5 takes twice as long per cost unit —
+  // models heterogeneous clusters and stragglers.
+  std::vector<double> machine_speed;
+
+  int map_slots() const { return machines * map_slots_per_machine; }
+  int reduce_slots() const { return machines * reduce_slots_per_machine; }
+
+  // Speed factor of machine `m` (1.0 when unspecified).
+  double SpeedOfMachine(int m) const {
+    if (m < static_cast<int>(machine_speed.size())) {
+      return machine_speed[static_cast<size_t>(m)] > 0.0
+                 ? machine_speed[static_cast<size_t>(m)]
+                 : 1.0;
+    }
+    return 1.0;
+  }
+
+  // Per-slot speed factors for a phase with `slots_per_machine` slots.
+  std::vector<double> SlotSpeeds(int slots_per_machine) const;
+};
+
+// FIFO-schedules tasks with the given `costs` (in cost units) onto `slots`
+// parallel slots, all available from `start_time` (seconds). Task i is
+// assigned, in index order, to the earliest-free slot — the behaviour of a
+// Hadoop task scheduler within one job. Returns the start time of each task
+// and stores the makespan end time in `*end_time`.
+std::vector<double> ScheduleTasks(const std::vector<double>& costs,
+                                  int slots, double start_time,
+                                  double seconds_per_cost_unit,
+                                  double* end_time);
+
+// Heterogeneous variant: `slot_speeds` gives each slot's speed factor; task
+// duration on a slot is cost * seconds_per_cost_unit / speed. Same FIFO
+// earliest-free-slot policy.
+std::vector<double> ScheduleTasksHeterogeneous(
+    const std::vector<double>& costs, const std::vector<double>& slot_speeds,
+    double start_time, double seconds_per_cost_unit, double* end_time);
+
+}  // namespace progres
+
+#endif  // PROGRES_MAPREDUCE_CLUSTER_H_

@@ -1,0 +1,24 @@
+#ifndef PROGRES_MAPREDUCE_COST_CLOCK_H_
+#define PROGRES_MAPREDUCE_COST_CLOCK_H_
+
+namespace progres {
+
+// Deterministic task-local resolution-cost clock. Algorithm code charges
+// abstract cost units (1 unit == one pair comparison; hint generation,
+// sorting and entity reads are charged fractional units via the cost model).
+// The cluster simulator converts per-task cost into execution time, which is
+// the x-axis of every figure in the paper. Not thread-safe: each simulated
+// task owns its clock.
+class CostClock {
+ public:
+  void Charge(double units) { units_ += units; }
+  double units() const { return units_; }
+  void Reset() { units_ = 0.0; }
+
+ private:
+  double units_ = 0.0;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_MAPREDUCE_COST_CLOCK_H_

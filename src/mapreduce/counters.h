@@ -1,0 +1,40 @@
+#ifndef PROGRES_MAPREDUCE_COUNTERS_H_
+#define PROGRES_MAPREDUCE_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace progres {
+
+// Hadoop-style named counters. Each task owns a private Counters instance
+// (no synchronization needed); the runtime merges them into the job-wide
+// totals after the task finishes.
+class Counters {
+ public:
+  // Adds `delta` to counter `name`, creating it at zero if absent.
+  void Increment(const std::string& name, int64_t delta = 1) {
+    values_[name] += delta;
+  }
+
+  // Current value of `name` (0 if never incremented).
+  int64_t Get(const std::string& name) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  // Merges another task's counters into this one.
+  void MergeFrom(const Counters& other) {
+    for (const auto& [name, value] : other.values_) values_[name] += value;
+  }
+
+  // All counters, sorted by name (std::map keeps them ordered).
+  const std::map<std::string, int64_t>& values() const { return values_; }
+
+ private:
+  std::map<std::string, int64_t> values_;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_MAPREDUCE_COUNTERS_H_

@@ -1,0 +1,323 @@
+#ifndef PROGRES_MAPREDUCE_JOB_H_
+#define PROGRES_MAPREDUCE_JOB_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/cost_clock.h"
+#include "mapreduce/counters.h"
+
+namespace progres {
+
+// In-process MapReduce runtime. It honours the Hadoop contract the paper's
+// algorithms rely on:
+//   * the input is split into contiguous chunks, one per map task;
+//   * map tasks emit (key, value) pairs that a partition function routes to
+//     reduce tasks;
+//   * each reduce task sorts its pairs by key and invokes the reduce function
+//     once per distinct key, in key order (so sequence-value keys yield the
+//     paper's per-task block resolution order);
+//   * per-task setup hooks run before the first record/group (the second
+//     job's schedule generation runs in map-task setup).
+//
+// Tasks execute concurrently on a thread pool; all algorithmic cost is
+// charged to deterministic per-task CostClocks, and the simulated cluster
+// (cluster.h) converts per-task costs into start/end times afterwards, so
+// results are bit-identical regardless of real thread interleaving.
+//
+// Keys and values are typed (template parameters) rather than raw bytes;
+// serialization would add nothing to the reproduced algorithms.
+
+// Per-task execution statistics.
+struct TaskStats {
+  double cost = 0.0;        // cost units charged by the task
+  int64_t records_in = 0;   // map: input records; reduce: input values
+  int64_t pairs_out = 0;    // map: emitted KVs; reduce: emitted KVs
+};
+
+// Timing of one job on the simulated cluster.
+struct JobTiming {
+  double start = 0.0;               // when the job was submitted (seconds)
+  double map_end = 0.0;             // end of the map phase (barrier)
+  std::vector<double> reduce_start; // per reduce task
+  double end = 0.0;                 // job completion (makespan)
+};
+
+template <typename Record, typename K, typename V>
+class MapReduceJob {
+ public:
+  class MapContext {
+   public:
+    int task_id() const { return task_id_; }
+    CostClock& clock() { return clock_; }
+    Counters& counters() { return counters_; }
+
+    // Emits a pair routed to partition `partition(key, num_reduce_tasks)`.
+    void Emit(K key, V value) {
+      const int r = job_->partition_(key, job_->num_reduce_tasks_);
+      buckets_[static_cast<size_t>(r)].emplace_back(std::move(key),
+                                                    std::move(value));
+      ++stats_.pairs_out;
+    }
+
+   private:
+    friend class MapReduceJob;
+    MapReduceJob* job_ = nullptr;
+    int task_id_ = 0;
+    CostClock clock_;
+    Counters counters_;
+    TaskStats stats_;
+    std::vector<std::vector<std::pair<K, V>>> buckets_;
+  };
+
+  class ReduceContext {
+   public:
+    int task_id() const { return task_id_; }
+    CostClock& clock() { return clock_; }
+    Counters& counters() { return counters_; }
+
+    void Emit(K key, V value) {
+      outputs_.emplace_back(std::move(key), std::move(value));
+      ++stats_.pairs_out;
+    }
+
+   private:
+    friend class MapReduceJob;
+    int task_id_ = 0;
+    CostClock clock_;
+    Counters counters_;
+    TaskStats stats_;
+    std::vector<std::pair<K, V>> outputs_;
+  };
+
+  using MapFn = std::function<void(const Record&, MapContext*)>;
+  using ReduceFn =
+      std::function<void(const K&, std::vector<V>*, ReduceContext*)>;
+  using PartitionFn = std::function<int(const K&, int num_reduce_tasks)>;
+  using SetupFn = std::function<void(int task_id)>;
+  // Cleanup hook run after a reduce task's last group (Hadoop's cleanup()).
+  using ReduceCleanupFn = std::function<void(ReduceContext*)>;
+  // Combiner: reduces one map task's values for a key into replacement
+  // pairs appended to `out` (local aggregation before the shuffle).
+  using CombineFn = std::function<void(const K&, std::vector<V>*,
+                                       std::vector<std::pair<K, V>>*)>;
+
+  struct Result {
+    // Reduce outputs concatenated in reduce-task order (within a task, in
+    // emission order).
+    std::vector<std::pair<K, V>> outputs;
+    std::vector<TaskStats> map_stats;
+    std::vector<TaskStats> reduce_stats;
+    // Named counters merged across every map and reduce task.
+    Counters counters;
+    JobTiming timing;
+  };
+
+  MapReduceJob(int num_map_tasks, int num_reduce_tasks)
+      : num_map_tasks_(std::max(1, num_map_tasks)),
+        num_reduce_tasks_(std::max(1, num_reduce_tasks)),
+        partition_([](const K& key, int r) {
+          return static_cast<int>(std::hash<K>{}(key) % static_cast<size_t>(r));
+        }) {}
+
+  // Overrides the default hash partitioner.
+  void set_partitioner(PartitionFn fn) { partition_ = std::move(fn); }
+
+  // Cost units auto-charged per map input record (models record read +
+  // key-extraction work).
+  void set_map_cost_per_record(double cost) { map_cost_per_record_ = cost; }
+
+  // Optional hooks run at the start of each task, before any record/group.
+  void set_map_setup(SetupFn fn) { map_setup_ = std::move(fn); }
+  void set_reduce_setup(SetupFn fn) { reduce_setup_ = std::move(fn); }
+
+  // Optional combiner run on each map task's output, per partition, before
+  // the shuffle (Hadoop's local aggregation).
+  void set_combiner(CombineFn fn) { combiner_ = std::move(fn); }
+
+  // Optional cleanup run at the end of each reduce task, after its last
+  // group (may still charge cost and emit).
+  void set_reduce_cleanup(ReduceCleanupFn fn) {
+    reduce_cleanup_ = std::move(fn);
+  }
+
+  // Runs the job on `input` using `cluster` for both real thread parallelism
+  // and the simulated time model. `submit_time` is when the job starts on
+  // the simulated clock.
+  Result Run(const std::vector<Record>& input, const MapFn& map_fn,
+             const ReduceFn& reduce_fn, const ClusterConfig& cluster,
+             double submit_time = 0.0) {
+    Result result;
+    result.timing.start = submit_time;
+
+    // ---- Map phase ----
+    std::vector<MapContext> map_ctx(static_cast<size_t>(num_map_tasks_));
+    {
+      const int threads = cluster.execution_threads > 0
+                              ? cluster.execution_threads
+                              : static_cast<int>(
+                                    std::thread::hardware_concurrency());
+      ThreadPool pool(threads);
+      const size_t n = input.size();
+      for (int t = 0; t < num_map_tasks_; ++t) {
+        MapContext& ctx = map_ctx[static_cast<size_t>(t)];
+        ctx.job_ = this;
+        ctx.task_id_ = t;
+        ctx.buckets_.resize(static_cast<size_t>(num_reduce_tasks_));
+        const size_t lo = n * static_cast<size_t>(t) /
+                          static_cast<size_t>(num_map_tasks_);
+        const size_t hi = n * static_cast<size_t>(t + 1) /
+                          static_cast<size_t>(num_map_tasks_);
+        pool.Submit([this, &input, &map_fn, &ctx, lo, hi] {
+          if (map_setup_) map_setup_(ctx.task_id_);
+          for (size_t i = lo; i < hi; ++i) {
+            ctx.clock_.Charge(map_cost_per_record_);
+            map_fn(input[i], &ctx);
+            ++ctx.stats_.records_in;
+          }
+          if (combiner_) CombineBuckets(&ctx);
+          ctx.stats_.cost = ctx.clock_.units();
+        });
+      }
+      pool.Wait();
+
+      // ---- Reduce phase ----
+      std::vector<ReduceContext> reduce_ctx(
+          static_cast<size_t>(num_reduce_tasks_));
+      for (int r = 0; r < num_reduce_tasks_; ++r) {
+        ReduceContext& ctx = reduce_ctx[static_cast<size_t>(r)];
+        ctx.task_id_ = r;
+        pool.Submit([this, &map_ctx, &reduce_fn, &ctx, r] {
+          RunReduceTask(map_ctx, reduce_fn, &ctx, r);
+        });
+      }
+      pool.Wait();
+
+      // ---- Collect stats, counters & outputs ----
+      for (MapContext& ctx : map_ctx) {
+        result.map_stats.push_back(ctx.stats_);
+        result.counters.MergeFrom(ctx.counters_);
+      }
+      for (ReduceContext& ctx : reduce_ctx) {
+        result.reduce_stats.push_back(ctx.stats_);
+        result.counters.MergeFrom(ctx.counters_);
+        for (auto& kv : ctx.outputs_) result.outputs.push_back(std::move(kv));
+      }
+    }
+
+    // ---- Simulated timing ----
+    const bool heterogeneous = !cluster.machine_speed.empty();
+    std::vector<double> map_costs;
+    map_costs.reserve(result.map_stats.size());
+    for (const TaskStats& s : result.map_stats) map_costs.push_back(s.cost);
+    double map_end = submit_time;
+    if (heterogeneous) {
+      ScheduleTasksHeterogeneous(
+          map_costs, cluster.SlotSpeeds(cluster.map_slots_per_machine),
+          submit_time, cluster.seconds_per_cost_unit, &map_end);
+    } else {
+      ScheduleTasks(map_costs, cluster.map_slots(), submit_time,
+                    cluster.seconds_per_cost_unit, &map_end);
+    }
+    result.timing.map_end = map_end;
+
+    std::vector<double> reduce_costs;
+    reduce_costs.reserve(result.reduce_stats.size());
+    for (const TaskStats& s : result.reduce_stats) {
+      reduce_costs.push_back(s.cost);
+    }
+    double end = map_end;
+    if (heterogeneous) {
+      result.timing.reduce_start = ScheduleTasksHeterogeneous(
+          reduce_costs, cluster.SlotSpeeds(cluster.reduce_slots_per_machine),
+          map_end, cluster.seconds_per_cost_unit, &end);
+    } else {
+      result.timing.reduce_start =
+          ScheduleTasks(reduce_costs, cluster.reduce_slots(), map_end,
+                        cluster.seconds_per_cost_unit, &end);
+    }
+    result.timing.end = end;
+    return result;
+  }
+
+ private:
+  // Applies the combiner to every partition bucket of a finished map task:
+  // values are grouped by key locally and replaced by the combiner's output.
+  void CombineBuckets(MapContext* ctx) {
+    for (auto& bucket : ctx->buckets_) {
+      std::stable_sort(bucket.begin(), bucket.end(),
+                       [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+                         return a.first < b.first;
+                       });
+      std::vector<std::pair<K, V>> combined;
+      size_t i = 0;
+      while (i < bucket.size()) {
+        size_t j = i;
+        while (j < bucket.size() && !(bucket[i].first < bucket[j].first)) ++j;
+        std::vector<V> values;
+        values.reserve(j - i);
+        for (size_t k = i; k < j; ++k) {
+          values.push_back(std::move(bucket[k].second));
+        }
+        combiner_(bucket[i].first, &values, &combined);
+        i = j;
+      }
+      bucket = std::move(combined);
+    }
+  }
+
+  void RunReduceTask(std::vector<MapContext>& map_ctx,
+                     const ReduceFn& reduce_fn, ReduceContext* ctx, int r) {
+    // Gather this task's partition from every map task (map-task order, so
+    // the merge is deterministic), then sort by key. stable_sort keeps the
+    // map-task order among equal keys, mirroring Hadoop's merge.
+    std::vector<std::pair<K, V>> pairs;
+    size_t total = 0;
+    for (MapContext& m : map_ctx) {
+      total += m.buckets_[static_cast<size_t>(r)].size();
+    }
+    pairs.reserve(total);
+    for (MapContext& m : map_ctx) {
+      auto& bucket = m.buckets_[static_cast<size_t>(r)];
+      for (auto& kv : bucket) pairs.push_back(std::move(kv));
+    }
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+                       return a.first < b.first;
+                     });
+
+    if (reduce_setup_) reduce_setup_(r);
+    size_t i = 0;
+    while (i < pairs.size()) {
+      size_t j = i;
+      while (j < pairs.size() && !(pairs[i].first < pairs[j].first)) ++j;
+      std::vector<V> values;
+      values.reserve(j - i);
+      for (size_t k = i; k < j; ++k) values.push_back(std::move(pairs[k].second));
+      ctx->stats_.records_in += static_cast<int64_t>(values.size());
+      reduce_fn(pairs[i].first, &values, ctx);
+      i = j;
+    }
+    if (reduce_cleanup_) reduce_cleanup_(ctx);
+    ctx->stats_.cost = ctx->clock_.units();
+  }
+
+  int num_map_tasks_;
+  int num_reduce_tasks_;
+  PartitionFn partition_;
+  double map_cost_per_record_ = 1.0;
+  SetupFn map_setup_;
+  SetupFn reduce_setup_;
+  ReduceCleanupFn reduce_cleanup_;
+  CombineFn combiner_;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_MAPREDUCE_JOB_H_

@@ -1,0 +1,54 @@
+#include "mapreduce/serde.h"
+
+namespace progres {
+
+void PutVarint64(uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool GetVarint64(std::string_view in, size_t* offset, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t i = *offset;
+  while (i < in.size() && shift < 64) {
+    const uint8_t byte = static_cast<uint8_t>(in[i]);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    ++i;
+    if ((byte & 0x80) == 0) {
+      *offset = i;
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // truncated or over-long
+}
+
+void PutString(std::string_view value, std::string* out) {
+  PutVarint64(value.size(), out);
+  out->append(value);
+}
+
+bool GetString(std::string_view in, size_t* offset, std::string* value) {
+  uint64_t length = 0;
+  if (!GetVarint64(in, offset, &length)) return false;
+  if (*offset + length > in.size()) return false;
+  value->assign(in.substr(*offset, length));
+  *offset += length;
+  return true;
+}
+
+int VarintSize(uint64_t value) {
+  int size = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+}  // namespace progres

@@ -1,0 +1,43 @@
+#ifndef PROGRES_MAPREDUCE_SERDE_H_
+#define PROGRES_MAPREDUCE_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace progres {
+
+// Minimal Hadoop-Writable-style wire encoding. The in-process runtime moves
+// typed values, so serialization is not needed for correctness; these
+// helpers exist to (a) account for real shuffle byte volumes (the
+// `shuffle.bytes` counters in the drivers) and (b) persist intermediate
+// records in a compact binary form.
+
+// Appends `value` to `out` as a base-128 varint (LEB128).
+void PutVarint64(uint64_t value, std::string* out);
+
+// Reads a varint from `in` at `*offset`, advancing it. Returns false on
+// truncated or malformed (> 10 byte) input.
+bool GetVarint64(std::string_view in, size_t* offset, uint64_t* value);
+
+// ZigZag mapping so small negative integers stay small on the wire.
+inline uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+// Appends `value` length-prefixed.
+void PutString(std::string_view value, std::string* out);
+
+// Reads a length-prefixed string written by PutString.
+bool GetString(std::string_view in, size_t* offset, std::string* value);
+
+// Number of bytes PutVarint64 would append.
+int VarintSize(uint64_t value);
+
+}  // namespace progres
+
+#endif  // PROGRES_MAPREDUCE_SERDE_H_

@@ -1,0 +1,27 @@
+#include "mechanism/full_resolver.h"
+
+#include "mechanism/resolve_loop.h"
+
+namespace progres {
+
+ResolveOutcome FullResolverMechanism::Resolve(
+    const ResolveRequest& request) const {
+  using mechanism_internal::ResolveLoop;
+  const std::vector<const Entity*>& block = *request.block;
+  const int64_t n = static_cast<int64_t>(block.size());
+
+  // No sort; charge read cost only.
+  request.clock->Charge(costs_.read_per_entity * static_cast<double>(n));
+  ResolveLoop loop(request, costs_);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      if (!loop.ProcessPair(*block[static_cast<size_t>(i)],
+                            *block[static_cast<size_t>(j)])) {
+        return loop.Finish();
+      }
+    }
+  }
+  return loop.Finish();
+}
+
+}  // namespace progres

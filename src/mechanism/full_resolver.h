@@ -1,0 +1,26 @@
+#ifndef PROGRES_MECHANISM_FULL_RESOLVER_H_
+#define PROGRES_MECHANISM_FULL_RESOLVER_H_
+
+#include "mechanism/mechanism.h"
+
+namespace progres {
+
+// Exhaustive resolver: compares every pair of the block in id order. Not
+// progressive — it serves as the quality oracle in tests and as the
+// "traditional ER" curve of Figure 1. Ignores the window option; honours the
+// termination/popcorn options so it can also act as a degenerate mechanism.
+class FullResolverMechanism : public ProgressiveMechanism {
+ public:
+  explicit FullResolverMechanism(MechanismCosts costs = {}) : costs_(costs) {}
+
+  std::string name() const override { return "Full"; }
+
+  ResolveOutcome Resolve(const ResolveRequest& request) const override;
+
+ private:
+  MechanismCosts costs_;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_MECHANISM_FULL_RESOLVER_H_

@@ -1,0 +1,35 @@
+#ifndef PROGRES_MECHANISM_HIERARCHY_HINT_H_
+#define PROGRES_MECHANISM_HIERARCHY_HINT_H_
+
+#include "mechanism/mechanism.h"
+
+namespace progres {
+
+// The hierarchy-of-partitions hint of "Pay-as-you-go entity resolution" [5],
+// which Sec. III-A cites as the inspiration for progressive blocking and
+// explicitly allows as a mechanism M. The block's sorted order is divided
+// into a binary hierarchy of partitions; pairs inside the finest partitions
+// are resolved first (they are likeliest to be duplicates), then each
+// coarser level resolves only the pairs spanning its two child partitions,
+// in non-decreasing rank distance. The rank-distance window cap is honoured
+// so that the pair set covered equals SN's, only the order differs.
+class HierarchyHintMechanism : public ProgressiveMechanism {
+ public:
+  // `leaf_size` is the size of the finest partitions (>= 2).
+  explicit HierarchyHintMechanism(MechanismCosts costs = {}, int leaf_size = 4)
+      : costs_(costs), leaf_size_(leaf_size > 2 ? leaf_size : 2) {}
+
+  std::string name() const override { return "HierarchyHint"; }
+
+  ResolveOutcome Resolve(const ResolveRequest& request) const override;
+
+  int leaf_size() const { return leaf_size_; }
+
+ private:
+  MechanismCosts costs_;
+  int leaf_size_;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_MECHANISM_HIERARCHY_HINT_H_

@@ -1,0 +1,40 @@
+#include "mechanism/psnm.h"
+
+#include "mechanism/resolve_loop.h"
+
+namespace progres {
+
+ResolveOutcome PsnmMechanism::Resolve(const ResolveRequest& request) const {
+  using mechanism_internal::ResolveLoop;
+  const std::vector<const Entity*>& block = *request.block;
+  const int64_t n = static_cast<int64_t>(block.size());
+
+  mechanism_internal::ChargeAdditionalCost(n, costs_, request.clock);
+  ResolveLoop loop(request, costs_);
+  if (n < 2) return loop.Finish();
+
+  const std::vector<int> order =
+      mechanism_internal::SortedOrder(block, request.sort_attribute);
+
+  const int64_t p = partition_size_;
+  const int64_t max_distance =
+      std::min<int64_t>(request.options.window - 1, n - 1);
+  for (int64_t d = 1; d <= max_distance; ++d) {
+    // Partition-major sweep: each partition covers the pairs (i, i+d) whose
+    // left index falls inside it, including pairs that straddle into the
+    // next partition (PSNM keeps two partitions loaded while sliding).
+    for (int64_t start = 0; start < n; start += p) {
+      const int64_t end = std::min(start + p, n - d);
+      for (int64_t i = start; i < end; ++i) {
+        const Entity& a =
+            *block[static_cast<size_t>(order[static_cast<size_t>(i)])];
+        const Entity& b =
+            *block[static_cast<size_t>(order[static_cast<size_t>(i + d)])];
+        if (!loop.ProcessPair(a, b)) return loop.Finish();
+      }
+    }
+  }
+  return loop.Finish();
+}
+
+}  // namespace progres

@@ -1,0 +1,31 @@
+#ifndef PROGRES_MECHANISM_SORTED_NEIGHBOR_H_
+#define PROGRES_MECHANISM_SORTED_NEIGHBOR_H_
+
+#include "mechanism/mechanism.h"
+
+namespace progres {
+
+// The Sorted Neighbor algorithm [3] combined with the distance hint of
+// "Pay-as-you-go entity resolution" [5] (Sec. II-B): the block's entities
+// are sorted on the blocking attribute, and pairs are resolved in
+// non-decreasing order of rank distance — distance-1 pairs first, then
+// distance 2, and so on up to window - 1. Used for the CiteSeerX-style
+// experiments in the paper.
+class SortedNeighborMechanism : public ProgressiveMechanism {
+ public:
+  explicit SortedNeighborMechanism(MechanismCosts costs = {})
+      : costs_(costs) {}
+
+  std::string name() const override { return "SN"; }
+
+  ResolveOutcome Resolve(const ResolveRequest& request) const override;
+
+  const MechanismCosts& costs() const { return costs_; }
+
+ private:
+  MechanismCosts costs_;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_MECHANISM_SORTED_NEIGHBOR_H_

@@ -1,0 +1,46 @@
+#ifndef PROGRES_MODEL_ENTITY_H_
+#define PROGRES_MODEL_ENTITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace progres {
+
+// Identifier of an entity within a dataset. Dense, starting at 0.
+using EntityId = int32_t;
+
+// Canonical 64-bit key of an unordered entity pair: the smaller id is stored
+// in the high 32 bits. Used for duplicate sets and redundancy bookkeeping.
+using PairKey = uint64_t;
+
+// Returns the canonical key for the unordered pair {a, b}. Requires a != b.
+inline PairKey MakePairKey(EntityId a, EntityId b) {
+  const uint32_t lo = static_cast<uint32_t>(a < b ? a : b);
+  const uint32_t hi = static_cast<uint32_t>(a < b ? b : a);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+// Returns the two entity ids of a pair key (first < second).
+inline std::pair<EntityId, EntityId> PairKeyIds(PairKey key) {
+  return {static_cast<EntityId>(key >> 32),
+          static_cast<EntityId>(key & 0xffffffffULL)};
+}
+
+// A record to be resolved: an id plus one string value per schema attribute.
+// Missing values are represented by empty strings.
+struct Entity {
+  EntityId id = -1;
+  std::vector<std::string> attributes;
+
+  // Returns the value of attribute `index`, or an empty view when the entity
+  // has fewer attributes (treated as missing).
+  std::string_view attribute(size_t index) const {
+    return index < attributes.size() ? std::string_view(attributes[index])
+                                     : std::string_view();
+  }
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_MODEL_ENTITY_H_

@@ -1,0 +1,60 @@
+#include "model/ground_truth.h"
+
+#include <unordered_map>
+
+#include "common/tsv.h"
+
+namespace progres {
+
+GroundTruth::GroundTruth(std::vector<int32_t> cluster_of)
+    : cluster_of_(std::move(cluster_of)) {
+  std::unordered_map<int32_t, int64_t> sizes;
+  for (int32_t c : cluster_of_) ++sizes[c];
+  for (const auto& [cluster, n] : sizes) {
+    (void)cluster;
+    num_duplicate_pairs_ += n * (n - 1) / 2;
+  }
+}
+
+std::vector<PairKey> GroundTruth::AllDuplicatePairs() const {
+  std::unordered_map<int32_t, std::vector<EntityId>> members;
+  for (size_t i = 0; i < cluster_of_.size(); ++i) {
+    members[cluster_of_[i]].push_back(static_cast<EntityId>(i));
+  }
+  std::vector<PairKey> pairs;
+  pairs.reserve(static_cast<size_t>(num_duplicate_pairs_));
+  for (const auto& [cluster, ids] : members) {
+    (void)cluster;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      for (size_t j = i + 1; j < ids.size(); ++j) {
+        pairs.push_back(MakePairKey(ids[i], ids[j]));
+      }
+    }
+  }
+  return pairs;
+}
+
+bool GroundTruth::SaveTsv(const std::string& path) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(cluster_of_.size());
+  for (size_t i = 0; i < cluster_of_.size(); ++i) {
+    rows.push_back({std::to_string(i), std::to_string(cluster_of_[i])});
+  }
+  return WriteTsv(path, rows);
+}
+
+bool GroundTruth::LoadTsv(const std::string& path, GroundTruth* out) {
+  std::vector<std::vector<std::string>> rows;
+  if (!ReadTsv(path, &rows)) return false;
+  std::vector<int32_t> cluster_of(rows.size(), 0);
+  for (const auto& row : rows) {
+    if (row.size() != 2) return false;
+    const size_t id = static_cast<size_t>(std::stol(row[0]));
+    if (id >= cluster_of.size()) return false;
+    cluster_of[id] = static_cast<int32_t>(std::stol(row[1]));
+  }
+  *out = GroundTruth(std::move(cluster_of));
+  return true;
+}
+
+}  // namespace progres

@@ -1,0 +1,53 @@
+#ifndef PROGRES_MODEL_UNION_FIND_H_
+#define PROGRES_MODEL_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace progres {
+
+// Disjoint-set forest with union by rank and path compression. Used for the
+// transitive-closure clustering step that turns resolved duplicate pairs into
+// disjoint entity clusters (Sec. II-A).
+class UnionFind {
+ public:
+  explicit UnionFind(int64_t n) : parent_(static_cast<size_t>(n)), rank_(static_cast<size_t>(n), 0) {
+    for (size_t i = 0; i < parent_.size(); ++i) parent_[i] = static_cast<int64_t>(i);
+  }
+
+  // Returns the representative of `x`'s set.
+  int64_t Find(int64_t x) {
+    int64_t root = x;
+    while (parent_[static_cast<size_t>(root)] != root) root = parent_[static_cast<size_t>(root)];
+    while (parent_[static_cast<size_t>(x)] != root) {
+      const int64_t next = parent_[static_cast<size_t>(x)];
+      parent_[static_cast<size_t>(x)] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  // Merges the sets containing `a` and `b`. Returns true if they were
+  // previously in different sets.
+  bool Union(int64_t a, int64_t b) {
+    int64_t ra = Find(a);
+    int64_t rb = Find(b);
+    if (ra == rb) return false;
+    if (rank_[static_cast<size_t>(ra)] < rank_[static_cast<size_t>(rb)]) std::swap(ra, rb);
+    parent_[static_cast<size_t>(rb)] = ra;
+    if (rank_[static_cast<size_t>(ra)] == rank_[static_cast<size_t>(rb)]) ++rank_[static_cast<size_t>(ra)];
+    return true;
+  }
+
+  bool Connected(int64_t a, int64_t b) { return Find(a) == Find(b); }
+
+  int64_t size() const { return static_cast<int64_t>(parent_.size()); }
+
+ private:
+  std::vector<int64_t> parent_;
+  std::vector<int8_t> rank_;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_MODEL_UNION_FIND_H_

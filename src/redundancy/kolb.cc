@@ -1,0 +1,22 @@
+#include "redundancy/kolb.h"
+
+#include <string>
+#include <utility>
+
+namespace progres {
+
+bool KolbShouldResolve(const Entity& a, const Entity& b, int family,
+                       const BlockingConfig& config) {
+  const std::string current_key = config.Key(family, 1, a);
+  const std::pair<std::string, int> current{current_key, family};
+  for (int g = 0; g < config.num_families(); ++g) {
+    if (g == family) continue;
+    const std::string key_a = config.Key(g, 1, a);
+    if (key_a != config.Key(g, 1, b)) continue;  // not a common block
+    const std::pair<std::string, int> other{key_a, g};
+    if (other < current) return false;  // a smaller common block exists
+  }
+  return true;
+}
+
+}  // namespace progres

@@ -1,0 +1,21 @@
+#ifndef PROGRES_REDUNDANCY_KOLB_H_
+#define PROGRES_REDUNDANCY_KOLB_H_
+
+#include "blocking/blocking_function.h"
+#include "model/entity.h"
+
+namespace progres {
+
+// The redundancy-elimination strategy of Kolb et al. [14], used by the Basic
+// baseline (Sec. II-C / VI-B1): a pair shared by several blocks is resolved
+// only in the common block with the smallest blocking key value (keys are
+// compared together with their function id, mirroring the paper's composite
+// "key value followed by the function ID"). Returns true if the main block
+// of family `family` (which must contain both entities) is that smallest
+// common block.
+bool KolbShouldResolve(const Entity& a, const Entity& b, int family,
+                       const BlockingConfig& config);
+
+}  // namespace progres
+
+#endif  // PROGRES_REDUNDANCY_KOLB_H_

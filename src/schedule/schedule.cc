@@ -1,0 +1,557 @@
+#include "schedule/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <functional>
+#include <limits>
+
+namespace progres {
+
+namespace {
+
+// One entry of the utility-sorted list SL (Sec. IV-C1).
+struct SlEntry {
+  BlockRef ref;
+  double util = 0.0;
+  double cost = 0.0;
+};
+
+// Collects every live block and sorts by non-increasing utility
+// (deterministic tie-break on family, then node index).
+std::vector<SlEntry> BuildSl(const std::vector<AnnotatedForest>& forests) {
+  std::vector<SlEntry> sl;
+  for (const AnnotatedForest& forest : forests) {
+    for (int n = 0; n < forest.num_blocks(); ++n) {
+      const AnnotatedBlock& b = forest.block(n);
+      if (b.eliminated) continue;
+      sl.push_back({{forest.family(), n}, b.util, b.cost});
+    }
+  }
+  std::sort(sl.begin(), sl.end(), [](const SlEntry& a, const SlEntry& b) {
+    if (a.util != b.util) return a.util > b.util;
+    if (a.ref.family != b.ref.family) return a.ref.family < b.ref.family;
+    return a.ref.node < b.ref.node;
+  });
+  return sl;
+}
+
+// Assigns each SL entry to a bucket: bucket i (0-based) holds the blocks
+// resolvable during (c_{i-1} * r, c_i * r] cumulative cost units. Blocks
+// past c_k * r land in the virtual overflow bucket (index k), which has
+// unbounded capacity and is excluded from overflow checks.
+std::unordered_map<uint64_t, int> AssignBuckets(
+    const std::vector<SlEntry>& sl, const std::vector<double>& cost_vector,
+    int num_reduce_tasks) {
+  std::unordered_map<uint64_t, int> bucket_of;
+  bucket_of.reserve(sl.size());
+  double cumulative = 0.0;
+  size_t bucket = 0;
+  const double r = static_cast<double>(num_reduce_tasks);
+  for (const SlEntry& entry : sl) {
+    cumulative += entry.cost;
+    while (bucket < cost_vector.size() &&
+           cumulative > cost_vector[bucket] * r) {
+      ++bucket;
+    }
+    bucket_of[BlockRefKey(entry.ref)] = static_cast<int>(bucket);
+  }
+  return bucket_of;
+}
+
+// Capacity of bucket h: c_h - c_{h-1} (with c_0 = 0).
+double BucketCapacity(const std::vector<double>& cost_vector, int h) {
+  return h == 0 ? cost_vector[0]
+                : cost_vector[static_cast<size_t>(h)] -
+                      cost_vector[static_cast<size_t>(h - 1)];
+}
+
+// The tree cost vector VC(T): per bucket, the total cost of the subtree's
+// blocks (Sec. IV-C2). Vector has |C| + 1 entries (last = overflow bucket).
+std::vector<double> SubtreeCostVector(
+    const AnnotatedForest& forest, int root,
+    const std::unordered_map<uint64_t, int>& bucket_of, int num_buckets) {
+  std::vector<double> vc(static_cast<size_t>(num_buckets) + 1, 0.0);
+  for (int n : forest.TreeBlocks(root)) {
+    const auto it = bucket_of.find(BlockRefKey(forest.family(), n));
+    if (it == bucket_of.end()) continue;
+    vc[static_cast<size_t>(it->second)] += forest.block(n).cost;
+  }
+  return vc;
+}
+
+// Sum of CostP over the subtree rooted at `node` (in-tree blocks only).
+double SubtreeCostP(const AnnotatedForest& forest, int node,
+                    const MechanismCosts& costs) {
+  double sum = 0.0;
+  for (int n : forest.TreeBlocks(node)) {
+    const AnnotatedBlock& b = forest.block(n);
+    sum += CostP(b.dup, b.dis, costs);
+  }
+  return sum;
+}
+
+// In-tree (non-eliminated, non-split) children of `node`, sorted by
+// non-increasing utility.
+std::vector<int> SortedInTreeChildren(const AnnotatedForest& forest,
+                                      int node) {
+  std::vector<int> children;
+  for (int c : forest.block(node).children) {
+    const AnnotatedBlock& cb = forest.block(c);
+    if (!cb.eliminated && !cb.tree_root) children.push_back(c);
+  }
+  std::sort(children.begin(), children.end(), [&](int a, int b) {
+    const double ua = forest.block(a).util;
+    const double ub = forest.block(b).util;
+    if (ua != ub) return ua > ub;
+    return a < b;
+  });
+  return children;
+}
+
+// SHOULD-SPLIT (Fig. 6): would keeping child `c` (in addition to the already
+// kept children `kept`) still overflow some bucket, even if every remaining
+// child were split away?
+bool ShouldSplit(const AnnotatedForest& forest, int root, int candidate,
+                 const std::vector<int>& kept,
+                 const std::vector<int>& remaining,
+                 const std::unordered_map<uint64_t, int>& bucket_of,
+                 const std::vector<double>& cost_vector,
+                 std::vector<double>* v_star) {
+  const AnnotatedBlock& root_block = forest.block(root);
+  const int num_buckets = static_cast<int>(cost_vector.size());
+
+  // Hypothetical covered pairs of the root if all remaining children (other
+  // than the candidate) were split off.
+  int64_t cov_hyp = root_block.cov;
+  for (int d : remaining) {
+    if (d == candidate) continue;
+    cov_hyp -= forest.block(d).cov;
+  }
+  cov_hyp = std::max<int64_t>(0, cov_hyp);
+
+  // Hypothetical Eq. 5 cost of the root with Chd = kept + {candidate}.
+  const MechanismCosts& costs = forest.params().costs;
+  double desc_costp = 0.0;
+  for (int e : kept) desc_costp += SubtreeCostP(forest, e, costs);
+  desc_costp += SubtreeCostP(forest, candidate, costs);
+  double cost_hyp = CostA(root_block.size, costs) +
+                    CostF(root_block.size, root_block.window, cov_hyp, costs) -
+                    desc_costp;
+  cost_hyp = std::max(cost_hyp, CostA(root_block.size, costs));
+
+  // Place the hypothetical cost in the root's current SL bucket.
+  const auto root_bucket = bucket_of.find(BlockRefKey(forest.family(), root));
+  const int s = root_bucket == bucket_of.end() ? num_buckets
+                                               : root_bucket->second;
+  (*v_star)[static_cast<size_t>(s)] = cost_hyp;
+
+  // Test every real bucket's capacity against kept + candidate + V*.
+  std::vector<double> load(static_cast<size_t>(num_buckets) + 1, 0.0);
+  for (int e : kept) {
+    const std::vector<double> vc =
+        SubtreeCostVector(forest, e, bucket_of, num_buckets);
+    for (size_t h = 0; h < load.size(); ++h) load[h] += vc[h];
+  }
+  const std::vector<double> vc_candidate =
+      SubtreeCostVector(forest, candidate, bucket_of, num_buckets);
+  for (size_t h = 0; h < load.size(); ++h) load[h] += vc_candidate[h];
+
+  for (int h = 0; h < num_buckets; ++h) {
+    if (load[static_cast<size_t>(h)] + (*v_star)[static_cast<size_t>(h)] >
+        BucketCapacity(cost_vector, h)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// SPLIT-TREE (Fig. 6). Returns the number of subtrees split off.
+int SplitTree(AnnotatedForest* forest, int root,
+              const std::unordered_map<uint64_t, int>& bucket_of,
+              const std::vector<double>& cost_vector) {
+  std::vector<int> children = SortedInTreeChildren(*forest, root);
+  std::vector<int> kept;
+  std::vector<double> v_star(cost_vector.size() + 1, 0.0);
+  int splits = 0;
+  for (size_t i = 0; i < children.size(); ++i) {
+    const int c = children[i];
+    const std::vector<int> remaining(children.begin() + static_cast<long>(i),
+                                     children.end());
+    if (ShouldSplit(*forest, root, c, kept, remaining, bucket_of, cost_vector,
+                    &v_star)) {
+      forest->SplitSubtree(c);
+      ++splits;
+    } else {
+      kept.push_back(c);
+    }
+  }
+  return splits;
+}
+
+struct TreeInfo {
+  BlockRef root;
+  std::vector<double> vc;
+  double weighted_cost = 0.0;
+  double total_cost = 0.0;
+};
+
+// Collects every tree with its cost vector and weighted cost.
+std::vector<TreeInfo> CollectTrees(
+    const std::vector<AnnotatedForest>& forests,
+    const std::unordered_map<uint64_t, int>& bucket_of,
+    const std::vector<double>& cost_vector,
+    const std::vector<double>& weights) {
+  const int num_buckets = static_cast<int>(cost_vector.size());
+  std::vector<TreeInfo> trees;
+  for (const AnnotatedForest& forest : forests) {
+    for (int root : forest.tree_roots()) {
+      TreeInfo info;
+      info.root = {forest.family(), root};
+      info.vc = SubtreeCostVector(forest, root, bucket_of, num_buckets);
+      for (int h = 0; h < num_buckets; ++h) {
+        info.weighted_cost += weights[static_cast<size_t>(h)] *
+                              info.vc[static_cast<size_t>(h)];
+      }
+      // Overflow-bucket cost contributes with the smallest weight so that
+      // huge late trees still order sensibly.
+      info.weighted_cost +=
+          weights.back() * 0.5 * info.vc[static_cast<size_t>(num_buckets)];
+      for (double v : info.vc) info.total_cost += v;
+      trees.push_back(std::move(info));
+    }
+  }
+  return trees;
+}
+
+}  // namespace
+
+std::vector<double> MakeUniformCostVector(double total_cost,
+                                          int num_reduce_tasks, int k) {
+  std::vector<double> c(static_cast<size_t>(k), 0.0);
+  const double per_task =
+      total_cost / std::max(1, num_reduce_tasks) / static_cast<double>(k);
+  for (int i = 0; i < k; ++i) {
+    c[static_cast<size_t>(i)] = per_task * static_cast<double>(i + 1);
+  }
+  return c;
+}
+
+std::vector<double> MakeLinearWeights(int k) {
+  std::vector<double> w(static_cast<size_t>(k), 0.0);
+  for (int i = 0; i < k; ++i) {
+    w[static_cast<size_t>(i)] =
+        1.0 - static_cast<double>(i) / static_cast<double>(k);
+  }
+  return w;
+}
+
+std::vector<double> MakeExponentialWeights(int k, double decay) {
+  std::vector<double> w(static_cast<size_t>(k), 0.0);
+  double value = 1.0;
+  for (int i = 0; i < k; ++i) {
+    w[static_cast<size_t>(i)] = value;
+    value *= decay;
+  }
+  return w;
+}
+
+std::vector<double> MakeStepWeights(int k, double cutoff_fraction) {
+  std::vector<double> w(static_cast<size_t>(k), 0.0);
+  const int cutoff = static_cast<int>(
+      std::ceil(cutoff_fraction * static_cast<double>(k)));
+  for (int i = 0; i < k && i < cutoff; ++i) w[static_cast<size_t>(i)] = 1.0;
+  return w;
+}
+
+std::string DescribeSchedule(const ProgressiveSchedule& schedule,
+                             const std::vector<AnnotatedForest>& forests,
+                             int blocks_per_task) {
+  std::string out;
+  char line[256];
+  for (int t = 0; t < schedule.num_reduce_tasks; ++t) {
+    const auto& blocks = schedule.task_blocks[static_cast<size_t>(t)];
+    double cost = 0.0;
+    std::unordered_map<uint64_t, bool> trees;
+    for (const BlockRef& ref : blocks) {
+      const AnnotatedForest& forest =
+          forests[static_cast<size_t>(ref.family)];
+      cost += forest.block(ref.node).cost;
+      trees[BlockRefKey(ref.family, forest.FindTreeRoot(ref.node))] = true;
+    }
+    std::snprintf(line, sizeof(line),
+                  "task %d: %zu trees, %zu blocks, est cost %.0f\n", t,
+                  trees.size(), blocks.size(), cost);
+    out += line;
+    const int shown = std::min<int>(blocks_per_task,
+                                    static_cast<int>(blocks.size()));
+    for (int i = 0; i < shown; ++i) {
+      const AnnotatedForest& forest =
+          forests[static_cast<size_t>(blocks[static_cast<size_t>(i)].family)];
+      const AnnotatedBlock& b =
+          forest.block(blocks[static_cast<size_t>(i)].node);
+      std::snprintf(line, sizeof(line),
+                    "  #%d family=%d level=%d size=%lld util=%.4f cost=%.0f%s\n",
+                    i, blocks[static_cast<size_t>(i)].family, b.id.level,
+                    static_cast<long long>(b.size), b.util, b.cost,
+                    b.tree_root ? " [root]" : "");
+      out += line;
+    }
+  }
+  return out;
+}
+
+double TotalEstimatedCost(const std::vector<AnnotatedForest>& forests) {
+  double total = 0.0;
+  for (const AnnotatedForest& forest : forests) {
+    for (int n = 0; n < forest.num_blocks(); ++n) {
+      if (!forest.block(n).eliminated) total += forest.block(n).cost;
+    }
+  }
+  return total;
+}
+
+ProgressiveSchedule GenerateSchedule(std::vector<AnnotatedForest>* forests,
+                                     const ScheduleParams& params) {
+  ScheduleParams p = params;
+  if (p.cost_vector.empty()) {
+    p.cost_vector =
+        MakeUniformCostVector(TotalEstimatedCost(*forests),
+                              p.num_reduce_tasks, /*k=*/10);
+  }
+  if (p.weights.size() != p.cost_vector.size()) {
+    p.weights = MakeLinearWeights(static_cast<int>(p.cost_vector.size()));
+  }
+  const int num_buckets = static_cast<int>(p.cost_vector.size());
+
+  // ---- Step 1: split overflowed trees (GENERATE-SCHEDULE lines 2-7) ----
+  if (p.scheduler == TreeScheduler::kOurs) {
+    while (true) {
+      const std::vector<SlEntry> sl = BuildSl(*forests);
+      const std::unordered_map<uint64_t, int> bucket_of =
+          AssignBuckets(sl, p.cost_vector, p.num_reduce_tasks);
+
+      // IDENTIFY-TREES: trees whose cost vector exceeds some bucket's
+      // capacity and that still have a child to split.
+      struct Overflowed {
+        int family;
+        int root;
+        double excess;
+      };
+      std::vector<Overflowed> overflowed;
+      for (AnnotatedForest& forest : *forests) {
+        for (int root : forest.tree_roots()) {
+          const std::vector<double> vc =
+              SubtreeCostVector(forest, root, bucket_of, num_buckets);
+          double excess = 0.0;
+          for (int h = 0; h < num_buckets; ++h) {
+            excess += std::max(0.0, vc[static_cast<size_t>(h)] -
+                                        BucketCapacity(p.cost_vector, h));
+          }
+          if (excess > 0.0 &&
+              !SortedInTreeChildren(forest, root).empty()) {
+            overflowed.push_back({forest.family(), root, excess});
+          }
+        }
+      }
+      if (overflowed.empty()) break;
+      std::sort(overflowed.begin(), overflowed.end(),
+                [](const Overflowed& a, const Overflowed& b) {
+                  if (a.excess != b.excess) return a.excess > b.excess;
+                  if (a.family != b.family) return a.family < b.family;
+                  return a.root < b.root;
+                });
+
+      int splits = 0;
+      const int batch =
+          std::min<int>(p.batch_size, static_cast<int>(overflowed.size()));
+      for (int i = 0; i < batch; ++i) {
+        AnnotatedForest& forest =
+            (*forests)[static_cast<size_t>(overflowed[static_cast<size_t>(i)]
+                                               .family)];
+        splits += SplitTree(&forest, overflowed[static_cast<size_t>(i)].root,
+                            bucket_of, p.cost_vector);
+      }
+      if (splits == 0) break;  // nothing splittable improved: stop
+    }
+  }
+
+  // ---- Step 2: partition trees among reduce tasks ----
+  const std::vector<SlEntry> sl = BuildSl(*forests);
+  const std::unordered_map<uint64_t, int> bucket_of =
+      AssignBuckets(sl, p.cost_vector, p.num_reduce_tasks);
+  std::vector<TreeInfo> trees =
+      CollectTrees(*forests, bucket_of, p.cost_vector, p.weights);
+
+  ProgressiveSchedule schedule;
+  schedule.num_reduce_tasks = p.num_reduce_tasks;
+  schedule.task_blocks.resize(static_cast<size_t>(p.num_reduce_tasks));
+
+  if (p.scheduler == TreeScheduler::kLpt) {
+    // LPT: longest (total cost) first onto the least-loaded task.
+    std::sort(trees.begin(), trees.end(),
+              [](const TreeInfo& a, const TreeInfo& b) {
+                if (a.total_cost != b.total_cost)
+                  return a.total_cost > b.total_cost;
+                if (a.root.family != b.root.family)
+                  return a.root.family < b.root.family;
+                return a.root.node < b.root.node;
+              });
+    std::vector<double> load(static_cast<size_t>(p.num_reduce_tasks), 0.0);
+    for (const TreeInfo& tree : trees) {
+      int best = 0;
+      for (int t = 1; t < p.num_reduce_tasks; ++t) {
+        if (load[static_cast<size_t>(t)] < load[static_cast<size_t>(best)]) {
+          best = t;
+        }
+      }
+      load[static_cast<size_t>(best)] += tree.total_cost;
+      schedule.task_of_tree[BlockRefKey(tree.root)] = best;
+    }
+  } else {
+    // ASSIGN-TREES: weighted-cost order onto the task with the largest
+    // slack SK(R) (Sec. IV-C2).
+    std::sort(trees.begin(), trees.end(),
+              [](const TreeInfo& a, const TreeInfo& b) {
+                if (a.weighted_cost != b.weighted_cost)
+                  return a.weighted_cost > b.weighted_cost;
+                if (a.root.family != b.root.family)
+                  return a.root.family < b.root.family;
+                return a.root.node < b.root.node;
+              });
+    std::vector<std::vector<double>> load(
+        static_cast<size_t>(p.num_reduce_tasks),
+        std::vector<double>(static_cast<size_t>(num_buckets) + 1, 0.0));
+    // The overflow bucket participates in the slack computation with the
+    // tail weight and the last real bucket's capacity; otherwise a tree
+    // whose cost lies entirely past c_k would yield identical (zero) slack
+    // on every task and all such trees would pile onto the first one,
+    // creating a straggler.
+    const double overflow_weight = p.weights.back() * 0.5;
+    const double overflow_capacity =
+        BucketCapacity(p.cost_vector, num_buckets - 1);
+    std::vector<double> total_load(static_cast<size_t>(p.num_reduce_tasks),
+                                   0.0);
+    for (const TreeInfo& tree : trees) {
+      int best = 0;
+      double best_slack = std::numeric_limits<double>::lowest();
+      for (int t = 0; t < p.num_reduce_tasks; ++t) {
+        double slack = 0.0;
+        for (int h = 0; h <= num_buckets; ++h) {
+          if (tree.vc[static_cast<size_t>(h)] <= 0.0) continue;  // delta_h
+          const double weight = h < num_buckets
+                                    ? p.weights[static_cast<size_t>(h)]
+                                    : overflow_weight;
+          const double capacity = h < num_buckets
+                                      ? BucketCapacity(p.cost_vector, h)
+                                      : overflow_capacity;
+          slack += weight * (capacity -
+                             load[static_cast<size_t>(t)][static_cast<size_t>(h)]);
+        }
+        // Ties (e.g. two heavy trees occupying disjoint buckets, both seeing
+        // untouched capacity everywhere) break toward the least-loaded task;
+        // otherwise they would all stack onto the first task and create a
+        // straggler.
+        constexpr double kTieTolerance = 1e-9;
+        if (slack > best_slack + kTieTolerance ||
+            (slack > best_slack - kTieTolerance &&
+             total_load[static_cast<size_t>(t)] <
+                 total_load[static_cast<size_t>(best)])) {
+          best_slack = std::max(best_slack, slack);
+          best = t;
+        }
+      }
+      for (size_t h = 0; h < tree.vc.size(); ++h) {
+        load[static_cast<size_t>(best)][h] += tree.vc[h];
+      }
+      total_load[static_cast<size_t>(best)] += tree.total_cost;
+      schedule.task_of_tree[BlockRefKey(tree.root)] = best;
+    }
+  }
+
+  // ---- Step 3: per-task block schedules ----
+  // Within a task, blocks are ordered by non-increasing utility, except that
+  // a block's in-tree descendants always precede it (bottom-up resolution,
+  // Sec. III-A): when a block is emitted, its unemitted descendants are
+  // emitted first, themselves in utility order.
+  for (int t = 0; t < p.num_reduce_tasks; ++t) {
+    struct TaskBlock {
+      BlockRef ref;
+      double util;
+    };
+    std::vector<TaskBlock> blocks;
+    for (const TreeInfo& tree : trees) {
+      if (schedule.task_of_tree.at(BlockRefKey(tree.root)) != t) continue;
+      const AnnotatedForest& forest =
+          (*forests)[static_cast<size_t>(tree.root.family)];
+      for (int n : forest.TreeBlocks(tree.root.node)) {
+        blocks.push_back({{tree.root.family, n}, forest.block(n).util});
+      }
+    }
+    std::sort(blocks.begin(), blocks.end(),
+              [](const TaskBlock& a, const TaskBlock& b) {
+                if (a.util != b.util) return a.util > b.util;
+                if (a.ref.family != b.ref.family)
+                  return a.ref.family < b.ref.family;
+                return a.ref.node < b.ref.node;
+              });
+
+    std::unordered_map<uint64_t, bool> emitted;
+    std::vector<BlockRef>& out = schedule.task_blocks[static_cast<size_t>(t)];
+    // Recursive emission with the bottom-up constraint.
+    const std::function<void(const BlockRef&)> emit =
+        [&](const BlockRef& ref) {
+          bool& done = emitted[BlockRefKey(ref)];
+          if (done) return;
+          done = true;  // mark first: guards against cycles (none expected)
+          const AnnotatedForest& forest =
+              (*forests)[static_cast<size_t>(ref.family)];
+          for (int c : SortedInTreeChildren(forest, ref.node)) {
+            emit({ref.family, c});
+          }
+          out.push_back(ref);
+        };
+    for (const TaskBlock& tb : blocks) emit(tb.ref);
+  }
+
+  // ---- Step 3b: budget truncation ----
+  if (p.per_task_budget > 0.0) {
+    for (auto& blocks : schedule.task_blocks) {
+      double cumulative = 0.0;
+      size_t keep = 0;
+      while (keep < blocks.size()) {
+        const BlockRef& ref = blocks[keep];
+        cumulative +=
+            (*forests)[static_cast<size_t>(ref.family)].block(ref.node).cost;
+        if (cumulative > p.per_task_budget) break;
+        ++keep;
+      }
+      blocks.resize(keep);
+    }
+  }
+
+  // ---- Step 4: sequence values and dominance values ----
+  size_t max_blocks = 1;
+  for (const auto& blocks : schedule.task_blocks) {
+    max_blocks = std::max(max_blocks, blocks.size());
+  }
+  schedule.range_per_task = static_cast<int64_t>(max_blocks) + 1;
+  for (int t = 0; t < p.num_reduce_tasks; ++t) {
+    const auto& blocks = schedule.task_blocks[static_cast<size_t>(t)];
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      schedule.sequence[BlockRefKey(blocks[i])] =
+          static_cast<int64_t>(t) * schedule.range_per_task +
+          static_cast<int64_t>(i);
+    }
+  }
+  int32_t next_dom = 1;
+  for (const AnnotatedForest& forest : *forests) {
+    for (int root : forest.tree_roots()) {
+      schedule.dominance[BlockRefKey(forest.family(), root)] = next_dom++;
+    }
+  }
+  return schedule;
+}
+
+}  // namespace progres

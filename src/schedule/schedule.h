@@ -1,0 +1,123 @@
+#ifndef PROGRES_SCHEDULE_SCHEDULE_H_
+#define PROGRES_SCHEDULE_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "estimate/annotated_forest.h"
+
+namespace progres {
+
+// Reference to a block across the per-family forests.
+struct BlockRef {
+  int family = 0;
+  int node = 0;
+
+  bool operator==(const BlockRef& other) const {
+    return family == other.family && node == other.node;
+  }
+};
+
+// Packs a BlockRef into a map key.
+inline uint64_t BlockRefKey(int family, int node) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(family)) << 32) |
+         static_cast<uint32_t>(node);
+}
+inline uint64_t BlockRefKey(const BlockRef& ref) {
+  return BlockRefKey(ref.family, ref.node);
+}
+
+// Which tree-scheduling algorithm to use (Sec. VI-B2 compares all three).
+enum class TreeScheduler {
+  kOurs,     // split overflowed trees + slack-based greedy partitioning
+  kNoSplit,  // our partitioning without the tree-split mechanism
+  kLpt,      // Longest Processing Time load balancing [23]
+};
+
+// Inputs to schedule generation (Sec. IV-C).
+struct ScheduleParams {
+  int num_reduce_tasks = 4;
+  // The sampled cost vector C = {c_1 < c_2 < ... < c_k}, in per-task cost
+  // units. Use MakeUniformCostVector for a sensible default.
+  std::vector<double> cost_vector;
+  // W(c_i): non-increasing weights in [0, 1]; same length as cost_vector.
+  std::vector<double> weights;
+  // Batch size b: trees split per iteration before SL is re-sorted.
+  int batch_size = 4;
+  TreeScheduler scheduler = TreeScheduler::kOurs;
+  // When > 0, each task's block schedule is truncated once its cumulative
+  // estimated cost exceeds this budget (the extended report's
+  // quality-within-a-budget variant). Truncation drops a suffix, so the
+  // bottom-up (children first) property is preserved.
+  double per_task_budget = 0.0;
+};
+
+// Builds a uniform cost vector with `k` points spanning `total_cost /
+// num_reduce_tasks` units per task.
+std::vector<double> MakeUniformCostVector(double total_cost,
+                                          int num_reduce_tasks, int k);
+
+// Linearly decaying weights: W(c_i) = 1 - (i - 1) / k, i = 1..k.
+std::vector<double> MakeLinearWeights(int k);
+
+// Exponentially decaying weights: W(c_i) = decay^(i-1), decay in (0, 1].
+// Strongly favours the earliest intervals.
+std::vector<double> MakeExponentialWeights(int k, double decay);
+
+// Step weights: 1 for the first ceil(cutoff_fraction * k) intervals, 0
+// after — "only results before the deadline matter".
+std::vector<double> MakeStepWeights(int k, double cutoff_fraction);
+
+// The generated progressive schedule: one tree schedule (tree -> reduce
+// task) plus one block schedule per reduce task (Sec. III-B).
+struct ProgressiveSchedule {
+  int num_reduce_tasks = 0;
+
+  // Blocks of each reduce task in resolution order (the block schedule).
+  // Within a tree the order is bottom-up; across blocks it is by
+  // non-increasing utility.
+  std::vector<std::vector<BlockRef>> task_blocks;
+
+  // Sequence values: SQ(block) = task * range_per_task + position, so the
+  // MR partitioner routes on SQ / range_per_task and the runtime's key sort
+  // yields each task's block schedule.
+  int64_t range_per_task = 0;
+  std::unordered_map<uint64_t, int64_t> sequence;  // BlockRefKey -> SQ
+
+  // Dominance value Dom(T) of each tree, keyed by the root's BlockRefKey.
+  // Unique across all trees of all families (Sec. V).
+  std::unordered_map<uint64_t, int32_t> dominance;
+
+  // Reduce task of each tree root.
+  std::unordered_map<uint64_t, int> task_of_tree;
+
+  int64_t SequenceOf(int family, int node) const {
+    const auto it = sequence.find(BlockRefKey(family, node));
+    return it == sequence.end() ? -1 : it->second;
+  }
+  int TaskOfSequence(int64_t sq) const {
+    return static_cast<int>(sq / range_per_task);
+  }
+};
+
+// Generates a progressive schedule (Fig. 6). May mutate `forests`: the
+// kOurs scheduler splits overflowed trees. Deterministic for fixed inputs.
+ProgressiveSchedule GenerateSchedule(std::vector<AnnotatedForest>* forests,
+                                     const ScheduleParams& params);
+
+// Human-readable description of a schedule: per reduce task, the number of
+// trees and blocks, the estimated cost, and the first few blocks in
+// resolution order. For debugging and the CLI's `explain` command.
+std::string DescribeSchedule(const ProgressiveSchedule& schedule,
+                             const std::vector<AnnotatedForest>& forests,
+                             int blocks_per_task = 5);
+
+// Total estimated cost of all blocks in all trees (used to size cost
+// vectors).
+double TotalEstimatedCost(const std::vector<AnnotatedForest>& forests);
+
+}  // namespace progres
+
+#endif  // PROGRES_SCHEDULE_SCHEDULE_H_

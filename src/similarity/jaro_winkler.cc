@@ -1,0 +1,58 @@
+#include "similarity/jaro_winkler.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace progres {
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  if (la == 0 && lb == 0) return 1.0;
+  if (la == 0 || lb == 0) return 0.0;
+
+  const size_t window =
+      std::max<size_t>(std::max(la, lb) / 2, 1) - 1;
+  std::vector<bool> matched_a(la, false);
+  std::vector<bool> matched_b(lb, false);
+
+  size_t matches = 0;
+  for (size_t i = 0; i < la; ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(lb, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (matched_b[j] || a[i] != b[j]) continue;
+      matched_a[i] = true;
+      matched_b[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among the matched characters.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < la; ++i) {
+    if (!matched_a[i]) continue;
+    while (!matched_b[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(la) + m / static_cast<double>(lb) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+}  // namespace progres

@@ -1,0 +1,21 @@
+#ifndef PROGRES_SIMILARITY_JARO_WINKLER_H_
+#define PROGRES_SIMILARITY_JARO_WINKLER_H_
+
+#include <string_view>
+
+namespace progres {
+
+// Jaro similarity in [0, 1]: based on matching characters within half the
+// longer string's length and the number of transpositions among them. The
+// classic record-linkage measure for short name-like strings.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+// Jaro-Winkler similarity: Jaro boosted by up to 4 characters of common
+// prefix, scaled by `prefix_scale` (standard value 0.1, must keep the result
+// within [0, 1], i.e. prefix_scale <= 0.25).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+}  // namespace progres
+
+#endif  // PROGRES_SIMILARITY_JARO_WINKLER_H_

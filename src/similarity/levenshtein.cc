@@ -1,0 +1,74 @@
+#include "similarity/levenshtein.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace progres {
+
+int64_t Levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);  // a is the shorter string
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int64_t>(m);
+
+  std::vector<int64_t> row(n + 1);
+  for (size_t i = 0; i <= n; ++i) row[i] = static_cast<int64_t>(i);
+  for (size_t j = 1; j <= m; ++j) {
+    int64_t diag = row[0];  // row[0] from the previous iteration
+    row[0] = static_cast<int64_t>(j);
+    for (size_t i = 1; i <= n; ++i) {
+      const int64_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[i];
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, subst});
+    }
+  }
+  return row[n];
+}
+
+int64_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                           int64_t max_dist) {
+  if (max_dist < 0) return 0;
+  if (a.size() > b.size()) std::swap(a, b);
+  const int64_t n = static_cast<int64_t>(a.size());
+  const int64_t m = static_cast<int64_t>(b.size());
+  if (m - n > max_dist) return max_dist + 1;
+  if (n == 0) return m;
+
+  // Banded DP: only cells with |i - j| <= max_dist can hold values
+  // <= max_dist. kBig marks cells outside the band.
+  const int64_t kBig = max_dist + 1;
+  std::vector<int64_t> row(static_cast<size_t>(n) + 1, kBig);
+  for (int64_t i = 0; i <= std::min(n, max_dist); ++i) row[static_cast<size_t>(i)] = i;
+
+  for (int64_t j = 1; j <= m; ++j) {
+    const int64_t lo = std::max<int64_t>(1, j - max_dist);
+    const int64_t hi = std::min(n, j + max_dist);
+    int64_t diag = (lo == 1) ? row[0] : kBig;
+    // diag must be the value of cell (lo-1, j-1) before this row update.
+    if (lo > 1) diag = row[static_cast<size_t>(lo - 1)];
+    row[0] = (j <= max_dist) ? j : kBig;
+    if (lo > 1) row[static_cast<size_t>(lo - 1)] = kBig;
+    int64_t row_min = kBig;
+    for (int64_t i = lo; i <= hi; ++i) {
+      const int64_t subst =
+          diag + (a[static_cast<size_t>(i - 1)] == b[static_cast<size_t>(j - 1)] ? 0 : 1);
+      diag = row[static_cast<size_t>(i)];
+      const int64_t del = (i < hi || hi == n) ? row[static_cast<size_t>(i)] + 1 : kBig;
+      const int64_t ins = row[static_cast<size_t>(i - 1)] + 1;
+      row[static_cast<size_t>(i)] = std::min({del, ins, subst, kBig});
+      row_min = std::min(row_min, row[static_cast<size_t>(i)]);
+    }
+    if (hi < n) row[static_cast<size_t>(hi + 1)] = kBig;
+    if (row_min > max_dist) return max_dist + 1;  // early exit: band exceeded
+  }
+  return std::min(row[static_cast<size_t>(n)], kBig);
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  const int64_t d = Levenshtein(a, b);
+  return 1.0 - static_cast<double>(d) / static_cast<double>(longest);
+}
+
+}  // namespace progres

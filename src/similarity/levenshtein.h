@@ -1,0 +1,26 @@
+#ifndef PROGRES_SIMILARITY_LEVENSHTEIN_H_
+#define PROGRES_SIMILARITY_LEVENSHTEIN_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace progres {
+
+// Computes the Levenshtein (edit) distance between `a` and `b` using the
+// classic two-row dynamic program. O(|a|*|b|) time, O(min) space.
+int64_t Levenshtein(std::string_view a, std::string_view b);
+
+// Computes the Levenshtein distance if it is <= `max_dist`, otherwise returns
+// max_dist + 1. Uses Ukkonen's banded dynamic program, O(max_dist * min(|a|,
+// |b|)) time, which is what makes the edit-distance match function affordable
+// inside the resolve loop.
+int64_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                           int64_t max_dist);
+
+// Normalized edit similarity in [0, 1]: 1 - dist / max(|a|, |b|). Two empty
+// strings have similarity 1.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace progres
+
+#endif  // PROGRES_SIMILARITY_LEVENSHTEIN_H_

@@ -1,0 +1,99 @@
+#ifndef PROGRES_SIMILARITY_MATCH_FUNCTION_H_
+#define PROGRES_SIMILARITY_MATCH_FUNCTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/entity.h"
+
+namespace progres {
+
+// How a single attribute's similarity is computed (Sec. VI-A2: the paper
+// compares attributes with edit distance or exact matching).
+enum class AttributeSimilarity {
+  kEditDistance,  // normalized Levenshtein similarity
+  kExact,         // 1.0 if equal, else 0.0
+  kJaroWinkler,   // Jaro-Winkler similarity (short name-like strings)
+  kNumeric,       // 1 - |a - b| / numeric_scale, clamped to [0, 1]
+};
+
+// One attribute's contribution to the weighted-sum match decision.
+struct AttributeRule {
+  int attribute_index = 0;
+  AttributeSimilarity similarity = AttributeSimilarity::kEditDistance;
+  double weight = 1.0;
+  // If > 0, only the first `max_chars` characters are compared. The paper
+  // truncates the abstract attribute to 350 characters (footnote 8).
+  int max_chars = 0;
+  // For kNumeric: the difference at which similarity reaches zero. Values
+  // that fail to parse as numbers compare as kExact.
+  double numeric_scale = 1.0;
+};
+
+// The compute-intensive resolve/match function: a weighted sum of
+// per-attribute similarities compared against a threshold. Thread-safe for
+// concurrent Resolve calls; the comparison counter is atomic so that reduce
+// tasks running in parallel can share one instance.
+class MatchFunction {
+ public:
+  MatchFunction(std::vector<AttributeRule> rules, double threshold);
+
+  // Copyable: the comparison counter's current value is carried over (the
+  // atomic itself prevents implicit copies).
+  MatchFunction(const MatchFunction& other)
+      : rules_(other.rules_),
+        eval_order_(other.eval_order_),
+        threshold_(other.threshold_),
+        total_weight_(other.total_weight_),
+        comparisons_(other.comparisons()) {}
+  MatchFunction& operator=(const MatchFunction& other) {
+    rules_ = other.rules_;
+    eval_order_ = other.eval_order_;
+    threshold_ = other.threshold_;
+    total_weight_ = other.total_weight_;
+    comparisons_.store(other.comparisons(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  // Returns true if `a` and `b` are declared duplicates, i.e. whether
+  // Similarity(a, b) >= threshold. Missing values (empty strings on both
+  // sides) contribute full similarity; a value missing on one side only
+  // contributes zero.
+  //
+  // Attributes are evaluated heaviest-weight first and evaluation stops as
+  // soon as the threshold decision is fixed (the remaining attributes can
+  // only contribute [0, remaining_weight]); this skips the expensive
+  // long-text comparisons for clearly distinct pairs.
+  bool Resolve(const Entity& a, const Entity& b) const;
+
+  // Returns the weighted similarity in [0, 1] without thresholding.
+  double Similarity(const Entity& a, const Entity& b) const;
+
+  // Number of Resolve() calls since construction or the last ResetCounter().
+  int64_t comparisons() const {
+    return comparisons_.load(std::memory_order_relaxed);
+  }
+  void ResetCounter() { comparisons_.store(0, std::memory_order_relaxed); }
+
+  double threshold() const { return threshold_; }
+  const std::vector<AttributeRule>& rules() const { return rules_; }
+
+ private:
+  // Weighted similarity of one attribute rule.
+  double RuleSimilarity(const AttributeRule& rule, const Entity& a,
+                        const Entity& b) const;
+
+  std::vector<AttributeRule> rules_;
+  // Indexes of rules_ sorted by non-increasing weight (Resolve's evaluation
+  // order; maximizes early-exit opportunities).
+  std::vector<int> eval_order_;
+  double threshold_;
+  double total_weight_;
+  mutable std::atomic<int64_t> comparisons_{0};
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_SIMILARITY_MATCH_FUNCTION_H_

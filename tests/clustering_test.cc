@@ -1,0 +1,101 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "eval/clustering.h"
+
+namespace progres {
+namespace {
+
+TEST(TransitiveClosureTest, ChainsMerge) {
+  // 0-1, 1-2 chain plus isolated 3.
+  const std::vector<PairKey> pairs = {MakePairKey(0, 1), MakePairKey(1, 2)};
+  const std::vector<int32_t> clusters = TransitiveClosure(4, pairs);
+  EXPECT_EQ(clusters[0], clusters[1]);
+  EXPECT_EQ(clusters[1], clusters[2]);
+  EXPECT_NE(clusters[0], clusters[3]);
+}
+
+TEST(TransitiveClosureTest, NoPairsAllSingletons) {
+  const std::vector<int32_t> clusters = TransitiveClosure(3, {});
+  EXPECT_NE(clusters[0], clusters[1]);
+  EXPECT_NE(clusters[1], clusters[2]);
+}
+
+TEST(CorrelationClusteringTest, PivotGrabsDirectNeighbors) {
+  // Star: 0-1, 0-2. Pivot 0 grabs both.
+  const std::vector<PairKey> pairs = {MakePairKey(0, 1), MakePairKey(0, 2)};
+  const std::vector<int32_t> clusters = CorrelationClustering(3, pairs);
+  EXPECT_EQ(clusters[0], clusters[1]);
+  EXPECT_EQ(clusters[0], clusters[2]);
+}
+
+TEST(CorrelationClusteringTest, DoesNotChainThroughWeakLinks) {
+  // Path 0-1, 1-2 (no 0-2 edge): pivot 0 grabs 1; 2 is then alone because
+  // its only edge goes to the already-clustered 1. Transitive closure would
+  // merge all three.
+  const std::vector<PairKey> pairs = {MakePairKey(0, 1), MakePairKey(1, 2)};
+  const std::vector<int32_t> correlation = CorrelationClustering(3, pairs);
+  EXPECT_EQ(correlation[0], correlation[1]);
+  EXPECT_NE(correlation[0], correlation[2]);
+}
+
+TEST(CorrelationClusteringTest, CliqueStaysTogether) {
+  const std::vector<PairKey> pairs = {MakePairKey(0, 1), MakePairKey(0, 2),
+                                      MakePairKey(1, 2)};
+  const std::vector<int32_t> clusters = CorrelationClustering(3, pairs);
+  EXPECT_EQ(clusters[0], clusters[1]);
+  EXPECT_EQ(clusters[0], clusters[2]);
+}
+
+TEST(EvaluateClusteringTest, PerfectClustering) {
+  const GroundTruth truth({1, 1, 2, 2, 2});
+  const PairMetrics m = EvaluateClustering({0, 0, 1, 1, 1}, truth);
+  EXPECT_EQ(m.true_positives, 4);
+  EXPECT_EQ(m.false_positives, 0);
+  EXPECT_EQ(m.false_negatives, 0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(EvaluateClusteringTest, OvermergedClustering) {
+  // Everything in one cluster: recall 1, precision = 4/10.
+  const GroundTruth truth({1, 1, 2, 2, 2});
+  const PairMetrics m = EvaluateClustering({0, 0, 0, 0, 0}, truth);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.4);
+  EXPECT_EQ(m.false_positives, 6);
+}
+
+TEST(EvaluateClusteringTest, SplitClustering) {
+  // All singletons: precision undefined -> 0, recall 0.
+  const GroundTruth truth({1, 1, 2, 2, 2});
+  const PairMetrics m = EvaluateClustering({0, 1, 2, 3, 4}, truth);
+  EXPECT_EQ(m.true_positives, 0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(EvaluatePairsTest, CountsUniquePairs) {
+  const GroundTruth truth({1, 1, 2, 2});
+  const std::vector<PairKey> pairs = {MakePairKey(0, 1), MakePairKey(0, 1),
+                                      MakePairKey(0, 2)};
+  const PairMetrics m = EvaluatePairs(pairs, truth);
+  EXPECT_EQ(m.true_positives, 1);
+  EXPECT_EQ(m.false_positives, 1);
+  EXPECT_EQ(m.false_negatives, 1);  // pair (2,3) missed
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+}
+
+TEST(MetricsTest, F1IsHarmonicMean) {
+  const GroundTruth truth({1, 1, 1});  // 3 pairs
+  const PairMetrics m = EvaluatePairs({MakePairKey(0, 1)}, truth);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_NEAR(m.recall, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.f1, 2.0 * 1.0 * (1.0 / 3.0) / (1.0 + 1.0 / 3.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace progres

@@ -1,0 +1,217 @@
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/tsv.h"
+
+namespace progres {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.UniformU64(17), 17u);
+}
+
+TEST(RngTest, UniformU64CoversRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformU64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfFavorsSmallIndexes) {
+  Rng rng(23);
+  int64_t first = 0;
+  int64_t last = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const int64_t v = rng.Zipf(100, 1.2);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 100);
+    if (v == 0) ++first;
+    if (v == 99) ++last;
+  }
+  EXPECT_GT(first, 10 * (last + 1));
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(29);
+  EXPECT_EQ(rng.Zipf(1, 1.5), 0);
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringUtilTest, PrefixShorterThanString) {
+  EXPECT_EQ(Prefix("hello", 3), "hel");
+}
+
+TEST(StringUtilTest, PrefixLongerThanString) {
+  EXPECT_EQ(Prefix("hi", 10), "hi");
+}
+
+TEST(StringUtilTest, PrefixEmpty) { EXPECT_EQ(Prefix("", 4), ""); }
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("AbC xY-9"), "abc xy-9");
+}
+
+TEST(StringUtilTest, SplitBasic) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitPreservesEmptyFields) {
+  const auto parts = Split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, '\t'), "a\tb\tc");
+  EXPECT_EQ(Join({}, ','), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("hello", "ello"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+// ---------------------------------------------------------------- tsv
+
+TEST(TsvTest, RoundTrip) {
+  const std::string path = testing::TempDir() + "/progres_tsv_test.tsv";
+  const std::vector<std::vector<std::string>> rows = {
+      {"a", "b", "c"}, {"1", "", "3"}, {"only"}};
+  ASSERT_TRUE(WriteTsv(path, rows));
+  std::vector<std::vector<std::string>> read;
+  ASSERT_TRUE(ReadTsv(path, &read));
+  EXPECT_EQ(read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(TsvTest, ReadMissingFileFails) {
+  std::vector<std::vector<std::string>> rows;
+  EXPECT_FALSE(ReadTsv("/nonexistent/progres.tsv", &rows));
+}
+
+// ---------------------------------------------------------------- time
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch stopwatch;
+  const double first = stopwatch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  const double second = stopwatch.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  stopwatch.Reset();
+  EXPECT_GE(stopwatch.ElapsedSeconds(), 0.0);
+}
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(3);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SingleThreadFallback) {
+  ThreadPool pool(0);  // clamped to 1
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace progres

@@ -1,0 +1,146 @@
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/counters.h"
+#include "mapreduce/job.h"
+
+namespace progres {
+namespace {
+
+TEST(CountersTest, IncrementAndGet) {
+  Counters counters;
+  EXPECT_EQ(counters.Get("x"), 0);
+  counters.Increment("x");
+  counters.Increment("x", 4);
+  EXPECT_EQ(counters.Get("x"), 5);
+  EXPECT_EQ(counters.Get("absent"), 0);
+}
+
+TEST(CountersTest, MergeSums) {
+  Counters a;
+  Counters b;
+  a.Increment("shared", 2);
+  b.Increment("shared", 3);
+  b.Increment("only_b", 7);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Get("shared"), 5);
+  EXPECT_EQ(a.Get("only_b"), 7);
+}
+
+ClusterConfig TestCluster() {
+  ClusterConfig cluster;
+  cluster.machines = 2;
+  cluster.execution_threads = 4;
+  return cluster;
+}
+
+TEST(JobCountersTest, MergedAcrossTasks) {
+  using Job = MapReduceJob<int, int, int>;
+  Job job(3, 2);
+  std::vector<int> input = {1, 2, 3, 4, 5, 6};
+  const auto result = job.Run(
+      input,
+      [](const int& record, Job::MapContext* ctx) {
+        ctx->counters().Increment("map.records");
+        ctx->Emit(record % 2, record);
+      },
+      [](const int&, std::vector<int>* values, Job::ReduceContext* ctx) {
+        ctx->counters().Increment("reduce.values",
+                                  static_cast<int64_t>(values->size()));
+      },
+      TestCluster());
+  EXPECT_EQ(result.counters.Get("map.records"), 6);
+  EXPECT_EQ(result.counters.Get("reduce.values"), 6);
+}
+
+TEST(JobCombinerTest, AggregatesBeforeShuffle) {
+  using Job = MapReduceJob<int, int, int>;
+  Job job(2, 2);
+  // 100 records, 4 keys: the combiner collapses each map task's values to
+  // one pair per key, so the reduce side sees at most tasks * keys values.
+  std::vector<int> input;
+  for (int i = 0; i < 100; ++i) input.push_back(i);
+  job.set_combiner([](const int& key, std::vector<int>* values,
+                      std::vector<std::pair<int, int>>* out) {
+    int sum = 0;
+    for (int v : *values) sum += v;
+    out->emplace_back(key, sum);
+  });
+  std::mutex mu;
+  int64_t reduce_values = 0;
+  int64_t total = 0;
+  job.Run(
+      input,
+      [](const int& record, Job::MapContext* ctx) {
+        ctx->Emit(record % 4, record);
+      },
+      [&](const int&, std::vector<int>* values, Job::ReduceContext*) {
+        std::lock_guard<std::mutex> lock(mu);
+        reduce_values += static_cast<int64_t>(values->size());
+        for (int v : *values) total += v;
+      },
+      TestCluster());
+  EXPECT_LE(reduce_values, 2 * 4);  // map tasks * keys
+  EXPECT_EQ(total, 99 * 100 / 2);   // sums preserved
+}
+
+TEST(JobCombinerTest, CombinerPreservesResults) {
+  using Job = MapReduceJob<std::string, std::string, int>;
+  const std::vector<std::string> input = {"a", "b", "a", "c", "a", "b"};
+  const auto run = [&input](bool with_combiner) {
+    Job job(3, 2);
+    if (with_combiner) {
+      job.set_combiner([](const std::string& key, std::vector<int>* values,
+                          std::vector<std::pair<std::string, int>>* out) {
+        int sum = 0;
+        for (int v : *values) sum += v;
+        out->emplace_back(key, sum);
+      });
+    }
+    auto result = job.Run(
+        input,
+        [](const std::string& record, Job::MapContext* ctx) {
+          ctx->Emit(record, 1);
+        },
+        [](const std::string& key, std::vector<int>* values,
+           Job::ReduceContext* ctx) {
+          int sum = 0;
+          for (int v : *values) sum += v;
+          ctx->Emit(key, sum);
+        },
+        TestCluster());
+    std::sort(result.outputs.begin(), result.outputs.end());
+    return result.outputs;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(JobCleanupTest, RunsOncePerReduceTask) {
+  using Job = MapReduceJob<int, int, int>;
+  Job job(2, 3);
+  std::mutex mu;
+  std::vector<int> cleaned;
+  job.set_reduce_cleanup([&](Job::ReduceContext* ctx) {
+    std::lock_guard<std::mutex> lock(mu);
+    cleaned.push_back(ctx->task_id());
+    ctx->Emit(-1, ctx->task_id());
+  });
+  const auto result = job.Run(
+      std::vector<int>{1, 2, 3, 4},
+      [](const int& record, Job::MapContext* ctx) { ctx->Emit(record, 1); },
+      [](const int&, std::vector<int>*, Job::ReduceContext*) {},
+      TestCluster());
+  EXPECT_EQ(cleaned.size(), 3u);
+  // Cleanup emissions land in the outputs.
+  int cleanup_outputs = 0;
+  for (const auto& [k, v] : result.outputs) {
+    if (k == -1) ++cleanup_outputs;
+  }
+  EXPECT_EQ(cleanup_outputs, 3);
+}
+
+}  // namespace
+}  // namespace progres

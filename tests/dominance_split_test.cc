@@ -1,0 +1,159 @@
+// End-to-end checks of the (n+1)st dominance-list value (Sec. V): after the
+// scheduler splits subtrees, pairs inside a split subtree must be skipped by
+// every enclosing block of the same tree and resolved exactly once.
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "blocking/forest.h"
+#include "datagen/generators.h"
+#include "redundancy/dominance.h"
+
+namespace progres {
+namespace {
+
+struct Fixture {
+  LabeledDataset data;
+  BlockingConfig config{std::vector<FamilySpec>{}};
+  ProbabilityModel prob;
+  std::vector<AnnotatedForest> forests;
+  ProgressiveSchedule schedule;
+
+  Fixture() {
+    PublicationConfig gen;
+    gen.num_entities = 6000;  // skewed enough to force splits
+    gen.seed = 180;
+    data = GeneratePublications(gen);
+    config = BlockingConfig({{"X", kPubTitle, {2, 4, 8}, -1},
+                             {"Y", kPubAbstract, {3, 5}, -1},
+                             {"Z", kPubVenue, {3, 5}, -1}});
+    std::vector<Forest> raw =
+        BuildForests(data.dataset, config, /*keep_members=*/false);
+    ComputeUncoveredPairs(data.dataset, config, &raw);
+    prob = ProbabilityModel::Train(data.dataset, data.truth, config);
+    EstimateParams params;
+    forests = AnnotateForests(raw, params, prob, data.dataset.size());
+    ScheduleParams sp;
+    sp.num_reduce_tasks = 8;
+    sp.scheduler = TreeScheduler::kOurs;
+    schedule = GenerateSchedule(&forests, sp);
+  }
+
+  // A split-off tree root: a tree root that still has a hierarchy parent
+  // (equal-size collapse can also promote level-2 blocks to roots, but those
+  // have no parent). Returns -1 if none.
+  int FindSplitRoot(int family) const {
+    const AnnotatedForest& forest = forests[static_cast<size_t>(family)];
+    for (int root : forest.tree_roots()) {
+      if (forest.block(root).parent >= 0 && forest.block(root).size >= 4) {
+        return root;
+      }
+    }
+    return -1;
+  }
+
+  // Some entity whose chain passes through `node`.
+  std::vector<EntityId> MembersOf(int family, int node,
+                                  int max_members) const {
+    const AnnotatedForest& forest = forests[static_cast<size_t>(family)];
+    const AnnotatedBlock& block = forest.block(node);
+    std::vector<EntityId> members;
+    for (const Entity& e : data.dataset.entities()) {
+      if (config.Path(family, block.id.level, e) == block.id.path) {
+        members.push_back(e.id);
+        if (static_cast<int>(members.size()) >= max_members) break;
+      }
+    }
+    return members;
+  }
+};
+
+TEST(DominanceSplitTest, SchedulerProducedSplits) {
+  const Fixture fx;
+  EXPECT_GE(fx.FindSplitRoot(0), 0) << "expected at least one split";
+}
+
+TEST(DominanceSplitTest, SplitSubtreeOwnsItsPairs) {
+  const Fixture fx;
+  const int family = 0;
+  const int split_root = fx.FindSplitRoot(family);
+  ASSERT_GE(split_root, 0);
+  const AnnotatedForest& forest = fx.forests[static_cast<size_t>(family)];
+
+  // The enclosing (original) tree root above the split root.
+  int ancestor = forest.block(split_root).parent;
+  ASSERT_GE(ancestor, 0);
+  const int enclosing_root = forest.FindTreeRoot(ancestor);
+
+  // Two entities inside the split subtree, emitted for the ENCLOSING root:
+  // both lists must carry the same (n+1)st value and SHOULD-RESOLVE must
+  // refuse (the split tree owns the pair).
+  const std::vector<EntityId> members = fx.MembersOf(family, split_root, 2);
+  ASSERT_EQ(members.size(), 2u);
+  const DominanceList a =
+      BuildDominanceList(fx.data.dataset.entity(members[0]), family,
+                         enclosing_root, fx.config, fx.forests, fx.schedule);
+  const DominanceList b =
+      BuildDominanceList(fx.data.dataset.entity(members[1]), family,
+                         enclosing_root, fx.config, fx.forests, fx.schedule);
+  const int n = fx.config.num_families();
+  ASSERT_GT(a.values.size(), static_cast<size_t>(n));
+  ASSERT_GT(b.values.size(), static_cast<size_t>(n));
+  EXPECT_EQ(a.values[static_cast<size_t>(n)], b.values[static_cast<size_t>(n)]);
+  EXPECT_FALSE(ShouldResolve(a, b, /*index=*/family + 1, n));
+
+  // Emitted for the split root itself, the pair IS resolvable there.
+  const DominanceList c =
+      BuildDominanceList(fx.data.dataset.entity(members[0]), family,
+                         split_root, fx.config, fx.forests, fx.schedule);
+  const DominanceList d =
+      BuildDominanceList(fx.data.dataset.entity(members[1]), family,
+                         split_root, fx.config, fx.forests, fx.schedule);
+  EXPECT_TRUE(ShouldResolve(c, d, family + 1, n));
+}
+
+TEST(DominanceSplitTest, OwnFamilyValueIsSplitAware) {
+  const Fixture fx;
+  const int family = 0;
+  const int split_root = fx.FindSplitRoot(family);
+  ASSERT_GE(split_root, 0);
+  const AnnotatedForest& forest = fx.forests[static_cast<size_t>(family)];
+  const std::vector<EntityId> members = fx.MembersOf(family, split_root, 1);
+  ASSERT_EQ(members.size(), 1u);
+
+  // Emitted for a block of the split tree, position Index(X)-1 must be the
+  // split tree's dominance value, not the original root's.
+  const DominanceList list =
+      BuildDominanceList(fx.data.dataset.entity(members[0]), family,
+                         split_root, fx.config, fx.forests, fx.schedule);
+  const int32_t split_dom =
+      fx.schedule.dominance.at(BlockRefKey(family, split_root));
+  EXPECT_EQ(list.values[static_cast<size_t>(family)], split_dom);
+  const int original_root = forest.FindTreeRoot(forest.block(split_root).parent);
+  const int32_t original_dom =
+      fx.schedule.dominance.at(BlockRefKey(family, original_root));
+  EXPECT_NE(split_dom, original_dom);
+}
+
+TEST(DominanceSplitTest, ForeignFamilyValueUsesMainBlockTree) {
+  const Fixture fx;
+  // For any entity emitted toward a family-0 block, position 1 must equal
+  // the dominance value of the tree containing its family-1 MAIN block.
+  const Entity& e = fx.data.dataset.entity(0);
+  const AnnotatedForest& forest0 = fx.forests[0];
+  const int node0 = forest0.Find(fx.config.Path(0, 1, e));
+  ASSERT_GE(node0, 0);
+  const DominanceList list = BuildDominanceList(e, 0, node0, fx.config,
+                                                fx.forests, fx.schedule);
+  const AnnotatedForest& forest1 = fx.forests[1];
+  const int main1 = forest1.Find(fx.config.Path(1, 1, e));
+  ASSERT_GE(main1, 0);
+  const int root1 = forest1.FindTreeRoot(main1);
+  EXPECT_EQ(list.values[1],
+            fx.schedule.dominance.at(BlockRefKey(1, root1)));
+}
+
+}  // namespace
+}  // namespace progres

@@ -1,0 +1,168 @@
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "blocking/forest.h"
+#include "datagen/generators.h"
+#include "redundancy/dominance.h"
+
+namespace progres {
+namespace {
+
+struct Fixture {
+  LabeledDataset data;
+  BlockingConfig config{std::vector<FamilySpec>{}};
+  ProbabilityModel prob;
+  std::vector<AnnotatedForest> forests;
+  ProgressiveSchedule schedule;
+
+  explicit Fixture(int64_t n = 2000, uint64_t seed = 51,
+                   TreeScheduler scheduler = TreeScheduler::kOurs) {
+    PublicationConfig gen;
+    gen.num_entities = n;
+    gen.seed = seed;
+    data = GeneratePublications(gen);
+    config = BlockingConfig({{"X", kPubTitle, {2, 4, 8}, -1},
+                             {"Y", kPubAbstract, {3, 5}, -1},
+                             {"Z", kPubVenue, {3, 5}, -1}});
+    std::vector<Forest> raw =
+        BuildForests(data.dataset, config, /*keep_members=*/false);
+    ComputeUncoveredPairs(data.dataset, config, &raw);
+    prob = ProbabilityModel::Train(data.dataset, data.truth, config);
+    EstimateParams params;
+    forests = AnnotateForests(raw, params, prob, data.dataset.size());
+    ScheduleParams sp;
+    sp.num_reduce_tasks = 4;
+    sp.scheduler = scheduler;
+    schedule = GenerateSchedule(&forests, sp);
+  }
+};
+
+TEST(DominanceListTest, HasOneValuePerFamily) {
+  Fixture fx;
+  const Entity& e = fx.data.dataset.entity(0);
+  // Find a block of family 0 containing e.
+  const int node = fx.forests[0].Find(fx.config.Path(0, 1, e));
+  ASSERT_GE(node, 0);
+  const DominanceList list =
+      BuildDominanceList(e, 0, node, fx.config, fx.forests, fx.schedule);
+  EXPECT_GE(list.values.size(), 3u);
+  EXPECT_LE(list.values.size(), 4u);
+}
+
+TEST(DominanceListTest, OwnFamilyUsesBlockTree) {
+  Fixture fx;
+  const Entity& e = fx.data.dataset.entity(1);
+  const int node = fx.forests[0].Find(fx.config.Path(0, 1, e));
+  ASSERT_GE(node, 0);
+  const DominanceList list =
+      BuildDominanceList(e, 0, node, fx.config, fx.forests, fx.schedule);
+  const int root = fx.forests[0].FindTreeRoot(node);
+  EXPECT_EQ(list.values[0], fx.schedule.dominance.at(BlockRefKey(0, root)));
+}
+
+TEST(DominanceListTest, SameMainBlockSameForeignValue) {
+  Fixture fx;
+  // Two entities sharing their family-1 main block must carry the same
+  // value at position 1 when emitted for any family-0 block.
+  const Dataset& d = fx.data.dataset;
+  for (EntityId a = 0; a < d.size(); ++a) {
+    for (EntityId b = a + 1; b < std::min<int64_t>(d.size(), a + 50); ++b) {
+      if (fx.config.Key(1, 1, d.entity(a)) != fx.config.Key(1, 1, d.entity(b)))
+        continue;
+      const int node_a = fx.forests[0].Find(fx.config.Path(0, 1, d.entity(a)));
+      const int node_b = fx.forests[0].Find(fx.config.Path(0, 1, d.entity(b)));
+      if (node_a < 0 || node_b < 0) continue;
+      const DominanceList la = BuildDominanceList(d.entity(a), 0, node_a,
+                                                  fx.config, fx.forests,
+                                                  fx.schedule);
+      const DominanceList lb = BuildDominanceList(d.entity(b), 0, node_b,
+                                                  fx.config, fx.forests,
+                                                  fx.schedule);
+      EXPECT_EQ(la.values[1], lb.values[1]);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no pair sharing a family-1 main block found";
+}
+
+TEST(ShouldResolveTest, DominantFamilyOwnsSharedPair) {
+  // Pair shares the family-0 tree (value 7). When resolving a family-1
+  // block (index 2), position 0 matches -> not responsible.
+  DominanceList a{{7, 20, 30}};
+  DominanceList b{{7, 21, 31}};
+  EXPECT_FALSE(ShouldResolve(a, b, /*index=*/2, /*n=*/3));
+  // When resolving a family-0 block (index 1), no more-dominant family
+  // exists -> responsible.
+  EXPECT_TRUE(ShouldResolve(a, b, /*index=*/1, /*n=*/3));
+}
+
+TEST(ShouldResolveTest, NoSharedDominantTreeResolves) {
+  DominanceList a{{7, 20, 30}};
+  DominanceList b{{8, 21, 30}};
+  EXPECT_TRUE(ShouldResolve(a, b, /*index=*/3, /*n=*/3));
+}
+
+TEST(ShouldResolveTest, SplitSubtreeOwnsPair) {
+  // Both entities carry the same (n+1)st value: the pair belongs to a split
+  // tree nested below the emitted block.
+  DominanceList a{{7, 20, 30, 99}};
+  DominanceList b{{8, 21, 31, 99}};
+  EXPECT_FALSE(ShouldResolve(a, b, /*index=*/1, /*n=*/3));
+  DominanceList c{{8, 21, 31, 98}};
+  EXPECT_TRUE(ShouldResolve(a, c, /*index=*/1, /*n=*/3));
+}
+
+TEST(ShouldResolveTest, MissingOptionalValueResolves) {
+  DominanceList a{{7, 20, 30, 99}};
+  DominanceList b{{8, 21, 31}};  // no (n+1)st value
+  EXPECT_TRUE(ShouldResolve(a, b, /*index=*/1, /*n=*/3));
+}
+
+// The central invariant of Sec. V: for every pair of entities sharing at
+// least one block, exactly one main-family position claims responsibility —
+// the most dominant family under which they co-occur.
+TEST(ShouldResolveTest, ExactlyOneResponsibleFamily) {
+  // NoSplit keeps every main block in its original tree, so responsibility
+  // checks can run at the root level without the (n+1)st-value subtlety.
+  Fixture fx(2000, 51, TreeScheduler::kNoSplit);
+  const Dataset& d = fx.data.dataset;
+  int checked = 0;
+  for (EntityId a = 0; a < d.size() && checked < 500; ++a) {
+    for (EntityId b = a + 1; b < std::min<int64_t>(d.size(), a + 20); ++b) {
+      // Families under which the pair co-occurs in a root block.
+      std::vector<int> shared_families;
+      for (int f = 0; f < fx.config.num_families(); ++f) {
+        const std::string key_a = fx.config.Key(f, 1, d.entity(a));
+        if (!key_a.empty() && key_a == fx.config.Key(f, 1, d.entity(b))) {
+          shared_families.push_back(f);
+        }
+      }
+      if (shared_families.size() < 2) continue;
+      ++checked;
+
+      int responsible = 0;
+      for (int f : shared_families) {
+        const int node_a =
+            fx.forests[static_cast<size_t>(f)].Find(fx.config.Path(f, 1, d.entity(a)));
+        ASSERT_GE(node_a, 0);
+        const DominanceList la = BuildDominanceList(
+            d.entity(a), f, node_a, fx.config, fx.forests, fx.schedule);
+        const DominanceList lb = BuildDominanceList(
+            d.entity(b), f, node_a, fx.config, fx.forests, fx.schedule);
+        if (ShouldResolve(la, lb, f + 1, fx.config.num_families())) {
+          ++responsible;
+          // Responsibility goes to the most dominant shared family.
+          EXPECT_EQ(f, shared_families.front());
+        }
+      }
+      EXPECT_EQ(responsible, 1)
+          << "pair (" << a << "," << b << ") claimed by " << responsible
+          << " families";
+    }
+  }
+  EXPECT_GT(checked, 50);
+}
+
+}  // namespace
+}  // namespace progres

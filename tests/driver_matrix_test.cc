@@ -1,0 +1,135 @@
+// Parameterized integration sweep: the full progressive pipeline must hold
+// its core invariants across the configuration grid (scheduler x emission x
+// cluster size x workload).
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/progressive_er.h"
+#include "datagen/generators.h"
+#include "eval/clustering.h"
+#include "eval/recall_curve.h"
+#include "mechanism/psnm.h"
+#include "mechanism/sorted_neighbor.h"
+
+namespace progres {
+namespace {
+
+struct MatrixParams {
+  TreeScheduler scheduler;
+  MapEmission emission;
+  int machines;
+  bool books;
+
+  std::string Label() const {
+    std::string label;
+    label += scheduler == TreeScheduler::kOurs      ? "ours"
+             : scheduler == TreeScheduler::kNoSplit ? "nosplit"
+                                                    : "lpt";
+    label += emission == MapEmission::kPerBlock ? "_perblock" : "_pertree";
+    label += "_m" + std::to_string(machines);
+    label += books ? "_books" : "_pubs";
+    return label;
+  }
+};
+
+class DriverMatrixTest : public testing::TestWithParam<MatrixParams> {};
+
+TEST_P(DriverMatrixTest, PipelineInvariantsHold) {
+  const MatrixParams p = GetParam();
+
+  LabeledDataset train;
+  LabeledDataset data;
+  BlockingConfig blocking{std::vector<FamilySpec>{}};
+  MatchFunction match{{}, 0.75};
+  if (p.books) {
+    BookConfig train_gen;
+    train_gen.num_entities = 500;
+    train_gen.seed = 170;
+    train = GenerateBooks(train_gen);
+    BookConfig gen;
+    gen.num_entities = 2000;
+    gen.seed = 171;
+    data = GenerateBooks(gen);
+    blocking = BlockingConfig({{"X", kBookTitle, {3, 5, 8}, -1},
+                               {"Y", kBookAuthors, {3, 5}, -1},
+                               {"Z", kBookPublisher, {3, 5}, -1}});
+    match = MatchFunction(
+        {{kBookTitle, AttributeSimilarity::kEditDistance, 0.35, 0},
+         {kBookAuthors, AttributeSimilarity::kEditDistance, 0.2, 0},
+         {kBookPublisher, AttributeSimilarity::kEditDistance, 0.1, 0},
+         {kBookYear, AttributeSimilarity::kExact, 0.1, 0},
+         {kBookIsbn, AttributeSimilarity::kEditDistance, 0.1, 0},
+         {kBookPages, AttributeSimilarity::kExact, 0.05, 0},
+         {kBookLanguage, AttributeSimilarity::kExact, 0.05, 0},
+         {kBookEdition, AttributeSimilarity::kExact, 0.05, 0}},
+        0.75);
+  } else {
+    PublicationConfig train_gen;
+    train_gen.num_entities = 500;
+    train_gen.seed = 172;
+    train = GeneratePublications(train_gen);
+    PublicationConfig gen;
+    gen.num_entities = 2000;
+    gen.seed = 173;
+    data = GeneratePublications(gen);
+    blocking = BlockingConfig({{"X", kPubTitle, {2, 4, 8}, -1},
+                               {"Y", kPubAbstract, {3, 5}, -1},
+                               {"Z", kPubVenue, {3, 5}, -1}});
+    match = MatchFunction(
+        {{kPubTitle, AttributeSimilarity::kEditDistance, 0.5, 0},
+         {kPubAbstract, AttributeSimilarity::kEditDistance, 0.3, 350},
+         {kPubVenue, AttributeSimilarity::kEditDistance, 0.2, 0}},
+        0.75);
+  }
+  const ProbabilityModel prob =
+      ProbabilityModel::Train(train.dataset, train.truth, blocking);
+
+  const SortedNeighborMechanism sn;
+  ProgressiveErOptions options;
+  options.cluster.machines = p.machines;
+  options.cluster.execution_threads = 4;
+  options.scheduler = p.scheduler;
+  options.map_emission = p.emission;
+  const ProgressiveEr er(blocking, match, sn, prob, options);
+  const ErRunResult result = er.Run(data.dataset);
+
+  SCOPED_TRACE(p.Label());
+  // Invariant 1: substantial recall on every configuration.
+  const RecallCurve curve = RecallCurve::FromEvents(result.events, data.truth);
+  EXPECT_GT(curve.final_recall(), 0.75);
+  // Invariant 2: events are confined to the run window.
+  for (const DuplicateEvent& event : result.events) {
+    EXPECT_GE(event.time, result.preprocessing_end - 1e-9);
+    EXPECT_LE(event.time, result.total_time + 1e-9);
+  }
+  // Invariant 3: counters line up with outcome totals.
+  EXPECT_EQ(result.counters.Get("reduce.comparisons"), result.comparisons);
+  EXPECT_EQ(result.counters.Get("reduce.duplicates"),
+            result.duplicate_count);
+  // Invariant 4: clustering the duplicates never crashes and produces a
+  // valid assignment.
+  const std::vector<int32_t> clusters =
+      TransitiveClosure(data.dataset.size(), result.duplicates);
+  EXPECT_EQ(static_cast<int64_t>(clusters.size()), data.dataset.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DriverMatrixTest,
+    testing::Values(
+        MatrixParams{TreeScheduler::kOurs, MapEmission::kPerBlock, 2, false},
+        MatrixParams{TreeScheduler::kOurs, MapEmission::kPerTree, 2, false},
+        MatrixParams{TreeScheduler::kNoSplit, MapEmission::kPerBlock, 2,
+                     false},
+        MatrixParams{TreeScheduler::kLpt, MapEmission::kPerBlock, 2, false},
+        MatrixParams{TreeScheduler::kOurs, MapEmission::kPerBlock, 5, false},
+        MatrixParams{TreeScheduler::kOurs, MapEmission::kPerTree, 5, true},
+        MatrixParams{TreeScheduler::kOurs, MapEmission::kPerBlock, 2, true}),
+    [](const testing::TestParamInfo<MatrixParams>& info) {
+      return info.param.Label();
+    });
+
+}  // namespace
+}  // namespace progres

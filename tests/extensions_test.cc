@@ -1,0 +1,200 @@
+// Tests of the extended-report features layered on the core approach:
+// per-tree map emission (footnote 5), the per-task cost budget variant, and
+// the weighting-function library.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/progressive_er.h"
+#include "datagen/generators.h"
+#include "eval/recall_curve.h"
+#include "mechanism/sorted_neighbor.h"
+#include "schedule/schedule.h"
+
+namespace progres {
+namespace {
+
+ClusterConfig TestCluster() {
+  ClusterConfig cluster;
+  cluster.machines = 2;
+  cluster.execution_threads = 4;
+  return cluster;
+}
+
+struct Fixture {
+  LabeledDataset train;
+  LabeledDataset data;
+  BlockingConfig blocking{std::vector<FamilySpec>{}};
+  MatchFunction match{{}, 0.75};
+  SortedNeighborMechanism sn;
+  ProbabilityModel prob;
+
+  explicit Fixture(int64_t n = 2500) {
+    PublicationConfig train_gen;
+    train_gen.num_entities = n / 4;
+    train_gen.seed = 110;
+    train = GeneratePublications(train_gen);
+    PublicationConfig gen;
+    gen.num_entities = n;
+    gen.seed = 111;
+    data = GeneratePublications(gen);
+    blocking = BlockingConfig({{"X", kPubTitle, {2, 4, 8}, -1},
+                               {"Y", kPubAbstract, {3, 5}, -1},
+                               {"Z", kPubVenue, {3, 5}, -1}});
+    match = MatchFunction(
+        {{kPubTitle, AttributeSimilarity::kEditDistance, 0.5, 0},
+         {kPubAbstract, AttributeSimilarity::kEditDistance, 0.3, 350},
+         {kPubVenue, AttributeSimilarity::kEditDistance, 0.2, 0}},
+        0.75);
+    prob = ProbabilityModel::Train(train.dataset, train.truth, blocking);
+  }
+
+  ProgressiveErOptions Options() const {
+    ProgressiveErOptions options;
+    options.cluster = TestCluster();
+    return options;
+  }
+};
+
+// ---------------------------------------------------------- per-tree map
+
+TEST(PerTreeEmissionTest, FindsSameDuplicates) {
+  const Fixture fx;
+  ProgressiveErOptions per_block = fx.Options();
+  per_block.map_emission = MapEmission::kPerBlock;
+  ProgressiveErOptions per_tree = fx.Options();
+  per_tree.map_emission = MapEmission::kPerTree;
+
+  const ErRunResult a =
+      ProgressiveEr(fx.blocking, fx.match, fx.sn, fx.prob, per_block)
+          .Run(fx.data.dataset);
+  const ErRunResult b =
+      ProgressiveEr(fx.blocking, fx.match, fx.sn, fx.prob, per_tree)
+          .Run(fx.data.dataset);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.comparisons, b.comparisons);
+}
+
+TEST(PerTreeEmissionTest, ReducesShuffleVolume) {
+  const Fixture fx;
+  ProgressiveErOptions per_block = fx.Options();
+  ProgressiveErOptions per_tree = fx.Options();
+  per_tree.map_emission = MapEmission::kPerTree;
+
+  const ErRunResult a =
+      ProgressiveEr(fx.blocking, fx.match, fx.sn, fx.prob, per_block)
+          .Run(fx.data.dataset);
+  const ErRunResult b =
+      ProgressiveEr(fx.blocking, fx.match, fx.sn, fx.prob, per_tree)
+          .Run(fx.data.dataset);
+  EXPECT_LT(b.counters.Get("map.emitted_pairs"),
+            a.counters.Get("map.emitted_pairs"));
+  EXPECT_GT(b.counters.Get("map.emitted_pairs"), 0);
+}
+
+TEST(PerTreeEmissionTest, Deterministic) {
+  const Fixture fx(1200);
+  ProgressiveErOptions options = fx.Options();
+  options.map_emission = MapEmission::kPerTree;
+  const ProgressiveEr er(fx.blocking, fx.match, fx.sn, fx.prob, options);
+  const ErRunResult a = er.Run(fx.data.dataset);
+  const ErRunResult b = er.Run(fx.data.dataset);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+}
+
+// ---------------------------------------------------------- budget
+
+TEST(BudgetTest, BudgetLimitsWork) {
+  const Fixture fx;
+  ProgressiveErOptions unlimited = fx.Options();
+  const ErRunResult full =
+      ProgressiveEr(fx.blocking, fx.match, fx.sn, fx.prob, unlimited)
+          .Run(fx.data.dataset);
+
+  // Budget: a quarter of the unlimited per-task cost.
+  double max_task_cost = 0.0;
+  for (const ResultChunk& chunk : full.chunks) {
+    max_task_cost = std::max(max_task_cost, chunk.cost_end);
+  }
+  ProgressiveErOptions budgeted = fx.Options();
+  budgeted.per_task_cost_budget = max_task_cost / 4.0;
+  const ErRunResult partial =
+      ProgressiveEr(fx.blocking, fx.match, fx.sn, fx.prob, budgeted)
+          .Run(fx.data.dataset);
+
+  EXPECT_LT(partial.comparisons, full.comparisons);
+  EXPECT_LT(partial.total_time, full.total_time);
+  const RecallCurve full_curve =
+      RecallCurve::FromEvents(full.events, fx.data.truth);
+  const RecallCurve partial_curve =
+      RecallCurve::FromEvents(partial.events, fx.data.truth);
+  EXPECT_LE(partial_curve.final_recall(), full_curve.final_recall());
+  // The budget keeps the highest-utility blocks: a quarter of the cost must
+  // retain far more than a quarter of the recall.
+  EXPECT_GT(partial_curve.final_recall(), 0.5 * full_curve.final_recall());
+}
+
+TEST(BudgetTest, TasksRespectBudget) {
+  const Fixture fx(1500);
+  ProgressiveErOptions options = fx.Options();
+  options.per_task_cost_budget = 3000.0;
+  const ErRunResult result =
+      ProgressiveEr(fx.blocking, fx.match, fx.sn, fx.prob, options)
+          .Run(fx.data.dataset);
+  // Each task's final cost can exceed the budget only by the cost of its
+  // last (already started) block; use a loose factor.
+  for (const ResultChunk& chunk : result.chunks) {
+    EXPECT_LT(chunk.cost_end, options.per_task_cost_budget * 3.0);
+  }
+}
+
+// ---------------------------------------------------------- weights
+
+TEST(WeightsTest, ExponentialDecays) {
+  const std::vector<double> w = MakeExponentialWeights(4, 0.5);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+  EXPECT_DOUBLE_EQ(w[3], 0.125);
+}
+
+TEST(WeightsTest, StepCutsOff) {
+  const std::vector<double> w = MakeStepWeights(5, 0.4);
+  ASSERT_EQ(w.size(), 5u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 1.0);
+  EXPECT_DOUBLE_EQ(w[2], 0.0);
+  EXPECT_DOUBLE_EQ(w[4], 0.0);
+}
+
+TEST(WeightsTest, AllNonIncreasingInUnitRange) {
+  for (const std::vector<double>& w :
+       {MakeLinearWeights(7), MakeExponentialWeights(7, 0.8),
+        MakeStepWeights(7, 0.5)}) {
+    for (size_t i = 0; i < w.size(); ++i) {
+      EXPECT_GE(w[i], 0.0);
+      EXPECT_LE(w[i], 1.0);
+      if (i > 0) {
+        EXPECT_LE(w[i], w[i - 1]);
+      }
+    }
+  }
+}
+
+TEST(WeightsTest, SchedulerAcceptsCustomWeights) {
+  const Fixture fx(1200);
+  ProgressiveErOptions options = fx.Options();
+  options.cost_vector = MakeUniformCostVector(1e5, 4, 8);
+  options.weights = MakeExponentialWeights(8, 0.6);
+  const ErRunResult result =
+      ProgressiveEr(fx.blocking, fx.match, fx.sn, fx.prob, options)
+          .Run(fx.data.dataset);
+  const RecallCurve curve =
+      RecallCurve::FromEvents(result.events, fx.data.truth);
+  EXPECT_GT(curve.final_recall(), 0.8);
+}
+
+}  // namespace
+}  // namespace progres

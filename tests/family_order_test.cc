@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "estimate/family_order.h"
+
+namespace progres {
+namespace {
+
+TEST(FamilyOrderTest, MeasuresAllCandidates) {
+  PublicationConfig gen;
+  gen.num_entities = 2000;
+  gen.seed = 140;
+  const LabeledDataset data = GeneratePublications(gen);
+  const std::vector<FamilySpec> candidates = {
+      {"X", kPubTitle, {2, 4, 8}, -1},
+      {"Y", kPubAbstract, {3, 5}, -1},
+      {"Z", kPubVenue, {3, 5}, -1},
+  };
+  const std::vector<FamilyQuality> qualities =
+      MeasureFamilies(candidates, data.dataset, data.truth);
+  ASSERT_EQ(qualities.size(), 3u);
+  for (const FamilyQuality& q : qualities) {
+    EXPECT_GT(q.total_pairs, 0);
+    EXPECT_GE(q.duplicate_pairs, 0);
+    EXPECT_LE(q.duplicate_pairs, q.total_pairs);
+    EXPECT_GE(q.ratio(), 0.0);
+    EXPECT_LE(q.ratio(), 1.0);
+  }
+}
+
+TEST(FamilyOrderTest, VenueBlocksHaveLowestDensity) {
+  // The paper's motivating example (Sec. IV-A): blocking on a
+  // low-cardinality attribute (state/venue) produces unnecessarily large
+  // blocks with a low percentage of duplicate pairs, so it should be the
+  // least dominating function.
+  PublicationConfig gen;
+  gen.num_entities = 4000;
+  gen.seed = 141;
+  const LabeledDataset data = GeneratePublications(gen);
+  const std::vector<FamilySpec> candidates = {
+      {"X", kPubTitle, {2, 4, 8}, -1},
+      {"Z", kPubVenue, {3, 5}, -1},
+  };
+  const std::vector<FamilyQuality> qualities =
+      MeasureFamilies(candidates, data.dataset, data.truth);
+  EXPECT_GT(qualities[0].ratio(), qualities[1].ratio());
+}
+
+TEST(FamilyOrderTest, OrdersByRatio) {
+  PublicationConfig gen;
+  gen.num_entities = 3000;
+  gen.seed = 142;
+  const LabeledDataset data = GeneratePublications(gen);
+  // Deliberately list the weakest family first.
+  const std::vector<FamilySpec> candidates = {
+      {"Z", kPubVenue, {3, 5}, -1},
+      {"Y", kPubAbstract, {3, 5}, -1},
+      {"X", kPubTitle, {2, 4, 8}, -1},
+  };
+  const std::vector<FamilySpec> ordered =
+      OrderFamiliesByDominance(candidates, data.dataset, data.truth);
+  ASSERT_EQ(ordered.size(), 3u);
+  // Venue must not come out on top.
+  EXPECT_NE(ordered.front().name, "Z");
+  EXPECT_EQ(ordered.back().name, "Z");
+  // Measured ratios of the output order are non-increasing.
+  const std::vector<FamilyQuality> qualities =
+      MeasureFamilies(ordered, data.dataset, data.truth);
+  for (size_t i = 1; i < qualities.size(); ++i) {
+    EXPECT_GE(qualities[i - 1].ratio() + 1e-12, qualities[i].ratio());
+  }
+}
+
+TEST(FamilyOrderTest, EmptyCandidates) {
+  const LabeledDataset toy = GeneratePeopleToy();
+  EXPECT_TRUE(
+      OrderFamiliesByDominance({}, toy.dataset, toy.truth).empty());
+}
+
+}  // namespace
+}  // namespace progres

@@ -1,0 +1,87 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "blocking/forest_io.h"
+#include "common/tsv.h"
+#include "datagen/generators.h"
+
+namespace progres {
+namespace {
+
+TEST(ForestIoTest, RoundTripPreservesStructure) {
+  PublicationConfig gen;
+  gen.num_entities = 1500;
+  gen.seed = 130;
+  const LabeledDataset data = GeneratePublications(gen);
+  const BlockingConfig config({{"X", kPubTitle, {2, 4, 8}, -1},
+                               {"Y", kPubAbstract, {3, 5}, -1},
+                               {"Z", kPubVenue, {3}, -1}});
+  std::vector<Forest> original =
+      BuildForests(data.dataset, config, /*keep_members=*/false);
+  ComputeUncoveredPairs(data.dataset, config, &original);
+
+  const std::string path = testing::TempDir() + "/progres_forests.tsv";
+  ASSERT_TRUE(SaveForests(path, original));
+
+  std::vector<Forest> loaded;
+  ASSERT_TRUE(LoadForests(path, &loaded));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t f = 0; f < original.size(); ++f) {
+    const Forest& a = original[f];
+    const Forest& b = loaded[f];
+    ASSERT_EQ(b.nodes.size(), a.nodes.size()) << "family " << f;
+    ASSERT_EQ(b.roots.size(), a.roots.size());
+    for (const BlockNode& node : a.nodes) {
+      const int found = b.Find(node.id.path);
+      ASSERT_GE(found, 0) << node.id.path;
+      const BlockNode& got = b.node(found);
+      EXPECT_EQ(got.size, node.size);
+      EXPECT_EQ(got.uncov, node.uncov);
+      EXPECT_EQ(got.id.level, node.id.level);
+      EXPECT_EQ(got.children.size(), node.children.size());
+      if (node.parent >= 0) {
+        ASSERT_GE(got.parent, 0);
+        EXPECT_EQ(b.node(got.parent).id.path, a.node(node.parent).id.path);
+      } else {
+        EXPECT_LT(got.parent, 0);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ForestIoTest, EmptyForests) {
+  const std::string path = testing::TempDir() + "/progres_forests_empty.tsv";
+  ASSERT_TRUE(SaveForests(path, {}));
+  std::vector<Forest> loaded;
+  ASSERT_TRUE(LoadForests(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(ForestIoTest, MissingFileFails) {
+  std::vector<Forest> loaded;
+  EXPECT_FALSE(LoadForests("/nonexistent/progres_forests.tsv", &loaded));
+}
+
+TEST(ForestIoTest, MalformedRowFails) {
+  const std::string path = testing::TempDir() + "/progres_forests_bad.tsv";
+  ASSERT_TRUE(WriteTsv(path, {{"0", "1", "path"}}));  // too few fields
+  std::vector<Forest> loaded;
+  EXPECT_FALSE(LoadForests(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(ForestIoTest, OrphanedChildFails) {
+  const std::string path = testing::TempDir() + "/progres_forests_orphan.tsv";
+  // Level-2 block whose parent path does not exist.
+  ASSERT_TRUE(WriteTsv(path, {{"0", "2", "ab\x1f" "abcd", "zz", "3", "0"}}));
+  std::vector<Forest> loaded;
+  EXPECT_FALSE(LoadForests(path, &loaded));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace progres

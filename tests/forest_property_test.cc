@@ -1,0 +1,92 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/blocking_function.h"
+#include "blocking/forest.h"
+#include "common/random.h"
+#include "model/dataset.h"
+
+namespace progres {
+namespace {
+
+// Property suite: on random small datasets, the inclusion-exclusion Uncov
+// computation must equal a brute-force count of pairs shared with a
+// dominating family's root block.
+
+struct Params {
+  uint64_t seed;
+  int num_entities;
+  int num_families;
+  int key_alphabet;  // how many distinct characters keys draw from
+};
+
+class ForestPropertyTest : public testing::TestWithParam<Params> {};
+
+TEST_P(ForestPropertyTest, UncovMatchesBruteForce) {
+  const Params p = GetParam();
+  Rng rng(p.seed);
+
+  // Random dataset: one attribute per family, values of 2-4 characters from
+  // a small alphabet so that blocks overlap heavily.
+  std::vector<std::string> schema;
+  std::vector<FamilySpec> families;
+  for (int f = 0; f < p.num_families; ++f) {
+    schema.push_back("attr" + std::to_string(f));
+    families.push_back({"F" + std::to_string(f), f, {1, 2}, -1});
+  }
+  Dataset dataset(schema);
+  for (int i = 0; i < p.num_entities; ++i) {
+    std::vector<std::string> attrs;
+    for (int f = 0; f < p.num_families; ++f) {
+      std::string v;
+      const int len = static_cast<int>(2 + rng.UniformU64(3));
+      for (int c = 0; c < len; ++c) {
+        v.push_back(static_cast<char>(
+            'a' + rng.UniformU64(static_cast<uint64_t>(p.key_alphabet))));
+      }
+      attrs.push_back(std::move(v));
+    }
+    dataset.Add(std::move(attrs));
+  }
+
+  const BlockingConfig config(families);
+  std::vector<Forest> forests =
+      BuildForests(dataset, config, /*keep_members=*/true);
+  ComputeUncoveredPairs(dataset, config, &forests);
+
+  for (int f = 0; f < p.num_families; ++f) {
+    const Forest& forest = forests[static_cast<size_t>(f)];
+    for (const BlockNode& node : forest.nodes) {
+      // Brute force: a pair is uncovered iff it shares a root block of a
+      // more dominating family.
+      int64_t brute = 0;
+      for (size_t i = 0; i < node.entities.size(); ++i) {
+        for (size_t j = i + 1; j < node.entities.size(); ++j) {
+          const Entity& a = dataset.entity(node.entities[i]);
+          const Entity& b = dataset.entity(node.entities[j]);
+          bool shared = false;
+          for (int d = 0; d < f && !shared; ++d) {
+            shared = config.Key(d, 1, a) == config.Key(d, 1, b);
+          }
+          if (shared) ++brute;
+        }
+      }
+      EXPECT_EQ(node.uncov, brute)
+          << "family " << f << " block " << node.id.path;
+      EXPECT_GE(node.cov(), 0);
+      EXPECT_LE(node.uncov, PairsOf(node.size));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ForestPropertyTest,
+    testing::Values(Params{1, 40, 1, 2}, Params{2, 60, 2, 2},
+                    Params{3, 60, 2, 3}, Params{4, 80, 3, 2},
+                    Params{5, 50, 3, 3}, Params{6, 120, 3, 4},
+                    Params{7, 30, 4, 2}));
+
+}  // namespace
+}  // namespace progres

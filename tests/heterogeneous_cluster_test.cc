@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace progres {
+namespace {
+
+TEST(SlotSpeedsTest, ExpandsPerMachine) {
+  ClusterConfig cluster;
+  cluster.machines = 3;
+  cluster.machine_speed = {1.0, 0.5, 2.0};
+  const std::vector<double> speeds = cluster.SlotSpeeds(2);
+  ASSERT_EQ(speeds.size(), 6u);
+  EXPECT_DOUBLE_EQ(speeds[0], 1.0);
+  EXPECT_DOUBLE_EQ(speeds[1], 1.0);
+  EXPECT_DOUBLE_EQ(speeds[2], 0.5);
+  EXPECT_DOUBLE_EQ(speeds[3], 0.5);
+  EXPECT_DOUBLE_EQ(speeds[4], 2.0);
+  EXPECT_DOUBLE_EQ(speeds[5], 2.0);
+}
+
+TEST(SlotSpeedsTest, MissingEntriesDefaultToNominal) {
+  ClusterConfig cluster;
+  cluster.machines = 3;
+  cluster.machine_speed = {0.5};  // machines 1 and 2 unspecified
+  EXPECT_DOUBLE_EQ(cluster.SpeedOfMachine(0), 0.5);
+  EXPECT_DOUBLE_EQ(cluster.SpeedOfMachine(1), 1.0);
+  EXPECT_DOUBLE_EQ(cluster.SpeedOfMachine(2), 1.0);
+  // Zero/negative speeds are treated as nominal, never divide-by-zero.
+  cluster.machine_speed = {0.0};
+  EXPECT_DOUBLE_EQ(cluster.SpeedOfMachine(0), 1.0);
+}
+
+TEST(ScheduleHeterogeneousTest, SlowSlotStretchesTask) {
+  double end = 0.0;
+  // One slot at half speed: a 10-unit task takes 20 seconds.
+  const std::vector<double> starts =
+      ScheduleTasksHeterogeneous({10.0}, {0.5}, 0.0, 1.0, &end);
+  EXPECT_DOUBLE_EQ(starts[0], 0.0);
+  EXPECT_DOUBLE_EQ(end, 20.0);
+}
+
+TEST(ScheduleHeterogeneousTest, MatchesHomogeneousAtNominalSpeed) {
+  const std::vector<double> costs = {5.0, 9.0, 2.0, 7.0, 1.0};
+  double end_a = 0.0;
+  double end_b = 0.0;
+  const std::vector<double> a =
+      ScheduleTasks(costs, 2, 3.0, 0.5, &end_a);
+  const std::vector<double> b =
+      ScheduleTasksHeterogeneous(costs, {1.0, 1.0}, 3.0, 0.5, &end_b);
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(end_a, end_b);
+}
+
+TEST(ScheduleHeterogeneousTest, FastSlotTakesMoreTasks) {
+  // Slot 1 runs 4x faster; with many equal tasks it should absorb most of
+  // them, keeping the makespan well under the homogeneous value.
+  std::vector<double> costs(20, 10.0);
+  double slow_end = 0.0;
+  ScheduleTasksHeterogeneous(costs, {1.0, 1.0}, 0.0, 1.0, &slow_end);
+  double fast_end = 0.0;
+  ScheduleTasksHeterogeneous(costs, {1.0, 4.0}, 0.0, 1.0, &fast_end);
+  EXPECT_LT(fast_end, slow_end);
+}
+
+TEST(HeterogeneousJobTest, StragglerMachineDelaysJob) {
+  using Job = MapReduceJob<int, int, int>;
+  std::vector<int> input;
+  for (int i = 0; i < 100; ++i) input.push_back(i);
+  const auto run = [&input](std::vector<double> speeds) {
+    ClusterConfig cluster;
+    cluster.machines = 2;  // 4 reduce slots: tasks land on both machines
+    cluster.execution_threads = 4;
+    cluster.seconds_per_cost_unit = 1.0;
+    cluster.machine_speed = std::move(speeds);
+    Job job(4, 4);
+    const auto result = job.Run(
+        input,
+        [](const int& record, Job::MapContext* ctx) {
+          ctx->Emit(record % 4, record);
+        },
+        [](const int&, std::vector<int>*, Job::ReduceContext* ctx) {
+          ctx->clock().Charge(100.0);
+        },
+        cluster);
+    return result.timing.end;
+  };
+  const double nominal = run({});
+  const double straggler = run({1.0, 0.25});
+  EXPECT_GT(straggler, nominal);
+}
+
+}  // namespace
+}  // namespace progres

@@ -1,0 +1,135 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mechanism/hierarchy_hint.h"
+#include "mechanism/sorted_neighbor.h"
+
+namespace progres {
+namespace {
+
+std::vector<Entity> MakeBlock(const std::vector<std::string>& values) {
+  std::vector<Entity> entities;
+  for (size_t i = 0; i < values.size(); ++i) {
+    Entity e;
+    e.id = static_cast<EntityId>(i);
+    e.attributes = {values[i]};
+    entities.push_back(std::move(e));
+  }
+  return entities;
+}
+
+struct RunResult {
+  ResolveOutcome outcome;
+  std::vector<PairKey> found;
+};
+
+RunResult RunMech(const ProgressiveMechanism& mechanism,
+              const std::vector<Entity>& entities, const MatchFunction& match,
+              ResolveOptions options) {
+  RunResult run;
+  CostClock clock;
+  std::vector<const Entity*> block;
+  for (const Entity& e : entities) block.push_back(&e);
+  ResolveRequest request;
+  request.block = &block;
+  request.sort_attribute = 0;
+  request.match = &match;
+  request.options = options;
+  request.clock = &clock;
+  request.on_duplicate = [&run](EntityId a, EntityId b) {
+    run.found.push_back(MakePairKey(a, b));
+  };
+  run.outcome = mechanism.Resolve(request);
+  return run;
+}
+
+MatchFunction ExactMatch() {
+  return MatchFunction({{0, AttributeSimilarity::kExact, 1.0, 0}}, 0.5);
+}
+
+TEST(HierarchyHintTest, FindsAdjacentDuplicates) {
+  const auto entities = MakeBlock({"b", "a", "b"});
+  const MatchFunction match = ExactMatch();
+  const HierarchyHintMechanism hint;
+  const RunResult run = RunMech(hint, entities, match, {.window = 3});
+  EXPECT_EQ(run.outcome.duplicates, 1);
+}
+
+// Property sweep: the hierarchy hint must cover exactly the same pair set
+// as SN at the same window, across random blocks and leaf sizes.
+class HierarchyCoverageTest
+    : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HierarchyCoverageTest, SamePairSetAsSn) {
+  const auto [seed, n, leaf] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  std::vector<std::string> values;
+  for (int i = 0; i < n; ++i) {
+    values.push_back(std::string(1, static_cast<char>('a' + rng.UniformU64(26))) +
+                     std::to_string(rng.UniformU64(40)));
+  }
+  const auto entities = MakeBlock(values);
+  const MatchFunction match = ExactMatch();
+  const SortedNeighborMechanism sn;
+  const HierarchyHintMechanism hint({}, leaf);
+  for (int window : {2, 5, 10, 100}) {
+    const RunResult a = RunMech(sn, entities, match, {.window = window});
+    const RunResult b = RunMech(hint, entities, match, {.window = window});
+    EXPECT_EQ(a.outcome.duplicates + a.outcome.distinct,
+              b.outcome.duplicates + b.outcome.distinct)
+        << "n=" << n << " leaf=" << leaf << " w=" << window;
+    const std::set<PairKey> pairs_a(a.found.begin(), a.found.end());
+    const std::set<PairKey> pairs_b(b.found.begin(), b.found.end());
+    EXPECT_EQ(pairs_a, pairs_b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HierarchyCoverageTest,
+    testing::Values(std::make_tuple(1, 10, 4), std::make_tuple(2, 64, 4),
+                    std::make_tuple(3, 100, 8), std::make_tuple(4, 37, 3),
+                    std::make_tuple(5, 200, 16), std::make_tuple(6, 5, 2)));
+
+TEST(HierarchyHintTest, FinePartitionsResolvedFirst) {
+  // 8 sorted entities, leaf size 4. With termination after the first
+  // distinct pair, only level-0 pairs (inside the two leaves) may have been
+  // compared; the cross-leaf adjacent pair (ranks 3,4) comes later.
+  const auto entities =
+      MakeBlock({"a", "b", "c", "d", "e", "f", "g", "h"});
+  const MatchFunction match = ExactMatch();
+  const HierarchyHintMechanism hint({}, 4);
+  const RunResult run = RunMech(hint, entities, match,
+                            {.window = 8, .termination_distinct = 0});
+  ASSERT_EQ(run.outcome.distinct, 1);
+  // First compared pair is inside leaf 0 at distance 1: ("a", "b").
+  EXPECT_EQ(run.outcome.duplicates, 0);
+}
+
+TEST(HierarchyHintTest, RespectsTermination) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 50; ++i) values.push_back("v" + std::to_string(i));
+  const auto entities = MakeBlock(values);
+  const MatchFunction match = ExactMatch();
+  const HierarchyHintMechanism hint;
+  const RunResult run =
+      RunMech(hint, entities, match, {.window = 50, .termination_distinct = 10});
+  EXPECT_EQ(run.outcome.distinct, 11);
+  EXPECT_TRUE(run.outcome.stopped_early);
+}
+
+TEST(HierarchyHintTest, TinyBlocks) {
+  const MatchFunction match = ExactMatch();
+  const HierarchyHintMechanism hint;
+  EXPECT_EQ(RunMech(hint, {}, match, {}).outcome.distinct, 0);
+  EXPECT_EQ(RunMech(hint, MakeBlock({"x"}), match, {}).outcome.distinct, 0);
+  EXPECT_EQ(RunMech(hint, MakeBlock({"x", "y"}), match, {.window = 2})
+                .outcome.distinct,
+            1);
+}
+
+}  // namespace
+}  // namespace progres

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "similarity/jaro_winkler.h"
+#include "similarity/match_function.h"
+
+namespace progres {
+namespace {
+
+TEST(JaroTest, IdenticalStrings) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("martha", "martha"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+}
+
+TEST(JaroTest, CompletelyDifferent) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "abc"), 0.0);
+}
+
+TEST(JaroTest, ClassicExamples) {
+  // Standard textbook values.
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.766667, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("jellyfish", "smellyfish"), 0.896296, 1e-5);
+}
+
+TEST(JaroTest, Symmetric) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("dwayne", "duane"),
+                   JaroSimilarity("duane", "dwayne"));
+}
+
+TEST(JaroWinklerTest, ClassicExamples) {
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.961111, 1e-5);
+  EXPECT_NEAR(JaroWinklerSimilarity("dixon", "dicksonx"), 0.813333, 1e-5);
+}
+
+TEST(JaroWinklerTest, PrefixBoostsScore) {
+  // Same Jaro contribution, different common prefixes.
+  const double with_prefix = JaroWinklerSimilarity("progress", "progrets");
+  const double jaro_only = JaroSimilarity("progress", "progrets");
+  EXPECT_GT(with_prefix, jaro_only);
+}
+
+TEST(JaroWinklerTest, PrefixCapAtFour) {
+  // Prefix boost maxes out at 4 characters.
+  const double a = JaroWinklerSimilarity("abcdef", "abcdxx");
+  const double b = JaroWinklerSimilarity("abcdeef", "abcdexx");
+  EXPECT_GE(a, 0.0);
+  EXPECT_LE(a, 1.0);
+  EXPECT_LE(b, 1.0);
+}
+
+TEST(JaroWinklerTest, InUnitInterval) {
+  const char* samples[] = {"", "a", "ab", "abcd", "zyxw", "hello world"};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      const double s = JaroWinklerSimilarity(a, b);
+      EXPECT_GE(s, 0.0) << a << " vs " << b;
+      EXPECT_LE(s, 1.0) << a << " vs " << b;
+    }
+  }
+}
+
+// ------------------------------------------------ comparators in rules
+
+Entity MakeEntity(EntityId id, std::vector<std::string> attributes) {
+  Entity e;
+  e.id = id;
+  e.attributes = std::move(attributes);
+  return e;
+}
+
+TEST(MatchRuleTest, JaroWinklerRule) {
+  MatchFunction match({{0, AttributeSimilarity::kJaroWinkler, 1.0, 0}}, 0.9);
+  EXPECT_TRUE(match.Resolve(MakeEntity(0, {"martha"}),
+                            MakeEntity(1, {"marhta"})));
+  EXPECT_FALSE(match.Resolve(MakeEntity(0, {"martha"}),
+                             MakeEntity(1, {"zzzzz"})));
+}
+
+TEST(MatchRuleTest, NumericRuleScalesDifference) {
+  AttributeRule rule;
+  rule.attribute_index = 0;
+  rule.similarity = AttributeSimilarity::kNumeric;
+  rule.numeric_scale = 10.0;
+  MatchFunction match({rule}, 0.5);
+  // |1995 - 1998| = 3 -> sim = 0.7 >= 0.5.
+  EXPECT_TRUE(match.Resolve(MakeEntity(0, {"1995"}), MakeEntity(1, {"1998"})));
+  // |1995 - 2010| = 15 -> sim = 0 < 0.5.
+  EXPECT_FALSE(match.Resolve(MakeEntity(0, {"1995"}), MakeEntity(1, {"2010"})));
+  EXPECT_DOUBLE_EQ(
+      match.Similarity(MakeEntity(0, {"100"}), MakeEntity(1, {"100"})), 1.0);
+}
+
+TEST(MatchRuleTest, NumericRuleFallsBackToExactForNonNumbers) {
+  AttributeRule rule;
+  rule.attribute_index = 0;
+  rule.similarity = AttributeSimilarity::kNumeric;
+  rule.numeric_scale = 10.0;
+  MatchFunction match({rule}, 0.5);
+  EXPECT_TRUE(match.Resolve(MakeEntity(0, {"n/a"}), MakeEntity(1, {"n/a"})));
+  EXPECT_FALSE(match.Resolve(MakeEntity(0, {"n/a"}), MakeEntity(1, {"12"})));
+  EXPECT_FALSE(match.Resolve(MakeEntity(0, {""}), MakeEntity(1, {"12"})));
+}
+
+}  // namespace
+}  // namespace progres

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "redundancy/kolb.h"
+
+namespace progres {
+namespace {
+
+Entity MakeEntity(EntityId id, std::vector<std::string> attributes) {
+  Entity e;
+  e.id = id;
+  e.attributes = std::move(attributes);
+  return e;
+}
+
+TEST(KolbTest, SingleCommonBlockIsResponsible) {
+  // Pair shares family 0 only.
+  const BlockingConfig config({{"X", 0, {2}, -1}, {"Y", 1, {2}, -1}});
+  const Entity a = MakeEntity(0, {"alpha", "hi"});
+  const Entity b = MakeEntity(1, {"alpine", "la"});
+  EXPECT_TRUE(KolbShouldResolve(a, b, 0, config));
+}
+
+TEST(KolbTest, SmallestKeyWins) {
+  // Pair shares both families: keys "jo" (family 0) and "az" (family 1).
+  // "az" < "jo" so the family-1 block is responsible.
+  const BlockingConfig config({{"X", 0, {2}, -1}, {"Y", 1, {2}, -1}});
+  const Entity a = MakeEntity(0, {"john", "az"});
+  const Entity b = MakeEntity(1, {"john", "az"});
+  EXPECT_FALSE(KolbShouldResolve(a, b, 0, config));
+  EXPECT_TRUE(KolbShouldResolve(a, b, 1, config));
+}
+
+TEST(KolbTest, FunctionIdBreaksKeyTies) {
+  // Identical key strings in both families: the lower family id wins.
+  const BlockingConfig config({{"X", 0, {2}, -1}, {"Y", 1, {2}, -1}});
+  const Entity a = MakeEntity(0, {"same", "same"});
+  const Entity b = MakeEntity(1, {"same", "same"});
+  EXPECT_TRUE(KolbShouldResolve(a, b, 0, config));
+  EXPECT_FALSE(KolbShouldResolve(a, b, 1, config));
+}
+
+// Property: over generated data, every co-blocked pair has exactly one
+// responsible main block.
+TEST(KolbTest, ExactlyOneResponsibleBlock) {
+  PublicationConfig gen;
+  gen.num_entities = 1500;
+  gen.seed = 61;
+  const LabeledDataset data = GeneratePublications(gen);
+  const BlockingConfig config({{"X", kPubTitle, {2}, -1},
+                               {"Y", kPubAbstract, {3}, -1},
+                               {"Z", kPubVenue, {3}, -1}});
+  const Dataset& d = data.dataset;
+  int checked = 0;
+  for (EntityId a = 0; a < d.size() && checked < 1000; ++a) {
+    for (EntityId b = a + 1; b < std::min<int64_t>(d.size(), a + 10); ++b) {
+      int shared = 0;
+      int responsible = 0;
+      for (int f = 0; f < config.num_families(); ++f) {
+        if (config.Key(f, 1, d.entity(a)) != config.Key(f, 1, d.entity(b))) {
+          continue;
+        }
+        ++shared;
+        if (KolbShouldResolve(d.entity(a), d.entity(b), f, config)) {
+          ++responsible;
+        }
+      }
+      if (shared == 0) continue;
+      ++checked;
+      EXPECT_EQ(responsible, 1);
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+}  // namespace
+}  // namespace progres

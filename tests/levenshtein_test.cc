@@ -1,0 +1,107 @@
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "similarity/levenshtein.h"
+
+namespace progres {
+namespace {
+
+TEST(LevenshteinTest, IdenticalStrings) {
+  EXPECT_EQ(Levenshtein("kitten", "kitten"), 0);
+  EXPECT_EQ(Levenshtein("", ""), 0);
+}
+
+TEST(LevenshteinTest, ClassicExamples) {
+  EXPECT_EQ(Levenshtein("kitten", "sitting"), 3);
+  EXPECT_EQ(Levenshtein("flaw", "lawn"), 2);
+  EXPECT_EQ(Levenshtein("intention", "execution"), 5);
+}
+
+TEST(LevenshteinTest, EmptyVsNonEmpty) {
+  EXPECT_EQ(Levenshtein("", "abc"), 3);
+  EXPECT_EQ(Levenshtein("abc", ""), 3);
+}
+
+TEST(LevenshteinTest, Symmetric) {
+  EXPECT_EQ(Levenshtein("abcdef", "azced"), Levenshtein("azced", "abcdef"));
+}
+
+TEST(LevenshteinTest, SingleEdits) {
+  EXPECT_EQ(Levenshtein("abc", "axc"), 1);  // substitution
+  EXPECT_EQ(Levenshtein("abc", "ac"), 1);   // deletion
+  EXPECT_EQ(Levenshtein("abc", "abxc"), 1); // insertion
+}
+
+TEST(BoundedLevenshteinTest, WithinBoundMatchesExact) {
+  EXPECT_EQ(BoundedLevenshtein("kitten", "sitting", 5), 3);
+}
+
+TEST(BoundedLevenshteinTest, ExceedsBoundReturnsBoundPlusOne) {
+  EXPECT_EQ(BoundedLevenshtein("kitten", "sitting", 2), 3);
+  EXPECT_EQ(BoundedLevenshtein("aaaa", "bbbb", 1), 2);
+}
+
+TEST(BoundedLevenshteinTest, LengthGapShortCircuits) {
+  EXPECT_EQ(BoundedLevenshtein("a", "abcdefgh", 3), 4);
+}
+
+TEST(BoundedLevenshteinTest, ZeroBound) {
+  EXPECT_EQ(BoundedLevenshtein("same", "same", 0), 0);
+  EXPECT_EQ(BoundedLevenshtein("same", "samx", 0), 1);
+}
+
+TEST(EditSimilarityTest, Bounds) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(EditSimilarityTest, PartialOverlap) {
+  // dist("abcd", "abxd") = 1, max len 4 -> 0.75.
+  EXPECT_DOUBLE_EQ(EditSimilarity("abcd", "abxd"), 0.75);
+}
+
+// Property sweep: the banded implementation must agree with the classic DP
+// whenever the true distance is within the bound, and report bound + 1
+// otherwise. Random strings across several alphabet sizes and length ranges.
+class LevenshteinPropertyTest
+    : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LevenshteinPropertyTest, BandedAgreesWithExact) {
+  const auto [seed, max_len, alphabet] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string a;
+    std::string b;
+    const int la = static_cast<int>(rng.UniformU64(static_cast<uint64_t>(max_len) + 1));
+    const int lb = static_cast<int>(rng.UniformU64(static_cast<uint64_t>(max_len) + 1));
+    for (int i = 0; i < la; ++i) {
+      a.push_back(static_cast<char>('a' + rng.UniformU64(static_cast<uint64_t>(alphabet))));
+    }
+    for (int i = 0; i < lb; ++i) {
+      b.push_back(static_cast<char>('a' + rng.UniformU64(static_cast<uint64_t>(alphabet))));
+    }
+    const int64_t exact = Levenshtein(a, b);
+    for (int64_t bound : {0L, 1L, 2L, 5L, 30L}) {
+      const int64_t banded = BoundedLevenshtein(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(banded, exact) << "a=" << a << " b=" << b << " k=" << bound;
+      } else {
+        EXPECT_EQ(banded, bound + 1)
+            << "a=" << a << " b=" << b << " k=" << bound << " exact=" << exact;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LevenshteinPropertyTest,
+    testing::Values(std::make_tuple(1, 8, 2), std::make_tuple(2, 8, 26),
+                    std::make_tuple(3, 20, 3), std::make_tuple(4, 20, 26),
+                    std::make_tuple(5, 40, 4)));
+
+}  // namespace
+}  // namespace progres

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "similarity/match_function.h"
+
+namespace progres {
+namespace {
+
+Entity MakeEntity(EntityId id, std::vector<std::string> attributes) {
+  Entity e;
+  e.id = id;
+  e.attributes = std::move(attributes);
+  return e;
+}
+
+TEST(MatchFunctionTest, IdenticalEntitiesMatch) {
+  MatchFunction match({{0, AttributeSimilarity::kEditDistance, 1.0, 0}}, 0.9);
+  const Entity a = MakeEntity(0, {"progressive resolution"});
+  const Entity b = MakeEntity(1, {"progressive resolution"});
+  EXPECT_TRUE(match.Resolve(a, b));
+  EXPECT_DOUBLE_EQ(match.Similarity(a, b), 1.0);
+}
+
+TEST(MatchFunctionTest, DissimilarEntitiesDoNotMatch) {
+  MatchFunction match({{0, AttributeSimilarity::kEditDistance, 1.0, 0}}, 0.8);
+  EXPECT_FALSE(match.Resolve(MakeEntity(0, {"aaaaaaaa"}),
+                             MakeEntity(1, {"zzzzzzzz"})));
+}
+
+TEST(MatchFunctionTest, WeightedSumCombinesAttributes) {
+  // Attribute 0 identical (weight 3), attribute 1 disjoint (weight 1):
+  // similarity = 3/4.
+  MatchFunction match({{0, AttributeSimilarity::kExact, 3.0, 0},
+                       {1, AttributeSimilarity::kExact, 1.0, 0}},
+                      0.7);
+  const Entity a = MakeEntity(0, {"same", "xxx"});
+  const Entity b = MakeEntity(1, {"same", "yyy"});
+  EXPECT_DOUBLE_EQ(match.Similarity(a, b), 0.75);
+  EXPECT_TRUE(match.Resolve(a, b));
+}
+
+TEST(MatchFunctionTest, ExactComparatorIsBinary) {
+  MatchFunction match({{0, AttributeSimilarity::kExact, 1.0, 0}}, 0.5);
+  EXPECT_DOUBLE_EQ(
+      match.Similarity(MakeEntity(0, {"abcd"}), MakeEntity(1, {"abce"})), 0.0);
+}
+
+TEST(MatchFunctionTest, MaxCharsTruncatesComparison) {
+  // Strings differ only after the 4th character; with max_chars=4 they are
+  // identical (the paper truncates abstracts to 350 chars the same way).
+  MatchFunction match({{0, AttributeSimilarity::kEditDistance, 1.0, 4}}, 0.99);
+  EXPECT_TRUE(match.Resolve(MakeEntity(0, {"abcdXXXX"}),
+                            MakeEntity(1, {"abcdYYYY"})));
+}
+
+TEST(MatchFunctionTest, BothMissingValuesCountAsSimilar) {
+  MatchFunction match({{0, AttributeSimilarity::kEditDistance, 1.0, 0}}, 0.9);
+  EXPECT_TRUE(match.Resolve(MakeEntity(0, {""}), MakeEntity(1, {""})));
+}
+
+TEST(MatchFunctionTest, OneMissingValueCountsAsDissimilar) {
+  MatchFunction match({{0, AttributeSimilarity::kEditDistance, 1.0, 0}}, 0.5);
+  EXPECT_FALSE(match.Resolve(MakeEntity(0, {"value"}), MakeEntity(1, {""})));
+}
+
+TEST(MatchFunctionTest, CountsComparisons) {
+  MatchFunction match({{0, AttributeSimilarity::kExact, 1.0, 0}}, 0.5);
+  const Entity a = MakeEntity(0, {"x"});
+  const Entity b = MakeEntity(1, {"x"});
+  EXPECT_EQ(match.comparisons(), 0);
+  match.Resolve(a, b);
+  match.Resolve(a, b);
+  EXPECT_EQ(match.comparisons(), 2);
+  match.ResetCounter();
+  EXPECT_EQ(match.comparisons(), 0);
+}
+
+TEST(MatchFunctionTest, SimilarityDoesNotCount) {
+  MatchFunction match({{0, AttributeSimilarity::kExact, 1.0, 0}}, 0.5);
+  match.Similarity(MakeEntity(0, {"x"}), MakeEntity(1, {"x"}));
+  EXPECT_EQ(match.comparisons(), 0);
+}
+
+// Sanity on generated data: corrupted duplicates must mostly clear the
+// threshold while random non-duplicates must mostly fail it; otherwise the
+// figure reproductions cannot reach the paper's recall levels.
+TEST(MatchFunctionTest, SeparatesGeneratedDuplicatesFromDistinct) {
+  PublicationConfig config;
+  config.num_entities = 2000;
+  config.seed = 99;
+  const LabeledDataset data = GeneratePublications(config);
+  MatchFunction match({{kPubTitle, AttributeSimilarity::kEditDistance, 0.5, 0},
+                       {kPubAbstract, AttributeSimilarity::kEditDistance, 0.3,
+                        350},
+                       {kPubVenue, AttributeSimilarity::kEditDistance, 0.2, 0}},
+                      0.75);
+  int64_t dup_hits = 0;
+  int64_t dup_total = 0;
+  for (PairKey pair : data.truth.AllDuplicatePairs()) {
+    const auto [a, b] = PairKeyIds(pair);
+    ++dup_total;
+    if (match.Resolve(data.dataset.entity(a), data.dataset.entity(b))) {
+      ++dup_hits;
+    }
+  }
+  ASSERT_GT(dup_total, 100);
+  EXPECT_GT(static_cast<double>(dup_hits) / static_cast<double>(dup_total),
+            0.9);
+
+  // Random non-duplicate pairs must rarely match.
+  Rng rng(5);
+  int64_t false_hits = 0;
+  int64_t distinct_total = 0;
+  while (distinct_total < 2000) {
+    const EntityId a =
+        static_cast<EntityId>(rng.UniformU64(static_cast<uint64_t>(data.dataset.size())));
+    const EntityId b =
+        static_cast<EntityId>(rng.UniformU64(static_cast<uint64_t>(data.dataset.size())));
+    if (a == b || data.truth.IsDuplicate(a, b)) continue;
+    ++distinct_total;
+    if (match.Resolve(data.dataset.entity(a), data.dataset.entity(b))) {
+      ++false_hits;
+    }
+  }
+  EXPECT_LT(static_cast<double>(false_hits) /
+                static_cast<double>(distinct_total),
+            0.01);
+}
+
+}  // namespace
+}  // namespace progres

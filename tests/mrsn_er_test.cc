@@ -1,0 +1,125 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/mrsn_er.h"
+#include "datagen/generators.h"
+#include "eval/recall_curve.h"
+#include "mechanism/sorted_neighbor.h"
+
+namespace progres {
+namespace {
+
+ClusterConfig TestCluster() {
+  ClusterConfig cluster;
+  cluster.machines = 2;
+  cluster.execution_threads = 4;
+  return cluster;
+}
+
+BlockingConfig PublicationBlocking() {
+  return BlockingConfig({{"X", kPubTitle, {2}, -1},
+                         {"Y", kPubAbstract, {3}, -1},
+                         {"Z", kPubVenue, {3}, -1}});
+}
+
+MatchFunction PublicationMatch() {
+  return MatchFunction(
+      {{kPubTitle, AttributeSimilarity::kEditDistance, 0.5, 0},
+       {kPubAbstract, AttributeSimilarity::kEditDistance, 0.3, 350},
+       {kPubVenue, AttributeSimilarity::kEditDistance, 0.2, 0}},
+      0.75);
+}
+
+TEST(MrsnErTest, FindsDuplicates) {
+  PublicationConfig gen;
+  gen.num_entities = 2000;
+  gen.seed = 150;
+  const LabeledDataset data = GeneratePublications(gen);
+  MrsnOptions options;
+  options.cluster = TestCluster();
+  const MrsnEr mrsn(PublicationBlocking(), PublicationMatch(), options);
+  const ErRunResult result = mrsn.Run(data.dataset);
+  const RecallCurve curve = RecallCurve::FromEvents(result.events, data.truth);
+  EXPECT_GT(curve.final_recall(), 0.7);
+  EXPECT_GT(result.comparisons, 0);
+}
+
+// The defining property of RepSN's replication: the parallel run covers the
+// same pair set as a single global sliding window — partition boundaries
+// never lose pairs.
+TEST(MrsnErTest, MatchesGlobalSlidingWindow) {
+  PublicationConfig gen;
+  gen.num_entities = 800;
+  gen.seed = 151;
+  const LabeledDataset data = GeneratePublications(gen);
+  const BlockingConfig blocking({{"X", kPubTitle, {2}, -1}});  // single pass
+  const MatchFunction match = PublicationMatch();
+  const int w = 10;
+
+  MrsnOptions parallel_options;
+  parallel_options.cluster = TestCluster();  // 4 reduce tasks
+  parallel_options.window = w;
+  const ErRunResult parallel =
+      MrsnEr(blocking, match, parallel_options).Run(data.dataset);
+
+  MrsnOptions serial_options;
+  serial_options.cluster = TestCluster();
+  serial_options.num_reduce_tasks = 1;  // one global window
+  serial_options.window = w;
+  const ErRunResult serial =
+      MrsnEr(blocking, match, serial_options).Run(data.dataset);
+
+  EXPECT_EQ(parallel.duplicates, serial.duplicates);
+  // Replication causes some extra skips but no duplicate comparisons of
+  // owned pairs: totals stay close (replica-replica pairs are skipped).
+  EXPECT_EQ(parallel.comparisons, serial.comparisons);
+}
+
+TEST(MrsnErTest, MorePassesFindMore) {
+  PublicationConfig gen;
+  gen.num_entities = 1500;
+  gen.seed = 152;
+  const LabeledDataset data = GeneratePublications(gen);
+  const MatchFunction match = PublicationMatch();
+  MrsnOptions options;
+  options.cluster = TestCluster();
+
+  const BlockingConfig one_pass({{"X", kPubTitle, {2}, -1}});
+  const BlockingConfig three_passes = PublicationBlocking();
+  const ErRunResult single = MrsnEr(one_pass, match, options).Run(data.dataset);
+  const ErRunResult multi =
+      MrsnEr(three_passes, match, options).Run(data.dataset);
+  EXPECT_GT(multi.duplicates.size(), single.duplicates.size());
+}
+
+TEST(MrsnErTest, Deterministic) {
+  PublicationConfig gen;
+  gen.num_entities = 1000;
+  gen.seed = 153;
+  const LabeledDataset data = GeneratePublications(gen);
+  MrsnOptions options;
+  options.cluster = TestCluster();
+  const MrsnEr mrsn(PublicationBlocking(), PublicationMatch(), options);
+  const ErRunResult a = mrsn.Run(data.dataset);
+  const ErRunResult b = mrsn.Run(data.dataset);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+}
+
+TEST(MrsnErTest, ReplicasAreCounted) {
+  PublicationConfig gen;
+  gen.num_entities = 1000;
+  gen.seed = 154;
+  const LabeledDataset data = GeneratePublications(gen);
+  MrsnOptions options;
+  options.cluster = TestCluster();
+  const MrsnEr mrsn(PublicationBlocking(), PublicationMatch(), options);
+  const ErRunResult result = mrsn.Run(data.dataset);
+  // (window - 1) replicas per boundary per pass: 3 passes * 3 boundaries.
+  EXPECT_EQ(result.counters.Get("map.replicas"), 3 * 3 * (15 - 1));
+}
+
+}  // namespace
+}  // namespace progres

@@ -1,0 +1,86 @@
+// Parameterized sweeps over the Basic baseline's tuning space: the
+// popcorn-threshold / window grid that Table III explores. Asserts the
+// monotone trade-offs the paper describes rather than point values.
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/basic_er.h"
+#include "datagen/generators.h"
+#include "eval/recall_curve.h"
+#include "mechanism/sorted_neighbor.h"
+
+namespace progres {
+namespace {
+
+struct SweepResult {
+  double final_recall = 0.0;
+  double total_time = 0.0;
+  int64_t comparisons = 0;
+};
+
+class BasicSweepTest : public testing::TestWithParam<int> {
+ protected:
+  static SweepResult RunBasic(const LabeledDataset& data, int window,
+                              double threshold) {
+    const BlockingConfig blocking({{"X", kPubTitle, {2}, -1},
+                                   {"Y", kPubAbstract, {3}, -1},
+                                   {"Z", kPubVenue, {3}, -1}});
+    const MatchFunction match(
+        {{kPubTitle, AttributeSimilarity::kEditDistance, 0.5, 0},
+         {kPubAbstract, AttributeSimilarity::kEditDistance, 0.3, 350},
+         {kPubVenue, AttributeSimilarity::kEditDistance, 0.2, 0}},
+        0.75);
+    const SortedNeighborMechanism sn;
+    BasicErOptions options;
+    options.cluster.machines = 2;
+    options.cluster.execution_threads = 4;
+    options.window = window;
+    options.popcorn_threshold = threshold;
+    const ErRunResult run =
+        BasicEr(blocking, match, sn, options).Run(data.dataset);
+    const RecallCurve curve = RecallCurve::FromEvents(run.events, data.truth);
+    return {curve.final_recall(), run.total_time, run.comparisons};
+  }
+};
+
+TEST_P(BasicSweepTest, ConservativeThresholdsRaiseRecallAndCost) {
+  PublicationConfig gen;
+  gen.num_entities = 2500;
+  gen.seed = static_cast<uint64_t>(GetParam());
+  const LabeledDataset data = GeneratePublications(gen);
+
+  // From aggressive to conservative to F.
+  const std::vector<double> thresholds = {0.1, 0.01, 0.001, 0.0};
+  SweepResult previous{};
+  bool first = true;
+  for (double threshold : thresholds) {
+    const SweepResult result = RunBasic(data, 15, threshold);
+    if (!first) {
+      // More conservative never loses recall and never gets cheaper.
+      EXPECT_GE(result.final_recall + 1e-9, previous.final_recall)
+          << "threshold " << threshold;
+      EXPECT_GE(result.comparisons, previous.comparisons);
+    }
+    previous = result;
+    first = false;
+  }
+}
+
+TEST_P(BasicSweepTest, LargerWindowRaisesRecallCeiling) {
+  PublicationConfig gen;
+  gen.num_entities = 2500;
+  gen.seed = static_cast<uint64_t>(GetParam() + 50);
+  const LabeledDataset data = GeneratePublications(gen);
+  const SweepResult w5 = RunBasic(data, 5, 0.0);
+  const SweepResult w15 = RunBasic(data, 15, 0.0);
+  EXPECT_GE(w15.final_recall + 1e-9, w5.final_recall);
+  EXPECT_GT(w15.comparisons, w5.comparisons);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BasicSweepTest, testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace progres

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "estimate/prob_model.h"
+
+namespace progres {
+namespace {
+
+BlockingConfig PublicationBlocking() {
+  return BlockingConfig({{"X", kPubTitle, {2, 4, 8}, -1},
+                         {"Y", kPubAbstract, {3, 5}, -1},
+                         {"Z", kPubVenue, {3, 5}, -1}});
+}
+
+TEST(ProbabilityModelTest, BucketBoundaries) {
+  // fraction 1e-7 -> bucket 0; 1.0 -> last bucket.
+  EXPECT_EQ(ProbabilityModel::BucketOf(1, 10000000), 0);
+  EXPECT_EQ(ProbabilityModel::BucketOf(10, 10), ProbabilityModel::num_buckets() - 1);
+  // Monotone: larger fractions never land in smaller buckets.
+  int prev = 0;
+  for (int64_t size : {1LL, 10LL, 100LL, 1000LL, 10000LL, 100000LL}) {
+    const int bucket = ProbabilityModel::BucketOf(size, 100000);
+    EXPECT_GE(bucket, prev);
+    prev = bucket;
+  }
+}
+
+TEST(ProbabilityModelTest, UntrainedFallsBackToDefault) {
+  PublicationConfig gen;
+  gen.num_entities = 300;
+  gen.duplicate_fraction = 0.0;  // no duplicates at all
+  const LabeledDataset data = GeneratePublications(gen);
+  const BlockingConfig config = PublicationBlocking();
+  const ProbabilityModel model =
+      ProbabilityModel::Train(data.dataset, data.truth, config);
+  // Every observed bucket has probability 0; probabilities must be finite
+  // and in [0, 1].
+  const double p = model.Probability(0, 1, 50, 300);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(ProbabilityModelTest, SmallBlocksHaveHigherProbability) {
+  PublicationConfig gen;
+  gen.num_entities = 8000;
+  gen.seed = 21;
+  const LabeledDataset data = GeneratePublications(gen);
+  const BlockingConfig config = PublicationBlocking();
+  const ProbabilityModel model =
+      ProbabilityModel::Train(data.dataset, data.truth, config);
+
+  // Deep (small) title blocks concentrate duplicates far more than the big
+  // level-1 prefix blocks (the observation of Sec. VI-A4).
+  const double p_small = model.Probability(0, 3, 4, data.dataset.size());
+  const double p_large = model.Probability(0, 1, 2000, data.dataset.size());
+  EXPECT_GT(p_small, p_large);
+  EXPECT_GT(p_small, 0.0);
+}
+
+TEST(ProbabilityModelTest, ProbabilitiesAreValid) {
+  PublicationConfig gen;
+  gen.num_entities = 3000;
+  gen.seed = 22;
+  const LabeledDataset data = GeneratePublications(gen);
+  const BlockingConfig config = PublicationBlocking();
+  const ProbabilityModel model =
+      ProbabilityModel::Train(data.dataset, data.truth, config);
+  for (int f = 0; f < config.num_families(); ++f) {
+    for (int level = 1; level <= config.family(f).levels(); ++level) {
+      for (int64_t size : {2LL, 8LL, 64LL, 512LL, 4096LL}) {
+        const double p = model.Probability(f, level, size, data.dataset.size());
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+      }
+    }
+  }
+}
+
+TEST(ProbabilityModelTest, UnknownFamilyUsesGlobalFallback) {
+  PublicationConfig gen;
+  gen.num_entities = 1000;
+  const LabeledDataset data = GeneratePublications(gen);
+  const BlockingConfig config = PublicationBlocking();
+  const ProbabilityModel model =
+      ProbabilityModel::Train(data.dataset, data.truth, config);
+  const double p = model.Probability(99, 7, 10, data.dataset.size());
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+}  // namespace
+}  // namespace progres

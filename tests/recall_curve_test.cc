@@ -1,0 +1,107 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/recall_curve.h"
+
+namespace progres {
+namespace {
+
+GroundTruth FourPairTruth() {
+  // Clusters {0,1,2} (3 pairs) and {3,4} (1 pair): N = 4.
+  return GroundTruth({1, 1, 1, 2, 2});
+}
+
+TEST(RecallCurveTest, CountsTruePairsOnce) {
+  const GroundTruth truth = FourPairTruth();
+  std::vector<DuplicateEvent> events = {
+      {1.0, MakePairKey(0, 1)},
+      {2.0, MakePairKey(0, 1)},  // repeat: ignored
+      {3.0, MakePairKey(3, 4)},
+  };
+  const RecallCurve curve = RecallCurve::FromEvents(events, truth);
+  EXPECT_DOUBLE_EQ(curve.final_recall(), 0.5);
+  EXPECT_DOUBLE_EQ(curve.RecallAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(curve.RecallAt(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(curve.RecallAt(2.9), 0.25);
+  EXPECT_DOUBLE_EQ(curve.RecallAt(100.0), 0.5);
+}
+
+TEST(RecallCurveTest, FalsePositivesIgnored) {
+  const GroundTruth truth = FourPairTruth();
+  std::vector<DuplicateEvent> events = {
+      {1.0, MakePairKey(0, 3)},  // not a true duplicate
+      {2.0, MakePairKey(1, 2)},
+  };
+  const RecallCurve curve = RecallCurve::FromEvents(events, truth);
+  EXPECT_DOUBLE_EQ(curve.final_recall(), 0.25);
+}
+
+TEST(RecallCurveTest, UnsortedEventsAreSorted) {
+  const GroundTruth truth = FourPairTruth();
+  std::vector<DuplicateEvent> events = {
+      {5.0, MakePairKey(1, 2)},
+      {1.0, MakePairKey(0, 1)},
+  };
+  const RecallCurve curve = RecallCurve::FromEvents(events, truth);
+  EXPECT_DOUBLE_EQ(curve.RecallAt(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(curve.RecallAt(5.0), 0.5);
+}
+
+TEST(RecallCurveTest, TimeToRecall) {
+  const GroundTruth truth = FourPairTruth();
+  std::vector<DuplicateEvent> events = {
+      {1.0, MakePairKey(0, 1)},
+      {2.0, MakePairKey(0, 2)},
+      {4.0, MakePairKey(1, 2)},
+      {8.0, MakePairKey(3, 4)},
+  };
+  const RecallCurve curve = RecallCurve::FromEvents(events, truth);
+  EXPECT_DOUBLE_EQ(curve.TimeToRecall(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(curve.TimeToRecall(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(curve.TimeToRecall(1.0), 8.0);
+  EXPECT_TRUE(std::isinf(curve.TimeToRecall(1.1)));
+}
+
+TEST(RecallCurveTest, EmptyEvents) {
+  const GroundTruth truth = FourPairTruth();
+  const RecallCurve curve = RecallCurve::FromEvents({}, truth);
+  EXPECT_DOUBLE_EQ(curve.final_recall(), 0.0);
+  EXPECT_DOUBLE_EQ(curve.RecallAt(10.0), 0.0);
+  EXPECT_TRUE(std::isinf(curve.TimeToRecall(0.1)));
+}
+
+TEST(QualityTest, EarlyDiscoveryScoresHigher) {
+  const GroundTruth truth = FourPairTruth();
+  // Same pairs, found early vs late.
+  std::vector<DuplicateEvent> early = {
+      {1.0, MakePairKey(0, 1)}, {2.0, MakePairKey(0, 2)},
+      {3.0, MakePairKey(1, 2)}, {4.0, MakePairKey(3, 4)}};
+  std::vector<DuplicateEvent> late = {
+      {7.0, MakePairKey(0, 1)}, {8.0, MakePairKey(0, 2)},
+      {9.0, MakePairKey(1, 2)}, {10.0, MakePairKey(3, 4)}};
+  const std::vector<double> times = {5.0, 10.0};
+  const std::vector<double> weights = {1.0, 0.5};
+  const double q_early =
+      Quality(RecallCurve::FromEvents(early, truth), times, weights);
+  const double q_late =
+      Quality(RecallCurve::FromEvents(late, truth), times, weights);
+  EXPECT_GT(q_early, q_late);
+  EXPECT_DOUBLE_EQ(q_early, 1.0);   // everything inside the first interval
+  EXPECT_DOUBLE_EQ(q_late, 0.5);    // everything in the second interval
+}
+
+TEST(QualityTest, BoundsAndMonotonicity) {
+  const GroundTruth truth = FourPairTruth();
+  std::vector<DuplicateEvent> events = {{1.0, MakePairKey(0, 1)},
+                                        {6.0, MakePairKey(3, 4)}};
+  const RecallCurve curve = RecallCurve::FromEvents(events, truth);
+  const double q =
+      Quality(curve, {5.0, 10.0}, {1.0, 0.5});
+  EXPECT_GE(q, 0.0);
+  EXPECT_LE(q, 1.0);
+  EXPECT_DOUBLE_EQ(q, 0.25 * 1.0 + 0.25 * 0.5);
+}
+
+}  // namespace
+}  // namespace progres

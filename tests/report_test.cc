@@ -1,0 +1,51 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "eval/report.h"
+
+namespace progres {
+namespace {
+
+TEST(TextTableTest, RendersHeadersAndRows) {
+  TextTable table({"name", "value"});
+  table.AddRow({"recall", "0.99"});
+  table.AddRow({"time", "10126"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("recall"), std::string::npos);
+  EXPECT_NE(out.find("10126"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTableTest, PadsColumnsToWidestCell) {
+  TextTable table({"h", "x"});
+  table.AddRow({"longvalue", "y"});
+  const std::string out = table.ToString();
+  // Header line must be at least as wide as the widest row content.
+  const size_t header_end = out.find('\n');
+  const size_t row_start = out.rfind('\n', out.size() - 2);
+  EXPECT_GE(header_end, std::string("longvalue").size());
+  (void)row_start;
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(0.5, 4), "0.5000");
+}
+
+TEST(FormatCurveSeriesTest, EmitsRequestedSamples) {
+  const GroundTruth truth({1, 1});
+  const RecallCurve curve =
+      RecallCurve::FromEvents({{2.0, MakePairKey(0, 1)}}, truth);
+  const std::string out = FormatCurveSeries("test", curve, 10.0, 5);
+  EXPECT_NE(out.find("# series: test"), std::string::npos);
+  // 5 sample lines plus the header.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+  EXPECT_NE(out.find("1.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace progres

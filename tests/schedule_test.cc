@@ -1,0 +1,319 @@
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "blocking/forest.h"
+#include "datagen/generators.h"
+#include "estimate/prob_model.h"
+#include "schedule/schedule.h"
+
+namespace progres {
+namespace {
+
+struct Fixture {
+  LabeledDataset data;
+  BlockingConfig config{std::vector<FamilySpec>{}};
+  ProbabilityModel prob;
+  EstimateParams params;
+
+  explicit Fixture(int64_t n = 4000, uint64_t seed = 41) {
+    PublicationConfig gen;
+    gen.num_entities = n;
+    gen.seed = seed;
+    data = GeneratePublications(gen);
+    config = BlockingConfig({{"X", kPubTitle, {2, 4, 8}, -1},
+                             {"Y", kPubAbstract, {3, 5}, -1},
+                             {"Z", kPubVenue, {3, 5}, -1}});
+  }
+
+  std::vector<AnnotatedForest> Annotate() {
+    std::vector<Forest> forests =
+        BuildForests(data.dataset, config, /*keep_members=*/false);
+    ComputeUncoveredPairs(data.dataset, config, &forests);
+    prob = ProbabilityModel::Train(data.dataset, data.truth, config);
+    return AnnotateForests(forests, params, prob, data.dataset.size());
+  }
+};
+
+ScheduleParams DefaultParams(int r, TreeScheduler scheduler) {
+  ScheduleParams p;
+  p.num_reduce_tasks = r;
+  p.scheduler = scheduler;
+  return p;
+}
+
+TEST(CostVectorTest, UniformVectorIsIncreasing) {
+  const std::vector<double> c = MakeUniformCostVector(1000.0, 4, 5);
+  ASSERT_EQ(c.size(), 5u);
+  for (size_t i = 1; i < c.size(); ++i) EXPECT_GT(c[i], c[i - 1]);
+  EXPECT_DOUBLE_EQ(c.back(), 250.0);
+}
+
+TEST(CostVectorTest, LinearWeightsNonIncreasing) {
+  const std::vector<double> w = MakeLinearWeights(5);
+  ASSERT_EQ(w.size(), 5u);
+  EXPECT_DOUBLE_EQ(w.front(), 1.0);
+  for (size_t i = 1; i < w.size(); ++i) EXPECT_LE(w[i], w[i - 1]);
+  EXPECT_GT(w.back(), 0.0);
+}
+
+TEST(ScheduleTest, EveryLiveBlockScheduledExactlyOnce) {
+  Fixture fx;
+  std::vector<AnnotatedForest> forests = fx.Annotate();
+  const ProgressiveSchedule schedule =
+      GenerateSchedule(&forests, DefaultParams(4, TreeScheduler::kOurs));
+
+  std::set<uint64_t> scheduled;
+  for (const auto& blocks : schedule.task_blocks) {
+    for (const BlockRef& ref : blocks) {
+      EXPECT_TRUE(scheduled.insert(BlockRefKey(ref)).second)
+          << "block scheduled twice";
+    }
+  }
+  size_t live = 0;
+  for (const AnnotatedForest& forest : forests) {
+    for (int n = 0; n < forest.num_blocks(); ++n) {
+      if (!forest.block(n).eliminated) {
+        ++live;
+        EXPECT_TRUE(scheduled.count(BlockRefKey(forest.family(), n)))
+            << "live block missing from schedule";
+      }
+    }
+  }
+  EXPECT_EQ(scheduled.size(), live);
+}
+
+TEST(ScheduleTest, SequenceValuesMatchTaskRanges) {
+  Fixture fx;
+  std::vector<AnnotatedForest> forests = fx.Annotate();
+  const ProgressiveSchedule schedule =
+      GenerateSchedule(&forests, DefaultParams(5, TreeScheduler::kOurs));
+  for (int t = 0; t < schedule.num_reduce_tasks; ++t) {
+    const auto& blocks = schedule.task_blocks[static_cast<size_t>(t)];
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      const int64_t sq = schedule.SequenceOf(blocks[i].family, blocks[i].node);
+      ASSERT_GE(sq, 0);
+      EXPECT_EQ(schedule.TaskOfSequence(sq), t);
+      // Sequence order equals block-schedule order.
+      EXPECT_EQ(sq % schedule.range_per_task, static_cast<int64_t>(i));
+    }
+  }
+}
+
+TEST(ScheduleTest, TreesNeverSpanTasks) {
+  Fixture fx;
+  std::vector<AnnotatedForest> forests = fx.Annotate();
+  const ProgressiveSchedule schedule =
+      GenerateSchedule(&forests, DefaultParams(4, TreeScheduler::kOurs));
+  std::unordered_map<uint64_t, int> task_of_block;
+  for (int t = 0; t < schedule.num_reduce_tasks; ++t) {
+    for (const BlockRef& ref : schedule.task_blocks[static_cast<size_t>(t)]) {
+      task_of_block[BlockRefKey(ref)] = t;
+    }
+  }
+  for (const AnnotatedForest& forest : forests) {
+    for (int root : forest.tree_roots()) {
+      const int task = task_of_block.at(BlockRefKey(forest.family(), root));
+      for (int n : forest.TreeBlocks(root)) {
+        EXPECT_EQ(task_of_block.at(BlockRefKey(forest.family(), n)), task)
+            << "tree split across reduce tasks";
+      }
+    }
+  }
+}
+
+TEST(ScheduleTest, BlockSchedulesAreBottomUp) {
+  Fixture fx;
+  std::vector<AnnotatedForest> forests = fx.Annotate();
+  const ProgressiveSchedule schedule =
+      GenerateSchedule(&forests, DefaultParams(4, TreeScheduler::kOurs));
+  for (const auto& blocks : schedule.task_blocks) {
+    std::unordered_map<uint64_t, size_t> position;
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      position[BlockRefKey(blocks[i])] = i;
+    }
+    for (const BlockRef& ref : blocks) {
+      const AnnotatedForest& forest =
+          forests[static_cast<size_t>(ref.family)];
+      const AnnotatedBlock& b = forest.block(ref.node);
+      if (b.tree_root) continue;
+      const auto parent_pos =
+          position.find(BlockRefKey(ref.family, b.parent));
+      if (parent_pos == position.end()) continue;  // parent split elsewhere
+      EXPECT_LT(position.at(BlockRefKey(ref)), parent_pos->second)
+          << "child resolved after its parent";
+    }
+  }
+}
+
+TEST(ScheduleTest, DominanceValuesUniquePerTree) {
+  Fixture fx;
+  std::vector<AnnotatedForest> forests = fx.Annotate();
+  const ProgressiveSchedule schedule =
+      GenerateSchedule(&forests, DefaultParams(4, TreeScheduler::kOurs));
+  std::set<int32_t> values;
+  size_t trees = 0;
+  for (const AnnotatedForest& forest : forests) {
+    trees += forest.tree_roots().size();
+    for (int root : forest.tree_roots()) {
+      values.insert(schedule.dominance.at(BlockRefKey(forest.family(), root)));
+    }
+  }
+  EXPECT_EQ(values.size(), trees);
+}
+
+TEST(ScheduleTest, OursSplitsOverflowedTrees) {
+  // Skewed dataset: big prefix blocks make the first buckets overflow, so
+  // the kOurs scheduler must produce more trees than NoSplit.
+  Fixture fx(6000, 43);
+  std::vector<AnnotatedForest> ours = fx.Annotate();
+  GenerateSchedule(&ours, DefaultParams(8, TreeScheduler::kOurs));
+  size_t ours_trees = 0;
+  for (const AnnotatedForest& f : ours) ours_trees += f.tree_roots().size();
+
+  std::vector<AnnotatedForest> nosplit = fx.Annotate();
+  GenerateSchedule(&nosplit, DefaultParams(8, TreeScheduler::kNoSplit));
+  size_t nosplit_trees = 0;
+  for (const AnnotatedForest& f : nosplit) {
+    nosplit_trees += f.tree_roots().size();
+  }
+  EXPECT_GT(ours_trees, nosplit_trees);
+}
+
+TEST(ScheduleTest, LptBalancesTotalCost) {
+  Fixture fx;
+  std::vector<AnnotatedForest> forests = fx.Annotate();
+  const int r = 4;
+  const ProgressiveSchedule schedule =
+      GenerateSchedule(&forests, DefaultParams(r, TreeScheduler::kLpt));
+  std::vector<double> load(static_cast<size_t>(r), 0.0);
+  for (int t = 0; t < r; ++t) {
+    for (const BlockRef& ref : schedule.task_blocks[static_cast<size_t>(t)]) {
+      load[static_cast<size_t>(t)] +=
+          forests[static_cast<size_t>(ref.family)].block(ref.node).cost;
+    }
+  }
+  const double max_load = *std::max_element(load.begin(), load.end());
+  const double min_load = *std::min_element(load.begin(), load.end());
+  ASSERT_GT(max_load, 0.0);
+  // LPT keeps loads within a reasonable factor (tight bound is 4/3 - 1/3r
+  // of optimal; the granularity of trees makes an exact check unreliable).
+  EXPECT_GT(min_load, 0.0);
+  EXPECT_LT(max_load / std::max(min_load, 1e-9), 5.0);
+}
+
+TEST(ScheduleTest, UtilityOrderWithinTask) {
+  // Outside the bottom-up constraint, blocks appear in non-increasing
+  // utility order: verify the subsequence of tree roots is util-sorted per
+  // task for NoSplit (roots have no bottom-up constraint among each other
+  // only when trees differ; roots of distinct trees are comparable).
+  Fixture fx;
+  std::vector<AnnotatedForest> forests = fx.Annotate();
+  const ProgressiveSchedule schedule =
+      GenerateSchedule(&forests, DefaultParams(4, TreeScheduler::kNoSplit));
+  for (const auto& blocks : schedule.task_blocks) {
+    double last_root_util = std::numeric_limits<double>::infinity();
+    for (const BlockRef& ref : blocks) {
+      const AnnotatedBlock& b =
+          forests[static_cast<size_t>(ref.family)].block(ref.node);
+      if (!b.tree_root) continue;
+      // A root is emitted when it is reached in utility order, and every
+      // earlier-emitted root had higher-or-equal utility.
+      EXPECT_LE(b.util, last_root_util + 1e-9);
+      last_root_util = b.util;
+    }
+  }
+}
+
+TEST(ScheduleTest, DeterministicAcrossRuns) {
+  Fixture fx;
+  std::vector<AnnotatedForest> a = fx.Annotate();
+  std::vector<AnnotatedForest> b = fx.Annotate();
+  const ProgressiveSchedule sa =
+      GenerateSchedule(&a, DefaultParams(6, TreeScheduler::kOurs));
+  const ProgressiveSchedule sb =
+      GenerateSchedule(&b, DefaultParams(6, TreeScheduler::kOurs));
+  ASSERT_EQ(sa.task_blocks.size(), sb.task_blocks.size());
+  for (size_t t = 0; t < sa.task_blocks.size(); ++t) {
+    ASSERT_EQ(sa.task_blocks[t].size(), sb.task_blocks[t].size());
+    for (size_t i = 0; i < sa.task_blocks[t].size(); ++i) {
+      EXPECT_EQ(sa.task_blocks[t][i], sb.task_blocks[t][i]);
+    }
+  }
+}
+
+TEST(ScheduleTest, BudgetTruncatesSchedules) {
+  Fixture fx;
+  std::vector<AnnotatedForest> unlimited_forests = fx.Annotate();
+  const ProgressiveSchedule unlimited = GenerateSchedule(
+      &unlimited_forests, DefaultParams(4, TreeScheduler::kOurs));
+  double max_task_cost = 0.0;
+  for (const auto& blocks : unlimited.task_blocks) {
+    double cost = 0.0;
+    for (const BlockRef& ref : blocks) {
+      cost += unlimited_forests[static_cast<size_t>(ref.family)]
+                  .block(ref.node)
+                  .cost;
+    }
+    max_task_cost = std::max(max_task_cost, cost);
+  }
+
+  std::vector<AnnotatedForest> forests = fx.Annotate();
+  ScheduleParams params = DefaultParams(4, TreeScheduler::kOurs);
+  params.per_task_budget = max_task_cost / 4.0;
+  const ProgressiveSchedule budgeted = GenerateSchedule(&forests, params);
+  size_t unlimited_blocks = 0;
+  size_t budgeted_blocks = 0;
+  for (const auto& blocks : unlimited.task_blocks) {
+    unlimited_blocks += blocks.size();
+  }
+  for (int t = 0; t < budgeted.num_reduce_tasks; ++t) {
+    const auto& blocks = budgeted.task_blocks[static_cast<size_t>(t)];
+    budgeted_blocks += blocks.size();
+    // Estimated cost of the kept prefix respects the budget.
+    double cost = 0.0;
+    for (const BlockRef& ref : blocks) {
+      cost += forests[static_cast<size_t>(ref.family)].block(ref.node).cost;
+    }
+    EXPECT_LE(cost, params.per_task_budget + 1e-6);
+    // Bottom-up still holds after truncation (children precede parents).
+    std::unordered_map<uint64_t, size_t> position;
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      position[BlockRefKey(blocks[i])] = i;
+    }
+    for (const BlockRef& ref : blocks) {
+      const AnnotatedBlock& b =
+          forests[static_cast<size_t>(ref.family)].block(ref.node);
+      if (b.tree_root) continue;
+      const auto parent = position.find(BlockRefKey(ref.family, b.parent));
+      if (parent != position.end()) {
+        EXPECT_LT(position.at(BlockRefKey(ref)), parent->second);
+      }
+    }
+  }
+  EXPECT_LT(budgeted_blocks, unlimited_blocks);
+}
+
+TEST(ScheduleTest, DescribeScheduleListsEveryTask) {
+  Fixture fx(1500);
+  std::vector<AnnotatedForest> forests = fx.Annotate();
+  const ProgressiveSchedule schedule =
+      GenerateSchedule(&forests, DefaultParams(3, TreeScheduler::kOurs));
+  const std::string description = DescribeSchedule(schedule, forests, 2);
+  EXPECT_NE(description.find("task 0:"), std::string::npos);
+  EXPECT_NE(description.find("task 1:"), std::string::npos);
+  EXPECT_NE(description.find("task 2:"), std::string::npos);
+  EXPECT_NE(description.find("util="), std::string::npos);
+}
+
+TEST(ScheduleTest, TotalEstimatedCostPositive) {
+  Fixture fx;
+  std::vector<AnnotatedForest> forests = fx.Annotate();
+  EXPECT_GT(TotalEstimatedCost(forests), 0.0);
+}
+
+}  // namespace
+}  // namespace progres

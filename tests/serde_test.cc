@@ -1,0 +1,112 @@
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mapreduce/serde.h"
+
+namespace progres {
+namespace {
+
+TEST(VarintTest, RoundTripBoundaries) {
+  const uint64_t values[] = {0,
+                             1,
+                             0x7f,
+                             0x80,
+                             0x3fff,
+                             0x4000,
+                             1234567890,
+                             std::numeric_limits<uint64_t>::max()};
+  for (uint64_t value : values) {
+    std::string buffer;
+    PutVarint64(value, &buffer);
+    EXPECT_EQ(static_cast<int>(buffer.size()), VarintSize(value));
+    size_t offset = 0;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(buffer, &offset, &decoded)) << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_EQ(offset, buffer.size());
+  }
+}
+
+TEST(VarintTest, RandomRoundTrip) {
+  Rng rng(160);
+  std::string buffer;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t value = rng.NextU64() >> rng.UniformU64(64);
+    values.push_back(value);
+    PutVarint64(value, &buffer);
+  }
+  size_t offset = 0;
+  for (uint64_t expected : values) {
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(buffer, &offset, &decoded));
+    EXPECT_EQ(decoded, expected);
+  }
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buffer;
+  PutVarint64(1234567890123ULL, &buffer);
+  buffer.pop_back();
+  size_t offset = 0;
+  uint64_t decoded = 0;
+  EXPECT_FALSE(GetVarint64(buffer, &offset, &decoded));
+}
+
+TEST(ZigZagTest, RoundTrip) {
+  const int64_t values[] = {0, -1, 1, -2, 2, 1000000, -1000000,
+                            std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max()};
+  for (int64_t value : values) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(value)), value);
+  }
+  // Small magnitudes stay small on the wire.
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+}
+
+TEST(StringTest, RoundTrip) {
+  std::string buffer;
+  PutString("hello", &buffer);
+  PutString("", &buffer);
+  PutString(std::string(1000, 'x'), &buffer);
+  size_t offset = 0;
+  std::string value;
+  ASSERT_TRUE(GetString(buffer, &offset, &value));
+  EXPECT_EQ(value, "hello");
+  ASSERT_TRUE(GetString(buffer, &offset, &value));
+  EXPECT_EQ(value, "");
+  ASSERT_TRUE(GetString(buffer, &offset, &value));
+  EXPECT_EQ(value, std::string(1000, 'x'));
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(StringTest, EmbeddedSeparatorsSurvive) {
+  std::string payload = "a\tb\nc";
+  payload.push_back('\0');
+  payload += "d";
+  std::string buffer;
+  PutString(payload, &buffer);
+  size_t offset = 0;
+  std::string value;
+  ASSERT_TRUE(GetString(buffer, &offset, &value));
+  EXPECT_EQ(value, payload);
+}
+
+TEST(StringTest, TruncatedPayloadFails) {
+  std::string buffer;
+  PutString("hello world", &buffer);
+  buffer.resize(buffer.size() - 3);
+  size_t offset = 0;
+  std::string value;
+  EXPECT_FALSE(GetString(buffer, &offset, &value));
+}
+
+}  // namespace
+}  // namespace progres

@@ -1,0 +1,25 @@
+# Drives progres_cli through the full pipeline and fails on any error.
+file(MAKE_DIRECTORY ${WORK})
+
+function(run_cli)
+  execute_process(COMMAND ${CLI} ${ARGN} RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "progres_cli ${ARGN} failed (${code}): ${out}${err}")
+  endif()
+  message(STATUS "${out}")
+endfunction()
+
+run_cli(generate --kind=publications --entities=2000 --seed=7
+        --out=${WORK}/data.tsv --truth=${WORK}/truth.tsv)
+run_cli(generate --kind=publications --entities=500 --seed=8
+        --out=${WORK}/train.tsv --truth=${WORK}/train_truth.tsv)
+run_cli(stats --data=${WORK}/data.tsv --out=${WORK}/forests.tsv)
+run_cli(resolve --data=${WORK}/data.tsv --train=${WORK}/train.tsv
+        --train-truth=${WORK}/train_truth.tsv --machines=4
+        --out=${WORK}/pairs.tsv)
+run_cli(resolve --data=${WORK}/data.tsv --basic --machines=4
+        --out=${WORK}/pairs_basic.tsv)
+run_cli(explain --data=${WORK}/data.tsv --train=${WORK}/train.tsv
+        --train-truth=${WORK}/train_truth.tsv --machines=4 --blocks=3)
+run_cli(evaluate --pairs=${WORK}/pairs.tsv --truth=${WORK}/truth.tsv)

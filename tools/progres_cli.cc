@@ -1,0 +1,346 @@
+// progres_cli — command-line front end to the library. Lets a user run the
+// whole pipeline on TSV files without writing C++:
+//
+//   progres_cli generate --kind=publications --entities=20000
+//       --out=data.tsv --truth=truth.tsv [--seed=42]
+//   progres_cli stats --data=data.tsv --out=forests.tsv
+//   progres_cli resolve --data=data.tsv --train=train.tsv
+//       --train-truth=train_truth.tsv --machines=10 --out=pairs.tsv
+//       [--basic] [--budget=50000] [--scheduler=ours|nosplit|lpt]
+//   progres_cli explain --data=data.tsv --train=train.tsv
+//       --train-truth=train_truth.tsv [--machines=10] [--blocks=5]
+//   progres_cli evaluate --pairs=pairs.tsv --truth=truth.tsv
+// (flags are one logical command line; wrapped here for width)
+//
+// The built-in blocking/match configurations follow the bench setup for the
+// two synthetic workloads (publications: title/abstract/venue; books: eight
+// attributes). Datasets are TSV files whose header row names the schema.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "blocking/forest_io.h"
+#include "common/tsv.h"
+#include "core/basic_er.h"
+#include "core/progressive_er.h"
+#include "datagen/generators.h"
+#include "estimate/prob_model.h"
+#include "eval/clustering.h"
+#include "eval/recall_curve.h"
+#include "mechanism/sorted_neighbor.h"
+#include "schedule/schedule.h"
+
+namespace progres {
+namespace {
+
+// ---------------------------------------------------------------- flags
+
+// Parses --key=value arguments into a map; positional args are rejected.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg.substr(2)] = "true";
+    } else {
+      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string GetFlag(const std::map<std::string, std::string>& flags,
+                    const std::string& name, const std::string& fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+std::string RequireFlag(const std::map<std::string, std::string>& flags,
+                        const std::string& name) {
+  const auto it = flags.find(name);
+  if (it == flags.end()) {
+    std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
+    std::exit(2);
+  }
+  return it->second;
+}
+
+// ---------------------------------------------------------------- config
+
+// Built-in blocking + match configuration keyed by the dataset schema.
+struct PipelineConfig {
+  BlockingConfig blocking{std::vector<FamilySpec>{}};
+  MatchFunction match{{}, 0.75};
+};
+
+bool ConfigForSchema(const Dataset& dataset, PipelineConfig* out) {
+  if (dataset.AttributeIndex("abstract") >= 0) {  // publications
+    out->blocking = BlockingConfig({{"X", kPubTitle, {2, 4, 8}, -1},
+                                    {"Y", kPubAbstract, {3, 5}, -1},
+                                    {"Z", kPubVenue, {3, 5}, -1}});
+    out->match = MatchFunction(
+        {{kPubTitle, AttributeSimilarity::kEditDistance, 0.5, 0},
+         {kPubAbstract, AttributeSimilarity::kEditDistance, 0.3, 350},
+         {kPubVenue, AttributeSimilarity::kEditDistance, 0.2, 0}},
+        0.75);
+    return true;
+  }
+  if (dataset.AttributeIndex("isbn") >= 0) {  // books
+    out->blocking = BlockingConfig({{"X", kBookTitle, {3, 5, 8}, -1},
+                                    {"Y", kBookAuthors, {3, 5}, -1},
+                                    {"Z", kBookPublisher, {3, 5}, -1}});
+    out->match = MatchFunction(
+        {{kBookTitle, AttributeSimilarity::kEditDistance, 0.35, 0},
+         {kBookAuthors, AttributeSimilarity::kEditDistance, 0.2, 0},
+         {kBookPublisher, AttributeSimilarity::kEditDistance, 0.1, 0},
+         {kBookYear, AttributeSimilarity::kExact, 0.1, 0},
+         {kBookIsbn, AttributeSimilarity::kEditDistance, 0.1, 0},
+         {kBookPages, AttributeSimilarity::kExact, 0.05, 0},
+         {kBookLanguage, AttributeSimilarity::kExact, 0.05, 0},
+         {kBookEdition, AttributeSimilarity::kExact, 0.05, 0}},
+        0.75);
+    return true;
+  }
+  return false;
+}
+
+bool SavePairs(const std::string& path, const std::vector<PairKey>& pairs) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(pairs.size());
+  for (PairKey pair : pairs) {
+    const auto [a, b] = PairKeyIds(pair);
+    rows.push_back({std::to_string(a), std::to_string(b)});
+  }
+  return WriteTsv(path, rows);
+}
+
+bool LoadPairs(const std::string& path, std::vector<PairKey>* pairs) {
+  std::vector<std::vector<std::string>> rows;
+  if (!ReadTsv(path, &rows)) return false;
+  pairs->clear();
+  for (const auto& row : rows) {
+    if (row.size() != 2) return false;
+    pairs->push_back(MakePairKey(std::stoi(row[0]), std::stoi(row[1])));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- commands
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  const std::string kind = GetFlag(flags, "kind", "publications");
+  const int64_t entities = std::atoll(GetFlag(flags, "entities", "10000").c_str());
+  const uint64_t seed =
+      static_cast<uint64_t>(std::atoll(GetFlag(flags, "seed", "42").c_str()));
+  LabeledDataset data;
+  if (kind == "publications") {
+    PublicationConfig config;
+    config.num_entities = entities;
+    config.seed = seed;
+    data = GeneratePublications(config);
+  } else if (kind == "books") {
+    BookConfig config;
+    config.num_entities = entities;
+    config.seed = seed;
+    data = GenerateBooks(config);
+  } else if (kind == "people") {
+    data = GeneratePeopleToy();
+  } else {
+    std::fprintf(stderr, "unknown --kind=%s\n", kind.c_str());
+    return 2;
+  }
+  if (!data.dataset.SaveTsv(RequireFlag(flags, "out"))) {
+    std::fprintf(stderr, "failed to write dataset\n");
+    return 1;
+  }
+  if (flags.count("truth") && !data.truth.SaveTsv(flags.at("truth"))) {
+    std::fprintf(stderr, "failed to write ground truth\n");
+    return 1;
+  }
+  std::printf("wrote %lld entities (%lld duplicate pairs)\n",
+              static_cast<long long>(data.dataset.size()),
+              static_cast<long long>(data.truth.num_duplicate_pairs()));
+  return 0;
+}
+
+int CmdStats(const std::map<std::string, std::string>& flags) {
+  Dataset dataset;
+  if (!Dataset::LoadTsv(RequireFlag(flags, "data"), &dataset)) {
+    std::fprintf(stderr, "failed to read --data\n");
+    return 1;
+  }
+  PipelineConfig config;
+  if (!ConfigForSchema(dataset, &config)) {
+    std::fprintf(stderr, "unrecognized schema\n");
+    return 1;
+  }
+  std::vector<Forest> forests =
+      BuildForests(dataset, config.blocking, /*keep_members=*/false);
+  ComputeUncoveredPairs(dataset, config.blocking, &forests);
+  if (!SaveForests(RequireFlag(flags, "out"), forests)) {
+    std::fprintf(stderr, "failed to write forests\n");
+    return 1;
+  }
+  int64_t blocks = 0;
+  for (const Forest& forest : forests) {
+    blocks += static_cast<int64_t>(forest.nodes.size());
+  }
+  std::printf("wrote statistics for %lld blocks across %zu families\n",
+              static_cast<long long>(blocks), forests.size());
+  return 0;
+}
+
+int CmdResolve(const std::map<std::string, std::string>& flags) {
+  Dataset dataset;
+  if (!Dataset::LoadTsv(RequireFlag(flags, "data"), &dataset)) {
+    std::fprintf(stderr, "failed to read --data\n");
+    return 1;
+  }
+  PipelineConfig config;
+  if (!ConfigForSchema(dataset, &config)) {
+    std::fprintf(stderr, "unrecognized schema\n");
+    return 1;
+  }
+  ClusterConfig cluster;
+  cluster.machines = std::atoi(GetFlag(flags, "machines", "10").c_str());
+  cluster.seconds_per_cost_unit = 0.02;
+  const SortedNeighborMechanism sn;
+
+  ErRunResult result;
+  if (flags.count("basic")) {
+    // Basic uses the main blocking functions only.
+    std::vector<FamilySpec> mains;
+    for (int f = 0; f < config.blocking.num_families(); ++f) {
+      FamilySpec spec = config.blocking.family(f);
+      spec.prefix_lens = {spec.prefix_lens.front()};
+      mains.push_back(std::move(spec));
+    }
+    const BlockingConfig basic_blocking(mains);
+    BasicErOptions options;
+    options.cluster = cluster;
+    options.popcorn_threshold =
+        std::atof(GetFlag(flags, "popcorn", "0").c_str());
+    const BasicEr basic(basic_blocking, config.match, sn, options);
+    result = basic.Run(dataset);
+  } else {
+    Dataset train;
+    GroundTruth train_truth;
+    if (!Dataset::LoadTsv(RequireFlag(flags, "train"), &train) ||
+        !GroundTruth::LoadTsv(RequireFlag(flags, "train-truth"),
+                              &train_truth)) {
+      std::fprintf(stderr, "failed to read training data\n");
+      return 1;
+    }
+    const ProbabilityModel prob =
+        ProbabilityModel::Train(train, train_truth, config.blocking);
+    ProgressiveErOptions options;
+    options.cluster = cluster;
+    options.per_task_cost_budget =
+        std::atof(GetFlag(flags, "budget", "0").c_str());
+    const std::string scheduler = GetFlag(flags, "scheduler", "ours");
+    options.scheduler = scheduler == "lpt"       ? TreeScheduler::kLpt
+                        : scheduler == "nosplit" ? TreeScheduler::kNoSplit
+                                                 : TreeScheduler::kOurs;
+    const ProgressiveEr er(config.blocking, config.match, sn, prob, options);
+    result = er.Run(dataset);
+  }
+
+  if (!SavePairs(RequireFlag(flags, "out"), result.duplicates)) {
+    std::fprintf(stderr, "failed to write pairs\n");
+    return 1;
+  }
+  std::printf("resolved %lld comparisons in %.0f simulated seconds; "
+              "%zu duplicate pairs written\n",
+              static_cast<long long>(result.comparisons), result.total_time,
+              result.duplicates.size());
+  return 0;
+}
+
+// Prints the generated progressive schedule for inspection.
+int CmdExplain(const std::map<std::string, std::string>& flags) {
+  Dataset dataset;
+  if (!Dataset::LoadTsv(RequireFlag(flags, "data"), &dataset)) {
+    std::fprintf(stderr, "failed to read --data\n");
+    return 1;
+  }
+  PipelineConfig config;
+  if (!ConfigForSchema(dataset, &config)) {
+    std::fprintf(stderr, "unrecognized schema\n");
+    return 1;
+  }
+  Dataset train;
+  GroundTruth train_truth;
+  if (!Dataset::LoadTsv(RequireFlag(flags, "train"), &train) ||
+      !GroundTruth::LoadTsv(RequireFlag(flags, "train-truth"), &train_truth)) {
+    std::fprintf(stderr, "failed to read training data\n");
+    return 1;
+  }
+  const ProbabilityModel prob =
+      ProbabilityModel::Train(train, train_truth, config.blocking);
+  const SortedNeighborMechanism sn;
+  ProgressiveErOptions options;
+  options.cluster.machines = std::atoi(GetFlag(flags, "machines", "10").c_str());
+  const ProgressiveEr er(config.blocking, config.match, sn, prob, options);
+  const ProgressiveEr::Preprocessed pre = er.Preprocess(dataset);
+  std::printf("%s", DescribeSchedule(pre.schedule, pre.forests,
+                                     std::atoi(GetFlag(flags, "blocks", "5")
+                                                   .c_str()))
+                        .c_str());
+  return 0;
+}
+
+int CmdEvaluate(const std::map<std::string, std::string>& flags) {
+  std::vector<PairKey> pairs;
+  if (!LoadPairs(RequireFlag(flags, "pairs"), &pairs)) {
+    std::fprintf(stderr, "failed to read --pairs\n");
+    return 1;
+  }
+  GroundTruth truth;
+  if (!GroundTruth::LoadTsv(RequireFlag(flags, "truth"), &truth)) {
+    std::fprintf(stderr, "failed to read --truth\n");
+    return 1;
+  }
+  const PairMetrics pair_metrics = EvaluatePairs(pairs, truth);
+  std::printf("pairs:      precision %.4f  recall %.4f  f1 %.4f\n",
+              pair_metrics.precision, pair_metrics.recall, pair_metrics.f1);
+  const std::vector<int32_t> clusters =
+      TransitiveClosure(truth.num_entities(), pairs);
+  const PairMetrics cluster_metrics = EvaluateClustering(clusters, truth);
+  std::printf("clustered:  precision %.4f  recall %.4f  f1 %.4f\n",
+              cluster_metrics.precision, cluster_metrics.recall,
+              cluster_metrics.f1);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: progres_cli <generate|stats|resolve|evaluate> "
+               "[--flag=value ...]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace progres
+
+int main(int argc, char** argv) {
+  using namespace progres;
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "resolve") return CmdResolve(flags);
+  if (command == "explain") return CmdExplain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  return Usage();
+}
