@@ -61,6 +61,15 @@ ErRunResult BasicEr::Run(const Dataset& dataset) const {
   };
 
   std::vector<TaskState> states(static_cast<size_t>(reduce_tasks));
+
+  // Reset a task's accumulated events/outcomes when a fault-injected
+  // attempt dies, so the retry does not double-count.
+  job.set_task_abort([&states](TaskPhase phase, int task_id, int /*attempt*/) {
+    if (phase == TaskPhase::kReduce) {
+      states[static_cast<size_t>(task_id)] = TaskState();
+    }
+  });
+
   const auto reduce_fn = [&, this](const std::string& key,
                                    std::vector<EntityId>* values,
                                    Job::ReduceContext* ctx) {
@@ -111,9 +120,15 @@ ErRunResult BasicEr::Run(const Dataset& dataset) const {
                                   options_.cluster, /*submit_time=*/0.0);
 
   ErRunResult result;
+  result.counters = run.counters;
+  if (run.failed) {
+    result.failed = true;
+    result.error = "basic job: " + run.error;
+    result.total_time = run.timing.end;
+    return result;
+  }
   result.preprocessing_end = run.timing.map_end;
   result.total_time = run.timing.end;
-  result.counters = run.counters;
   const double spc = options_.cluster.seconds_per_cost_unit;
   for (int t = 0; t < reduce_tasks; ++t) {
     const TaskState& state = states[static_cast<size_t>(t)];

@@ -2,6 +2,7 @@
 #define PROGRES_CORE_ER_RESULT_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "eval/recall_curve.h"
@@ -45,6 +46,11 @@ struct ErRunResult {
   // Named MR counters merged across all tasks of the resolution job
   // (e.g. "map.emitted_pairs", "reduce.blocks_resolved").
   Counters counters;
+
+  // Set when an underlying MR job exhausted its fault-injection
+  // max_attempts budget; events/duplicates/chunks are empty in that case.
+  bool failed = false;
+  std::string error;
 };
 
 // Coarsened event stream: each duplicate is visible only when its chunk is

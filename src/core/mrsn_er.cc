@@ -107,6 +107,16 @@ ErRunResult MrsnEr::Run(const Dataset& dataset) const {
     };
 
     std::vector<TaskState> states(static_cast<size_t>(reduce_tasks));
+
+    // Retried attempts replay the pass's whole partition; clear the task's
+    // sliding-window state and events from the failed attempt first.
+    job.set_task_abort(
+        [&states](TaskPhase phase, int task_id, int /*attempt*/) {
+          if (phase == TaskPhase::kReduce) {
+            states[static_cast<size_t>(task_id)] = TaskState();
+          }
+        });
+
     const auto reduce_fn = [&](const int64_t& /*key*/,
                                std::vector<SlideValue>* values,
                                Job::ReduceContext* ctx) {
@@ -139,6 +149,14 @@ ErRunResult MrsnEr::Run(const Dataset& dataset) const {
     const Job::Result run = job.Run(dataset.entities(), map_fn, reduce_fn,
                                     options_.cluster, clock_time);
     clock_time = run.timing.end;
+    if (run.failed) {
+      result.failed = true;
+      result.error = "mrsn pass: " + run.error;
+      result.counters.MergeFrom(run.counters);
+      result.total_time = clock_time;
+      FinalizeDuplicates(&result);
+      return result;
+    }
 
     for (int t = 0; t < reduce_tasks; ++t) {
       const TaskState& state = states[static_cast<size_t>(t)];

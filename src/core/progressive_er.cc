@@ -84,6 +84,12 @@ ProgressiveEr::Preprocessed ProgressiveEr::Preprocess(
 
   // ---- Schedule generation (map-task setup of the second job) ----
   Preprocessed pre;
+  if (stats.failed) {
+    pre.failed = true;
+    pre.error = stats.error;
+    pre.end_time = stats.timing.end;
+    return pre;
+  }
   pre.forests = AnnotateForests(stats.forests, options_.estimate, prob_,
                                 dataset.size());
   ScheduleParams params;
@@ -110,6 +116,14 @@ ProgressiveEr::Preprocessed ProgressiveEr::Preprocess(
 
 ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
   const Preprocessed pre = Preprocess(dataset);
+  if (pre.failed) {
+    ErRunResult result;
+    result.failed = true;
+    result.error = pre.error;
+    result.preprocessing_end = pre.end_time;
+    result.total_time = pre.end_time;
+    return result;
+  }
   const std::vector<AnnotatedForest>& forests = pre.forests;
   const ProgressiveSchedule& schedule = pre.schedule;
   const int map_tasks = options_.num_map_tasks > 0
@@ -204,6 +218,15 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
   };
 
   std::vector<TaskState> states(static_cast<size_t>(reduce_tasks));
+
+  // A failed reduce attempt leaves partial events, resolved-pair sets and
+  // buffered tree groups behind; reset its state so the retry replays the
+  // task from scratch.
+  job.set_task_abort([&states](TaskPhase phase, int task_id, int /*attempt*/) {
+    if (phase == TaskPhase::kReduce) {
+      states[static_cast<size_t>(task_id)] = TaskState();
+    }
+  });
 
   // Resolves one scheduled block given its members (and their dominance
   // lists); shared by both emission modes.
@@ -336,6 +359,14 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
 
   // ---- Assemble the globally-timed result ----
   ErRunResult result;
+  if (run.failed) {
+    result.failed = true;
+    result.error = "resolution job: " + run.error;
+    result.preprocessing_end = pre.end_time;
+    result.total_time = run.timing.end;
+    result.counters = run.counters;
+    return result;
+  }
   result.preprocessing_end = pre.end_time;
   result.total_time = run.timing.end;
   result.counters = run.counters;

@@ -1,6 +1,7 @@
 #ifndef PROGRES_CORE_PROGRESSIVE_ER_H_
 #define PROGRES_CORE_PROGRESSIVE_ER_H_
 
+#include <string>
 #include <vector>
 
 #include "blocking/blocking_function.h"
@@ -86,6 +87,9 @@ class ProgressiveEr {
     std::vector<AnnotatedForest> forests;
     ProgressiveSchedule schedule;
     double end_time = 0.0;  // simulated end of preprocessing
+    // Set when the statistics job exhausted its fault budget.
+    bool failed = false;
+    std::string error;
   };
   Preprocessed Preprocess(const Dataset& dataset) const;
 

@@ -43,6 +43,14 @@ StatsJobOutput RunStatisticsJob(const Dataset& dataset,
   std::vector<std::vector<StatsRecord>> sinks(
       static_cast<size_t>(std::max(1, num_reduce_tasks)));
 
+  // A failed reduce attempt may have flushed records into its sink; drop
+  // them so the retry starts from a clean slate.
+  job.set_task_abort([&sinks](TaskPhase phase, int task_id, int /*attempt*/) {
+    if (phase == TaskPhase::kReduce) {
+      sinks[static_cast<size_t>(task_id)].clear();
+    }
+  });
+
   const auto map_fn = [&config](const Entity& e, Job::MapContext* ctx) {
     for (int f = 0; f < config.num_families(); ++f) {
       StatsValue value;
@@ -108,6 +116,13 @@ StatsJobOutput RunStatisticsJob(const Dataset& dataset,
 
   const Job::Result run =
       job.Run(dataset.entities(), map_fn, reduce_fn, cluster, submit_time);
+  if (run.failed) {
+    StatsJobOutput output;
+    output.timing = run.timing;
+    output.failed = true;
+    output.error = "statistics job: " + run.error;
+    return output;
+  }
 
   // ---- Assemble forests from the emitted records ----
   std::vector<StatsRecord> records;

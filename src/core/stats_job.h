@@ -1,6 +1,7 @@
 #ifndef PROGRES_CORE_STATS_JOB_H_
 #define PROGRES_CORE_STATS_JOB_H_
 
+#include <string>
 #include <vector>
 
 #include "blocking/forest.h"
@@ -18,6 +19,10 @@ namespace progres {
 struct StatsJobOutput {
   std::vector<Forest> forests;
   JobTiming timing;
+  // Set when the job exhausted its fault-injection max_attempts budget;
+  // `forests` is empty in that case.
+  bool failed = false;
+  std::string error;
 };
 
 // Runs the progressive-blocking + statistics job. The map phase annotates

@@ -1,10 +1,24 @@
 #include "mapreduce/cluster.h"
 
 #include <algorithm>
+#include <deque>
+#include <limits>
 #include <queue>
 #include <utility>
 
 namespace progres {
+
+namespace {
+
+double SpeedOfSlot(const std::vector<double>& slot_speeds, int slot) {
+  if (slot < static_cast<int>(slot_speeds.size()) &&
+      slot_speeds[static_cast<size_t>(slot)] > 0.0) {
+    return slot_speeds[static_cast<size_t>(slot)];
+  }
+  return 1.0;
+}
+
+}  // namespace
 
 std::vector<double> ClusterConfig::SlotSpeeds(int slots_per_machine) const {
   std::vector<double> speeds;
@@ -17,31 +31,145 @@ std::vector<double> ClusterConfig::SlotSpeeds(int slots_per_machine) const {
   return speeds;
 }
 
+std::vector<TaskAttemptTiming> ScheduleTaskAttempts(
+    const std::vector<std::vector<double>>& attempt_costs,
+    const std::vector<double>& slot_speeds, double start_time,
+    double seconds_per_cost_unit, const SpeculationConfig& speculation,
+    double* end_time, std::vector<double>* winning_starts) {
+  const int slots = std::max(1, static_cast<int>(slot_speeds.size()));
+  std::vector<double> free_at(static_cast<size_t>(slots), start_time);
+
+  const size_t n = attempt_costs.size();
+  std::vector<double> win_start(n, start_time);
+  std::vector<double> win_end(n, start_time);
+  std::vector<int> win_index(n, -1);  // index into `attempts`
+
+  // ---- Regular attempts: FIFO dispatch with failure re-queue ----
+  struct Pending {
+    int task;
+    int attempt;
+    double ready;
+  };
+  std::deque<Pending> queue;
+  for (size_t i = 0; i < n; ++i) {
+    if (!attempt_costs[i].empty()) {
+      queue.push_back({static_cast<int>(i), 0, start_time});
+    }
+  }
+
+  std::vector<TaskAttemptTiming> attempts;
+  while (!queue.empty()) {
+    const Pending p = queue.front();
+    queue.pop_front();
+    // Earliest-starting slot for this attempt (ties to the lowest index).
+    int best = 0;
+    double best_start = std::numeric_limits<double>::infinity();
+    for (int s = 0; s < slots; ++s) {
+      const double candidate = std::max(free_at[static_cast<size_t>(s)],
+                                        p.ready);
+      if (candidate < best_start) {
+        best_start = candidate;
+        best = s;
+      }
+    }
+    const auto& chain = attempt_costs[static_cast<size_t>(p.task)];
+    const double duration = chain[static_cast<size_t>(p.attempt)] *
+                            seconds_per_cost_unit /
+                            SpeedOfSlot(slot_speeds, best);
+    const double finish = best_start + duration;
+    free_at[static_cast<size_t>(best)] = finish;
+    const bool failed =
+        static_cast<size_t>(p.attempt) + 1 < chain.size();
+    TaskAttemptTiming timing;
+    timing.task = p.task;
+    timing.attempt = p.attempt;
+    timing.slot = best;
+    timing.start = best_start;
+    timing.end = finish;
+    timing.failed = failed;
+    timing.won = !failed;
+    attempts.push_back(timing);
+    if (failed) {
+      queue.push_back({p.task, p.attempt + 1, finish});
+    } else {
+      win_start[static_cast<size_t>(p.task)] = best_start;
+      win_end[static_cast<size_t>(p.task)] = finish;
+      win_index[static_cast<size_t>(p.task)] =
+          static_cast<int>(attempts.size()) - 1;
+    }
+  }
+
+  // ---- Speculative execution on slots that fall idle ----
+  if (speculation.enabled && !attempts.empty()) {
+    // Min-heap of (free time, slot); a slot that cannot profitably back up
+    // any task now never can later (remaining times only shrink), so it is
+    // dropped instead of re-pushed.
+    using Slot = std::pair<double, int>;
+    std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> idle;
+    for (int s = 0; s < slots; ++s) {
+      idle.push({free_at[static_cast<size_t>(s)], s});
+    }
+    std::vector<bool> has_backup(n, false);
+    while (!idle.empty()) {
+      const auto [now, slot] = idle.top();
+      idle.pop();
+      const double slot_speed = SpeedOfSlot(slot_speeds, slot);
+      int candidate = -1;
+      double candidate_remaining = speculation.min_remaining_seconds;
+      for (size_t i = 0; i < n; ++i) {
+        if (has_backup[i] || win_index[i] < 0) continue;
+        if (win_start[i] > now || win_end[i] <= now) continue;  // not running
+        const double remaining = win_end[i] - now;
+        const double backup_end =
+            now + attempt_costs[i].back() * seconds_per_cost_unit / slot_speed;
+        if (remaining > candidate_remaining && backup_end < win_end[i]) {
+          candidate_remaining = remaining;
+          candidate = static_cast<int>(i);
+        }
+      }
+      if (candidate < 0) continue;  // slot stays idle for good
+      const size_t c = static_cast<size_t>(candidate);
+      const double backup_end =
+          now + attempt_costs[c].back() * seconds_per_cost_unit / slot_speed;
+      TaskAttemptTiming backup;
+      backup.task = candidate;
+      backup.attempt = attempts[static_cast<size_t>(win_index[c])].attempt;
+      backup.slot = slot;
+      backup.start = now;
+      backup.end = backup_end;
+      backup.speculative = true;
+      backup.won = true;  // only profitable backups are launched
+      attempts[static_cast<size_t>(win_index[c])].won = false;
+      win_index[c] = static_cast<int>(attempts.size());
+      win_start[c] = now;
+      win_end[c] = backup_end;
+      has_backup[c] = true;
+      attempts.push_back(backup);
+      idle.push({backup_end, slot});
+    }
+  }
+
+  double makespan = start_time;
+  for (size_t i = 0; i < n; ++i) {
+    if (win_index[i] >= 0) makespan = std::max(makespan, win_end[i]);
+  }
+  if (end_time != nullptr) *end_time = makespan;
+  if (winning_starts != nullptr) {
+    *winning_starts = std::move(win_start);
+  }
+  return attempts;
+}
+
 std::vector<double> ScheduleTasksHeterogeneous(
     const std::vector<double>& costs, const std::vector<double>& slot_speeds,
     double start_time, double seconds_per_cost_unit, double* end_time) {
-  // Min-heap of (free time, slot index); ties resolve to the lowest slot.
-  using Slot = std::pair<double, int>;
-  std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> free_at;
-  const int slots = std::max(1, static_cast<int>(slot_speeds.size()));
-  for (int i = 0; i < slots; ++i) free_at.push({start_time, i});
-
-  std::vector<double> starts(costs.size(), start_time);
-  double makespan = start_time;
-  for (size_t i = 0; i < costs.size(); ++i) {
-    const auto [slot_free, slot] = free_at.top();
-    free_at.pop();
-    starts[i] = slot_free;
-    const double speed = slot < static_cast<int>(slot_speeds.size()) &&
-                                 slot_speeds[static_cast<size_t>(slot)] > 0.0
-                             ? slot_speeds[static_cast<size_t>(slot)]
-                             : 1.0;
-    const double finish =
-        slot_free + costs[i] * seconds_per_cost_unit / speed;
-    free_at.push({finish, slot});
-    makespan = std::max(makespan, finish);
-  }
-  if (end_time != nullptr) *end_time = makespan;
+  std::vector<std::vector<double>> attempt_costs;
+  attempt_costs.reserve(costs.size());
+  for (double cost : costs) attempt_costs.push_back({cost});
+  std::vector<double> starts;
+  ScheduleTaskAttempts(attempt_costs, slot_speeds, start_time,
+                       seconds_per_cost_unit, SpeculationConfig{}, end_time,
+                       &starts);
   return starts;
 }
 
@@ -49,23 +177,10 @@ std::vector<double> ScheduleTasks(const std::vector<double>& costs,
                                   int slots, double start_time,
                                   double seconds_per_cost_unit,
                                   double* end_time) {
-  slots = std::max(1, slots);
-  // Min-heap of slot free times.
-  std::priority_queue<double, std::vector<double>, std::greater<double>> free_at;
-  for (int i = 0; i < slots; ++i) free_at.push(start_time);
-
-  std::vector<double> starts(costs.size(), start_time);
-  double makespan = start_time;
-  for (size_t i = 0; i < costs.size(); ++i) {
-    const double slot_free = free_at.top();
-    free_at.pop();
-    starts[i] = slot_free;
-    const double finish = slot_free + costs[i] * seconds_per_cost_unit;
-    free_at.push(finish);
-    makespan = std::max(makespan, finish);
-  }
-  if (end_time != nullptr) *end_time = makespan;
-  return starts;
+  const std::vector<double> slot_speeds(
+      static_cast<size_t>(std::max(1, slots)), 1.0);
+  return ScheduleTasksHeterogeneous(costs, slot_speeds, start_time,
+                                    seconds_per_cost_unit, end_time);
 }
 
 }  // namespace progres

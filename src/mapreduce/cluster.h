@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "mapreduce/fault.h"
+
 namespace progres {
 
 // Configuration of the simulated Hadoop-style cluster. Mirrors the paper's
@@ -28,6 +30,12 @@ struct ClusterConfig {
   // models heterogeneous clusters and stragglers.
   std::vector<double> machine_speed;
 
+  // Deterministic fault injection (task-attempt failures + retry) and
+  // speculative execution of stragglers. Both default to off, in which case
+  // the runtime is byte- and timing-identical to the pre-fault behaviour.
+  FaultConfig fault;
+  SpeculationConfig speculation;
+
   int map_slots() const { return machines * map_slots_per_machine; }
   int reduce_slots() const { return machines * reduce_slots_per_machine; }
 
@@ -43,6 +51,23 @@ struct ClusterConfig {
 
   // Per-slot speed factors for a phase with `slots_per_machine` slots.
   std::vector<double> SlotSpeeds(int slots_per_machine) const;
+};
+
+// One scheduled task attempt on the simulated cluster. Failed attempts hold
+// the slot until their injected failure fires; the retry is re-queued at
+// that moment (Hadoop reschedules failed attempts FIFO). Speculative
+// attempts are backup copies launched on idle slots; exactly one attempt
+// per task has `won` set — its output is the task's output, and its
+// start/end are what the job timing reports.
+struct TaskAttemptTiming {
+  int task = 0;
+  int attempt = 0;   // 0-based; speculative backups reuse the winning index
+  int slot = 0;
+  double start = 0.0;
+  double end = 0.0;
+  bool failed = false;       // ended by an injected failure
+  bool speculative = false;  // backup copy from speculative execution
+  bool won = false;          // produced the task's result
 };
 
 // FIFO-schedules tasks with the given `costs` (in cost units) onto `slots`
@@ -61,6 +86,32 @@ std::vector<double> ScheduleTasks(const std::vector<double>& costs,
 std::vector<double> ScheduleTasksHeterogeneous(
     const std::vector<double>& costs, const std::vector<double>& slot_speeds,
     double start_time, double seconds_per_cost_unit, double* end_time);
+
+// Attempt-aware scheduler used by MapReduceJob. `attempt_costs[i]` holds the
+// cost of every executed attempt of task i in attempt order; all but the
+// last failed (an empty vector means the task does not exist and is
+// skipped). Attempts are dispatched FIFO — first attempts in task order,
+// each retry re-queued the moment its predecessor fails — onto the slot
+// that can start them earliest (ties to the lowest slot index).
+//
+// When `speculation.enabled`, slots that fall idle afterwards launch backup
+// copies of still-running winning attempts: the candidate with the largest
+// remaining time is backed up iff its remaining time exceeds
+// `speculation.min_remaining_seconds` and the backup would finish strictly
+// earlier; the earlier finisher wins (at most one backup per task, as in
+// Hadoop). The makespan counts winning attempts only — a losing straggler
+// attempt is killed when its backup completes.
+//
+// Returns every attempt (regular ones in dispatch order, then speculative
+// ones in launch order). `*end_time` receives the makespan;
+// `*winning_starts`, if non-null, the start time of each task's winning
+// attempt. With single-attempt inputs and speculation off this degenerates
+// to exactly ScheduleTasksHeterogeneous.
+std::vector<TaskAttemptTiming> ScheduleTaskAttempts(
+    const std::vector<std::vector<double>>& attempt_costs,
+    const std::vector<double>& slot_speeds, double start_time,
+    double seconds_per_cost_unit, const SpeculationConfig& speculation,
+    double* end_time, std::vector<double>* winning_starts);
 
 }  // namespace progres
 

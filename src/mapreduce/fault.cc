@@ -1,0 +1,72 @@
+#include "mapreduce/fault.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace progres {
+
+namespace {
+
+// splitmix64: small, well-mixed, and stateless — ideal for hashing
+// (seed, phase, task, attempt, salt) tuples into independent decisions.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashAttempt(uint64_t seed, TaskPhase phase, int task, int attempt,
+                     uint64_t salt) {
+  uint64_t h = SplitMix64(seed ^ salt);
+  h = SplitMix64(h ^ (static_cast<uint64_t>(phase) + 1));
+  h = SplitMix64(h ^ static_cast<uint64_t>(task));
+  h = SplitMix64(h ^ static_cast<uint64_t>(attempt));
+  return h;
+}
+
+// Uniform double in [0, 1) from the top 53 bits.
+double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr uint64_t kFailSalt = 0xfa117a5cULL;
+constexpr uint64_t kPointSalt = 0x9017a11bULL;
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultConfig config) : config_(std::move(config)) {}
+
+int FaultPlan::max_attempts() const {
+  return std::max(1, config_.max_attempts);
+}
+
+bool FaultPlan::Fails(TaskPhase phase, int task, int attempt) const {
+  if (!config_.enabled) return false;
+  for (const TaskFault& fault : config_.injected) {
+    if (fault.phase == phase && fault.task == task &&
+        fault.attempt == attempt) {
+      return true;
+    }
+  }
+  const double prob = phase == TaskPhase::kMap ? config_.map_failure_prob
+                                               : config_.reduce_failure_prob;
+  if (prob <= 0.0) return false;
+  if (prob >= 1.0) return true;
+  return HashToUnit(HashAttempt(config_.seed, phase, task, attempt,
+                                kFailSalt)) < prob;
+}
+
+int FaultPlan::FailuresBeforeSuccess(TaskPhase phase, int task,
+                                     int cap) const {
+  int failures = 0;
+  while (failures < cap && Fails(phase, task, failures)) ++failures;
+  return failures;
+}
+
+double FaultPlan::FailurePoint(TaskPhase phase, int task, int attempt) const {
+  return HashToUnit(HashAttempt(config_.seed, phase, task, attempt,
+                                kPointSalt));
+}
+
+}  // namespace progres

@@ -1,0 +1,84 @@
+#ifndef PROGRES_MAPREDUCE_FAULT_H_
+#define PROGRES_MAPREDUCE_FAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace progres {
+
+// Phase a simulated task attempt belongs to.
+enum class TaskPhase { kMap = 0, kReduce = 1 };
+
+// One explicitly injected failure: attempt `attempt` of the given task dies
+// partway through its input. Attempts are numbered from 0; Hadoop would
+// reschedule the task until mapred.<phase>.max.attempts is exhausted.
+struct TaskFault {
+  TaskPhase phase = TaskPhase::kMap;
+  int task = 0;
+  int attempt = 0;
+};
+
+// Deterministic fault-injection configuration for the simulated runtime.
+// With `enabled` false the runtime behaves exactly as a fault-free cluster
+// (single attempt per task, no retry bookkeeping in the timing model).
+//
+// Failures come from two sources, both reproducible:
+//   * `injected`: explicit (phase, task, attempt) triples, independent of
+//     the seed — the unit tests enumerate these;
+//   * `map_failure_prob` / `reduce_failure_prob`: per-attempt failure
+//     probabilities hashed from (`seed`, phase, task, attempt), so the same
+//     seed always kills the same attempts regardless of thread interleaving.
+struct FaultConfig {
+  bool enabled = false;
+  uint64_t seed = 0;
+  double map_failure_prob = 0.0;
+  double reduce_failure_prob = 0.0;
+  // Maximum attempts per task before the whole job fails (Hadoop's
+  // mapred.map/reduce.max.attempts, default 4).
+  int max_attempts = 4;
+  std::vector<TaskFault> injected;
+};
+
+// Speculative execution (Hadoop's backup tasks) in the timing model. When a
+// slot frees with no queued work and some task's remaining time exceeds
+// `min_remaining_seconds`, a backup copy is launched on the free slot if it
+// would finish before the original; the earlier finisher wins. On a
+// homogeneous cluster a backup can never beat the original, so speculation
+// is a no-op there — exactly the straggler-only behaviour intended.
+struct SpeculationConfig {
+  bool enabled = false;
+  double min_remaining_seconds = 0.0;
+};
+
+// Deterministic per-attempt failure plan derived from a FaultConfig. All
+// queries are pure functions of the config — the runtime consults the plan
+// before running a task, so the set of failing attempts (and where inside
+// the attempt each failure fires) is identical across runs and independent
+// of the real thread schedule.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(FaultConfig config);
+
+  bool enabled() const { return config_.enabled; }
+  int max_attempts() const;
+
+  // Whether attempt `attempt` of the given task is planned to fail.
+  bool Fails(TaskPhase phase, int task, int attempt) const;
+
+  // Number of consecutive failing attempts starting at attempt 0, capped at
+  // `cap` (the runtime passes max_attempts; a return value >= cap means the
+  // task — and therefore the job — is doomed).
+  int FailuresBeforeSuccess(TaskPhase phase, int task, int cap) const;
+
+  // Fraction in [0, 1) of the attempt's input processed before the injected
+  // failure fires. Deterministic per (seed, phase, task, attempt).
+  double FailurePoint(TaskPhase phase, int task, int attempt) const;
+
+ private:
+  FaultConfig config_;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_MAPREDUCE_FAULT_H_

@@ -4,7 +4,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "mapreduce/cluster.h"
 #include "mapreduce/cost_clock.h"
 #include "mapreduce/counters.h"
+#include "mapreduce/fault.h"
 
 namespace progres {
 
@@ -24,17 +27,24 @@ namespace progres {
 //     once per distinct key, in key order (so sequence-value keys yield the
 //     paper's per-task block resolution order);
 //   * per-task setup hooks run before the first record/group (the second
-//     job's schedule generation runs in map-task setup).
+//     job's schedule generation runs in map-task setup);
+//   * task attempts that fail are retried up to FaultConfig::max_attempts
+//     times. A failed attempt discards its partial buckets/outputs/counters
+//     (plus any external per-task state, via the task-abort hook) and the
+//     task re-runs from scratch, so job output is byte-identical to a
+//     fault-free run. Exhausting max_attempts fails the job cleanly
+//     (Result::failed + Result::error).
 //
 // Tasks execute concurrently on a thread pool; all algorithmic cost is
 // charged to deterministic per-task CostClocks, and the simulated cluster
-// (cluster.h) converts per-task costs into start/end times afterwards, so
+// (cluster.h) converts per-attempt costs into start/end times afterwards —
+// including retry delays and speculative backup copies of stragglers — so
 // results are bit-identical regardless of real thread interleaving.
 //
 // Keys and values are typed (template parameters) rather than raw bytes;
 // serialization would add nothing to the reproduced algorithms.
 
-// Per-task execution statistics.
+// Per-task execution statistics (winning attempt only).
 struct TaskStats {
   double cost = 0.0;        // cost units charged by the task
   int64_t records_in = 0;   // map: input records; reduce: input values
@@ -45,8 +55,11 @@ struct TaskStats {
 struct JobTiming {
   double start = 0.0;               // when the job was submitted (seconds)
   double map_end = 0.0;             // end of the map phase (barrier)
-  std::vector<double> reduce_start; // per reduce task
+  std::vector<double> reduce_start; // per reduce task (winning attempt)
   double end = 0.0;                 // job completion (makespan)
+  // Every scheduled attempt, including failed and speculative ones.
+  std::vector<TaskAttemptTiming> map_attempts;
+  std::vector<TaskAttemptTiming> reduce_attempts;
 };
 
 template <typename Record, typename K, typename V>
@@ -107,6 +120,11 @@ class MapReduceJob {
   // pairs appended to `out` (local aggregation before the shuffle).
   using CombineFn = std::function<void(const K&, std::vector<V>*,
                                        std::vector<std::pair<K, V>>*)>;
+  // Abort hook invoked when a task attempt fails, before the retry. Jobs
+  // that accumulate external per-task state (sinks indexed by task_id) must
+  // reset that state here or retries would double-count.
+  using TaskAbortFn = std::function<void(TaskPhase phase, int task_id,
+                                         int attempt)>;
 
   struct Result {
     // Reduce outputs concatenated in reduce-task order (within a task, in
@@ -114,9 +132,17 @@ class MapReduceJob {
     std::vector<std::pair<K, V>> outputs;
     std::vector<TaskStats> map_stats;
     std::vector<TaskStats> reduce_stats;
-    // Named counters merged across every map and reduce task.
+    // Named counters merged across every map and reduce task. Fault and
+    // speculation bookkeeping lands under the reserved "mr." prefix
+    // (mr.attempts, mr.failed_attempts, mr.speculative_launched,
+    // mr.speculative_wins); everything else is byte-identical to a
+    // fault-free run.
     Counters counters;
     JobTiming timing;
+    // Set when some task exhausted FaultConfig::max_attempts. `outputs`,
+    // stats and non-"mr." counters are empty/unspecified in that case.
+    bool failed = false;
+    std::string error;
   };
 
   MapReduceJob(int num_map_tasks, int num_reduce_tasks)
@@ -142,10 +168,14 @@ class MapReduceJob {
   void set_combiner(CombineFn fn) { combiner_ = std::move(fn); }
 
   // Optional cleanup run at the end of each reduce task, after its last
-  // group (may still charge cost and emit).
+  // group (may still charge cost and emit). Runs only on attempts that
+  // complete — never on failed ones.
   void set_reduce_cleanup(ReduceCleanupFn fn) {
     reduce_cleanup_ = std::move(fn);
   }
+
+  // Optional hook run when a task attempt fails (see TaskAbortFn).
+  void set_task_abort(TaskAbortFn fn) { task_abort_ = std::move(fn); }
 
   // Runs the job on `input` using `cluster` for both real thread parallelism
   // and the simulated time model. `submit_time` is when the job starts on
@@ -155,6 +185,30 @@ class MapReduceJob {
              double submit_time = 0.0) {
     Result result;
     result.timing.start = submit_time;
+
+    const FaultPlan plan(cluster.fault);
+    const int max_attempts = plan.max_attempts();
+    const bool heterogeneous = !cluster.machine_speed.empty();
+    const std::vector<double> map_speeds =
+        heterogeneous
+            ? cluster.SlotSpeeds(cluster.map_slots_per_machine)
+            : std::vector<double>(
+                  static_cast<size_t>(std::max(1, cluster.map_slots())), 1.0);
+    const std::vector<double> reduce_speeds =
+        heterogeneous
+            ? cluster.SlotSpeeds(cluster.reduce_slots_per_machine)
+            : std::vector<double>(
+                  static_cast<size_t>(std::max(1, cluster.reduce_slots())),
+                  1.0);
+
+    // Per-task cost of every executed attempt (failed attempts first, then
+    // the winning one). Feeds the attempt-aware timing model.
+    std::vector<std::vector<double>> map_attempt_costs(
+        static_cast<size_t>(num_map_tasks_));
+    std::vector<std::vector<double>> reduce_attempt_costs(
+        static_cast<size_t>(num_reduce_tasks_));
+    std::vector<char> map_doomed(static_cast<size_t>(num_map_tasks_), 0);
+    std::vector<char> reduce_doomed(static_cast<size_t>(num_reduce_tasks_), 0);
 
     // ---- Map phase ----
     std::vector<MapContext> map_ctx(static_cast<size_t>(num_map_tasks_));
@@ -169,23 +223,64 @@ class MapReduceJob {
         MapContext& ctx = map_ctx[static_cast<size_t>(t)];
         ctx.job_ = this;
         ctx.task_id_ = t;
-        ctx.buckets_.resize(static_cast<size_t>(num_reduce_tasks_));
         const size_t lo = n * static_cast<size_t>(t) /
                           static_cast<size_t>(num_map_tasks_);
         const size_t hi = n * static_cast<size_t>(t + 1) /
                           static_cast<size_t>(num_map_tasks_);
-        pool.Submit([this, &input, &map_fn, &ctx, lo, hi] {
-          if (map_setup_) map_setup_(ctx.task_id_);
-          for (size_t i = lo; i < hi; ++i) {
-            ctx.clock_.Charge(map_cost_per_record_);
-            map_fn(input[i], &ctx);
-            ++ctx.stats_.records_in;
+        const int failures =
+            plan.FailuresBeforeSuccess(TaskPhase::kMap, t, max_attempts);
+        pool.Submit([this, &input, &map_fn, &ctx, &plan, &map_attempt_costs,
+                     &map_doomed, lo, hi, t, failures, max_attempts] {
+          const int executed = std::min(failures + 1, max_attempts);
+          for (int attempt = 0; attempt < executed; ++attempt) {
+            const bool fails = attempt < failures;
+            ResetMapContext(&ctx);
+            size_t limit = hi - lo;
+            if (fails) {
+              limit = static_cast<size_t>(
+                  static_cast<double>(limit) *
+                  plan.FailurePoint(TaskPhase::kMap, t, attempt));
+            }
+            if (map_setup_) map_setup_(t);
+            for (size_t i = lo; i < lo + limit; ++i) {
+              ctx.clock_.Charge(map_cost_per_record_);
+              map_fn(input[i], &ctx);
+              ++ctx.stats_.records_in;
+            }
+            if (fails) {
+              map_attempt_costs[static_cast<size_t>(t)].push_back(
+                  ctx.clock_.units());
+              if (task_abort_) task_abort_(TaskPhase::kMap, t, attempt);
+            } else {
+              if (combiner_) CombineBuckets(&ctx);
+              ctx.stats_.cost = ctx.clock_.units();
+              map_attempt_costs[static_cast<size_t>(t)].push_back(
+                  ctx.clock_.units());
+            }
           }
-          if (combiner_) CombineBuckets(&ctx);
-          ctx.stats_.cost = ctx.clock_.units();
+          if (failures >= max_attempts) {
+            map_doomed[static_cast<size_t>(t)] = 1;
+          }
         });
       }
       pool.Wait();
+
+      MergeFaultCounters(map_attempt_costs, map_doomed, &result.counters);
+      for (int t = 0; t < num_map_tasks_; ++t) {
+        if (!map_doomed[static_cast<size_t>(t)]) continue;
+        result.failed = true;
+        result.error = "map task " + std::to_string(t) +
+                       " failed after " + std::to_string(max_attempts) +
+                       " attempts";
+        double map_end = submit_time;
+        result.timing.map_attempts = ScheduleTaskAttempts(
+            map_attempt_costs, map_speeds, submit_time,
+            cluster.seconds_per_cost_unit, cluster.speculation, &map_end,
+            nullptr);
+        result.timing.map_end = map_end;
+        result.timing.end = map_end;
+        return result;
+      }
 
       // ---- Reduce phase ----
       std::vector<ReduceContext> reduce_ctx(
@@ -193,60 +288,125 @@ class MapReduceJob {
       for (int r = 0; r < num_reduce_tasks_; ++r) {
         ReduceContext& ctx = reduce_ctx[static_cast<size_t>(r)];
         ctx.task_id_ = r;
-        pool.Submit([this, &map_ctx, &reduce_fn, &ctx, r] {
-          RunReduceTask(map_ctx, reduce_fn, &ctx, r);
+        const int failures =
+            plan.FailuresBeforeSuccess(TaskPhase::kReduce, r, max_attempts);
+        pool.Submit([this, &map_ctx, &reduce_fn, &ctx, &plan,
+                     &reduce_attempt_costs, &reduce_doomed, r, failures,
+                     max_attempts] {
+          const int executed = std::min(failures + 1, max_attempts);
+          for (int attempt = 0; attempt < executed; ++attempt) {
+            const bool fails = attempt < failures;
+            ResetReduceContext(&ctx);
+            const double point =
+                fails ? plan.FailurePoint(TaskPhase::kReduce, r, attempt)
+                      : 1.0;
+            RunReduceTask(map_ctx, reduce_fn, &ctx, r, fails, point);
+            reduce_attempt_costs[static_cast<size_t>(r)].push_back(
+                ctx.clock_.units());
+            if (fails && task_abort_) {
+              task_abort_(TaskPhase::kReduce, r, attempt);
+            }
+          }
+          if (failures >= max_attempts) {
+            reduce_doomed[static_cast<size_t>(r)] = 1;
+          }
         });
       }
       pool.Wait();
 
-      // ---- Collect stats, counters & outputs ----
-      for (MapContext& ctx : map_ctx) {
-        result.map_stats.push_back(ctx.stats_);
-        result.counters.MergeFrom(ctx.counters_);
+      MergeFaultCounters(reduce_attempt_costs, reduce_doomed,
+                         &result.counters);
+      for (int r = 0; r < num_reduce_tasks_; ++r) {
+        if (!reduce_doomed[static_cast<size_t>(r)]) continue;
+        result.failed = true;
+        result.error = "reduce task " + std::to_string(r) +
+                       " failed after " + std::to_string(max_attempts) +
+                       " attempts";
+        break;
       }
-      for (ReduceContext& ctx : reduce_ctx) {
-        result.reduce_stats.push_back(ctx.stats_);
-        result.counters.MergeFrom(ctx.counters_);
-        for (auto& kv : ctx.outputs_) result.outputs.push_back(std::move(kv));
+
+      if (!result.failed) {
+        // ---- Collect stats, counters & outputs ----
+        for (MapContext& ctx : map_ctx) {
+          result.map_stats.push_back(ctx.stats_);
+          result.counters.MergeFrom(ctx.counters_);
+        }
+        for (ReduceContext& ctx : reduce_ctx) {
+          result.reduce_stats.push_back(ctx.stats_);
+          result.counters.MergeFrom(ctx.counters_);
+          for (auto& kv : ctx.outputs_) result.outputs.push_back(std::move(kv));
+        }
       }
     }
 
-    // ---- Simulated timing ----
-    const bool heterogeneous = !cluster.machine_speed.empty();
-    std::vector<double> map_costs;
-    map_costs.reserve(result.map_stats.size());
-    for (const TaskStats& s : result.map_stats) map_costs.push_back(s.cost);
+    // ---- Simulated timing (failed attempts and retries included) ----
     double map_end = submit_time;
-    if (heterogeneous) {
-      ScheduleTasksHeterogeneous(
-          map_costs, cluster.SlotSpeeds(cluster.map_slots_per_machine),
-          submit_time, cluster.seconds_per_cost_unit, &map_end);
-    } else {
-      ScheduleTasks(map_costs, cluster.map_slots(), submit_time,
-                    cluster.seconds_per_cost_unit, &map_end);
-    }
+    result.timing.map_attempts = ScheduleTaskAttempts(
+        map_attempt_costs, map_speeds, submit_time,
+        cluster.seconds_per_cost_unit, cluster.speculation, &map_end,
+        nullptr);
     result.timing.map_end = map_end;
 
-    std::vector<double> reduce_costs;
-    reduce_costs.reserve(result.reduce_stats.size());
-    for (const TaskStats& s : result.reduce_stats) {
-      reduce_costs.push_back(s.cost);
-    }
     double end = map_end;
-    if (heterogeneous) {
-      result.timing.reduce_start = ScheduleTasksHeterogeneous(
-          reduce_costs, cluster.SlotSpeeds(cluster.reduce_slots_per_machine),
-          map_end, cluster.seconds_per_cost_unit, &end);
-    } else {
-      result.timing.reduce_start =
-          ScheduleTasks(reduce_costs, cluster.reduce_slots(), map_end,
-                        cluster.seconds_per_cost_unit, &end);
-    }
+    result.timing.reduce_attempts = ScheduleTaskAttempts(
+        reduce_attempt_costs, reduce_speeds, map_end,
+        cluster.seconds_per_cost_unit, cluster.speculation, &end,
+        &result.timing.reduce_start);
     result.timing.end = end;
+
+    MergeSpeculationCounters(result.timing, &result.counters);
     return result;
   }
 
  private:
+  void ResetMapContext(MapContext* ctx) {
+    ctx->clock_.Reset();
+    ctx->counters_ = Counters();
+    ctx->stats_ = TaskStats();
+    ctx->buckets_.clear();
+    ctx->buckets_.resize(static_cast<size_t>(num_reduce_tasks_));
+  }
+
+  void ResetReduceContext(ReduceContext* ctx) {
+    ctx->clock_.Reset();
+    ctx->counters_ = Counters();
+    ctx->stats_ = TaskStats();
+    ctx->outputs_.clear();
+  }
+
+  // Attempt/failure totals for one phase under the reserved "mr." counter
+  // prefix. Every attempt of a doomed task failed; otherwise the last
+  // attempt of each chain is the winner.
+  static void MergeFaultCounters(
+      const std::vector<std::vector<double>>& attempt_costs,
+      const std::vector<char>& doomed, Counters* counters) {
+    int64_t attempts = 0;
+    int64_t failed = 0;
+    for (size_t t = 0; t < attempt_costs.size(); ++t) {
+      const int64_t executed =
+          static_cast<int64_t>(attempt_costs[t].size());
+      attempts += executed;
+      failed += doomed[t] ? executed : executed - 1;
+    }
+    counters->Increment("mr.attempts", attempts);
+    counters->Increment("mr.failed_attempts", failed);
+  }
+
+  static void MergeSpeculationCounters(const JobTiming& timing,
+                                       Counters* counters) {
+    int64_t launched = 0;
+    int64_t wins = 0;
+    for (const auto* phase : {&timing.map_attempts, &timing.reduce_attempts}) {
+      for (const TaskAttemptTiming& attempt : *phase) {
+        if (!attempt.speculative) continue;
+        ++launched;
+        if (attempt.won) ++wins;
+      }
+    }
+    counters->Increment("mr.speculative_launched", launched);
+    counters->Increment("mr.speculative_wins", wins);
+  }
+
   // Applies the combiner to every partition bucket of a finished map task:
   // values are grouped by key locally and replaced by the combiner's output.
   void CombineBuckets(MapContext* ctx) {
@@ -272,8 +432,13 @@ class MapReduceJob {
     }
   }
 
+  // Runs one reduce-task attempt. A failing attempt (`fails`) copies its
+  // input out of the map buckets — they must survive for the retry — and
+  // stops at the group boundary past `fail_point` of the input pairs; the
+  // winning attempt moves the buckets and runs cleanup.
   void RunReduceTask(std::vector<MapContext>& map_ctx,
-                     const ReduceFn& reduce_fn, ReduceContext* ctx, int r) {
+                     const ReduceFn& reduce_fn, ReduceContext* ctx, int r,
+                     bool fails, double fail_point) {
     // Gather this task's partition from every map task (map-task order, so
     // the merge is deterministic), then sort by key. stable_sort keeps the
     // map-task order among equal keys, mirroring Hadoop's merge.
@@ -283,18 +448,35 @@ class MapReduceJob {
       total += m.buckets_[static_cast<size_t>(r)].size();
     }
     pairs.reserve(total);
-    for (MapContext& m : map_ctx) {
-      auto& bucket = m.buckets_[static_cast<size_t>(r)];
-      for (auto& kv : bucket) pairs.push_back(std::move(kv));
+    if (fails) {
+      if constexpr (std::is_copy_constructible_v<K> &&
+                    std::is_copy_constructible_v<V>) {
+        for (const MapContext& m : map_ctx) {
+          const auto& bucket = m.buckets_[static_cast<size_t>(r)];
+          for (const auto& kv : bucket) pairs.push_back(kv);
+        }
+      }
+      // Move-only payloads cannot be replayed; the failing attempt then
+      // dies before touching any input, which keeps retries correct.
+    } else {
+      for (MapContext& m : map_ctx) {
+        auto& bucket = m.buckets_[static_cast<size_t>(r)];
+        for (auto& kv : bucket) pairs.push_back(std::move(kv));
+      }
     }
     std::stable_sort(pairs.begin(), pairs.end(),
                      [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
                        return a.first < b.first;
                      });
+    const size_t fail_after =
+        fails ? static_cast<size_t>(static_cast<double>(pairs.size()) *
+                                    fail_point)
+              : pairs.size() + 1;
 
     if (reduce_setup_) reduce_setup_(r);
     size_t i = 0;
     while (i < pairs.size()) {
+      if (fails && i >= fail_after) break;  // injected failure fires here
       size_t j = i;
       while (j < pairs.size() && !(pairs[i].first < pairs[j].first)) ++j;
       std::vector<V> values;
@@ -304,8 +486,10 @@ class MapReduceJob {
       reduce_fn(pairs[i].first, &values, ctx);
       i = j;
     }
-    if (reduce_cleanup_) reduce_cleanup_(ctx);
-    ctx->stats_.cost = ctx->clock_.units();
+    if (!fails) {
+      if (reduce_cleanup_) reduce_cleanup_(ctx);
+      ctx->stats_.cost = ctx->clock_.units();
+    }
   }
 
   int num_map_tasks_;
@@ -316,6 +500,7 @@ class MapReduceJob {
   SetupFn reduce_setup_;
   ReduceCleanupFn reduce_cleanup_;
   CombineFn combiner_;
+  TaskAbortFn task_abort_;
 };
 
 }  // namespace progres

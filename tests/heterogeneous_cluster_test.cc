@@ -2,9 +2,21 @@
 
 #include "mapreduce/cluster.h"
 #include "mapreduce/job.h"
+#include "mr_test_util.h"
 
 namespace progres {
 namespace {
+
+using testing_util::ValidateAttemptSchedule;
+
+// Wraps single-attempt per-task costs for ScheduleTaskAttempts.
+std::vector<std::vector<double>> SingleAttempts(
+    const std::vector<double>& costs) {
+  std::vector<std::vector<double>> chains;
+  chains.reserve(costs.size());
+  for (double c : costs) chains.push_back({c});
+  return chains;
+}
 
 TEST(SlotSpeedsTest, ExpandsPerMachine) {
   ClusterConfig cluster;
@@ -64,6 +76,95 @@ TEST(ScheduleHeterogeneousTest, FastSlotTakesMoreTasks) {
   EXPECT_LT(fast_end, slow_end);
 }
 
+TEST(ScheduleHeterogeneousTest, AttemptScheduleIsValid) {
+  const std::vector<double> costs = {5.0, 9.0, 2.0, 7.0, 1.0, 4.0};
+  const std::vector<double> speeds = {1.0, 0.5, 2.0};
+  double end = 0.0;
+  std::vector<double> starts;
+  const std::vector<TaskAttemptTiming> attempts = ScheduleTaskAttempts(
+      SingleAttempts(costs), speeds, 2.0, 0.5, SpeculationConfig{}, &end,
+      &starts);
+  ASSERT_EQ(attempts.size(), costs.size());
+  ValidateAttemptSchedule(attempts, static_cast<int>(costs.size()), 2.0, end);
+  for (size_t t = 0; t < costs.size(); ++t) {
+    EXPECT_DOUBLE_EQ(starts[t], attempts[t].start);
+  }
+}
+
+TEST(SpeculationTest, BackupBeatsStraggler) {
+  // Slot 1 is a 4x straggler. Without speculation the task assigned to it
+  // runs 0→40 and dominates the makespan; with speculation the fast slot
+  // frees at t=10, launches a backup finishing at t=20, and wins.
+  const std::vector<double> costs = {10.0, 10.0};
+  const std::vector<double> speeds = {1.0, 0.25};
+  double plain_end = 0.0;
+  const std::vector<TaskAttemptTiming> plain = ScheduleTaskAttempts(
+      SingleAttempts(costs), speeds, 0.0, 1.0, SpeculationConfig{},
+      &plain_end, nullptr);
+  ValidateAttemptSchedule(plain, static_cast<int>(costs.size()), 0.0,
+                          plain_end);
+
+  SpeculationConfig speculation;
+  speculation.enabled = true;
+  double spec_end = 0.0;
+  const std::vector<TaskAttemptTiming> spec = ScheduleTaskAttempts(
+      SingleAttempts(costs), speeds, 0.0, 1.0, speculation, &spec_end,
+      nullptr);
+  ValidateAttemptSchedule(spec, static_cast<int>(costs.size()), 0.0,
+                          spec_end);
+
+  EXPECT_LT(spec_end, plain_end);  // strictly smaller makespan
+  int backups = 0;
+  int backup_wins = 0;
+  for (const TaskAttemptTiming& a : spec) {
+    if (!a.speculative) continue;
+    ++backups;
+    if (a.won) ++backup_wins;
+  }
+  EXPECT_GE(backups, 1);
+  EXPECT_EQ(backups, backup_wins);  // only profitable backups are launched
+}
+
+TEST(SpeculationTest, HomogeneousClusterIsNoOp) {
+  // On equal-speed slots a backup can never finish before the original, so
+  // speculation must not change the schedule at all.
+  const std::vector<double> costs = {5.0, 9.0, 2.0, 7.0, 1.0, 4.0, 8.0};
+  const std::vector<double> speeds = {1.0, 1.0, 1.0};
+  SpeculationConfig speculation;
+  speculation.enabled = true;
+  double plain_end = 0.0;
+  double spec_end = 0.0;
+  const std::vector<TaskAttemptTiming> plain = ScheduleTaskAttempts(
+      SingleAttempts(costs), speeds, 0.0, 1.0, SpeculationConfig{},
+      &plain_end, nullptr);
+  const std::vector<TaskAttemptTiming> spec = ScheduleTaskAttempts(
+      SingleAttempts(costs), speeds, 0.0, 1.0, speculation, &spec_end,
+      nullptr);
+  EXPECT_DOUBLE_EQ(spec_end, plain_end);
+  ASSERT_EQ(spec.size(), plain.size());
+  for (size_t i = 0; i < spec.size(); ++i) {
+    EXPECT_FALSE(spec[i].speculative);
+    EXPECT_DOUBLE_EQ(spec[i].start, plain[i].start);
+    EXPECT_DOUBLE_EQ(spec[i].end, plain[i].end);
+  }
+}
+
+TEST(SpeculationTest, ThresholdSuppressesShortBackups) {
+  // The straggler task has 40 simulated seconds remaining when the fast
+  // slot frees up; a threshold above that suppresses the backup.
+  const std::vector<double> costs = {10.0, 10.0};
+  const std::vector<double> speeds = {1.0, 0.25};
+  SpeculationConfig speculation;
+  speculation.enabled = true;
+  speculation.min_remaining_seconds = 1e6;
+  double end = 0.0;
+  const std::vector<TaskAttemptTiming> attempts = ScheduleTaskAttempts(
+      SingleAttempts(costs), speeds, 0.0, 1.0, speculation, &end, nullptr);
+  for (const TaskAttemptTiming& a : attempts) {
+    EXPECT_FALSE(a.speculative);
+  }
+}
+
 TEST(HeterogeneousJobTest, StragglerMachineDelaysJob) {
   using Job = MapReduceJob<int, int, int>;
   std::vector<int> input;
@@ -89,6 +190,41 @@ TEST(HeterogeneousJobTest, StragglerMachineDelaysJob) {
   const double nominal = run({});
   const double straggler = run({1.0, 0.25});
   EXPECT_GT(straggler, nominal);
+}
+
+TEST(HeterogeneousJobTest, SpeculationRecoversStragglerTime) {
+  using Job = MapReduceJob<int, int, int>;
+  std::vector<int> input;
+  for (int i = 0; i < 100; ++i) input.push_back(i);
+  const auto run = [&input](bool speculate) {
+    ClusterConfig cluster;
+    cluster.machines = 2;
+    cluster.execution_threads = 4;
+    cluster.seconds_per_cost_unit = 1.0;
+    cluster.machine_speed = {1.0, 0.25};
+    cluster.speculation.enabled = speculate;
+    Job job(4, 4);
+    return job.Run(
+        input,
+        [](const int& record, Job::MapContext* ctx) {
+          ctx->Emit(record % 4, record);
+        },
+        [](const int&, std::vector<int>*, Job::ReduceContext* ctx) {
+          ctx->clock().Charge(100.0);
+        },
+        cluster);
+  };
+  const auto plain = run(false);
+  const auto spec = run(true);
+  // The timing model improves; the data plane is untouched.
+  EXPECT_LT(spec.timing.end, plain.timing.end);
+  EXPECT_EQ(spec.outputs, plain.outputs);
+  EXPECT_GE(spec.counters.Get("mr.speculative_wins"), 1);
+  EXPECT_EQ(spec.counters.Get("mr.speculative_wins"),
+            spec.counters.Get("mr.speculative_launched"));
+  EXPECT_EQ(plain.counters.Get("mr.speculative_wins"), 0);
+  testing_util::ValidateAttemptSchedule(spec.timing.reduce_attempts, 4,
+                                        spec.timing.map_end, spec.timing.end);
 }
 
 }  // namespace

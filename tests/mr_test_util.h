@@ -1,0 +1,103 @@
+#ifndef PROGRES_TESTS_MR_TEST_UTIL_H_
+#define PROGRES_TESTS_MR_TEST_UTIL_H_
+
+// Shared helpers for the MapReduce runtime tests: a schedule-validity
+// checker for attempt schedules (used by the heterogeneous-cluster and
+// fault-injection tests) and counter utilities for comparing job results
+// modulo the runtime's own "mr." bookkeeping counters.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/cluster.h"
+#include "mapreduce/counters.h"
+
+namespace progres {
+namespace testing_util {
+
+// Asserts the structural invariants every attempt schedule must satisfy:
+//   * every attempt runs within [start_time, inf) and has positive extent;
+//   * no two attempts overlap on the same slot;
+//   * first attempts are dispatched FIFO (non-decreasing start times in
+//     task order);
+//   * retries start no earlier than the failed attempt they replace ends;
+//   * every task has exactly one winning attempt, and `end_time` is the
+//     makespan over winning attempts.
+inline void ValidateAttemptSchedule(
+    const std::vector<TaskAttemptTiming>& attempts, int num_tasks,
+    double start_time, double end_time) {
+  // Per-slot interval overlap.
+  std::map<int, std::vector<std::pair<double, double>>> by_slot;
+  for (const TaskAttemptTiming& a : attempts) {
+    EXPECT_GE(a.start, start_time);
+    EXPECT_GE(a.end, a.start);
+    by_slot[a.slot].emplace_back(a.start, a.end);
+  }
+  for (auto& [slot, intervals] : by_slot) {
+    std::sort(intervals.begin(), intervals.end());
+    for (size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_GE(intervals[i].first, intervals[i - 1].second)
+          << "slot " << slot << " runs two attempts at once";
+    }
+  }
+
+  // FIFO dispatch of first attempts.
+  double previous_start = start_time;
+  int previous_task = -1;
+  for (const TaskAttemptTiming& a : attempts) {
+    if (a.speculative || a.attempt != 0) continue;
+    EXPECT_GT(a.task, previous_task) << "first attempts out of task order";
+    EXPECT_GE(a.start, previous_start) << "FIFO order violated";
+    previous_start = a.start;
+    previous_task = a.task;
+  }
+
+  // Retry chains and the winner-per-task invariant.
+  std::map<int, int> winners;
+  std::map<std::pair<int, int>, double> attempt_end;
+  for (const TaskAttemptTiming& a : attempts) {
+    if (a.won) ++winners[a.task];
+    if (a.speculative) continue;
+    if (a.attempt > 0) {
+      const auto it = attempt_end.find({a.task, a.attempt - 1});
+      ASSERT_NE(it, attempt_end.end())
+          << "retry without a preceding attempt";
+      EXPECT_GE(a.start, it->second)
+          << "retry started before its predecessor failed";
+    }
+    attempt_end[{a.task, a.attempt}] = a.end;
+  }
+  double makespan = start_time;
+  int winning_tasks = 0;
+  for (const TaskAttemptTiming& a : attempts) {
+    if (!a.won) continue;
+    ++winning_tasks;
+    makespan = std::max(makespan, a.end);
+  }
+  for (const auto& [task, count] : winners) {
+    EXPECT_EQ(count, 1) << "task " << task << " has " << count << " winners";
+  }
+  EXPECT_LE(winning_tasks, num_tasks);
+  EXPECT_DOUBLE_EQ(end_time, makespan);
+}
+
+// Copy of `counters` without the runtime's reserved "mr." fault/speculation
+// bookkeeping — the part of a faulty run that must match a fault-free one.
+inline std::map<std::string, int64_t> CountersMinusMr(
+    const Counters& counters) {
+  std::map<std::string, int64_t> values;
+  for (const auto& [name, value] : counters.values()) {
+    if (name.rfind("mr.", 0) == 0) continue;
+    values.emplace(name, value);
+  }
+  return values;
+}
+
+}  // namespace testing_util
+}  // namespace progres
+
+#endif  // PROGRES_TESTS_MR_TEST_UTIL_H_
