@@ -24,8 +24,12 @@ void Main() {
   const SortedNeighborMechanism sn;
 
   std::printf("=== Ablation: per-block vs per-tree map emission ===\n\n");
+  // mr.shuffle.* are the runtime's own post-combine accounting at the
+  // map/reduce boundary; map.emitted_pairs / shuffle.bytes are the driver's
+  // map-side counters. With no combiner the record counts agree.
   TextTable table({"emission", "shuffled_pairs", "shuffled_bytes",
-                   "comparisons", "quality", "final_recall"});
+                   "mr.shuffle.records", "mr.shuffle.bytes", "comparisons",
+                   "quality", "final_recall"});
   double horizon = 0.0;
   for (MapEmission emission :
        {MapEmission::kPerBlock, MapEmission::kPerTree}) {
@@ -42,6 +46,8 @@ void Main() {
                                                      : "per-tree (optimized)",
                   std::to_string(result.counters.Get("map.emitted_pairs")),
                   std::to_string(result.counters.Get("shuffle.bytes")),
+                  std::to_string(result.counters.Get("mr.shuffle.records")),
+                  std::to_string(result.counters.Get("mr.shuffle.bytes")),
                   std::to_string(result.comparisons),
                   FormatDouble(bench::QualityOverHorizon(curve, horizon), 3),
                   FormatDouble(curve.final_recall(), 3)});

@@ -1,9 +1,11 @@
 #include "core/basic_er.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <utility>
 
+#include "core/er_driver.h"
 #include "mapreduce/job.h"
+#include "mapreduce/pipeline.h"
 #include "mapreduce/serde.h"
 #include "redundancy/kolb.h"
 
@@ -12,13 +14,6 @@ namespace progres {
 namespace {
 
 constexpr double kMapEmitCost = 0.05;
-
-struct TaskState {
-  std::vector<std::pair<double, PairKey>> raw_events;
-  int64_t duplicates = 0;
-  int64_t distinct = 0;
-  int64_t skipped = 0;
-};
 
 }  // namespace
 
@@ -37,108 +32,93 @@ ErRunResult BasicEr::Run(const Dataset& dataset) const {
                                ? options_.num_reduce_tasks
                                : options_.cluster.reduce_slots();
   const int num_families = blocking_.num_families();
-
-  using Job = MapReduceJob<Entity, std::string, EntityId>;
-  Job job(map_tasks, reduce_tasks);
-  job.set_map_cost_per_record(0.1);
-  // The default hash partitioner stands; keys are "blocking key value
-  // followed by the function ID" (Sec. II-C, footnote 3).
-
-  const auto map_fn = [&, this](const Entity& e, Job::MapContext* ctx) {
-    for (int f = 0; f < num_families; ++f) {
-      std::string key = blocking_.Key(f, 1, e);
-      key.push_back(kPathSeparator);
-      key.push_back(static_cast<char>('0' + f));
-      ctx->clock().Charge(kMapEmitCost);
-      ctx->counters().Increment("map.emitted_pairs");
-      ctx->counters().Increment(
-          "shuffle.bytes",
-          static_cast<int64_t>(VarintSize(key.size())) +
-              static_cast<int64_t>(key.size()) +
-              VarintSize(static_cast<uint64_t>(e.id)));
-      ctx->Emit(std::move(key), e.id);
-    }
-  };
-
-  std::vector<TaskState> states(static_cast<size_t>(reduce_tasks));
-
-  // Reset a task's accumulated events/outcomes when a fault-injected
-  // attempt dies, so the retry does not double-count.
-  job.set_task_abort([&states](TaskPhase phase, int task_id, int /*attempt*/) {
-    if (phase == TaskPhase::kReduce) {
-      states[static_cast<size_t>(task_id)] = TaskState();
-    }
-  });
-
-  const auto reduce_fn = [&, this](const std::string& key,
-                                   std::vector<EntityId>* values,
-                                   Job::ReduceContext* ctx) {
-    const int family = key.back() - '0';
-    TaskState& state = states[static_cast<size_t>(ctx->task_id())];
-
-    std::vector<const Entity*> members;
-    members.reserve(values->size());
-    for (EntityId id : *values) members.push_back(&dataset.entity(id));
-
-    ResolveRequest request;
-    request.block = &members;
-    request.sort_attribute = blocking_.SortAttribute(family);
-    request.match = &match_;
-    request.options.window = options_.window;
-    request.options.termination_distinct = -1;
-    request.options.popcorn_threshold = options_.popcorn_threshold;
-    request.options.popcorn_window = options_.popcorn_window;
-    request.clock = &ctx->clock();
-
-    std::function<bool(const Entity&, const Entity&)> predicate;
-    if (options_.kolb_redundancy) {
-      predicate = [&, family](const Entity& a, const Entity& b) {
-        return KolbShouldResolve(a, b, family, blocking_);
-      };
-      request.should_resolve = &predicate;
-    }
-
-    request.on_duplicate = [&](EntityId a, EntityId b) {
-      state.raw_events.emplace_back(ctx->clock().units(), MakePairKey(a, b));
-    };
-
-    const ResolveOutcome outcome = mechanism_.Resolve(request);
-    state.duplicates += outcome.duplicates;
-    state.distinct += outcome.distinct;
-    state.skipped += outcome.skipped;
-    ctx->counters().Increment("reduce.blocks_resolved");
-    ctx->counters().Increment("reduce.duplicates", outcome.duplicates);
-    ctx->counters().Increment("reduce.comparisons",
-                              outcome.duplicates + outcome.distinct);
-    ctx->counters().Increment("reduce.skipped", outcome.skipped);
-    if (outcome.stopped_early) {
-      ctx->counters().Increment("reduce.blocks_stopped_early");
-    }
-  };
-
-  const Job::Result run = job.Run(dataset.entities(), map_fn, reduce_fn,
-                                  options_.cluster, /*submit_time=*/0.0);
+  const double spc = options_.cluster.seconds_per_cost_unit;
 
   ErRunResult result;
-  result.counters = run.counters;
-  if (run.failed) {
+
+  Pipeline pipe;
+  pipe.AddStage("basic job", [&, this](double submit_time) {
+    using Job = MapReduceJob<Entity, std::string, EntityId>;
+    Job job(map_tasks, reduce_tasks);
+    job.set_map_cost_per_record(0.1);
+    // The default hash partitioner stands; keys are "blocking key value
+    // followed by the function ID" (Sec. II-C, footnote 3).
+    job.set_wire_size([](const std::string& key, const EntityId& id) {
+      return static_cast<int64_t>(VarintSize(key.size())) +
+             static_cast<int64_t>(key.size()) +
+             VarintSize(static_cast<uint64_t>(id));
+    });
+
+    const auto map_fn = [&, this](const Entity& e, Job::MapContext* ctx) {
+      for (int f = 0; f < num_families; ++f) {
+        std::string key = blocking_.Key(f, 1, e);
+        key.push_back(kPathSeparator);
+        key.push_back(static_cast<char>('0' + f));
+        ctx->clock().Charge(kMapEmitCost);
+        ctx->counters().Increment("map.emitted_pairs");
+        ctx->counters().Increment(
+            "shuffle.bytes",
+            static_cast<int64_t>(VarintSize(key.size())) +
+                static_cast<int64_t>(key.size()) +
+                VarintSize(static_cast<uint64_t>(e.id)));
+        ctx->Emit(std::move(key), e.id);
+      }
+    };
+
+    TaskStateRegistry<ErTaskState> states(reduce_tasks);
+    states.InstallAbortReset(&job);
+
+    const auto reduce_fn = [&, this](const std::string& key,
+                                     std::vector<EntityId>* values,
+                                     Job::ReduceContext* ctx) {
+      const int family = key.back() - '0';
+      ErTaskState& state = states.at(ctx->task_id());
+
+      std::vector<const Entity*> members;
+      members.reserve(values->size());
+      for (EntityId id : *values) members.push_back(&dataset.entity(id));
+
+      ResolveRequest request;
+      request.block = &members;
+      request.sort_attribute = blocking_.SortAttribute(family);
+      request.match = &match_;
+      request.options.window = options_.window;
+      request.options.termination_distinct = -1;
+      request.options.popcorn_threshold = options_.popcorn_threshold;
+      request.options.popcorn_window = options_.popcorn_window;
+      request.clock = &ctx->clock();
+
+      std::function<bool(const Entity&, const Entity&)> predicate;
+      if (options_.kolb_redundancy) {
+        predicate = [&, family](const Entity& a, const Entity& b) {
+          return KolbShouldResolve(a, b, family, blocking_);
+        };
+        request.should_resolve = &predicate;
+      }
+
+      request.on_duplicate = EventSink(&state, &ctx->clock());
+
+      const ResolveOutcome outcome = mechanism_.Resolve(request);
+      RecordResolveOutcome(outcome, &state, &ctx->counters());
+    };
+
+    Job::Result run = job.Run(dataset.entities(), map_fn, reduce_fn,
+                              options_.cluster, submit_time);
+    if (!run.failed) {
+      result.preprocessing_end = run.timing.map_end;
+      AccumulateReduceTasks(states.states(), run.timing, run.reduce_stats,
+                            spc, options_.alpha, &result);
+    }
+    return StageResultFromJob(std::move(run), "basic job");
+  });
+
+  const PipelineResult pipe_result = pipe.Run(/*submit_time=*/0.0);
+  result.counters = pipe_result.counters;
+  result.total_time = pipe_result.end;
+  if (pipe_result.failed) {
     result.failed = true;
-    result.error = "basic job: " + run.error;
-    result.total_time = run.timing.end;
+    result.error = pipe_result.error;
     return result;
-  }
-  result.preprocessing_end = run.timing.map_end;
-  result.total_time = run.timing.end;
-  const double spc = options_.cluster.seconds_per_cost_unit;
-  for (int t = 0; t < reduce_tasks; ++t) {
-    const TaskState& state = states[static_cast<size_t>(t)];
-    result.duplicate_count += state.duplicates;
-    result.distinct_count += state.distinct;
-    result.skipped_count += state.skipped;
-    result.comparisons += state.duplicates + state.distinct;
-    AppendTaskEvents(t, run.timing.reduce_start[static_cast<size_t>(t)],
-                     run.reduce_stats[static_cast<size_t>(t)].cost, spc,
-                     options_.alpha, state.raw_events, &result);
   }
   FinalizeDuplicates(&result);
   return result;

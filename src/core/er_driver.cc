@@ -1,0 +1,20 @@
+#include "core/er_driver.h"
+
+namespace progres {
+
+void RecordResolveOutcome(const ResolveOutcome& outcome, ErTaskState* state,
+                          Counters* counters) {
+  state->duplicates += outcome.duplicates;
+  state->distinct += outcome.distinct;
+  state->skipped += outcome.skipped;
+  counters->Increment("reduce.blocks_resolved");
+  counters->Increment("reduce.duplicates", outcome.duplicates);
+  counters->Increment("reduce.comparisons",
+                      outcome.duplicates + outcome.distinct);
+  counters->Increment("reduce.skipped", outcome.skipped);
+  if (outcome.stopped_early) {
+    counters->Increment("reduce.blocks_stopped_early");
+  }
+}
+
+}  // namespace progres

@@ -1,0 +1,105 @@
+#ifndef PROGRES_CORE_ER_DRIVER_H_
+#define PROGRES_CORE_ER_DRIVER_H_
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/er_result.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/cost_clock.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/fault.h"
+#include "mechanism/mechanism.h"
+#include "model/entity.h"
+
+namespace progres {
+
+// Shared scaffolding of the ER drivers (Basic, MRSN, Progressive, and the
+// statistics job): every driver accumulates external per-reduce-task state
+// alongside its MR job, must reset that state when a fault-injected attempt
+// aborts, and assembles the same ErRunResult shape from per-task events.
+// This header factors those three concerns out of the drivers.
+
+// The per-reduce-task accumulator every resolving driver shares: the raw
+// duplicate-discovery events (task-local cost order) plus outcome tallies.
+// Drivers with extra per-task state (MRSN's sliding window, the progressive
+// driver's tree buffers) derive from it.
+struct ErTaskState {
+  std::vector<std::pair<double, PairKey>> raw_events;
+  int64_t duplicates = 0;
+  int64_t distinct = 0;
+  int64_t skipped = 0;
+};
+
+// Owns one State per reduce task (each task writes only its own slot, so no
+// synchronization is needed) and wires the fault-tolerance contract: a
+// fault-injected reduce attempt that dies default-reconstructs its task's
+// State, so the retry never double-counts.
+template <typename State>
+class TaskStateRegistry {
+ public:
+  explicit TaskStateRegistry(int num_tasks)
+      : states_(static_cast<size_t>(std::max(1, num_tasks))) {}
+
+  State& at(int task) { return states_[static_cast<size_t>(task)]; }
+  const State& at(int task) const { return states_[static_cast<size_t>(task)]; }
+  size_t size() const { return states_.size(); }
+  std::vector<State>& states() { return states_; }
+  const std::vector<State>& states() const { return states_; }
+
+  // Installs the job's task-abort hook: a failing reduce attempt resets its
+  // task's State to a freshly-constructed one.
+  template <typename Job>
+  void InstallAbortReset(Job* job) {
+    job->set_task_abort(
+        [this](TaskPhase phase, int task_id, int /*attempt*/) {
+          if (phase == TaskPhase::kReduce) {
+            states_[static_cast<size_t>(task_id)] = State();
+          }
+        });
+  }
+
+ private:
+  std::vector<State> states_;
+};
+
+// The on_duplicate callback the drivers hand to the mechanism: records one
+// discovery as (task-local cost now, pair) into the task's event stream.
+inline std::function<void(EntityId, EntityId)> EventSink(ErTaskState* state,
+                                                         CostClock* clock) {
+  return [state, clock](EntityId a, EntityId b) {
+    state->raw_events.emplace_back(clock->units(), MakePairKey(a, b));
+  };
+}
+
+// Tallies one resolved block's outcome into the task state and the standard
+// "reduce.*" counters (shared by the basic and progressive drivers).
+void RecordResolveOutcome(const ResolveOutcome& outcome, ErTaskState* state,
+                          Counters* counters);
+
+// Assembles the per-task portion of an ErRunResult after a successful
+// resolution job: aggregate tallies plus the globally-timed event stream
+// and incremental-output chunks of every reduce task, in task order.
+template <typename State>
+void AccumulateReduceTasks(const std::vector<State>& states,
+                           const JobTiming& timing,
+                           const std::vector<TaskStats>& reduce_stats,
+                           double seconds_per_cost_unit, double alpha,
+                           ErRunResult* result) {
+  for (size_t t = 0; t < reduce_stats.size(); ++t) {
+    const ErTaskState& state = states[t];
+    result->duplicate_count += state.duplicates;
+    result->distinct_count += state.distinct;
+    result->skipped_count += state.skipped;
+    result->comparisons += state.duplicates + state.distinct;
+    AppendTaskEvents(static_cast<int>(t), timing.reduce_start[t],
+                     reduce_stats[t].cost, seconds_per_cost_unit, alpha,
+                     state.raw_events, result);
+  }
+}
+
+}  // namespace progres
+
+#endif  // PROGRES_CORE_ER_DRIVER_H_

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <utility>
 
+#include "core/er_driver.h"
 #include "mapreduce/job.h"
+#include "mapreduce/pipeline.h"
+#include "mapreduce/serde.h"
 
 namespace progres {
 
@@ -27,12 +31,8 @@ struct SlideValue {
   bool owned = true;
 };
 
-struct TaskState {
-  std::vector<std::pair<double, PairKey>> raw_events;
+struct MrsnTaskState : ErTaskState {
   std::deque<SlideValue> window;
-  int64_t duplicates = 0;
-  int64_t distinct = 0;
-  int64_t skipped = 0;
 };
 
 }  // namespace
@@ -54,125 +54,125 @@ ErRunResult MrsnEr::Run(const Dataset& dataset) const {
   const double spc = options_.cluster.seconds_per_cost_unit;
 
   ErRunResult result;
-  double clock_time = 0.0;
 
+  // Written by each pass's boundary pre-pass, read by the pass's job.
+  std::vector<int64_t> rank_of(static_cast<size_t>(n));
+
+  // One boundary pre-pass + one MR job per blocking family, chained on the
+  // simulated clock.
+  Pipeline pipe;
   for (int pass = 0; pass < blocking_.num_families(); ++pass) {
-    const int attr = blocking_.SortAttribute(pass);
-
     // ---- Boundary pre-pass: global sort order and range boundaries ----
-    std::vector<EntityId> order(static_cast<size_t>(n));
-    for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = static_cast<EntityId>(i);
-    std::sort(order.begin(), order.end(), [&](EntityId a, EntityId b) {
-      const auto va = dataset.entity(a).attribute(static_cast<size_t>(attr));
-      const auto vb = dataset.entity(b).attribute(static_cast<size_t>(attr));
-      if (va != vb) return va < vb;
-      return a < b;
+    pipe.AddComputation("boundary pre-pass", [&, pass](double /*submit*/) {
+      const int attr = blocking_.SortAttribute(pass);
+      std::vector<EntityId> order(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        order[static_cast<size_t>(i)] = static_cast<EntityId>(i);
+      }
+      std::sort(order.begin(), order.end(), [&](EntityId a, EntityId b) {
+        const auto va = dataset.entity(a).attribute(static_cast<size_t>(attr));
+        const auto vb = dataset.entity(b).attribute(static_cast<size_t>(attr));
+        if (va != vb) return va < vb;
+        return a < b;
+      });
+      for (int64_t r = 0; r < n; ++r) {
+        rank_of[static_cast<size_t>(order[static_cast<size_t>(r)])] = r;
+      }
+      return kBoundaryCostPerEntity * static_cast<double>(n) * spc;
     });
-    std::vector<int64_t> rank_of(static_cast<size_t>(n));
-    for (int64_t r = 0; r < n; ++r) {
-      rank_of[static_cast<size_t>(order[static_cast<size_t>(r)])] = r;
-    }
-    clock_time += kBoundaryCostPerEntity * static_cast<double>(n) * spc;
-
-    const auto range_of_rank = [&](int64_t rank) {
-      return static_cast<int>(rank * reduce_tasks / std::max<int64_t>(1, n));
-    };
-    const auto range_end = [&](int range) {
-      return static_cast<int64_t>(range + 1) * n / reduce_tasks;
-    };
 
     // ---- The pass's MR job ----
-    using Job = MapReduceJob<Entity, int64_t, SlideValue>;
-    Job job(map_tasks, reduce_tasks);
-    job.set_map_cost_per_record(kReadCost);
-    job.set_partitioner([](const int64_t& key, int /*r*/) {
-      return static_cast<int>(key / kRankStride);
+    pipe.AddStage("mrsn pass", [&, pass](double submit_time) {
+      const auto range_of_rank = [&](int64_t rank) {
+        return static_cast<int>(rank * reduce_tasks / std::max<int64_t>(1, n));
+      };
+      const auto range_end = [&](int range) {
+        return static_cast<int64_t>(range + 1) * n / reduce_tasks;
+      };
+
+      using Job = MapReduceJob<Entity, int64_t, SlideValue>;
+      Job job(map_tasks, reduce_tasks);
+      job.set_map_cost_per_record(kReadCost);
+      job.set_partitioner([](const int64_t& key, int /*r*/) {
+        return static_cast<int>(key / kRankStride);
+      });
+      job.set_wire_size([](const int64_t& key, const SlideValue& value) {
+        return static_cast<int64_t>(VarintSize(static_cast<uint64_t>(key))) +
+               static_cast<int64_t>(
+                   VarintSize(static_cast<uint64_t>(value.id))) +
+               1;  // the owned flag
+      });
+
+      const int window = options_.window;
+      const auto map_fn = [&](const Entity& e, Job::MapContext* ctx) {
+        const int64_t rank = rank_of[static_cast<size_t>(e.id)];
+        const int range = range_of_rank(rank);
+        ctx->Emit(static_cast<int64_t>(range) * kRankStride + rank,
+                  {e.id, /*owned=*/true});
+        // Replicate the range's tail into the next range so the sliding
+        // window covers cross-boundary pairs.
+        if (range + 1 < reduce_tasks &&
+            rank >= range_end(range) - (window - 1)) {
+          ctx->clock().Charge(kReadCost);
+          ctx->counters().Increment("map.replicas");
+          ctx->Emit(static_cast<int64_t>(range + 1) * kRankStride + rank,
+                    {e.id, /*owned=*/false});
+        }
+      };
+
+      // Retried attempts replay the pass's whole partition; the registry's
+      // abort hook clears the task's sliding-window state and events first.
+      TaskStateRegistry<MrsnTaskState> states(reduce_tasks);
+      states.InstallAbortReset(&job);
+
+      const auto reduce_fn = [&](const int64_t& /*key*/,
+                                 std::vector<SlideValue>* values,
+                                 Job::ReduceContext* ctx) {
+        MrsnTaskState& state = states.at(ctx->task_id());
+        for (const SlideValue& value : *values) {
+          const Entity& e = dataset.entity(value.id);
+          for (const SlideValue& previous : state.window) {
+            if (!previous.owned && !value.owned) {
+              // Both replicas: compared in their home range already.
+              ctx->clock().Charge(kReplicaSkipCost);
+              ++state.skipped;
+              continue;
+            }
+            ctx->clock().Charge(kComparisonCost);
+            if (match_.Resolve(dataset.entity(previous.id), e)) {
+              ++state.duplicates;
+              state.raw_events.emplace_back(
+                  ctx->clock().units(), MakePairKey(previous.id, value.id));
+            } else {
+              ++state.distinct;
+            }
+          }
+          state.window.push_back(value);
+          if (static_cast<int>(state.window.size()) > window - 1) {
+            state.window.pop_front();
+          }
+        }
+      };
+
+      Job::Result run = job.Run(dataset.entities(), map_fn, reduce_fn,
+                                options_.cluster, submit_time);
+      if (!run.failed) {
+        AccumulateReduceTasks(states.states(), run.timing, run.reduce_stats,
+                              spc, options_.alpha, &result);
+      }
+      return StageResultFromJob(std::move(run), "mrsn pass");
     });
-
-    const int window = options_.window;
-    const auto map_fn = [&](const Entity& e, Job::MapContext* ctx) {
-      const int64_t rank = rank_of[static_cast<size_t>(e.id)];
-      const int range = range_of_rank(rank);
-      ctx->Emit(static_cast<int64_t>(range) * kRankStride + rank,
-                {e.id, /*owned=*/true});
-      // Replicate the range's tail into the next range so the sliding
-      // window covers cross-boundary pairs.
-      if (range + 1 < reduce_tasks &&
-          rank >= range_end(range) - (window - 1)) {
-        ctx->clock().Charge(kReadCost);
-        ctx->counters().Increment("map.replicas");
-        ctx->Emit(static_cast<int64_t>(range + 1) * kRankStride + rank,
-                  {e.id, /*owned=*/false});
-      }
-    };
-
-    std::vector<TaskState> states(static_cast<size_t>(reduce_tasks));
-
-    // Retried attempts replay the pass's whole partition; clear the task's
-    // sliding-window state and events from the failed attempt first.
-    job.set_task_abort(
-        [&states](TaskPhase phase, int task_id, int /*attempt*/) {
-          if (phase == TaskPhase::kReduce) {
-            states[static_cast<size_t>(task_id)] = TaskState();
-          }
-        });
-
-    const auto reduce_fn = [&](const int64_t& /*key*/,
-                               std::vector<SlideValue>* values,
-                               Job::ReduceContext* ctx) {
-      TaskState& state = states[static_cast<size_t>(ctx->task_id())];
-      for (const SlideValue& value : *values) {
-        const Entity& e = dataset.entity(value.id);
-        for (const SlideValue& previous : state.window) {
-          if (!previous.owned && !value.owned) {
-            // Both replicas: compared in their home range already.
-            ctx->clock().Charge(kReplicaSkipCost);
-            ++state.skipped;
-            continue;
-          }
-          ctx->clock().Charge(kComparisonCost);
-          if (match_.Resolve(dataset.entity(previous.id), e)) {
-            ++state.duplicates;
-            state.raw_events.emplace_back(ctx->clock().units(),
-                                          MakePairKey(previous.id, value.id));
-          } else {
-            ++state.distinct;
-          }
-        }
-        state.window.push_back(value);
-        if (static_cast<int>(state.window.size()) > window - 1) {
-          state.window.pop_front();
-        }
-      }
-    };
-
-    const Job::Result run = job.Run(dataset.entities(), map_fn, reduce_fn,
-                                    options_.cluster, clock_time);
-    clock_time = run.timing.end;
-    if (run.failed) {
-      result.failed = true;
-      result.error = "mrsn pass: " + run.error;
-      result.counters.MergeFrom(run.counters);
-      result.total_time = clock_time;
-      FinalizeDuplicates(&result);
-      return result;
-    }
-
-    for (int t = 0; t < reduce_tasks; ++t) {
-      const TaskState& state = states[static_cast<size_t>(t)];
-      result.duplicate_count += state.duplicates;
-      result.distinct_count += state.distinct;
-      result.skipped_count += state.skipped;
-      result.comparisons += state.duplicates + state.distinct;
-      AppendTaskEvents(t, run.timing.reduce_start[static_cast<size_t>(t)],
-                       run.reduce_stats[static_cast<size_t>(t)].cost, spc,
-                       options_.alpha, state.raw_events, &result);
-    }
-    result.counters.MergeFrom(run.counters);
   }
 
-  result.preprocessing_end = 0.0;
-  result.total_time = clock_time;
+  const PipelineResult pipe_result = pipe.Run(/*submit_time=*/0.0);
+  result.counters = pipe_result.counters;
+  result.total_time = pipe_result.end;
+  if (pipe_result.failed) {
+    result.failed = true;
+    result.error = pipe_result.error;
+  } else {
+    result.preprocessing_end = 0.0;
+  }
   FinalizeDuplicates(&result);
   return result;
 }

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "core/er_driver.h"
 #include "core/stats_job.h"
 #include "mapreduce/job.h"
+#include "mapreduce/pipeline.h"
 #include "mapreduce/serde.h"
 #include "redundancy/dominance.h"
 
@@ -38,11 +42,10 @@ int64_t WireSize(int64_t sq, const ResolveValue& value) {
   return bytes;
 }
 
-// Mutable per-reduce-task state, indexed by task id so concurrent tasks
-// never share an entry.
-struct TaskState {
-  // (task-local cost, pair) per duplicate found, in discovery order.
-  std::vector<std::pair<double, PairKey>> raw_events;
+// Mutable per-reduce-task state beyond the shared accumulator: the
+// incremental bottom-up resolution's resolved-pair memory and the per-tree
+// emission buffers.
+struct ResolveTaskState : ErTaskState {
   // Already-resolved pairs per tree (keyed by the tree's dominance value):
   // the incremental bottom-up resolution must not repeat child work.
   std::unordered_map<int32_t, std::unordered_set<PairKey>> resolved;
@@ -50,9 +53,6 @@ struct TaskState {
   // and the index of the next unresolved block in the task's schedule.
   std::unordered_map<int32_t, std::vector<ResolveValue>> tree_values;
   size_t next_block = 0;
-  int64_t duplicates = 0;
-  int64_t distinct = 0;
-  int64_t skipped = 0;
 };
 
 }  // namespace
@@ -68,8 +68,9 @@ ProgressiveEr::ProgressiveEr(const BlockingConfig& blocking,
       prob_(prob),
       options_(std::move(options)) {}
 
-ProgressiveEr::Preprocessed ProgressiveEr::Preprocess(
-    const Dataset& dataset) const {
+void ProgressiveEr::AddPreprocessStages(const Dataset& dataset,
+                                        Pipeline* pipe,
+                                        Preprocessed* pre) const {
   const int map_tasks = options_.num_map_tasks > 0
                             ? options_.num_map_tasks
                             : options_.cluster.map_slots();
@@ -77,309 +78,321 @@ ProgressiveEr::Preprocessed ProgressiveEr::Preprocess(
                                ? options_.num_reduce_tasks
                                : options_.cluster.reduce_slots();
 
+  // The raw forests cross from the stats stage to the schedule stage; a
+  // shared buffer keeps the stage closures self-contained.
+  auto stats_forests = std::make_shared<std::vector<Forest>>();
+
   // ---- First MR job: progressive blocking + statistics ----
-  StatsJobOutput stats = RunStatisticsJob(dataset, blocking_,
-                                          options_.cluster, map_tasks,
-                                          reduce_tasks);
+  pipe->AddStage("statistics job", [this, &dataset, stats_forests, map_tasks,
+                                    reduce_tasks](double submit_time) {
+    StatsJobOutput stats =
+        RunStatisticsJob(dataset, blocking_, options_.cluster, map_tasks,
+                         reduce_tasks, submit_time);
+    StageResult stage;
+    stage.failed = stats.failed;
+    stage.error = stats.error;  // already labelled "statistics job: ..."
+    stage.end_time = stats.timing.end;
+    stage.counters = std::move(stats.counters);
+    stage.timing = std::move(stats.timing);
+    *stats_forests = std::move(stats.forests);
+    return stage;
+  });
 
   // ---- Schedule generation (map-task setup of the second job) ----
-  Preprocessed pre;
-  if (stats.failed) {
-    pre.failed = true;
-    pre.error = stats.error;
-    pre.end_time = stats.timing.end;
-    return pre;
-  }
-  pre.forests = AnnotateForests(stats.forests, options_.estimate, prob_,
-                                dataset.size());
-  ScheduleParams params;
-  params.num_reduce_tasks = reduce_tasks;
-  params.cost_vector = options_.cost_vector;
-  params.weights = options_.weights;
-  params.batch_size = options_.batch_size;
-  params.scheduler = options_.scheduler;
-  params.per_task_budget = options_.per_task_cost_budget;
-  pre.schedule = GenerateSchedule(&pre.forests, params);
+  pipe->AddComputation("schedule generation", [this, &dataset, stats_forests,
+                                               pre, reduce_tasks](
+                                                  double /*submit_time*/) {
+    pre->forests = AnnotateForests(*stats_forests, options_.estimate, prob_,
+                                   dataset.size());
+    ScheduleParams params;
+    params.num_reduce_tasks = reduce_tasks;
+    params.cost_vector = options_.cost_vector;
+    params.weights = options_.weights;
+    params.batch_size = options_.batch_size;
+    params.scheduler = options_.scheduler;
+    params.per_task_budget = options_.per_task_cost_budget;
+    pre->schedule = GenerateSchedule(&pre->forests, params);
 
-  int64_t live_blocks = 0;
-  for (const AnnotatedForest& forest : pre.forests) {
-    for (int n = 0; n < forest.num_blocks(); ++n) {
-      if (!forest.block(n).eliminated) ++live_blocks;
+    int64_t live_blocks = 0;
+    for (const AnnotatedForest& forest : pre->forests) {
+      for (int n = 0; n < forest.num_blocks(); ++n) {
+        if (!forest.block(n).eliminated) ++live_blocks;
+      }
     }
+    return options_.schedule_cost_per_block *
+           static_cast<double>(live_blocks) *
+           options_.cluster.seconds_per_cost_unit;
+  });
+}
+
+ProgressiveEr::Preprocessed ProgressiveEr::Preprocess(
+    const Dataset& dataset) const {
+  Preprocessed pre;
+  Pipeline pipe;
+  AddPreprocessStages(dataset, &pipe, &pre);
+  const PipelineResult run = pipe.Run(/*submit_time=*/0.0);
+  pre.end_time = run.end;
+  if (run.failed) {
+    pre.failed = true;
+    pre.error = run.error;
   }
-  pre.end_time = stats.timing.end +
-                 options_.schedule_cost_per_block *
-                     static_cast<double>(live_blocks) *
-                     options_.cluster.seconds_per_cost_unit;
   return pre;
 }
 
 ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
-  const Preprocessed pre = Preprocess(dataset);
-  if (pre.failed) {
-    ErRunResult result;
-    result.failed = true;
-    result.error = pre.error;
-    result.preprocessing_end = pre.end_time;
-    result.total_time = pre.end_time;
-    return result;
-  }
-  const std::vector<AnnotatedForest>& forests = pre.forests;
-  const ProgressiveSchedule& schedule = pre.schedule;
-  const int map_tasks = options_.num_map_tasks > 0
-                            ? options_.num_map_tasks
-                            : options_.cluster.map_slots();
-  const int reduce_tasks = schedule.num_reduce_tasks;
-  const int num_families = blocking_.num_families();
-  const bool redundancy = options_.redundancy_elimination;
-  const bool per_tree = options_.map_emission == MapEmission::kPerTree;
+  Preprocessed pre;
+  ErRunResult result;
 
-  // Sequence value -> block lookup for the reduce side.
-  std::unordered_map<int64_t, BlockRef> block_of_sequence;
-  for (const auto& [key, sq] : schedule.sequence) {
-    block_of_sequence[sq] = {static_cast<int>(key >> 32),
-                             static_cast<int>(key & 0xffffffffULL)};
-  }
+  Pipeline pipe;
+  AddPreprocessStages(dataset, &pipe, &pre);
 
-  // Per-tree emission: the shuffle key of a tree is the sequence value of
-  // its first scheduled block. Trees whose blocks were all truncated by the
-  // budget have no key and are never shipped.
-  std::unordered_map<uint64_t, int64_t> tree_first_sq;
-  if (per_tree) {
-    for (const AnnotatedForest& forest : forests) {
-      for (int root : forest.tree_roots()) {
-        int64_t first = -1;
-        for (int n : forest.TreeBlocks(root)) {
-          const int64_t sq = schedule.SequenceOf(forest.family(), n);
-          if (sq >= 0 && (first < 0 || sq < first)) first = sq;
-        }
-        if (first >= 0) {
-          tree_first_sq[BlockRefKey(forest.family(), root)] = first;
+  // ---- Second MR job: progressive resolution ----
+  pipe.AddStage("resolution job", [&, this](double submit_time) {
+    const std::vector<AnnotatedForest>& forests = pre.forests;
+    const ProgressiveSchedule& schedule = pre.schedule;
+    const int map_tasks = options_.num_map_tasks > 0
+                              ? options_.num_map_tasks
+                              : options_.cluster.map_slots();
+    const int reduce_tasks = schedule.num_reduce_tasks;
+    const int num_families = blocking_.num_families();
+    const bool redundancy = options_.redundancy_elimination;
+    const bool per_tree = options_.map_emission == MapEmission::kPerTree;
+
+    // Sequence value -> block lookup for the reduce side.
+    std::unordered_map<int64_t, BlockRef> block_of_sequence;
+    for (const auto& [key, sq] : schedule.sequence) {
+      block_of_sequence[sq] = {static_cast<int>(key >> 32),
+                               static_cast<int>(key & 0xffffffffULL)};
+    }
+
+    // Per-tree emission: the shuffle key of a tree is the sequence value of
+    // its first scheduled block. Trees whose blocks were all truncated by
+    // the budget have no key and are never shipped.
+    std::unordered_map<uint64_t, int64_t> tree_first_sq;
+    if (per_tree) {
+      for (const AnnotatedForest& forest : forests) {
+        for (int root : forest.tree_roots()) {
+          int64_t first = -1;
+          for (int n : forest.TreeBlocks(root)) {
+            const int64_t sq = schedule.SequenceOf(forest.family(), n);
+            if (sq >= 0 && (first < 0 || sq < first)) first = sq;
+          }
+          if (first >= 0) {
+            tree_first_sq[BlockRefKey(forest.family(), root)] = first;
+          }
         }
       }
     }
-  }
 
-  using Job = MapReduceJob<Entity, int64_t, ResolveValue>;
-  Job job(map_tasks, reduce_tasks);
-  job.set_map_cost_per_record(0.1);
-  job.set_partitioner([range = schedule.range_per_task](const int64_t& sq,
-                                                        int /*r*/) {
-    return static_cast<int>(sq / range);
-  });
+    using Job = MapReduceJob<Entity, int64_t, ResolveValue>;
+    Job job(map_tasks, reduce_tasks);
+    job.set_map_cost_per_record(0.1);
+    job.set_partitioner([range = schedule.range_per_task](const int64_t& sq,
+                                                          int /*r*/) {
+      return static_cast<int>(sq / range);
+    });
+    job.set_wire_size([](const int64_t& sq, const ResolveValue& value) {
+      return WireSize(sq, value);
+    });
 
-  const auto map_fn = [&, this](const Entity& e, Job::MapContext* ctx) {
-    for (int f = 0; f < num_families; ++f) {
-      const AnnotatedForest& forest = forests[static_cast<size_t>(f)];
-      const int levels = blocking_.family(f).levels();
-      int previous_node = -1;
-      int previous_tree = -1;
-      for (int level = 1; level <= levels; ++level) {
-        const int node = forest.Find(blocking_.Path(f, level, e));
-        if (node < 0) break;  // chain eliminated from here down
-        if (node == previous_node) continue;  // equal-size collapse redirect
-        previous_node = node;
-        if (per_tree) {
-          // One emission per (entity, tree): emit when the chain enters a
-          // new tree. The dominance list is identical for every block of
-          // the tree along e's chain.
-          const int tree = forest.FindTreeRoot(node);
-          if (tree == previous_tree) continue;
-          previous_tree = tree;
-          const auto it = tree_first_sq.find(BlockRefKey(f, tree));
-          if (it == tree_first_sq.end()) continue;  // budget-truncated tree
-          ResolveValue value;
-          value.id = e.id;
-          if (redundancy) {
-            value.list =
-                BuildDominanceList(e, f, node, blocking_, forests, schedule);
+    const auto map_fn = [&, this](const Entity& e, Job::MapContext* ctx) {
+      for (int f = 0; f < num_families; ++f) {
+        const AnnotatedForest& forest = forests[static_cast<size_t>(f)];
+        const int levels = blocking_.family(f).levels();
+        int previous_node = -1;
+        int previous_tree = -1;
+        for (int level = 1; level <= levels; ++level) {
+          const int node = forest.Find(blocking_.Path(f, level, e));
+          if (node < 0) break;  // chain eliminated from here down
+          if (node == previous_node) continue;  // equal-size collapse redirect
+          previous_node = node;
+          if (per_tree) {
+            // One emission per (entity, tree): emit when the chain enters a
+            // new tree. The dominance list is identical for every block of
+            // the tree along e's chain.
+            const int tree = forest.FindTreeRoot(node);
+            if (tree == previous_tree) continue;
+            previous_tree = tree;
+            const auto it = tree_first_sq.find(BlockRefKey(f, tree));
+            if (it == tree_first_sq.end()) continue;  // budget-truncated tree
+            ResolveValue value;
+            value.id = e.id;
+            if (redundancy) {
+              value.list =
+                  BuildDominanceList(e, f, node, blocking_, forests, schedule);
+            }
+            ctx->clock().Charge(kMapEmitCost);
+            ctx->counters().Increment("map.emitted_pairs");
+            ctx->counters().Increment("shuffle.bytes",
+                                      WireSize(it->second, value));
+            ctx->Emit(it->second, std::move(value));
+          } else {
+            const int64_t sq = schedule.SequenceOf(f, node);
+            if (sq < 0) continue;  // budget-truncated block
+            ResolveValue value;
+            value.id = e.id;
+            if (redundancy) {
+              value.list =
+                  BuildDominanceList(e, f, node, blocking_, forests, schedule);
+            }
+            ctx->clock().Charge(kMapEmitCost);
+            ctx->counters().Increment("map.emitted_pairs");
+            ctx->counters().Increment("shuffle.bytes", WireSize(sq, value));
+            ctx->Emit(sq, std::move(value));
           }
-          ctx->clock().Charge(kMapEmitCost);
-          ctx->counters().Increment("map.emitted_pairs");
-          ctx->counters().Increment("shuffle.bytes",
-                                    WireSize(it->second, value));
-          ctx->Emit(it->second, std::move(value));
-        } else {
-          const int64_t sq = schedule.SequenceOf(f, node);
-          if (sq < 0) continue;  // budget-truncated block
-          ResolveValue value;
-          value.id = e.id;
-          if (redundancy) {
-            value.list =
-                BuildDominanceList(e, f, node, blocking_, forests, schedule);
-          }
-          ctx->clock().Charge(kMapEmitCost);
-          ctx->counters().Increment("map.emitted_pairs");
-          ctx->counters().Increment("shuffle.bytes", WireSize(sq, value));
-          ctx->Emit(sq, std::move(value));
         }
       }
-    }
-  };
+    };
 
-  std::vector<TaskState> states(static_cast<size_t>(reduce_tasks));
+    // A failed reduce attempt leaves partial events, resolved-pair sets and
+    // buffered tree groups behind; the registry's abort hook resets its
+    // state so the retry replays the task from scratch.
+    TaskStateRegistry<ResolveTaskState> states(reduce_tasks);
+    states.InstallAbortReset(&job);
 
-  // A failed reduce attempt leaves partial events, resolved-pair sets and
-  // buffered tree groups behind; reset its state so the retry replays the
-  // task from scratch.
-  job.set_task_abort([&states](TaskPhase phase, int task_id, int /*attempt*/) {
-    if (phase == TaskPhase::kReduce) {
-      states[static_cast<size_t>(task_id)] = TaskState();
-    }
-  });
+    // Resolves one scheduled block given its members (and their dominance
+    // lists); shared by both emission modes.
+    const auto resolve_block =
+        [&, this](const BlockRef& ref,
+                  const std::vector<const Entity*>& members,
+                  const std::unordered_map<EntityId, const DominanceList*>&
+                      lists,
+                  Job::ReduceContext* ctx) {
+          if (options_.per_task_cost_budget > 0.0 &&
+              ctx->clock().units() >= options_.per_task_cost_budget) {
+            ctx->counters().Increment("reduce.blocks_skipped_budget");
+            return;
+          }
+          const AnnotatedForest& forest =
+              forests[static_cast<size_t>(ref.family)];
+          const AnnotatedBlock& block = forest.block(ref.node);
+          ResolveTaskState& state = states.at(ctx->task_id());
 
-  // Resolves one scheduled block given its members (and their dominance
-  // lists); shared by both emission modes.
-  const auto resolve_block =
-      [&, this](const BlockRef& ref, const std::vector<const Entity*>& members,
-                const std::unordered_map<EntityId, const DominanceList*>& lists,
-                Job::ReduceContext* ctx) {
-        if (options_.per_task_cost_budget > 0.0 &&
-            ctx->clock().units() >= options_.per_task_cost_budget) {
-          ctx->counters().Increment("reduce.blocks_skipped_budget");
-          return;
-        }
+          ResolveRequest request;
+          request.block = &members;
+          request.sort_attribute = blocking_.SortAttribute(ref.family);
+          request.match = &match_;
+          request.options.window = block.window;
+          request.options.termination_distinct =
+              block.tree_root ? -1 : block.th;
+          request.clock = &ctx->clock();
+
+          std::function<bool(const Entity&, const Entity&)> predicate;
+          if (redundancy) {
+            predicate = [&](const Entity& a, const Entity& b) {
+              return ShouldResolve(*lists.at(a.id), *lists.at(b.id),
+                                   ref.family + 1, num_families);
+            };
+            request.should_resolve = &predicate;
+          }
+
+          const int32_t tree_dom = schedule.dominance.at(
+              BlockRefKey(ref.family, forest.FindTreeRoot(ref.node)));
+          request.resolved = &state.resolved[tree_dom];
+
+          request.on_duplicate = EventSink(&state, &ctx->clock());
+
+          const ResolveOutcome outcome = mechanism_.Resolve(request);
+          RecordResolveOutcome(outcome, &state, &ctx->counters());
+        };
+
+    // Per-tree mode: resolves every pending scheduled block whose sequence
+    // value is <= sq_limit (their trees are guaranteed buffered).
+    const auto drain_pending = [&, this](int64_t sq_limit,
+                                         Job::ReduceContext* ctx) {
+      ResolveTaskState& state = states.at(ctx->task_id());
+      const auto& blocks =
+          schedule.task_blocks[static_cast<size_t>(ctx->task_id())];
+      while (state.next_block < blocks.size()) {
+        const BlockRef ref = blocks[state.next_block];
+        const int64_t sq = schedule.SequenceOf(ref.family, ref.node);
+        if (sq > sq_limit) break;
+        ++state.next_block;
         const AnnotatedForest& forest =
             forests[static_cast<size_t>(ref.family)];
         const AnnotatedBlock& block = forest.block(ref.node);
-        TaskState& state = states[static_cast<size_t>(ctx->task_id())];
-
-        ResolveRequest request;
-        request.block = &members;
-        request.sort_attribute = blocking_.SortAttribute(ref.family);
-        request.match = &match_;
-        request.options.window = block.window;
-        request.options.termination_distinct =
-            block.tree_root ? -1 : block.th;
-        request.clock = &ctx->clock();
-
-        std::function<bool(const Entity&, const Entity&)> predicate;
-        if (redundancy) {
-          predicate = [&](const Entity& a, const Entity& b) {
-            return ShouldResolve(*lists.at(a.id), *lists.at(b.id),
-                                 ref.family + 1, num_families);
-          };
-          request.should_resolve = &predicate;
-        }
-
         const int32_t tree_dom = schedule.dominance.at(
             BlockRefKey(ref.family, forest.FindTreeRoot(ref.node)));
-        request.resolved = &state.resolved[tree_dom];
+        const auto buffered = state.tree_values.find(tree_dom);
+        if (buffered == state.tree_values.end()) continue;  // empty tree group
 
-        request.on_duplicate = [&](EntityId a, EntityId b) {
-          state.raw_events.emplace_back(ctx->clock().units(),
-                                        MakePairKey(a, b));
-        };
-
-        const ResolveOutcome outcome = mechanism_.Resolve(request);
-        state.duplicates += outcome.duplicates;
-        state.distinct += outcome.distinct;
-        state.skipped += outcome.skipped;
-        ctx->counters().Increment("reduce.blocks_resolved");
-        ctx->counters().Increment("reduce.duplicates", outcome.duplicates);
-        ctx->counters().Increment("reduce.comparisons",
-                                  outcome.duplicates + outcome.distinct);
-        ctx->counters().Increment("reduce.skipped", outcome.skipped);
-        if (outcome.stopped_early) {
-          ctx->counters().Increment("reduce.blocks_stopped_early");
+        // Regroup: select the tree members belonging to this block.
+        std::vector<const Entity*> members;
+        std::unordered_map<EntityId, const DominanceList*> lists;
+        for (const ResolveValue& value : buffered->second) {
+          ctx->clock().Charge(kRegroupCostPerEntity);
+          const Entity& e = dataset.entity(value.id);
+          if (blocking_.Path(ref.family, block.id.level, e) !=
+              block.id.path) {
+            continue;
+          }
+          members.push_back(&e);
+          lists.emplace(value.id, &value.list);
         }
-      };
+        resolve_block(ref, members, lists, ctx);
+      }
+    };
 
-  // Per-tree mode: resolves every pending scheduled block whose sequence
-  // value is <= sq_limit (their trees are guaranteed buffered).
-  const auto drain_pending = [&, this](int64_t sq_limit,
-                                       Job::ReduceContext* ctx) {
-    TaskState& state = states[static_cast<size_t>(ctx->task_id())];
-    const auto& blocks =
-        schedule.task_blocks[static_cast<size_t>(ctx->task_id())];
-    while (state.next_block < blocks.size()) {
-      const BlockRef ref = blocks[state.next_block];
-      const int64_t sq = schedule.SequenceOf(ref.family, ref.node);
-      if (sq > sq_limit) break;
-      ++state.next_block;
-      const AnnotatedForest& forest =
-          forests[static_cast<size_t>(ref.family)];
-      const AnnotatedBlock& block = forest.block(ref.node);
-      const int32_t tree_dom = schedule.dominance.at(
-          BlockRefKey(ref.family, forest.FindTreeRoot(ref.node)));
-      const auto buffered = state.tree_values.find(tree_dom);
-      if (buffered == state.tree_values.end()) continue;  // empty tree group
-
-      // Regroup: select the tree members belonging to this block.
+    const auto reduce_fn = [&](const int64_t& sq,
+                               std::vector<ResolveValue>* values,
+                               Job::ReduceContext* ctx) {
+      if (per_tree) {
+        ResolveTaskState& state = states.at(ctx->task_id());
+        const BlockRef first = block_of_sequence.at(sq);
+        const AnnotatedForest& forest =
+            forests[static_cast<size_t>(first.family)];
+        const int32_t tree_dom = schedule.dominance.at(
+            BlockRefKey(first.family, forest.FindTreeRoot(first.node)));
+        state.tree_values[tree_dom] = std::move(*values);
+        drain_pending(sq, ctx);
+        return;
+      }
+      const BlockRef ref = block_of_sequence.at(sq);
       std::vector<const Entity*> members;
+      members.reserve(values->size());
       std::unordered_map<EntityId, const DominanceList*> lists;
-      for (const ResolveValue& value : buffered->second) {
-        ctx->clock().Charge(kRegroupCostPerEntity);
-        const Entity& e = dataset.entity(value.id);
-        if (blocking_.Path(ref.family, block.id.level, e) != block.id.path) {
-          continue;
-        }
-        members.push_back(&e);
+      lists.reserve(values->size());
+      for (const ResolveValue& value : *values) {
+        members.push_back(&dataset.entity(value.id));
         lists.emplace(value.id, &value.list);
       }
       resolve_block(ref, members, lists, ctx);
-    }
-  };
+    };
 
-  const auto reduce_fn = [&](const int64_t& sq,
-                             std::vector<ResolveValue>* values,
-                             Job::ReduceContext* ctx) {
     if (per_tree) {
-      TaskState& state = states[static_cast<size_t>(ctx->task_id())];
-      const BlockRef first = block_of_sequence.at(sq);
-      const AnnotatedForest& forest =
-          forests[static_cast<size_t>(first.family)];
-      const int32_t tree_dom = schedule.dominance.at(
-          BlockRefKey(first.family, forest.FindTreeRoot(first.node)));
-      state.tree_values[tree_dom] = std::move(*values);
-      drain_pending(sq, ctx);
-      return;
+      job.set_reduce_cleanup([&](Job::ReduceContext* ctx) {
+        // Every tree group has arrived; flush the remaining blocks.
+        drain_pending(std::numeric_limits<int64_t>::max(), ctx);
+      });
     }
-    const BlockRef ref = block_of_sequence.at(sq);
-    std::vector<const Entity*> members;
-    members.reserve(values->size());
-    std::unordered_map<EntityId, const DominanceList*> lists;
-    lists.reserve(values->size());
-    for (const ResolveValue& value : *values) {
-      members.push_back(&dataset.entity(value.id));
-      lists.emplace(value.id, &value.list);
-    }
-    resolve_block(ref, members, lists, ctx);
-  };
 
-  if (per_tree) {
-    job.set_reduce_cleanup([&](Job::ReduceContext* ctx) {
-      // Every tree group has arrived; flush the remaining blocks.
-      drain_pending(std::numeric_limits<int64_t>::max(), ctx);
-    });
+    Job::Result run = job.Run(dataset.entities(), map_fn, reduce_fn,
+                              options_.cluster, submit_time);
+    if (!run.failed) {
+      AccumulateReduceTasks(states.states(), run.timing, run.reduce_stats,
+                            options_.cluster.seconds_per_cost_unit,
+                            options_.alpha, &result);
+    }
+    return StageResultFromJob(std::move(run), "resolution job");
+  });
+
+  const PipelineResult pipe_result = pipe.Run(/*submit_time=*/0.0);
+
+  // ErRunResult::counters reports the resolution job only (the statistics
+  // job's counters are internal to preprocessing), so read the resolution
+  // stage's report rather than the pipeline-wide merge.
+  const StageReport* resolution = pipe_result.Find("resolution job");
+  if (resolution != nullptr) {
+    result.counters = resolution->result.counters;
+    result.preprocessing_end = resolution->start;
+  } else {
+    result.preprocessing_end = pipe_result.end;
   }
-
-  const Job::Result run = job.Run(dataset.entities(), map_fn, reduce_fn,
-                                  options_.cluster, pre.end_time);
-
-  // ---- Assemble the globally-timed result ----
-  ErRunResult result;
-  if (run.failed) {
+  result.total_time = pipe_result.end;
+  if (pipe_result.failed) {
     result.failed = true;
-    result.error = "resolution job: " + run.error;
-    result.preprocessing_end = pre.end_time;
-    result.total_time = run.timing.end;
-    result.counters = run.counters;
+    result.error = pipe_result.error;
     return result;
-  }
-  result.preprocessing_end = pre.end_time;
-  result.total_time = run.timing.end;
-  result.counters = run.counters;
-  const double spc = options_.cluster.seconds_per_cost_unit;
-  for (int t = 0; t < reduce_tasks; ++t) {
-    const TaskState& state = states[static_cast<size_t>(t)];
-    result.duplicate_count += state.duplicates;
-    result.distinct_count += state.distinct;
-    result.skipped_count += state.skipped;
-    result.comparisons += state.duplicates + state.distinct;
-    AppendTaskEvents(t, run.timing.reduce_start[static_cast<size_t>(t)],
-                     run.reduce_stats[static_cast<size_t>(t)].cost, spc,
-                     options_.alpha, state.raw_events, &result);
   }
   FinalizeDuplicates(&result);
   return result;

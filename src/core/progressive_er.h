@@ -15,6 +15,8 @@
 
 namespace progres {
 
+class Pipeline;
+
 // How the second job's map phase routes an entity to its blocks
 // (footnote 5 of the paper).
 enum class MapEmission {
@@ -94,6 +96,12 @@ class ProgressiveEr {
   Preprocessed Preprocess(const Dataset& dataset) const;
 
  private:
+  // Appends the preprocessing stages — the statistics job and the
+  // schedule-generation computation — to `pipe`. The stages write the
+  // annotated forests and the schedule into `pre` as they execute.
+  void AddPreprocessStages(const Dataset& dataset, Pipeline* pipe,
+                           Preprocessed* pre) const;
+
   BlockingConfig blocking_;
   MatchFunction match_;
   const ProgressiveMechanism& mechanism_;

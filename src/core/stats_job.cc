@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <string>
 #include <unordered_map>
+#include <utility>
+
+#include "core/er_driver.h"
+#include "mapreduce/pipeline.h"
+#include "mapreduce/serde.h"
 
 namespace progres {
 
@@ -35,98 +40,111 @@ StatsJobOutput RunStatisticsJob(const Dataset& dataset,
                                 const ClusterConfig& cluster,
                                 int num_map_tasks, int num_reduce_tasks,
                                 double submit_time) {
-  using Job = MapReduceJob<Entity, std::string, StatsValue>;
-  Job job(num_map_tasks, num_reduce_tasks);
-  job.set_map_cost_per_record(0.1);
+  StatsJobOutput output;
 
-  // Per-reduce-task record sinks (each task writes only its own slot).
-  std::vector<std::vector<StatsRecord>> sinks(
-      static_cast<size_t>(std::max(1, num_reduce_tasks)));
+  // Per-reduce-task record sinks (each task writes only its own slot). A
+  // failed reduce attempt may have flushed records into its sink; the
+  // registry's abort hook drops them so the retry starts clean.
+  TaskStateRegistry<std::vector<StatsRecord>> sinks(num_reduce_tasks);
 
-  // A failed reduce attempt may have flushed records into its sink; drop
-  // them so the retry starts from a clean slate.
-  job.set_task_abort([&sinks](TaskPhase phase, int task_id, int /*attempt*/) {
-    if (phase == TaskPhase::kReduce) {
-      sinks[static_cast<size_t>(task_id)].clear();
-    }
+  Pipeline pipe;
+  pipe.AddStage("statistics job", [&](double stage_submit) {
+    using Job = MapReduceJob<Entity, std::string, StatsValue>;
+    Job job(num_map_tasks, num_reduce_tasks);
+    job.set_map_cost_per_record(0.1);
+    job.set_wire_size([](const std::string& key, const StatsValue& value) {
+      int64_t bytes = static_cast<int64_t>(VarintSize(key.size())) +
+                      static_cast<int64_t>(key.size());
+      for (const std::string& level_key : value.level_keys) {
+        bytes += static_cast<int64_t>(VarintSize(level_key.size())) +
+                 static_cast<int64_t>(level_key.size());
+      }
+      bytes += static_cast<int64_t>(VarintSize(value.tuple.size())) +
+               static_cast<int64_t>(value.tuple.size());
+      return bytes;
+    });
+    sinks.InstallAbortReset(&job);
+
+    const auto map_fn = [&config](const Entity& e, Job::MapContext* ctx) {
+      for (int f = 0; f < config.num_families(); ++f) {
+        StatsValue value;
+        const int levels = config.family(f).levels();
+        value.level_keys.reserve(static_cast<size_t>(levels));
+        for (int level = 1; level <= levels; ++level) {
+          value.level_keys.push_back(config.Key(f, level, e));
+        }
+        for (int d = 0; d < f; ++d) {
+          if (d > 0) value.tuple.push_back(kTupleSeparator);
+          value.tuple += config.Key(d, 1, e);
+        }
+        std::string key;
+        key.push_back(static_cast<char>('0' + f));
+        key.push_back(kPathSeparator);
+        key += value.level_keys.front();
+        ctx->clock().Charge(kMapEmitCost);
+        ctx->Emit(std::move(key), std::move(value));
+      }
+    };
+
+    const auto reduce_fn = [&sinks](const std::string& key,
+                                    std::vector<StatsValue>* values,
+                                    Job::ReduceContext* ctx) {
+      const int family = key.front() - '0';
+      // Reconstruct the tree of this root block: per-path sizes, levels,
+      // parents, and joint overlap-tuple counts.
+      struct NodeAgg {
+        int level = 1;
+        std::string parent_path;
+        int64_t size = 0;
+        std::unordered_map<std::string, int64_t> joint;
+      };
+      std::unordered_map<std::string, NodeAgg> nodes;
+      for (const StatsValue& value : *values) {
+        ctx->clock().Charge(kReduceValueCost);
+        std::string path;
+        std::string parent_path;
+        for (size_t level = 1; level <= value.level_keys.size(); ++level) {
+          if (level > 1) path.push_back(kPathSeparator);
+          path += value.level_keys[level - 1];
+          NodeAgg& agg = nodes[path];
+          agg.level = static_cast<int>(level);
+          agg.parent_path = parent_path;
+          ++agg.size;
+          if (family > 0) ++agg.joint[value.tuple];
+          parent_path = path;
+        }
+      }
+      std::vector<StatsRecord>& sink = sinks.at(ctx->task_id());
+      for (auto& [path, agg] : nodes) {
+        StatsRecord record;
+        record.family = family;
+        record.level = agg.level;
+        record.path = path;
+        record.parent_path = std::move(agg.parent_path);
+        record.size = agg.size;
+        record.uncov = UncoveredFromJointCounts(agg.joint, family);
+        ctx->clock().Charge(kReduceValueCost);
+        sink.push_back(std::move(record));
+      }
+    };
+
+    Job::Result run =
+        job.Run(dataset.entities(), map_fn, reduce_fn, cluster, stage_submit);
+    output.timing = run.timing;
+    return StageResultFromJob(std::move(run), "statistics job");
   });
 
-  const auto map_fn = [&config](const Entity& e, Job::MapContext* ctx) {
-    for (int f = 0; f < config.num_families(); ++f) {
-      StatsValue value;
-      const int levels = config.family(f).levels();
-      value.level_keys.reserve(static_cast<size_t>(levels));
-      for (int level = 1; level <= levels; ++level) {
-        value.level_keys.push_back(config.Key(f, level, e));
-      }
-      for (int d = 0; d < f; ++d) {
-        if (d > 0) value.tuple.push_back(kTupleSeparator);
-        value.tuple += config.Key(d, 1, e);
-      }
-      std::string key;
-      key.push_back(static_cast<char>('0' + f));
-      key.push_back(kPathSeparator);
-      key += value.level_keys.front();
-      ctx->clock().Charge(kMapEmitCost);
-      ctx->Emit(std::move(key), std::move(value));
-    }
-  };
-
-  const auto reduce_fn = [&sinks](const std::string& key,
-                                  std::vector<StatsValue>* values,
-                                  Job::ReduceContext* ctx) {
-    const int family = key.front() - '0';
-    // Reconstruct the tree of this root block: per-path sizes, levels,
-    // parents, and joint overlap-tuple counts.
-    struct NodeAgg {
-      int level = 1;
-      std::string parent_path;
-      int64_t size = 0;
-      std::unordered_map<std::string, int64_t> joint;
-    };
-    std::unordered_map<std::string, NodeAgg> nodes;
-    for (const StatsValue& value : *values) {
-      ctx->clock().Charge(kReduceValueCost);
-      std::string path;
-      std::string parent_path;
-      for (size_t level = 1; level <= value.level_keys.size(); ++level) {
-        if (level > 1) path.push_back(kPathSeparator);
-        path += value.level_keys[level - 1];
-        NodeAgg& agg = nodes[path];
-        agg.level = static_cast<int>(level);
-        agg.parent_path = parent_path;
-        ++agg.size;
-        if (family > 0) ++agg.joint[value.tuple];
-        parent_path = path;
-      }
-    }
-    std::vector<StatsRecord>& sink = sinks[static_cast<size_t>(ctx->task_id())];
-    for (auto& [path, agg] : nodes) {
-      StatsRecord record;
-      record.family = family;
-      record.level = agg.level;
-      record.path = path;
-      record.parent_path = std::move(agg.parent_path);
-      record.size = agg.size;
-      record.uncov = UncoveredFromJointCounts(agg.joint, family);
-      ctx->clock().Charge(kReduceValueCost);
-      sink.push_back(std::move(record));
-    }
-  };
-
-  const Job::Result run =
-      job.Run(dataset.entities(), map_fn, reduce_fn, cluster, submit_time);
-  if (run.failed) {
-    StatsJobOutput output;
-    output.timing = run.timing;
+  const PipelineResult pipe_result = pipe.Run(submit_time);
+  output.counters = pipe_result.counters;
+  if (pipe_result.failed) {
     output.failed = true;
-    output.error = "statistics job: " + run.error;
+    output.error = pipe_result.error;
     return output;
   }
 
   // ---- Assemble forests from the emitted records ----
   std::vector<StatsRecord> records;
-  for (auto& sink : sinks) {
+  for (auto& sink : sinks.states()) {
     for (auto& record : sink) records.push_back(std::move(record));
   }
   std::sort(records.begin(), records.end(),
@@ -136,8 +154,6 @@ StatsJobOutput RunStatisticsJob(const Dataset& dataset,
               return a.path < b.path;
             });
 
-  StatsJobOutput output;
-  output.timing = run.timing;
   output.forests.resize(static_cast<size_t>(config.num_families()));
   for (int f = 0; f < config.num_families(); ++f) {
     output.forests[static_cast<size_t>(f)].family = f;

@@ -19,6 +19,8 @@ namespace progres {
 struct StatsJobOutput {
   std::vector<Forest> forests;
   JobTiming timing;
+  // Named MR counters of the job, including the runtime's "mr." ones.
+  Counters counters;
   // Set when the job exhausted its fault-injection max_attempts budget;
   // `forests` is empty in that case.
   bool failed = false;

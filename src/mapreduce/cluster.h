@@ -2,6 +2,7 @@
 #define PROGRES_MAPREDUCE_CLUSTER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "mapreduce/fault.h"
@@ -68,6 +69,24 @@ struct TaskAttemptTiming {
   bool failed = false;       // ended by an injected failure
   bool speculative = false;  // backup copy from speculative execution
   bool won = false;          // produced the task's result
+};
+
+// Per-task execution statistics (winning attempt only).
+struct TaskStats {
+  double cost = 0.0;        // cost units charged by the task
+  int64_t records_in = 0;   // map: input records; reduce: input values
+  int64_t pairs_out = 0;    // map: emitted KVs; reduce: emitted KVs
+};
+
+// Timing of one job on the simulated cluster.
+struct JobTiming {
+  double start = 0.0;               // when the job was submitted (seconds)
+  double map_end = 0.0;             // end of the map phase (barrier)
+  std::vector<double> reduce_start; // per reduce task (winning attempt)
+  double end = 0.0;                 // job completion (makespan)
+  // Every scheduled attempt, including failed and speculative ones.
+  std::vector<TaskAttemptTiming> map_attempts;
+  std::vector<TaskAttemptTiming> reduce_attempts;
 };
 
 // FIFO-schedules tasks with the given `costs` (in cost units) onto `slots`

@@ -10,6 +10,18 @@ namespace progres {
 // Hadoop-style named counters. Each task owns a private Counters instance
 // (no synchronization needed); the runtime merges them into the job-wide
 // totals after the task finishes.
+//
+// The "mr." name prefix is reserved for the runtime's own bookkeeping and
+// must not be used by user map/reduce functions:
+//   mr.attempts             task attempts executed (>= task count)
+//   mr.failed_attempts      attempts ended by an injected failure
+//   mr.speculative_launched backup copies launched by speculative execution
+//   mr.speculative_wins     backup copies that beat the original attempt
+//   mr.shuffle.records      post-combine pairs crossing the shuffle
+//   mr.shuffle.bytes        their serialized volume (needs set_wire_size)
+// User counters merge independently of the reserved ones: the runtime only
+// ever increments "mr." names, and a job's non-"mr." counters are
+// byte-identical to a fault-free run.
 class Counters {
  public:
   // Adds `delta` to counter `name`, creating it at zero if absent.

@@ -6,7 +6,6 @@
 #include <functional>
 #include <string>
 #include <thread>
-#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -15,10 +14,22 @@
 #include "mapreduce/cost_clock.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/fault.h"
+#include "mapreduce/shuffle.h"
+#include "mapreduce/task_runner.h"
 
 namespace progres {
 
-// In-process MapReduce runtime. It honours the Hadoop contract the paper's
+// In-process MapReduce runtime, layered out of three components:
+//   * Shuffle (shuffle.h) — partition routing, map-side spill buffers, the
+//     combiner, the reduce-side gather/sort/group merge, and shuffle-volume
+//     accounting (exported under "mr.shuffle.records"/"mr.shuffle.bytes");
+//   * TaskAttemptRunner (task_runner.h) — the retry/abort bookkeeping of
+//     fault-injected task attempts, per phase;
+//   * the attempt-aware timing model (cluster.h) — converts per-attempt
+//     costs into a deterministic simulated timeline, including retry delays
+//     and speculative backup copies of stragglers.
+//
+// MapReduceJob composes them and honours the Hadoop contract the paper's
 // algorithms rely on:
 //   * the input is split into contiguous chunks, one per map task;
 //   * map tasks emit (key, value) pairs that a partition function routes to
@@ -36,35 +47,17 @@ namespace progres {
 //     (Result::failed + Result::error).
 //
 // Tasks execute concurrently on a thread pool; all algorithmic cost is
-// charged to deterministic per-task CostClocks, and the simulated cluster
-// (cluster.h) converts per-attempt costs into start/end times afterwards —
-// including retry delays and speculative backup copies of stragglers — so
-// results are bit-identical regardless of real thread interleaving.
+// charged to deterministic per-task CostClocks, so results are bit-identical
+// regardless of real thread interleaving.
 //
 // Keys and values are typed (template parameters) rather than raw bytes;
 // serialization would add nothing to the reproduced algorithms.
 
-// Per-task execution statistics (winning attempt only).
-struct TaskStats {
-  double cost = 0.0;        // cost units charged by the task
-  int64_t records_in = 0;   // map: input records; reduce: input values
-  int64_t pairs_out = 0;    // map: emitted KVs; reduce: emitted KVs
-};
-
-// Timing of one job on the simulated cluster.
-struct JobTiming {
-  double start = 0.0;               // when the job was submitted (seconds)
-  double map_end = 0.0;             // end of the map phase (barrier)
-  std::vector<double> reduce_start; // per reduce task (winning attempt)
-  double end = 0.0;                 // job completion (makespan)
-  // Every scheduled attempt, including failed and speculative ones.
-  std::vector<TaskAttemptTiming> map_attempts;
-  std::vector<TaskAttemptTiming> reduce_attempts;
-};
-
 template <typename Record, typename K, typename V>
 class MapReduceJob {
  public:
+  using JobShuffle = Shuffle<K, V>;
+
   class MapContext {
    public:
     int task_id() const { return task_id_; }
@@ -73,20 +66,17 @@ class MapReduceJob {
 
     // Emits a pair routed to partition `partition(key, num_reduce_tasks)`.
     void Emit(K key, V value) {
-      const int r = job_->partition_(key, job_->num_reduce_tasks_);
-      buckets_[static_cast<size_t>(r)].emplace_back(std::move(key),
-                                                    std::move(value));
+      output_.Add(std::move(key), std::move(value));
       ++stats_.pairs_out;
     }
 
    private:
     friend class MapReduceJob;
-    MapReduceJob* job_ = nullptr;
     int task_id_ = 0;
     CostClock clock_;
     Counters counters_;
     TaskStats stats_;
-    std::vector<std::vector<std::pair<K, V>>> buckets_;
+    typename JobShuffle::MapOutput output_;
   };
 
   class ReduceContext {
@@ -112,14 +102,12 @@ class MapReduceJob {
   using MapFn = std::function<void(const Record&, MapContext*)>;
   using ReduceFn =
       std::function<void(const K&, std::vector<V>*, ReduceContext*)>;
-  using PartitionFn = std::function<int(const K&, int num_reduce_tasks)>;
+  using PartitionFn = typename JobShuffle::PartitionFn;
   using SetupFn = std::function<void(int task_id)>;
   // Cleanup hook run after a reduce task's last group (Hadoop's cleanup()).
   using ReduceCleanupFn = std::function<void(ReduceContext*)>;
-  // Combiner: reduces one map task's values for a key into replacement
-  // pairs appended to `out` (local aggregation before the shuffle).
-  using CombineFn = std::function<void(const K&, std::vector<V>*,
-                                       std::vector<std::pair<K, V>>*)>;
+  using CombineFn = typename JobShuffle::CombineFn;
+  using WireSizeFn = typename JobShuffle::WireSizeFn;
   // Abort hook invoked when a task attempt fails, before the retry. Jobs
   // that accumulate external per-task state (sinks indexed by task_id) must
   // reset that state here or retries would double-count.
@@ -132,10 +120,9 @@ class MapReduceJob {
     std::vector<std::pair<K, V>> outputs;
     std::vector<TaskStats> map_stats;
     std::vector<TaskStats> reduce_stats;
-    // Named counters merged across every map and reduce task. Fault and
-    // speculation bookkeeping lands under the reserved "mr." prefix
-    // (mr.attempts, mr.failed_attempts, mr.speculative_launched,
-    // mr.speculative_wins); everything else is byte-identical to a
+    // Named counters merged across every map and reduce task, plus the
+    // runtime's own bookkeeping under the reserved "mr." prefix (see
+    // counters.h). Everything outside "mr." is byte-identical to a
     // fault-free run.
     Counters counters;
     JobTiming timing;
@@ -148,12 +135,12 @@ class MapReduceJob {
   MapReduceJob(int num_map_tasks, int num_reduce_tasks)
       : num_map_tasks_(std::max(1, num_map_tasks)),
         num_reduce_tasks_(std::max(1, num_reduce_tasks)),
-        partition_([](const K& key, int r) {
-          return static_cast<int>(std::hash<K>{}(key) % static_cast<size_t>(r));
-        }) {}
+        shuffle_(num_reduce_tasks) {}
 
   // Overrides the default hash partitioner.
-  void set_partitioner(PartitionFn fn) { partition_ = std::move(fn); }
+  void set_partitioner(PartitionFn fn) {
+    shuffle_.set_partitioner(std::move(fn));
+  }
 
   // Cost units auto-charged per map input record (models record read +
   // key-extraction work).
@@ -165,7 +152,11 @@ class MapReduceJob {
 
   // Optional combiner run on each map task's output, per partition, before
   // the shuffle (Hadoop's local aggregation).
-  void set_combiner(CombineFn fn) { combiner_ = std::move(fn); }
+  void set_combiner(CombineFn fn) { shuffle_.set_combiner(std::move(fn)); }
+
+  // Optional per-pair wire size under the job's serde encoding; enables the
+  // "mr.shuffle.bytes" accounting ("mr.shuffle.records" is always counted).
+  void set_wire_size(WireSizeFn fn) { shuffle_.set_wire_size(std::move(fn)); }
 
   // Optional cleanup run at the end of each reduce task, after its last
   // group (may still charge cost and emit). Runs only on attempts that
@@ -187,7 +178,6 @@ class MapReduceJob {
     result.timing.start = submit_time;
 
     const FaultPlan plan(cluster.fault);
-    const int max_attempts = plan.max_attempts();
     const bool heterogeneous = !cluster.machine_speed.empty();
     const std::vector<double> map_speeds =
         heterogeneous
@@ -201,14 +191,9 @@ class MapReduceJob {
                   static_cast<size_t>(std::max(1, cluster.reduce_slots())),
                   1.0);
 
-    // Per-task cost of every executed attempt (failed attempts first, then
-    // the winning one). Feeds the attempt-aware timing model.
-    std::vector<std::vector<double>> map_attempt_costs(
-        static_cast<size_t>(num_map_tasks_));
-    std::vector<std::vector<double>> reduce_attempt_costs(
-        static_cast<size_t>(num_reduce_tasks_));
-    std::vector<char> map_doomed(static_cast<size_t>(num_map_tasks_), 0);
-    std::vector<char> reduce_doomed(static_cast<size_t>(num_reduce_tasks_), 0);
+    TaskAttemptRunner map_runner(TaskPhase::kMap, num_map_tasks_, &plan);
+    TaskAttemptRunner reduce_runner(TaskPhase::kReduce, num_reduce_tasks_,
+                                    &plan);
 
     // ---- Map phase ----
     std::vector<MapContext> map_ctx(static_cast<size_t>(num_map_tasks_));
@@ -220,61 +205,47 @@ class MapReduceJob {
       ThreadPool pool(threads);
       const size_t n = input.size();
       for (int t = 0; t < num_map_tasks_; ++t) {
-        MapContext& ctx = map_ctx[static_cast<size_t>(t)];
-        ctx.job_ = this;
-        ctx.task_id_ = t;
-        const size_t lo = n * static_cast<size_t>(t) /
-                          static_cast<size_t>(num_map_tasks_);
-        const size_t hi = n * static_cast<size_t>(t + 1) /
-                          static_cast<size_t>(num_map_tasks_);
-        const int failures =
-            plan.FailuresBeforeSuccess(TaskPhase::kMap, t, max_attempts);
-        pool.Submit([this, &input, &map_fn, &ctx, &plan, &map_attempt_costs,
-                     &map_doomed, lo, hi, t, failures, max_attempts] {
-          const int executed = std::min(failures + 1, max_attempts);
-          for (int attempt = 0; attempt < executed; ++attempt) {
-            const bool fails = attempt < failures;
-            ResetMapContext(&ctx);
+        map_ctx[static_cast<size_t>(t)].task_id_ = t;
+      }
+      map_runner.RunAll(
+          &pool,
+          [this, &map_ctx](int t) {
+            ResetMapContext(&map_ctx[static_cast<size_t>(t)]);
+          },
+          [this, &input, &map_fn, &map_ctx, n](
+              const TaskAttemptRunner::Attempt& attempt) {
+            MapContext& ctx = map_ctx[static_cast<size_t>(attempt.task)];
+            const size_t lo = n * static_cast<size_t>(attempt.task) /
+                              static_cast<size_t>(num_map_tasks_);
+            const size_t hi = n * static_cast<size_t>(attempt.task + 1) /
+                              static_cast<size_t>(num_map_tasks_);
             size_t limit = hi - lo;
-            if (fails) {
-              limit = static_cast<size_t>(
-                  static_cast<double>(limit) *
-                  plan.FailurePoint(TaskPhase::kMap, t, attempt));
+            if (attempt.fails) {
+              limit = static_cast<size_t>(static_cast<double>(limit) *
+                                          attempt.fail_point);
             }
-            if (map_setup_) map_setup_(t);
+            if (map_setup_) map_setup_(attempt.task);
             for (size_t i = lo; i < lo + limit; ++i) {
               ctx.clock_.Charge(map_cost_per_record_);
               map_fn(input[i], &ctx);
               ++ctx.stats_.records_in;
             }
-            if (fails) {
-              map_attempt_costs[static_cast<size_t>(t)].push_back(
-                  ctx.clock_.units());
-              if (task_abort_) task_abort_(TaskPhase::kMap, t, attempt);
-            } else {
-              if (combiner_) CombineBuckets(&ctx);
+            if (!attempt.fails) {
+              shuffle_.Combine(&ctx.output_);
               ctx.stats_.cost = ctx.clock_.units();
-              map_attempt_costs[static_cast<size_t>(t)].push_back(
-                  ctx.clock_.units());
             }
-          }
-          if (failures >= max_attempts) {
-            map_doomed[static_cast<size_t>(t)] = 1;
-          }
-        });
-      }
-      pool.Wait();
+            return ctx.clock_.units();
+          },
+          task_abort_);
 
-      MergeFaultCounters(map_attempt_costs, map_doomed, &result.counters);
-      for (int t = 0; t < num_map_tasks_; ++t) {
-        if (!map_doomed[static_cast<size_t>(t)]) continue;
+      map_runner.MergeFaultCounters(&result.counters);
+      const int doomed_map = map_runner.FirstDoomed();
+      if (doomed_map >= 0) {
         result.failed = true;
-        result.error = "map task " + std::to_string(t) +
-                       " failed after " + std::to_string(max_attempts) +
-                       " attempts";
+        result.error = map_runner.DoomedError(doomed_map);
         double map_end = submit_time;
         result.timing.map_attempts = ScheduleTaskAttempts(
-            map_attempt_costs, map_speeds, submit_time,
+            map_runner.attempt_costs(), map_speeds, submit_time,
             cluster.seconds_per_cost_unit, cluster.speculation, &map_end,
             nullptr);
         result.timing.map_end = map_end;
@@ -282,47 +253,45 @@ class MapReduceJob {
         return result;
       }
 
+      // Post-combine shuffle volume of the winning map attempts.
+      {
+        typename JobShuffle::Volume volume;
+        for (const MapContext& ctx : map_ctx) {
+          const auto task_volume = shuffle_.MeasureVolume(ctx.output_);
+          volume.records += task_volume.records;
+          volume.bytes += task_volume.bytes;
+        }
+        result.counters.Increment("mr.shuffle.records", volume.records);
+        result.counters.Increment("mr.shuffle.bytes", volume.bytes);
+      }
+
       // ---- Reduce phase ----
+      std::vector<typename JobShuffle::MapOutput*> map_outputs;
+      map_outputs.reserve(map_ctx.size());
+      for (MapContext& ctx : map_ctx) map_outputs.push_back(&ctx.output_);
       std::vector<ReduceContext> reduce_ctx(
           static_cast<size_t>(num_reduce_tasks_));
       for (int r = 0; r < num_reduce_tasks_; ++r) {
-        ReduceContext& ctx = reduce_ctx[static_cast<size_t>(r)];
-        ctx.task_id_ = r;
-        const int failures =
-            plan.FailuresBeforeSuccess(TaskPhase::kReduce, r, max_attempts);
-        pool.Submit([this, &map_ctx, &reduce_fn, &ctx, &plan,
-                     &reduce_attempt_costs, &reduce_doomed, r, failures,
-                     max_attempts] {
-          const int executed = std::min(failures + 1, max_attempts);
-          for (int attempt = 0; attempt < executed; ++attempt) {
-            const bool fails = attempt < failures;
-            ResetReduceContext(&ctx);
-            const double point =
-                fails ? plan.FailurePoint(TaskPhase::kReduce, r, attempt)
-                      : 1.0;
-            RunReduceTask(map_ctx, reduce_fn, &ctx, r, fails, point);
-            reduce_attempt_costs[static_cast<size_t>(r)].push_back(
-                ctx.clock_.units());
-            if (fails && task_abort_) {
-              task_abort_(TaskPhase::kReduce, r, attempt);
-            }
-          }
-          if (failures >= max_attempts) {
-            reduce_doomed[static_cast<size_t>(r)] = 1;
-          }
-        });
+        reduce_ctx[static_cast<size_t>(r)].task_id_ = r;
       }
-      pool.Wait();
+      reduce_runner.RunAll(
+          &pool,
+          [this, &reduce_ctx](int t) {
+            ResetReduceContext(&reduce_ctx[static_cast<size_t>(t)]);
+          },
+          [this, &map_outputs, &reduce_fn, &reduce_ctx](
+              const TaskAttemptRunner::Attempt& attempt) {
+            ReduceContext& ctx = reduce_ctx[static_cast<size_t>(attempt.task)];
+            RunReduceAttempt(map_outputs, reduce_fn, &ctx, attempt);
+            return ctx.clock_.units();
+          },
+          task_abort_);
 
-      MergeFaultCounters(reduce_attempt_costs, reduce_doomed,
-                         &result.counters);
-      for (int r = 0; r < num_reduce_tasks_; ++r) {
-        if (!reduce_doomed[static_cast<size_t>(r)]) continue;
+      reduce_runner.MergeFaultCounters(&result.counters);
+      const int doomed_reduce = reduce_runner.FirstDoomed();
+      if (doomed_reduce >= 0) {
         result.failed = true;
-        result.error = "reduce task " + std::to_string(r) +
-                       " failed after " + std::to_string(max_attempts) +
-                       " attempts";
-        break;
+        result.error = reduce_runner.DoomedError(doomed_reduce);
       }
 
       if (!result.failed) {
@@ -342,14 +311,14 @@ class MapReduceJob {
     // ---- Simulated timing (failed attempts and retries included) ----
     double map_end = submit_time;
     result.timing.map_attempts = ScheduleTaskAttempts(
-        map_attempt_costs, map_speeds, submit_time,
+        map_runner.attempt_costs(), map_speeds, submit_time,
         cluster.seconds_per_cost_unit, cluster.speculation, &map_end,
         nullptr);
     result.timing.map_end = map_end;
 
     double end = map_end;
     result.timing.reduce_attempts = ScheduleTaskAttempts(
-        reduce_attempt_costs, reduce_speeds, map_end,
+        reduce_runner.attempt_costs(), reduce_speeds, map_end,
         cluster.seconds_per_cost_unit, cluster.speculation, &end,
         &result.timing.reduce_start);
     result.timing.end = end;
@@ -363,8 +332,7 @@ class MapReduceJob {
     ctx->clock_.Reset();
     ctx->counters_ = Counters();
     ctx->stats_ = TaskStats();
-    ctx->buckets_.clear();
-    ctx->buckets_.resize(static_cast<size_t>(num_reduce_tasks_));
+    ctx->output_.Reset(shuffle_);
   }
 
   void ResetReduceContext(ReduceContext* ctx) {
@@ -374,119 +342,29 @@ class MapReduceJob {
     ctx->outputs_.clear();
   }
 
-  // Attempt/failure totals for one phase under the reserved "mr." counter
-  // prefix. Every attempt of a doomed task failed; otherwise the last
-  // attempt of each chain is the winner.
-  static void MergeFaultCounters(
-      const std::vector<std::vector<double>>& attempt_costs,
-      const std::vector<char>& doomed, Counters* counters) {
-    int64_t attempts = 0;
-    int64_t failed = 0;
-    for (size_t t = 0; t < attempt_costs.size(); ++t) {
-      const int64_t executed =
-          static_cast<int64_t>(attempt_costs[t].size());
-      attempts += executed;
-      failed += doomed[t] ? executed : executed - 1;
-    }
-    counters->Increment("mr.attempts", attempts);
-    counters->Increment("mr.failed_attempts", failed);
-  }
+  // Runs one reduce-task attempt: gather/sort via the shuffle (a failing
+  // attempt copies its input — the buckets must survive for the retry — and
+  // stops at the group boundary past `fail_point` of the input pairs), then
+  // one reduce call per group; the winning attempt runs cleanup.
+  void RunReduceAttempt(
+      std::vector<typename JobShuffle::MapOutput*>& map_outputs,
+      const ReduceFn& reduce_fn, ReduceContext* ctx,
+      const TaskAttemptRunner::Attempt& attempt) {
+    std::vector<std::pair<K, V>> pairs =
+        shuffle_.GatherSorted(map_outputs, attempt.task, attempt.fails);
+    const size_t limit =
+        attempt.fails
+            ? static_cast<size_t>(static_cast<double>(pairs.size()) *
+                                  attempt.fail_point)
+            : pairs.size() + 1;
 
-  static void MergeSpeculationCounters(const JobTiming& timing,
-                                       Counters* counters) {
-    int64_t launched = 0;
-    int64_t wins = 0;
-    for (const auto* phase : {&timing.map_attempts, &timing.reduce_attempts}) {
-      for (const TaskAttemptTiming& attempt : *phase) {
-        if (!attempt.speculative) continue;
-        ++launched;
-        if (attempt.won) ++wins;
-      }
-    }
-    counters->Increment("mr.speculative_launched", launched);
-    counters->Increment("mr.speculative_wins", wins);
-  }
-
-  // Applies the combiner to every partition bucket of a finished map task:
-  // values are grouped by key locally and replaced by the combiner's output.
-  void CombineBuckets(MapContext* ctx) {
-    for (auto& bucket : ctx->buckets_) {
-      std::stable_sort(bucket.begin(), bucket.end(),
-                       [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
-                         return a.first < b.first;
-                       });
-      std::vector<std::pair<K, V>> combined;
-      size_t i = 0;
-      while (i < bucket.size()) {
-        size_t j = i;
-        while (j < bucket.size() && !(bucket[i].first < bucket[j].first)) ++j;
-        std::vector<V> values;
-        values.reserve(j - i);
-        for (size_t k = i; k < j; ++k) {
-          values.push_back(std::move(bucket[k].second));
-        }
-        combiner_(bucket[i].first, &values, &combined);
-        i = j;
-      }
-      bucket = std::move(combined);
-    }
-  }
-
-  // Runs one reduce-task attempt. A failing attempt (`fails`) copies its
-  // input out of the map buckets — they must survive for the retry — and
-  // stops at the group boundary past `fail_point` of the input pairs; the
-  // winning attempt moves the buckets and runs cleanup.
-  void RunReduceTask(std::vector<MapContext>& map_ctx,
-                     const ReduceFn& reduce_fn, ReduceContext* ctx, int r,
-                     bool fails, double fail_point) {
-    // Gather this task's partition from every map task (map-task order, so
-    // the merge is deterministic), then sort by key. stable_sort keeps the
-    // map-task order among equal keys, mirroring Hadoop's merge.
-    std::vector<std::pair<K, V>> pairs;
-    size_t total = 0;
-    for (MapContext& m : map_ctx) {
-      total += m.buckets_[static_cast<size_t>(r)].size();
-    }
-    pairs.reserve(total);
-    if (fails) {
-      if constexpr (std::is_copy_constructible_v<K> &&
-                    std::is_copy_constructible_v<V>) {
-        for (const MapContext& m : map_ctx) {
-          const auto& bucket = m.buckets_[static_cast<size_t>(r)];
-          for (const auto& kv : bucket) pairs.push_back(kv);
-        }
-      }
-      // Move-only payloads cannot be replayed; the failing attempt then
-      // dies before touching any input, which keeps retries correct.
-    } else {
-      for (MapContext& m : map_ctx) {
-        auto& bucket = m.buckets_[static_cast<size_t>(r)];
-        for (auto& kv : bucket) pairs.push_back(std::move(kv));
-      }
-    }
-    std::stable_sort(pairs.begin(), pairs.end(),
-                     [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
-                       return a.first < b.first;
-                     });
-    const size_t fail_after =
-        fails ? static_cast<size_t>(static_cast<double>(pairs.size()) *
-                                    fail_point)
-              : pairs.size() + 1;
-
-    if (reduce_setup_) reduce_setup_(r);
-    size_t i = 0;
-    while (i < pairs.size()) {
-      if (fails && i >= fail_after) break;  // injected failure fires here
-      size_t j = i;
-      while (j < pairs.size() && !(pairs[i].first < pairs[j].first)) ++j;
-      std::vector<V> values;
-      values.reserve(j - i);
-      for (size_t k = i; k < j; ++k) values.push_back(std::move(pairs[k].second));
-      ctx->stats_.records_in += static_cast<int64_t>(values.size());
-      reduce_fn(pairs[i].first, &values, ctx);
-      i = j;
-    }
-    if (!fails) {
+    if (reduce_setup_) reduce_setup_(attempt.task);
+    JobShuffle::ForEachGroup(
+        &pairs, limit, [&](const K& key, std::vector<V>* values) {
+          ctx->stats_.records_in += static_cast<int64_t>(values->size());
+          reduce_fn(key, values, ctx);
+        });
+    if (!attempt.fails) {
       if (reduce_cleanup_) reduce_cleanup_(ctx);
       ctx->stats_.cost = ctx->clock_.units();
     }
@@ -494,12 +372,11 @@ class MapReduceJob {
 
   int num_map_tasks_;
   int num_reduce_tasks_;
-  PartitionFn partition_;
+  JobShuffle shuffle_;
   double map_cost_per_record_ = 1.0;
   SetupFn map_setup_;
   SetupFn reduce_setup_;
   ReduceCleanupFn reduce_cleanup_;
-  CombineFn combiner_;
   TaskAbortFn task_abort_;
 };
 

@@ -1,0 +1,50 @@
+#include "mapreduce/pipeline.h"
+
+#include <utility>
+
+namespace progres {
+
+const StageReport* PipelineResult::Find(const std::string& name) const {
+  for (const StageReport& stage : stages) {
+    if (stage.name == name) return &stage;
+  }
+  return nullptr;
+}
+
+void Pipeline::AddStage(std::string name, StageFn fn) {
+  stages_.push_back(Stage{std::move(name), std::move(fn)});
+}
+
+void Pipeline::AddComputation(std::string name, ComputeFn fn) {
+  AddStage(std::move(name), [fn = std::move(fn)](double submit_time) {
+    StageResult result;
+    result.end_time = submit_time + fn(submit_time);
+    return result;
+  });
+}
+
+PipelineResult Pipeline::Run(double submit_time) const {
+  PipelineResult result;
+  result.start = submit_time;
+  result.end = submit_time;
+  double clock = submit_time;
+  for (const Stage& stage : stages_) {
+    StageReport report;
+    report.name = stage.name;
+    report.start = clock;
+    report.result = stage.fn(clock);
+    clock = report.result.end_time;
+    result.end = clock;
+    result.counters.MergeFrom(report.result.counters);
+    const bool failed = report.result.failed;
+    if (failed) {
+      result.failed = true;
+      result.error = report.result.error;
+    }
+    result.stages.push_back(std::move(report));
+    if (failed) break;
+  }
+  return result;
+}
+
+}  // namespace progres

@@ -1,0 +1,193 @@
+#ifndef PROGRES_MAPREDUCE_SHUFFLE_H_
+#define PROGRES_MAPREDUCE_SHUFFLE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace progres {
+
+// The shuffle of one MapReduce job as a first-class component: it owns the
+// partition function, the map-side spill buffers (one bucket per reduce
+// partition), the optional combiner, and the reduce-side gather/sort/group
+// merge. MapReduceJob composes a Shuffle with the task-attempt runner and
+// the timing model; tests can exercise the shuffle in isolation.
+//
+// The component also *accounts* for the data crossing it: MeasureVolume
+// reports the post-combine record count of a map task's output, and — when
+// a wire-size function is configured — the serialized byte volume. The
+// runtime exports these under the reserved "mr.shuffle.records" and
+// "mr.shuffle.bytes" counters, which is what makes shuffle skew and the
+// per-block vs per-tree emission trade-off directly measurable.
+template <typename K, typename V>
+class Shuffle {
+ public:
+  using KV = std::pair<K, V>;
+  using PartitionFn = std::function<int(const K&, int num_partitions)>;
+  // Combiner: reduces one map task's values for a key into replacement
+  // pairs appended to `out` (local aggregation before the shuffle).
+  using CombineFn =
+      std::function<void(const K&, std::vector<V>*, std::vector<KV>*)>;
+  // Wire size of one (key, value) pair under the job's serde encoding;
+  // feeds the "mr.shuffle.bytes" accounting.
+  using WireSizeFn = std::function<int64_t(const K&, const V&)>;
+
+  explicit Shuffle(int num_partitions)
+      : num_partitions_(std::max(1, num_partitions)),
+        partition_([](const K& key, int r) {
+          return static_cast<int>(std::hash<K>{}(key) %
+                                  static_cast<size_t>(r));
+        }) {}
+
+  int num_partitions() const { return num_partitions_; }
+  bool has_combiner() const { return static_cast<bool>(combiner_); }
+
+  void set_partitioner(PartitionFn fn) { partition_ = std::move(fn); }
+  void set_combiner(CombineFn fn) { combiner_ = std::move(fn); }
+  void set_wire_size(WireSizeFn fn) { wire_size_ = std::move(fn); }
+
+  // Map-side spill buffer of one map task. Reset discards a failed
+  // attempt's pairs so the retry starts from scratch.
+  class MapOutput {
+   public:
+    MapOutput() = default;
+
+    void Reset(const Shuffle& shuffle) {
+      shuffle_ = &shuffle;
+      buckets_.clear();
+      buckets_.resize(static_cast<size_t>(shuffle.num_partitions_));
+    }
+
+    // Routes one pair to its partition bucket.
+    void Add(K key, V value) {
+      const int r = shuffle_->partition_(key, shuffle_->num_partitions_);
+      buckets_[static_cast<size_t>(r)].emplace_back(std::move(key),
+                                                    std::move(value));
+    }
+
+   private:
+    friend class Shuffle;
+    const Shuffle* shuffle_ = nullptr;
+    std::vector<std::vector<KV>> buckets_;
+  };
+
+  // Applies the combiner to every partition bucket of a finished map
+  // attempt: values are grouped by key locally and replaced by the
+  // combiner's output. No-op without a combiner.
+  void Combine(MapOutput* out) const {
+    if (!combiner_) return;
+    for (auto& bucket : out->buckets_) {
+      std::stable_sort(bucket.begin(), bucket.end(),
+                       [](const KV& a, const KV& b) {
+                         return a.first < b.first;
+                       });
+      std::vector<KV> combined;
+      size_t i = 0;
+      while (i < bucket.size()) {
+        size_t j = i;
+        while (j < bucket.size() && !(bucket[i].first < bucket[j].first)) ++j;
+        std::vector<V> values;
+        values.reserve(j - i);
+        for (size_t k = i; k < j; ++k) {
+          values.push_back(std::move(bucket[k].second));
+        }
+        combiner_(bucket[i].first, &values, &combined);
+        i = j;
+      }
+      bucket = std::move(combined);
+    }
+  }
+
+  // Post-combine shuffle volume of one map task's output: what actually
+  // crosses the map/reduce boundary. `bytes` stays 0 without a wire-size
+  // function.
+  struct Volume {
+    int64_t records = 0;
+    int64_t bytes = 0;
+  };
+  Volume MeasureVolume(const MapOutput& out) const {
+    Volume volume;
+    for (const auto& bucket : out.buckets_) {
+      volume.records += static_cast<int64_t>(bucket.size());
+      if (wire_size_) {
+        for (const KV& kv : bucket) {
+          volume.bytes += wire_size_(kv.first, kv.second);
+        }
+      }
+    }
+    return volume;
+  }
+
+  // Reduce-side merge: gathers partition `r` from every map output (in
+  // map-task order, so the merge is deterministic), then sorts by key.
+  // stable_sort keeps the map-task order among equal keys, mirroring
+  // Hadoop's merge. With `copy` the buckets survive (a retried attempt
+  // must replay them); move-only payloads cannot be replayed, so a copying
+  // gather returns empty — the failing attempt then dies before touching
+  // any input, which keeps retries correct.
+  std::vector<KV> GatherSorted(std::vector<MapOutput*>& maps, int r,
+                               bool copy) const {
+    std::vector<KV> pairs;
+    size_t total = 0;
+    for (const MapOutput* m : maps) {
+      total += m->buckets_[static_cast<size_t>(r)].size();
+    }
+    pairs.reserve(total);
+    if (copy) {
+      if constexpr (std::is_copy_constructible_v<K> &&
+                    std::is_copy_constructible_v<V>) {
+        for (const MapOutput* m : maps) {
+          const auto& bucket = m->buckets_[static_cast<size_t>(r)];
+          for (const auto& kv : bucket) pairs.push_back(kv);
+        }
+      }
+    } else {
+      for (MapOutput* m : maps) {
+        auto& bucket = m->buckets_[static_cast<size_t>(r)];
+        for (auto& kv : bucket) pairs.push_back(std::move(kv));
+      }
+    }
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const KV& a, const KV& b) {
+                       return a.first < b.first;
+                     });
+    return pairs;
+  }
+
+  // Invokes fn(key, &values) once per distinct key of the sorted `pairs`,
+  // in key order, moving values out. Groups whose first pair sits at or
+  // past `limit` are not visited — the injected-failure cutoff of a
+  // failing reduce attempt.
+  template <typename Fn>
+  static void ForEachGroup(std::vector<KV>* pairs, size_t limit, Fn&& fn) {
+    size_t i = 0;
+    while (i < pairs->size()) {
+      if (i >= limit) break;
+      size_t j = i;
+      while (j < pairs->size() &&
+             !((*pairs)[i].first < (*pairs)[j].first)) {
+        ++j;
+      }
+      std::vector<V> values;
+      values.reserve(j - i);
+      for (size_t k = i; k < j; ++k) {
+        values.push_back(std::move((*pairs)[k].second));
+      }
+      fn((*pairs)[i].first, &values);
+      i = j;
+    }
+  }
+
+ private:
+  int num_partitions_;
+  PartitionFn partition_;
+  CombineFn combiner_;
+  WireSizeFn wire_size_;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_MAPREDUCE_SHUFFLE_H_

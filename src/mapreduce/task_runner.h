@@ -1,0 +1,137 @@
+#ifndef PROGRES_MAPREDUCE_TASK_RUNNER_H_
+#define PROGRES_MAPREDUCE_TASK_RUNNER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/fault.h"
+
+namespace progres {
+
+// Executes the attempt chains of one phase's tasks, encapsulating the
+// retry/abort bookkeeping of the fault-tolerant runtime: per the FaultPlan,
+// each task runs its failing attempts first (each one reset beforehand and
+// reported to the abort hook afterwards, so external per-task state never
+// double-counts), then the winning attempt. Per-attempt costs and doomed
+// tasks are recorded for the attempt-aware timing model
+// (ScheduleTaskAttempts) and the "mr." fault counters.
+class TaskAttemptRunner {
+ public:
+  // What the body callback receives for one attempt. `fail_point` is the
+  // fraction of the attempt's input processed before the injected failure
+  // fires (1.0 for winning attempts).
+  struct Attempt {
+    int task = 0;
+    bool fails = false;
+    double fail_point = 1.0;
+  };
+
+  using ResetFn = std::function<void(int task)>;
+  // Runs one attempt's work; returns the cost units it charged.
+  using BodyFn = std::function<double(const Attempt&)>;
+  using AbortFn = std::function<void(TaskPhase phase, int task, int attempt)>;
+
+  TaskAttemptRunner(TaskPhase phase, int num_tasks, const FaultPlan* plan)
+      : phase_(phase),
+        num_tasks_(num_tasks),
+        plan_(plan),
+        attempt_costs_(static_cast<size_t>(num_tasks)),
+        doomed_(static_cast<size_t>(num_tasks), 0) {}
+
+  // Runs every task's attempt chain concurrently on `pool` and waits for
+  // completion. `abort` may be null.
+  void RunAll(ThreadPool* pool, const ResetFn& reset, const BodyFn& body,
+              const AbortFn& abort) {
+    const int max_attempts = plan_->max_attempts();
+    for (int t = 0; t < num_tasks_; ++t) {
+      const int failures =
+          plan_->FailuresBeforeSuccess(phase_, t, max_attempts);
+      pool->Submit([this, &reset, &body, &abort, t, failures, max_attempts] {
+        const int executed = std::min(failures + 1, max_attempts);
+        for (int attempt = 0; attempt < executed; ++attempt) {
+          Attempt a;
+          a.task = t;
+          a.fails = attempt < failures;
+          a.fail_point =
+              a.fails ? plan_->FailurePoint(phase_, t, attempt) : 1.0;
+          reset(t);
+          const double cost = body(a);
+          attempt_costs_[static_cast<size_t>(t)].push_back(cost);
+          if (a.fails && abort) abort(phase_, t, attempt);
+        }
+        if (failures >= max_attempts) doomed_[static_cast<size_t>(t)] = 1;
+      });
+    }
+    pool->Wait();
+  }
+
+  // Per-task cost of every executed attempt (failed attempts first, then
+  // the winning one). Feeds the attempt-aware timing model.
+  const std::vector<std::vector<double>>& attempt_costs() const {
+    return attempt_costs_;
+  }
+
+  // Lowest-indexed task that exhausted max_attempts, or -1.
+  int FirstDoomed() const {
+    for (int t = 0; t < num_tasks_; ++t) {
+      if (doomed_[static_cast<size_t>(t)]) return t;
+    }
+    return -1;
+  }
+
+  // Error message for a doomed task's clean job failure.
+  std::string DoomedError(int task) const {
+    return std::string(phase_ == TaskPhase::kMap ? "map" : "reduce") +
+           " task " + std::to_string(task) + " failed after " +
+           std::to_string(plan_->max_attempts()) + " attempts";
+  }
+
+  // Attempt/failure totals for this phase under the reserved "mr." counter
+  // prefix. Every attempt of a doomed task failed; otherwise the last
+  // attempt of each chain is the winner.
+  void MergeFaultCounters(Counters* counters) const {
+    int64_t attempts = 0;
+    int64_t failed = 0;
+    for (size_t t = 0; t < attempt_costs_.size(); ++t) {
+      const int64_t executed = static_cast<int64_t>(attempt_costs_[t].size());
+      attempts += executed;
+      failed += doomed_[t] ? executed : executed - 1;
+    }
+    counters->Increment("mr.attempts", attempts);
+    counters->Increment("mr.failed_attempts", failed);
+  }
+
+ private:
+  TaskPhase phase_;
+  int num_tasks_;
+  const FaultPlan* plan_;
+  std::vector<std::vector<double>> attempt_costs_;
+  std::vector<char> doomed_;
+};
+
+// Speculation totals for a finished job's timing, under the reserved "mr."
+// counter prefix.
+inline void MergeSpeculationCounters(const JobTiming& timing,
+                                     Counters* counters) {
+  int64_t launched = 0;
+  int64_t wins = 0;
+  for (const auto* phase : {&timing.map_attempts, &timing.reduce_attempts}) {
+    for (const TaskAttemptTiming& attempt : *phase) {
+      if (!attempt.speculative) continue;
+      ++launched;
+      if (attempt.won) ++wins;
+    }
+  }
+  counters->Increment("mr.speculative_launched", launched);
+  counters->Increment("mr.speculative_wins", wins);
+}
+
+}  // namespace progres
+
+#endif  // PROGRES_MAPREDUCE_TASK_RUNNER_H_

@@ -56,6 +56,38 @@ TEST(JobCountersTest, MergedAcrossTasks) {
   EXPECT_EQ(result.counters.Get("reduce.values"), 6);
 }
 
+TEST(JobCountersTest, UserCountersIndependentOfReservedOnes) {
+  // User counters and the runtime's reserved "mr." bookkeeping live in the
+  // same namespace but never interfere: the runtime only increments "mr."
+  // names, and merging tasks sums the two families independently.
+  using Job = MapReduceJob<int, int, int>;
+  Job job(2, 2);
+  job.set_wire_size([](const int&, const int&) { return int64_t{8}; });
+  std::vector<int> input = {1, 2, 3, 4};
+  const auto result = job.Run(
+      input,
+      [](const int& record, Job::MapContext* ctx) {
+        ctx->counters().Increment("user.map", 10);
+        ctx->Emit(record, record);
+      },
+      [](const int&, std::vector<int>*, Job::ReduceContext* ctx) {
+        ctx->counters().Increment("user.reduce", 100);
+      },
+      TestCluster());
+  // The user's counters hold exactly what the tasks put there...
+  EXPECT_EQ(result.counters.Get("user.map"), 40);
+  EXPECT_EQ(result.counters.Get("user.reduce"), 400);
+  // ...and the runtime's bookkeeping landed only under "mr.".
+  EXPECT_EQ(result.counters.Get("mr.attempts"), 4);  // 2 map + 2 reduce tasks
+  EXPECT_EQ(result.counters.Get("mr.failed_attempts"), 0);
+  EXPECT_EQ(result.counters.Get("mr.shuffle.records"), 4);
+  EXPECT_EQ(result.counters.Get("mr.shuffle.bytes"), 32);
+  for (const auto& [name, value] : result.counters.values()) {
+    if (name.rfind("mr.", 0) == 0) continue;
+    EXPECT_TRUE(name.rfind("user.", 0) == 0) << name;
+  }
+}
+
 TEST(JobCombinerTest, AggregatesBeforeShuffle) {
   using Job = MapReduceJob<int, int, int>;
   Job job(2, 2);

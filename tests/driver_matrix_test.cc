@@ -1,7 +1,10 @@
 // Parameterized integration sweep: the full progressive pipeline must hold
 // its core invariants across the configuration grid (scheduler x emission x
-// cluster size x workload).
+// cluster size x workload) — plus the golden-equivalence check that pins
+// every migrated driver's observable output to the pre-refactor fixtures.
 
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <tuple>
 
@@ -9,6 +12,7 @@
 
 #include "core/progressive_er.h"
 #include "datagen/generators.h"
+#include "er_golden_util.h"
 #include "eval/clustering.h"
 #include "eval/recall_curve.h"
 #include "mechanism/psnm.h"
@@ -115,6 +119,30 @@ TEST_P(DriverMatrixTest, PipelineInvariantsHold) {
       TransitiveClosure(data.dataset.size(), result.duplicates);
   EXPECT_EQ(static_cast<int64_t>(clusters.size()), data.dataset.size());
 }
+
+// Byte-identical equivalence against the pre-refactor seed: every driver's
+// full observable output (pairs, counters sans "mr.shuffle.", events,
+// chunks, recall curve — or the forests, for the stats job) must match the
+// fixture frozen before the runtime was layered. Regenerate the fixtures
+// with `make_er_golden tests/golden` only for intentional output changes.
+class GoldenEquivalenceTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenEquivalenceTest, MatchesFrozenFixture) {
+  const std::string name = GetParam();
+  std::ifstream in(std::string(PROGRES_GOLDEN_DIR) + "/" + name + ".golden",
+                   std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "missing fixture for " << name;
+  std::stringstream frozen;
+  frozen << in.rdbuf();
+  const std::string actual = testing_util::RunGoldenDriver(name);
+  EXPECT_EQ(actual, frozen.str()) << name << " output diverged from the seed";
+}
+
+INSTANTIATE_TEST_SUITE_P(Drivers, GoldenEquivalenceTest,
+                         testing::ValuesIn(testing_util::GoldenDriverNames()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
 
 INSTANTIATE_TEST_SUITE_P(
     Grid, DriverMatrixTest,

@@ -1,0 +1,31 @@
+// Regenerates the driver golden fixtures under tests/golden/. Run it only
+// when the drivers' observable behaviour is *meant* to change; the fixtures
+// freeze the outputs the refactored runtime must reproduce byte for byte.
+//
+//   make_er_golden <output-dir>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "er_golden_util.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_er_golden <output-dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+  for (const std::string& name : progres::testing_util::GoldenDriverNames()) {
+    const std::string content = progres::testing_util::RunGoldenDriver(name);
+    const std::string path = dir + "/" + name + ".golden";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << content;
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+  }
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Pipeline layer: counter merging across stages, cross-job timing
+// carry-over on the simulated clock, and failure propagation from a doomed
+// stage, all on top of real MapReduceJob stages.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/job.h"
+#include "mapreduce/pipeline.h"
+#include "mr_test_util.h"
+
+namespace progres {
+namespace {
+
+using testing_util::ValidateAttemptSchedule;
+
+ClusterConfig TestCluster() {
+  ClusterConfig cluster;
+  cluster.machines = 2;
+  cluster.execution_threads = 4;
+  return cluster;
+}
+
+using Job = MapReduceJob<int, int, int>;
+
+// A counting job: every map task increments "stage.maps" per record, every
+// reduce call increments "stage.groups".
+StageResult RunCountingJob(const std::vector<int>& input,
+                           const ClusterConfig& cluster, double submit_time,
+                           const std::string& error_prefix) {
+  Job job(2, 2);
+  Job::Result run = job.Run(
+      input,
+      [](const int& record, Job::MapContext* ctx) {
+        ctx->counters().Increment("stage.maps");
+        ctx->clock().Charge(1.0);
+        ctx->Emit(record % 2, record);
+      },
+      [](const int&, std::vector<int>* values, Job::ReduceContext* ctx) {
+        ctx->counters().Increment("stage.groups");
+        ctx->clock().Charge(static_cast<double>(values->size()));
+      },
+      cluster, submit_time);
+  return StageResultFromJob(std::move(run), error_prefix);
+}
+
+TEST(PipelineTest, TimingCarriesOverBetweenJobs) {
+  const std::vector<int> input = {1, 2, 3, 4, 5, 6, 7, 8};
+  Pipeline pipe;
+  pipe.AddStage("first", [&](double t) {
+    return RunCountingJob(input, TestCluster(), t, "first");
+  });
+  pipe.AddStage("second", [&](double t) {
+    return RunCountingJob(input, TestCluster(), t, "second");
+  });
+  const PipelineResult result = pipe.Run(/*submit_time=*/3.0);
+
+  ASSERT_FALSE(result.failed);
+  ASSERT_EQ(result.stages.size(), 2u);
+  const StageReport& first = result.stages[0];
+  const StageReport& second = result.stages[1];
+  EXPECT_DOUBLE_EQ(result.start, 3.0);
+  EXPECT_DOUBLE_EQ(first.start, 3.0);
+  EXPECT_DOUBLE_EQ(first.result.timing.start, 3.0);
+  // The second job is submitted exactly when the first one ends...
+  EXPECT_GT(first.result.end_time, first.start);
+  EXPECT_DOUBLE_EQ(second.start, first.result.end_time);
+  EXPECT_DOUBLE_EQ(second.result.timing.start, first.result.end_time);
+  // ...and the pipeline ends with the last stage.
+  EXPECT_DOUBLE_EQ(result.end, second.result.end_time);
+
+  // Both stages' attempt schedules hold the structural invariants relative
+  // to their own (carried-over) submit times.
+  for (const StageReport& stage : result.stages) {
+    ValidateAttemptSchedule(stage.result.timing.map_attempts, 2, stage.start,
+                            stage.result.timing.map_end);
+    ValidateAttemptSchedule(stage.result.timing.reduce_attempts, 2,
+                            stage.result.timing.map_end,
+                            stage.result.timing.end);
+  }
+}
+
+TEST(PipelineTest, CountersMergeAcrossStages) {
+  const std::vector<int> input = {1, 2, 3, 4, 5, 6};
+  Pipeline pipe;
+  pipe.AddStage("first", [&](double t) {
+    return RunCountingJob(input, TestCluster(), t, "first");
+  });
+  pipe.AddComputation("think", [](double) { return 2.5; });
+  pipe.AddStage("second", [&](double t) {
+    return RunCountingJob(input, TestCluster(), t, "second");
+  });
+  const PipelineResult result = pipe.Run();
+
+  ASSERT_FALSE(result.failed);
+  // Two counting jobs over 6 records each.
+  EXPECT_EQ(result.counters.Get("stage.maps"), 12);
+  EXPECT_EQ(result.counters.Get("stage.groups"), 4);
+  // The runtime's bookkeeping merges too: 4 tasks per job, no failures.
+  EXPECT_EQ(result.counters.Get("mr.attempts"), 8);
+  EXPECT_EQ(result.counters.Get("mr.failed_attempts"), 0);
+}
+
+TEST(PipelineTest, ComputationStageAdvancesClock) {
+  Pipeline pipe;
+  double seen_submit = -1.0;
+  pipe.AddComputation("generate schedule", [&](double t) {
+    seen_submit = t;
+    return 7.0;
+  });
+  const PipelineResult result = pipe.Run(/*submit_time=*/5.0);
+  EXPECT_DOUBLE_EQ(seen_submit, 5.0);
+  EXPECT_DOUBLE_EQ(result.end, 12.0);
+  ASSERT_EQ(result.stages.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.stages[0].result.end_time, 12.0);
+  EXPECT_FALSE(result.failed);
+}
+
+TEST(PipelineTest, FailurePropagatesAndStopsLaterStages) {
+  const std::vector<int> input = {1, 2, 3, 4, 5, 6};
+  // Doom reduce task 1 of the middle stage: both allowed attempts fail.
+  ClusterConfig faulty = TestCluster();
+  faulty.fault.enabled = true;
+  faulty.fault.max_attempts = 2;
+  faulty.fault.injected = {{TaskPhase::kReduce, 1, 0},
+                           {TaskPhase::kReduce, 1, 1}};
+
+  bool third_ran = false;
+  Pipeline pipe;
+  pipe.AddStage("first", [&](double t) {
+    return RunCountingJob(input, TestCluster(), t, "first");
+  });
+  pipe.AddStage("doomed", [&](double t) {
+    return RunCountingJob(input, faulty, t, "doomed");
+  });
+  pipe.AddStage("third", [&](double t) {
+    third_ran = true;
+    return RunCountingJob(input, TestCluster(), t, "third");
+  });
+  const PipelineResult result = pipe.Run();
+
+  EXPECT_TRUE(result.failed);
+  EXPECT_EQ(result.error, "doomed: reduce task 1 failed after 2 attempts");
+  EXPECT_FALSE(third_ran);
+  // The failing stage's report is the last one.
+  ASSERT_EQ(result.stages.size(), 2u);
+  EXPECT_TRUE(result.stages[1].result.failed);
+  EXPECT_DOUBLE_EQ(result.end, result.stages[1].result.end_time);
+  // Counters still merged from both executed stages: the doomed job
+  // discards its user counters (only "first" contributes stage.maps) but
+  // its "mr." fault bookkeeping survives into the pipeline totals.
+  EXPECT_EQ(result.counters.Get("stage.maps"), 6);
+  EXPECT_GE(result.counters.Get("mr.failed_attempts"), 2);
+  EXPECT_EQ(result.Find("third"), nullptr);
+  ASSERT_NE(result.Find("doomed"), nullptr);
+  EXPECT_TRUE(result.Find("doomed")->result.failed);
+}
+
+TEST(PipelineTest, StageResultFromJobLabelsErrors) {
+  Job job(1, 1);
+  ClusterConfig faulty = TestCluster();
+  faulty.fault.enabled = true;
+  faulty.fault.max_attempts = 1;
+  faulty.fault.injected = {{TaskPhase::kMap, 0, 0}};
+  Job::Result run = job.Run(
+      std::vector<int>{1, 2, 3},
+      [](const int& record, Job::MapContext* ctx) { ctx->Emit(record, 1); },
+      [](const int&, std::vector<int>*, Job::ReduceContext*) {}, faulty);
+  ASSERT_TRUE(run.failed);
+
+  Job::Result copy = run;
+  const StageResult labelled = StageResultFromJob(std::move(copy), "stats");
+  EXPECT_EQ(labelled.error, "stats: map task 0 failed after 1 attempts");
+  const StageResult verbatim = StageResultFromJob(std::move(run), "");
+  EXPECT_EQ(verbatim.error, "map task 0 failed after 1 attempts");
+}
+
+}  // namespace
+}  // namespace progres

@@ -255,6 +255,10 @@ int CmdResolve(const std::map<std::string, std::string>& flags) {
     result = er.Run(dataset);
   }
 
+  if (result.failed) {
+    std::fprintf(stderr, "resolution failed: %s\n", result.error.c_str());
+    return 1;
+  }
   if (!SavePairs(RequireFlag(flags, "out"), result.duplicates)) {
     std::fprintf(stderr, "failed to write pairs\n");
     return 1;
@@ -292,6 +296,10 @@ int CmdExplain(const std::map<std::string, std::string>& flags) {
   options.cluster.machines = std::atoi(GetFlag(flags, "machines", "10").c_str());
   const ProgressiveEr er(config.blocking, config.match, sn, prob, options);
   const ProgressiveEr::Preprocessed pre = er.Preprocess(dataset);
+  if (pre.failed) {
+    std::fprintf(stderr, "preprocessing failed: %s\n", pre.error.c_str());
+    return 1;
+  }
   std::printf("%s", DescribeSchedule(pre.schedule, pre.forests,
                                      std::atoi(GetFlag(flags, "blocks", "5")
                                                    .c_str()))
