@@ -1,0 +1,137 @@
+// Ablation: checkpointed progressive recovery. Machine-level fault domains
+// kill every attempt running on a dying machine and remove it from the
+// cluster; plan-based attempt faults force reduce tasks to retry. The data
+// plane stays exactly once in all variants — duplicates and recall are
+// byte-identical — but a scratch retry replays every pair the failed
+// attempt had already resolved, while a checkpointed retry resumes from the
+// last alpha-emission snapshot and replays strictly fewer pairs, pulling
+// every recall milestone earlier on the simulated clock.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/progressive_er.h"
+#include "eval/report.h"
+#include "mechanism/sorted_neighbor.h"
+
+namespace progres {
+namespace {
+
+constexpr int64_t kEntities = 12000;
+constexpr int kMachines = 10;
+constexpr uint64_t kFaultSeed = 4242;
+
+struct Variant {
+  const char* label;
+  bool faults;
+  bool checkpoint;
+};
+
+void Main() {
+  const bench::PublicationSetup setup = bench::MakePublicationSetup(kEntities);
+  const SortedNeighborMechanism sn;
+
+  std::printf("=== Ablation: machine faults & checkpointed recovery ===\n\n");
+
+  // A fault-free dry run fixes the timeline so the injected machine deaths
+  // land mid-resolution regardless of workload tweaks.
+  double clean_total = 0.0;
+  {
+    ProgressiveErOptions options;
+    options.cluster = bench::MakeCluster(kMachines);
+    const ErRunResult dry =
+        ProgressiveEr(setup.blocking, setup.match, sn, setup.prob, options)
+            .Run(setup.data.dataset);
+    if (dry.failed) {
+      std::printf("dry run failed: %s\n", dry.error.c_str());
+      return;
+    }
+    clean_total = dry.total_time;
+  }
+
+  const std::vector<Variant> variants = {
+      {"fault-free", false, false},
+      {"faults+scratch", true, false},
+      {"faults+resume", true, true},
+  };
+
+  TextTable table({"variant", "failed", "machines_lost", "replayed_pairs",
+                   "ckpt_saved", "ckpt_restored", "t(recall=0.6)_sec",
+                   "total_time_sec", "duplicates"});
+  int64_t baseline_duplicates = -1;
+  bool invariant_held = true;
+  int64_t scratch_replayed = -1;
+  int64_t resumed_replayed = -1;
+  double scratch_total = 0.0;
+  double resumed_total = 0.0;
+  for (const Variant& v : variants) {
+    ClusterConfig cluster = bench::MakeCluster(kMachines);
+    if (v.faults) {
+      cluster.fault.enabled = true;
+      cluster.fault.seed = kFaultSeed;
+      cluster.fault.reduce_failure_prob = 0.15;
+      cluster.fault.max_attempts = 12;
+      // Two machines die mid-resolution; their in-flight attempts are
+      // killed and requeued on the eight survivors.
+      cluster.fault.machine_failures = {{2, clean_total * 0.35},
+                                        {7, clean_total * 0.55}};
+    }
+
+    ProgressiveErOptions options;
+    options.cluster = cluster;
+    options.checkpoint_recovery = v.checkpoint;
+    const ErRunResult run =
+        ProgressiveEr(setup.blocking, setup.match, sn, setup.prob, options)
+            .Run(setup.data.dataset);
+    if (run.failed) {
+      std::printf("run failed: %s\n", run.error.c_str());
+      return;
+    }
+    const RecallCurve curve =
+        RecallCurve::FromEvents(run.events, setup.data.truth);
+    const int64_t replayed = run.counters.Get("mr.recovery.replayed_pairs");
+    table.AddRow(
+        {v.label, std::to_string(run.counters.Get("mr.failed_attempts")),
+         std::to_string(run.counters.Get("mr.faults.machines_dead")),
+         std::to_string(replayed),
+         std::to_string(run.counters.Get("mr.checkpoint.saved")),
+         std::to_string(run.counters.Get("mr.checkpoint.restored")),
+         FormatDouble(curve.TimeToRecall(0.6), 0),
+         FormatDouble(run.total_time, 0),
+         std::to_string(run.duplicate_count)});
+    if (baseline_duplicates < 0) {
+      baseline_duplicates = run.duplicate_count;
+    } else if (run.duplicate_count != baseline_duplicates) {
+      invariant_held = false;
+    }
+    if (v.faults && !v.checkpoint) {
+      scratch_replayed = replayed;
+      scratch_total = run.total_time;
+    } else if (v.faults && v.checkpoint) {
+      resumed_replayed = replayed;
+      resumed_total = run.total_time;
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nexactly-once invariant (identical duplicates across variants): %s\n",
+      invariant_held ? "HELD" : "VIOLATED");
+  std::printf(
+      "checkpointed resume replays fewer pairs than scratch retry: %s "
+      "(%lld vs %lld)\n",
+      resumed_replayed < scratch_replayed ? "HELD" : "VIOLATED",
+      static_cast<long long>(resumed_replayed),
+      static_cast<long long>(scratch_replayed));
+  std::printf("recovered wall-clock: scratch %.0f s, resumed %.0f s\n",
+              scratch_total, resumed_total);
+}
+
+}  // namespace
+}  // namespace progres
+
+int main() {
+  progres::Main();
+  return 0;
+}

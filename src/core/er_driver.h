@@ -3,10 +3,12 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/er_result.h"
+#include "mapreduce/checkpoint.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/cost_clock.h"
 #include "mapreduce/counters.h"
@@ -57,6 +59,30 @@ class TaskStateRegistry {
         [this](TaskPhase phase, int task_id, int /*attempt*/) {
           if (phase == TaskPhase::kReduce) {
             states_[static_cast<size_t>(task_id)] = State();
+          }
+        });
+  }
+
+  // Installs checkpointed recovery instead (checkpoint.h): the job
+  // snapshots a copy of the task's State at each alpha-emission boundary
+  // and a re-attempt restores the latest snapshot (or a fresh State when
+  // none exists) rather than replaying from scratch. `store` must outlive
+  // the job's Run. State must be copyable.
+  template <typename Job>
+  void InstallCheckpointRecovery(Job* job, double alpha,
+                                 CheckpointStore* store) {
+    job->set_checkpointing(
+        alpha, store,
+        [this](int task_id) -> std::shared_ptr<const void> {
+          return std::make_shared<const State>(
+              states_[static_cast<size_t>(task_id)]);
+        },
+        [this](int task_id, const void* snapshot) {
+          State& state = states_[static_cast<size_t>(task_id)];
+          if (snapshot == nullptr) {
+            state = State();
+          } else {
+            state = *static_cast<const State*>(snapshot);
           }
         });
   }

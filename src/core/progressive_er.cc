@@ -245,10 +245,17 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
     };
 
     // A failed reduce attempt leaves partial events, resolved-pair sets and
-    // buffered tree groups behind; the registry's abort hook resets its
-    // state so the retry replays the task from scratch.
+    // buffered tree groups behind. The default abort hook resets its state
+    // so the retry replays the task from scratch; with checkpoint_recovery
+    // the job instead snapshots the state at each alpha-emission boundary
+    // and the retry resumes from the latest snapshot.
     TaskStateRegistry<ResolveTaskState> states(reduce_tasks);
-    states.InstallAbortReset(&job);
+    CheckpointStore checkpoints;
+    if (options_.checkpoint_recovery) {
+      states.InstallCheckpointRecovery(&job, options_.alpha, &checkpoints);
+    } else {
+      states.InstallAbortReset(&job);
+    }
 
     // Resolves one scheduled block given its members (and their dominance
     // lists); shared by both emission modes.

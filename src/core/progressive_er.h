@@ -65,6 +65,14 @@ struct ProgressiveErOptions {
   // Cost units charged for generating the progressive schedule, per live
   // block (the map-task setup work of the second job).
   double schedule_cost_per_block = 0.2;
+
+  // Checkpointed progressive recovery (checkpoint.h): reduce tasks of the
+  // resolution job snapshot their state at each alpha-emission boundary and
+  // a fault-injected re-attempt resumes from the latest snapshot instead of
+  // replaying from scratch. Resolved pairs stay byte-identical either way;
+  // only the re-executed work (and so the simulated timeline and "mr."
+  // bookkeeping) shrinks.
+  bool checkpoint_recovery = false;
 };
 
 // The paper's parallel progressive ER approach: a statistics job

@@ -1,0 +1,52 @@
+#include "mapreduce/checkpoint.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace progres {
+
+void CheckpointStore::Reset(int num_tasks) {
+  slots_.clear();
+  slots_.resize(static_cast<size_t>(std::max(0, num_tasks)));
+}
+
+const TaskCheckpoint* CheckpointStore::Latest(int t) const {
+  if (t < 0 || t >= num_tasks()) return nullptr;
+  return slots_[static_cast<size_t>(t)].latest.get();
+}
+
+void CheckpointStore::Save(int t, TaskCheckpoint checkpoint) {
+  if (t < 0 || t >= num_tasks()) return;
+  Slot& slot = slots_[static_cast<size_t>(t)];
+  if (slot.latest != nullptr && checkpoint.cost <= slot.latest->cost) {
+    return;  // re-crossing an already-saved boundary on a resumed attempt
+  }
+  slot.points.push_back(checkpoint.cost);
+  slot.latest = std::make_unique<TaskCheckpoint>(std::move(checkpoint));
+  ++slot.saved;
+}
+
+void CheckpointStore::NoteRestore(int t) {
+  if (t < 0 || t >= num_tasks()) return;
+  ++slots_[static_cast<size_t>(t)].restored;
+}
+
+const std::vector<double>& CheckpointStore::RecoveryPoints(int t) const {
+  static const std::vector<double> kEmpty;
+  if (t < 0 || t >= num_tasks()) return kEmpty;
+  return slots_[static_cast<size_t>(t)].points;
+}
+
+int64_t CheckpointStore::saved() const {
+  int64_t total = 0;
+  for (const Slot& slot : slots_) total += slot.saved;
+  return total;
+}
+
+int64_t CheckpointStore::restored() const {
+  int64_t total = 0;
+  for (const Slot& slot : slots_) total += slot.restored;
+  return total;
+}
+
+}  // namespace progres

@@ -1,0 +1,95 @@
+#ifndef PROGRES_MAPREDUCE_CHECKPOINT_H_
+#define PROGRES_MAPREDUCE_CHECKPOINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mapreduce/counters.h"
+
+namespace progres {
+
+// Checkpointed progressive recovery for reduce tasks.
+//
+// A progressive reduce task emits its results every alpha cost units; a
+// checkpoint snapshots the task's progress at exactly those emission
+// boundaries — the point of the paper's progressiveness is that everything
+// before the boundary has already been delivered, so a re-attempt that
+// restores the snapshot and resumes mid-schedule loses nothing and repeats
+// only the work since the last boundary. Without checkpoints a re-attempt
+// replays the task from scratch (the abort-reset path the non-progressive
+// drivers keep).
+//
+// A snapshot captures both halves of a task's state:
+//   * the job-side context — cost clock, user counters, emitted outputs and
+//     input-progress watermarks (group index / records consumed);
+//   * the driver-side state — an opaque, type-erased copy produced by the
+//     driver's save hook (for the progressive driver: the resolved-block
+//     watermark, per-tree resolved-pair sets and buffered tree groups).
+//
+// The store also remembers every boundary's cost ("recovery points"): the
+// timing model consults them to cost the replacement of an attempt killed
+// by a machine failure (cluster.h, AttemptScheduleOptions::recovery_points).
+//
+// Each reduce task touches only its own slot, so the store needs no
+// synchronization beyond the job's task barrier.
+
+// One saved snapshot of a reduce task at an emission boundary.
+struct TaskCheckpoint {
+  double cost = 0.0;        // task clock (cost units) at the boundary
+  int64_t groups = 0;       // reduce groups fully processed
+  int64_t records_in = 0;   // input values consumed
+  int64_t pairs_out = 0;    // pairs emitted
+  size_t outputs = 0;       // length of the task's output vector
+  Counters counters;        // user counters at the boundary
+  std::shared_ptr<const void> driver_state;  // driver save-hook snapshot
+};
+
+// Per-job checkpoint store: the latest snapshot plus the boundary-cost
+// history of every reduce task, and the save/restore tallies exported as
+// "mr.checkpoint.saved" / "mr.checkpoint.restored".
+class CheckpointStore {
+ public:
+  CheckpointStore() = default;
+
+  // Drops all snapshots and tallies and resizes to `num_tasks` slots.
+  // MapReduceJob::Run calls this at submission, so a store can be reused
+  // across runs.
+  void Reset(int num_tasks);
+
+  int num_tasks() const { return static_cast<int>(slots_.size()); }
+
+  // Latest snapshot of task `t`, or nullptr if none was saved yet.
+  const TaskCheckpoint* Latest(int t) const;
+
+  // Saves a snapshot of task `t`, replacing the previous one and appending
+  // the boundary's cost to the task's recovery points. Snapshots must
+  // advance: a save at or below the latest cost is ignored (a resumed
+  // attempt re-crossing an already-saved boundary).
+  void Save(int t, TaskCheckpoint checkpoint);
+
+  // Records that a re-attempt of task `t` restored the latest snapshot.
+  void NoteRestore(int t);
+
+  // Ascending boundary costs of task `t` — the timing model's recovery
+  // points for machine-killed attempts.
+  const std::vector<double>& RecoveryPoints(int t) const;
+
+  // Job-wide tallies.
+  int64_t saved() const;
+  int64_t restored() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<TaskCheckpoint> latest;
+    std::vector<double> points;
+    int64_t saved = 0;
+    int64_t restored = 0;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_MAPREDUCE_CHECKPOINT_H_

@@ -4,6 +4,7 @@
 #include <deque>
 #include <limits>
 #include <queue>
+#include <string>
 #include <utility>
 
 namespace progres {
@@ -31,55 +32,228 @@ std::vector<double> ClusterConfig::SlotSpeeds(int slots_per_machine) const {
   return speeds;
 }
 
-std::vector<TaskAttemptTiming> ScheduleTaskAttempts(
+std::string ValidateClusterConfig(const ClusterConfig& cluster) {
+  if (cluster.machines < 1) {
+    return "machines must be >= 1 (got " + std::to_string(cluster.machines) +
+           ")";
+  }
+  if (cluster.map_slots_per_machine < 1) {
+    return "map_slots_per_machine must be >= 1 (got " +
+           std::to_string(cluster.map_slots_per_machine) + ")";
+  }
+  if (cluster.reduce_slots_per_machine < 1) {
+    return "reduce_slots_per_machine must be >= 1 (got " +
+           std::to_string(cluster.reduce_slots_per_machine) + ")";
+  }
+  if (!(cluster.seconds_per_cost_unit > 0.0)) {
+    return "seconds_per_cost_unit must be > 0 (got " +
+           std::to_string(cluster.seconds_per_cost_unit) + ")";
+  }
+  if (cluster.execution_threads < 0) {
+    return "execution_threads must be >= 0 (got " +
+           std::to_string(cluster.execution_threads) + ")";
+  }
+  for (size_t m = 0; m < cluster.machine_speed.size(); ++m) {
+    if (!(cluster.machine_speed[m] > 0.0)) {
+      return "machine_speed[" + std::to_string(m) + "] must be > 0 (got " +
+             std::to_string(cluster.machine_speed[m]) + ")";
+    }
+  }
+  if (cluster.speculation.min_remaining_seconds < 0.0) {
+    return "speculation.min_remaining_seconds must be >= 0 (got " +
+           std::to_string(cluster.speculation.min_remaining_seconds) + ")";
+  }
+  const FaultConfig& fault = cluster.fault;
+  if (!fault.enabled) return "";
+  if (fault.max_attempts < 1) {
+    return "fault.max_attempts must be >= 1 (got " +
+           std::to_string(fault.max_attempts) + ")";
+  }
+  if (fault.map_failure_prob < 0.0 || fault.map_failure_prob > 1.0) {
+    return "fault.map_failure_prob must be in [0, 1] (got " +
+           std::to_string(fault.map_failure_prob) + ")";
+  }
+  if (fault.reduce_failure_prob < 0.0 || fault.reduce_failure_prob > 1.0) {
+    return "fault.reduce_failure_prob must be in [0, 1] (got " +
+           std::to_string(fault.reduce_failure_prob) + ")";
+  }
+  if (fault.machine_failure_prob < 0.0 || fault.machine_failure_prob > 1.0) {
+    return "fault.machine_failure_prob must be in [0, 1] (got " +
+           std::to_string(fault.machine_failure_prob) + ")";
+  }
+  if (fault.machine_failure_horizon_seconds < 0.0) {
+    return "fault.machine_failure_horizon_seconds must be >= 0 (got " +
+           std::to_string(fault.machine_failure_horizon_seconds) + ")";
+  }
+  for (size_t i = 0; i < fault.machine_failures.size(); ++i) {
+    const MachineFault& mf = fault.machine_failures[i];
+    if (mf.machine < 0 || mf.machine >= cluster.machines) {
+      return "fault.machine_failures[" + std::to_string(i) +
+             "].machine must be in [0, " + std::to_string(cluster.machines) +
+             ") (got " + std::to_string(mf.machine) + ")";
+    }
+    if (mf.time < 0.0) {
+      return "fault.machine_failures[" + std::to_string(i) +
+             "].time must be >= 0 (got " + std::to_string(mf.time) + ")";
+    }
+  }
+  if (fault.retry_backoff_seconds < 0.0) {
+    return "fault.retry_backoff_seconds must be >= 0 (got " +
+           std::to_string(fault.retry_backoff_seconds) + ")";
+  }
+  if (fault.retry_backoff_factor < 1.0) {
+    return "fault.retry_backoff_factor must be >= 1 (got " +
+           std::to_string(fault.retry_backoff_factor) + ")";
+  }
+  if (fault.blacklist_failures < 0) {
+    return "fault.blacklist_failures must be >= 0 (got " +
+           std::to_string(fault.blacklist_failures) + ")";
+  }
+  return "";
+}
+
+AttemptScheduleOutcome ScheduleTaskAttemptsOnCluster(
     const std::vector<std::vector<double>>& attempt_costs,
-    const std::vector<double>& slot_speeds, double start_time,
-    double seconds_per_cost_unit, const SpeculationConfig& speculation,
-    double* end_time, std::vector<double>* winning_starts) {
+    const AttemptScheduleOptions& options) {
+  AttemptScheduleOutcome outcome;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::vector<double>& slot_speeds = options.slot_speeds;
   const int slots = std::max(1, static_cast<int>(slot_speeds.size()));
-  std::vector<double> free_at(static_cast<size_t>(slots), start_time);
+  const double spcu = options.seconds_per_cost_unit;
+  const int spm =
+      options.slots_per_machine > 0 ? options.slots_per_machine : slots;
+  const int num_machines = (slots + spm - 1) / spm;
+
+  // Per-machine death and blacklist times (inf = never).
+  std::vector<double> dead_time(static_cast<size_t>(num_machines), kInf);
+  for (const MachineFault& f : options.machine_failures) {
+    if (f.machine >= 0 && f.machine < num_machines) {
+      double& d = dead_time[static_cast<size_t>(f.machine)];
+      d = std::min(d, f.time);
+    }
+  }
+  std::vector<double> blacklist_time(static_cast<size_t>(num_machines), kInf);
+  std::vector<int> machine_failed(static_cast<size_t>(num_machines), 0);
+
+  std::vector<double> free_at(static_cast<size_t>(slots),
+                              options.start_time);
 
   const size_t n = attempt_costs.size();
-  std::vector<double> win_start(n, start_time);
-  std::vector<double> win_end(n, start_time);
-  std::vector<int> win_index(n, -1);  // index into `attempts`
+  std::vector<double> win_start(n, options.start_time);
+  std::vector<double> win_end(n, options.start_time);
+  std::vector<int> win_index(n, -1);  // index into `outcome.attempts`
+  std::vector<int> task_failures(n, 0);
+
+  // Absolute progress at which a planned attempt starts (0 without a
+  // recovery model — every attempt restarts from scratch).
+  const auto base_of = [&options](int task, int attempt) {
+    if (static_cast<size_t>(task) >= options.attempt_bases.size()) return 0.0;
+    const std::vector<double>& bases =
+        options.attempt_bases[static_cast<size_t>(task)];
+    return static_cast<size_t>(attempt) < bases.size()
+               ? bases[static_cast<size_t>(attempt)]
+               : 0.0;
+  };
+  // Delay before the k-th (1-based) re-dispatch of a task.
+  const auto backoff_delay = [&options](int k) {
+    if (options.retry_backoff_seconds <= 0.0) return 0.0;
+    double delay = options.retry_backoff_seconds;
+    for (int i = 1; i < k; ++i) delay *= options.retry_backoff_factor;
+    return delay;
+  };
 
   // ---- Regular attempts: FIFO dispatch with failure re-queue ----
+  // `base` is the absolute progress the run starts from: the planned
+  // attempt's own base, or a later recovery point after a machine kill.
   struct Pending {
     int task;
     int attempt;
     double ready;
+    double base;
   };
   std::deque<Pending> queue;
   for (size_t i = 0; i < n; ++i) {
     if (!attempt_costs[i].empty()) {
-      queue.push_back({static_cast<int>(i), 0, start_time});
+      queue.push_back({static_cast<int>(i), 0, options.start_time,
+                       base_of(static_cast<int>(i), 0)});
     }
   }
 
-  std::vector<TaskAttemptTiming> attempts;
   while (!queue.empty()) {
     const Pending p = queue.front();
     queue.pop_front();
-    // Earliest-starting slot for this attempt (ties to the lowest index).
-    int best = 0;
-    double best_start = std::numeric_limits<double>::infinity();
+    // Earliest-starting usable slot (ties to the lowest index). A slot is
+    // unusable once its machine is dead or blacklisted at the start time.
+    int best = -1;
+    double best_start = kInf;
     for (int s = 0; s < slots; ++s) {
+      const int m = s / spm;
       const double candidate = std::max(free_at[static_cast<size_t>(s)],
                                         p.ready);
+      if (candidate >= dead_time[static_cast<size_t>(m)] ||
+          candidate >= blacklist_time[static_cast<size_t>(m)]) {
+        continue;
+      }
       if (candidate < best_start) {
         best_start = candidate;
         best = s;
       }
     }
+    if (best < 0) {
+      // Every machine is dead or blacklisted: the phase cannot finish.
+      outcome.failed = true;
+      outcome.failed_task = p.task;
+      break;
+    }
     const auto& chain = attempt_costs[static_cast<size_t>(p.task)];
-    const double duration = chain[static_cast<size_t>(p.attempt)] *
-                            seconds_per_cost_unit /
-                            SpeedOfSlot(slot_speeds, best);
+    const double plan_base = base_of(p.task, p.attempt);
+    const double plan_cost = chain[static_cast<size_t>(p.attempt)];
+    // Resuming from a recovery point past the attempt's base shortens the
+    // run; the base==plan_base branch keeps the arithmetic bit-identical to
+    // the recovery-free scheduler.
+    const double run_cost =
+        p.base == plan_base ? plan_cost
+                            : std::max(0.0, plan_base + plan_cost - p.base);
+    const int machine = best / spm;
+    const double speed = SpeedOfSlot(slot_speeds, best);
+    const double duration = run_cost * spcu / speed;
     const double finish = best_start + duration;
+
+    const double death = dead_time[static_cast<size_t>(machine)];
+    if (finish > death) {
+      // The machine dies mid-run: the attempt is killed at the death time
+      // and the task re-queued (with backoff) from its best recovery point.
+      TaskAttemptTiming timing;
+      timing.task = p.task;
+      timing.attempt = p.attempt;
+      timing.slot = best;
+      timing.start = best_start;
+      timing.end = death;
+      timing.failed = true;
+      timing.machine_lost = true;
+      outcome.attempts.push_back(timing);
+      ++outcome.machine_lost_attempts;
+      free_at[static_cast<size_t>(best)] = death;
+      const double done = (death - best_start) * speed / spcu;
+      const double progress = p.base + done;
+      double resume = plan_base;
+      if (static_cast<size_t>(p.task) < options.recovery_points.size()) {
+        for (const double point :
+             options.recovery_points[static_cast<size_t>(p.task)]) {
+          if (point > progress) break;
+          if (point > resume) resume = point;
+        }
+      }
+      outcome.replayed_cost_units += std::max(0.0, progress - resume);
+      const int k = ++task_failures[static_cast<size_t>(p.task)];
+      const double delay = backoff_delay(k);
+      outcome.backoff_seconds += delay;
+      queue.push_back({p.task, p.attempt, death + delay, resume});
+      continue;
+    }
+
     free_at[static_cast<size_t>(best)] = finish;
-    const bool failed =
-        static_cast<size_t>(p.attempt) + 1 < chain.size();
+    const bool failed = static_cast<size_t>(p.attempt) + 1 < chain.size();
     TaskAttemptTiming timing;
     timing.task = p.task;
     timing.attempt = p.attempt;
@@ -88,19 +262,45 @@ std::vector<TaskAttemptTiming> ScheduleTaskAttempts(
     timing.end = finish;
     timing.failed = failed;
     timing.won = !failed;
-    attempts.push_back(timing);
+    outcome.attempts.push_back(timing);
     if (failed) {
-      queue.push_back({p.task, p.attempt + 1, finish});
+      // Blacklist a machine that keeps killing attempts — unless it is the
+      // last healthy one.
+      if (options.blacklist_failures > 0 &&
+          ++machine_failed[static_cast<size_t>(machine)] >=
+              options.blacklist_failures &&
+          blacklist_time[static_cast<size_t>(machine)] == kInf) {
+        int healthy_others = 0;
+        for (int m = 0; m < num_machines; ++m) {
+          if (m == machine) continue;
+          if (blacklist_time[static_cast<size_t>(m)] == kInf &&
+              dead_time[static_cast<size_t>(m)] > finish) {
+            ++healthy_others;
+          }
+        }
+        if (healthy_others > 0) {
+          blacklist_time[static_cast<size_t>(machine)] = finish;
+          ++outcome.machines_blacklisted;
+        }
+      }
+      const int k = ++task_failures[static_cast<size_t>(p.task)];
+      const double delay = backoff_delay(k);
+      outcome.backoff_seconds += delay;
+      queue.push_back({p.task, p.attempt + 1, finish + delay,
+                       base_of(p.task, p.attempt + 1)});
     } else {
       win_start[static_cast<size_t>(p.task)] = best_start;
       win_end[static_cast<size_t>(p.task)] = finish;
       win_index[static_cast<size_t>(p.task)] =
-          static_cast<int>(attempts.size()) - 1;
+          static_cast<int>(outcome.attempts.size()) - 1;
     }
   }
 
   // ---- Speculative execution on slots that fall idle ----
-  if (speculation.enabled && !attempts.empty()) {
+  // Only simulated on a fault-domain-free timeline: racing a backup against
+  // machine deaths is out of scope for the model.
+  if (options.speculation.enabled && options.machine_failures.empty() &&
+      !outcome.attempts.empty()) {
     // Min-heap of (free time, slot); a slot that cannot profitably back up
     // any task now never can later (remaining times only shrink), so it is
     // dropped instead of re-pushed.
@@ -115,13 +315,13 @@ std::vector<TaskAttemptTiming> ScheduleTaskAttempts(
       idle.pop();
       const double slot_speed = SpeedOfSlot(slot_speeds, slot);
       int candidate = -1;
-      double candidate_remaining = speculation.min_remaining_seconds;
+      double candidate_remaining = options.speculation.min_remaining_seconds;
       for (size_t i = 0; i < n; ++i) {
         if (has_backup[i] || win_index[i] < 0) continue;
         if (win_start[i] > now || win_end[i] <= now) continue;  // not running
         const double remaining = win_end[i] - now;
         const double backup_end =
-            now + attempt_costs[i].back() * seconds_per_cost_unit / slot_speed;
+            now + attempt_costs[i].back() * spcu / slot_speed;
         if (remaining > candidate_remaining && backup_end < win_end[i]) {
           candidate_remaining = remaining;
           candidate = static_cast<int>(i);
@@ -130,34 +330,65 @@ std::vector<TaskAttemptTiming> ScheduleTaskAttempts(
       if (candidate < 0) continue;  // slot stays idle for good
       const size_t c = static_cast<size_t>(candidate);
       const double backup_end =
-          now + attempt_costs[c].back() * seconds_per_cost_unit / slot_speed;
+          now + attempt_costs[c].back() * spcu / slot_speed;
       TaskAttemptTiming backup;
       backup.task = candidate;
-      backup.attempt = attempts[static_cast<size_t>(win_index[c])].attempt;
+      backup.attempt =
+          outcome.attempts[static_cast<size_t>(win_index[c])].attempt;
       backup.slot = slot;
       backup.start = now;
       backup.end = backup_end;
       backup.speculative = true;
       backup.won = true;  // only profitable backups are launched
-      attempts[static_cast<size_t>(win_index[c])].won = false;
-      win_index[c] = static_cast<int>(attempts.size());
+      outcome.attempts[static_cast<size_t>(win_index[c])].won = false;
+      win_index[c] = static_cast<int>(outcome.attempts.size());
       win_start[c] = now;
       win_end[c] = backup_end;
       has_backup[c] = true;
-      attempts.push_back(backup);
+      outcome.attempts.push_back(backup);
       idle.push({backup_end, slot});
     }
   }
 
-  double makespan = start_time;
+  double makespan = options.start_time;
   for (size_t i = 0; i < n; ++i) {
     if (win_index[i] >= 0) makespan = std::max(makespan, win_end[i]);
   }
-  if (end_time != nullptr) *end_time = makespan;
-  if (winning_starts != nullptr) {
-    *winning_starts = std::move(win_start);
+  if (outcome.failed) {
+    // A failed phase still reports how far the timeline got.
+    for (const TaskAttemptTiming& a : outcome.attempts) {
+      makespan = std::max(makespan, a.end);
+    }
   }
-  return attempts;
+  outcome.end_time = makespan;
+  for (const MachineFault& f : options.machine_failures) {
+    if (f.machine >= 0 && f.machine < num_machines &&
+        f.time >= options.start_time && f.time < makespan &&
+        dead_time[static_cast<size_t>(f.machine)] == f.time) {
+      ++outcome.machines_lost;
+    }
+  }
+  outcome.winning_starts = std::move(win_start);
+  return outcome;
+}
+
+std::vector<TaskAttemptTiming> ScheduleTaskAttempts(
+    const std::vector<std::vector<double>>& attempt_costs,
+    const std::vector<double>& slot_speeds, double start_time,
+    double seconds_per_cost_unit, const SpeculationConfig& speculation,
+    double* end_time, std::vector<double>* winning_starts) {
+  AttemptScheduleOptions options;
+  options.slot_speeds = slot_speeds;
+  options.start_time = start_time;
+  options.seconds_per_cost_unit = seconds_per_cost_unit;
+  options.speculation = speculation;
+  AttemptScheduleOutcome outcome =
+      ScheduleTaskAttemptsOnCluster(attempt_costs, options);
+  if (end_time != nullptr) *end_time = outcome.end_time;
+  if (winning_starts != nullptr) {
+    *winning_starts = std::move(outcome.winning_starts);
+  }
+  return std::move(outcome.attempts);
 }
 
 std::vector<double> ScheduleTasksHeterogeneous(

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mapreduce/fault.h"
@@ -40,12 +41,13 @@ struct ClusterConfig {
   int map_slots() const { return machines * map_slots_per_machine; }
   int reduce_slots() const { return machines * reduce_slots_per_machine; }
 
-  // Speed factor of machine `m` (1.0 when unspecified).
+  // Speed factor of machine `m` (1.0 for machines past the end of
+  // `machine_speed`). Listed entries are returned verbatim — non-positive
+  // speeds are a configuration error that ValidateClusterConfig rejects at
+  // job submission, never silently coerced.
   double SpeedOfMachine(int m) const {
-    if (m < static_cast<int>(machine_speed.size())) {
-      return machine_speed[static_cast<size_t>(m)] > 0.0
-                 ? machine_speed[static_cast<size_t>(m)]
-                 : 1.0;
+    if (m >= 0 && m < static_cast<int>(machine_speed.size())) {
+      return machine_speed[static_cast<size_t>(m)];
     }
     return 1.0;
   }
@@ -53,6 +55,15 @@ struct ClusterConfig {
   // Per-slot speed factors for a phase with `slots_per_machine` slots.
   std::vector<double> SlotSpeeds(int slots_per_machine) const;
 };
+
+// Validates a cluster configuration at job submission: machine and slot
+// counts >= 1, failure probabilities in [0, 1], max_attempts >= 1, speed
+// factors and time conversions > 0, machine-failure events inside the
+// cluster, backoff/blacklist knobs non-negative. Returns an empty string
+// when valid, otherwise a labelled description of the first violation.
+// MapReduceJob::Run fails cleanly (Result::failed) on a non-empty result
+// instead of running with a silently "normalized" config.
+std::string ValidateClusterConfig(const ClusterConfig& cluster);
 
 // One scheduled task attempt on the simulated cluster. Failed attempts hold
 // the slot until their injected failure fires; the retry is re-queued at
@@ -66,9 +77,14 @@ struct TaskAttemptTiming {
   int slot = 0;
   double start = 0.0;
   double end = 0.0;
-  bool failed = false;       // ended by an injected failure
+  bool failed = false;       // ended by an injected failure or machine loss
   bool speculative = false;  // backup copy from speculative execution
   bool won = false;          // produced the task's result
+  // Killed because its machine died mid-run. The task re-runs the same
+  // attempt index on a surviving machine (a machine loss does not count
+  // against max_attempts), so one (task, attempt) pair may appear more than
+  // once — every occurrence but the last is machine_lost.
+  bool machine_lost = false;
 };
 
 // Per-task execution statistics (winning attempt only).
@@ -131,6 +147,77 @@ std::vector<TaskAttemptTiming> ScheduleTaskAttempts(
     const std::vector<double>& slot_speeds, double start_time,
     double seconds_per_cost_unit, const SpeculationConfig& speculation,
     double* end_time, std::vector<double>* winning_starts);
+
+// Inputs of the machine-aware scheduler beyond the attempt-cost chains.
+// With no machine failures, zero backoff and blacklisting off, the schedule
+// is bit-identical to ScheduleTaskAttempts.
+struct AttemptScheduleOptions {
+  std::vector<double> slot_speeds;
+  // Slots [m*slots_per_machine, (m+1)*slots_per_machine) belong to machine
+  // m — the fault domain of machine failures and blacklisting. 0 puts every
+  // slot on machine 0.
+  int slots_per_machine = 0;
+  double start_time = 0.0;
+  double seconds_per_cost_unit = 1.0;
+  // Speculative backups are simulated only when `machine_failures` is empty
+  // (losing a backup's machine mid-race is out of scope for the model).
+  SpeculationConfig speculation;
+
+  // Machine deaths at absolute simulated times. A machine dead at time T
+  // runs nothing that starts at or after T; attempts running at T are
+  // killed and re-queued on the survivors. A machine already dead before
+  // `start_time` contributes no slots at all. If no machine can host a
+  // pending task, the phase fails (`failed` below).
+  std::vector<MachineFault> machine_failures;
+
+  // Retry hygiene (see FaultConfig): the k-th failure of a task delays its
+  // re-dispatch by retry_backoff_seconds * retry_backoff_factor^(k-1);
+  // a machine hosting `blacklist_failures` failed attempts stops receiving
+  // new ones (0 = off; the last healthy machine is never blacklisted).
+  double retry_backoff_seconds = 0.0;
+  double retry_backoff_factor = 2.0;
+  int blacklist_failures = 0;
+
+  // Recovery model for machine-killed attempts, in task-progress cost
+  // units. `attempt_bases[t][a]` is the absolute progress at which planned
+  // attempt `a` of task `t` starts (empty: all attempts restart from 0 —
+  // the from-scratch model); `recovery_points[t]` holds the task's
+  // checkpointed progress marks, ascending (empty: none). A kill at
+  // progress p re-runs the same planned attempt from the highest recovery
+  // point <= p (at least the attempt's own base); the progress between that
+  // point and p is re-executed and accumulated into `replayed_cost_units`.
+  std::vector<std::vector<double>> attempt_bases;
+  std::vector<std::vector<double>> recovery_points;
+};
+
+// Result of the machine-aware scheduler: the attempt timeline plus the
+// fault-domain bookkeeping the runtime exports under "mr." counters.
+struct AttemptScheduleOutcome {
+  std::vector<TaskAttemptTiming> attempts;
+  double end_time = 0.0;
+  std::vector<double> winning_starts;
+  // Some task could not be placed because every machine was dead or
+  // blacklisted — the job must fail cleanly.
+  bool failed = false;
+  int failed_task = -1;
+  // Attempts killed by a machine death ("mr.faults.machine_lost").
+  int64_t machine_lost_attempts = 0;
+  // Machines whose death fell before this phase's end.
+  int machines_lost = 0;
+  // Machines blacklisted during this phase ("mr.blacklist.machines").
+  int machines_blacklisted = 0;
+  // Total simulated re-dispatch delay ("mr.retry.backoff_seconds").
+  double backoff_seconds = 0.0;
+  // Progress re-executed because of machine kills, in cost units.
+  double replayed_cost_units = 0.0;
+};
+
+// Machine-aware attempt scheduler: ScheduleTaskAttempts plus machine-level
+// fault domains, exponential retry backoff, machine blacklisting and
+// checkpoint-aware recovery of machine-killed attempts.
+AttemptScheduleOutcome ScheduleTaskAttemptsOnCluster(
+    const std::vector<std::vector<double>>& attempt_costs,
+    const AttemptScheduleOptions& options);
 
 }  // namespace progres
 

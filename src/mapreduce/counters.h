@@ -19,9 +19,18 @@ namespace progres {
 //   mr.speculative_wins     backup copies that beat the original attempt
 //   mr.shuffle.records      post-combine pairs crossing the shuffle
 //   mr.shuffle.bytes        their serialized volume (needs set_wire_size)
-// User counters merge independently of the reserved ones: the runtime only
-// ever increments "mr." names, and a job's non-"mr." counters are
-// byte-identical to a fault-free run.
+//   mr.faults.machine_lost  attempts killed by a machine failure
+//   mr.faults.machines_dead machines that died during the job's timeline
+//   mr.blacklist.machines   machines blacklisted for repeated failures
+//   mr.retry.backoff_seconds  simulated retry-backoff delay (rounded)
+//   mr.recovery.replayed_pairs  reduce input values re-processed by retries
+//   mr.recovery.replayed_cost   cost units re-executed after machine kills
+//   mr.checkpoint.saved     reduce-task snapshots saved (checkpointing only)
+//   mr.checkpoint.restored  snapshots restored by re-attempts (ditto)
+// Counters that would be zero stay absent, so a fault-free job's counter
+// set is unchanged by these features. User counters merge independently of
+// the reserved ones: the runtime only ever increments "mr." names, and a
+// job's non-"mr." counters are byte-identical to a fault-free run.
 class Counters {
  public:
   // Adds `delta` to counter `name`, creating it at zero if absent.

@@ -32,6 +32,14 @@ double HashToUnit(uint64_t h) {
 
 constexpr uint64_t kFailSalt = 0xfa117a5cULL;
 constexpr uint64_t kPointSalt = 0x9017a11bULL;
+constexpr uint64_t kMachineSalt = 0x3ac41fedULL;
+constexpr uint64_t kMachineTimeSalt = 0x7139e0a1ULL;
+
+uint64_t HashMachine(uint64_t seed, int machine, uint64_t salt) {
+  uint64_t h = SplitMix64(seed ^ salt);
+  h = SplitMix64(h ^ static_cast<uint64_t>(machine));
+  return h;
+}
 
 }  // namespace
 
@@ -67,6 +75,43 @@ int FaultPlan::FailuresBeforeSuccess(TaskPhase phase, int task,
 double FaultPlan::FailurePoint(TaskPhase phase, int task, int attempt) const {
   return HashToUnit(HashAttempt(config_.seed, phase, task, attempt,
                                 kPointSalt));
+}
+
+std::vector<MachineFault> FaultPlan::MachineFailures(int num_machines) const {
+  std::vector<MachineFault> failures;
+  if (!config_.enabled) return failures;
+  // Earliest planned death per machine (or unset).
+  std::vector<double> death(static_cast<size_t>(std::max(0, num_machines)),
+                            -1.0);
+  for (const MachineFault& fault : config_.machine_failures) {
+    if (fault.machine < 0 || fault.machine >= num_machines) continue;
+    double& d = death[static_cast<size_t>(fault.machine)];
+    if (d < 0.0 || fault.time < d) d = fault.time;
+  }
+  if (config_.machine_failure_prob > 0.0 &&
+      config_.machine_failure_horizon_seconds > 0.0) {
+    for (int m = 0; m < num_machines; ++m) {
+      const double u =
+          HashToUnit(HashMachine(config_.seed, m, kMachineSalt));
+      if (u >= config_.machine_failure_prob) continue;
+      const double t =
+          HashToUnit(HashMachine(config_.seed, m, kMachineTimeSalt)) *
+          config_.machine_failure_horizon_seconds;
+      double& d = death[static_cast<size_t>(m)];
+      if (d < 0.0 || t < d) d = t;
+    }
+  }
+  for (int m = 0; m < num_machines; ++m) {
+    if (death[static_cast<size_t>(m)] >= 0.0) {
+      failures.push_back({m, death[static_cast<size_t>(m)]});
+    }
+  }
+  std::sort(failures.begin(), failures.end(),
+            [](const MachineFault& a, const MachineFault& b) {
+              return a.time != b.time ? a.time < b.time
+                                      : a.machine < b.machine;
+            });
+  return failures;
 }
 
 }  // namespace progres

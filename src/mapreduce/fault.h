@@ -18,6 +18,17 @@ struct TaskFault {
   int attempt = 0;
 };
 
+// One machine-level failure: machine `machine` dies at simulated time
+// `time` (seconds, absolute). Every attempt running on the machine's slots
+// at that moment is killed and the machine's slots leave the cluster for
+// good; orphaned tasks are re-queued on the survivors. Unlike task-attempt
+// failures, a machine loss does not consume one of the task's
+// max_attempts — the task was healthy, its machine was not.
+struct MachineFault {
+  int machine = 0;
+  double time = 0.0;
+};
+
 // Deterministic fault-injection configuration for the simulated runtime.
 // With `enabled` false the runtime behaves exactly as a fault-free cluster
 // (single attempt per task, no retry bookkeeping in the timing model).
@@ -37,6 +48,30 @@ struct FaultConfig {
   // mapred.map/reduce.max.attempts, default 4).
   int max_attempts = 4;
   std::vector<TaskFault> injected;
+
+  // ---- Machine-level fault domain ----
+  // Explicit machine losses, plus an optional seed-hashed source: each
+  // machine independently dies with probability `machine_failure_prob`, at
+  // a deterministic time hashed into [0, machine_failure_horizon_seconds).
+  // Both sources are pure functions of the config; FaultPlan merges them
+  // (earliest death per machine wins).
+  std::vector<MachineFault> machine_failures;
+  double machine_failure_prob = 0.0;
+  double machine_failure_horizon_seconds = 0.0;
+
+  // ---- Retry hygiene ----
+  // Delay before re-dispatching a task whose attempt failed (task-attempt
+  // failure or machine loss): the k-th failure of a task waits
+  // retry_backoff_seconds * retry_backoff_factor^(k-1) on the simulated
+  // clock. 0 re-queues immediately (the pre-backoff behaviour). Total delay
+  // is exported as "mr.retry.backoff_seconds".
+  double retry_backoff_seconds = 0.0;
+  double retry_backoff_factor = 2.0;
+  // A machine that hosts this many failed task attempts is blacklisted: no
+  // new attempts start there (running ones finish). 0 disables. The last
+  // healthy machine is never blacklisted. Exported as
+  // "mr.blacklist.machines".
+  int blacklist_failures = 0;
 };
 
 // Speculative execution (Hadoop's backup tasks) in the timing model. When a
@@ -74,6 +109,12 @@ class FaultPlan {
   // Fraction in [0, 1) of the attempt's input processed before the injected
   // failure fires. Deterministic per (seed, phase, task, attempt).
   double FailurePoint(TaskPhase phase, int task, int attempt) const;
+
+  // Machine-failure events for a cluster of `num_machines` machines, merged
+  // from the injected list and the seed-hashed source, at most one per
+  // machine (earliest wins), sorted by (time, machine). Empty when faults
+  // are disabled.
+  std::vector<MachineFault> MachineFailures(int num_machines) const;
 
  private:
   FaultConfig config_;

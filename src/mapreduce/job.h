@@ -2,14 +2,17 @@
 #define PROGRES_MAPREDUCE_JOB_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "mapreduce/checkpoint.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/cost_clock.h"
 #include "mapreduce/counters.h"
@@ -44,7 +47,21 @@ namespace progres {
 //     (plus any external per-task state, via the task-abort hook) and the
 //     task re-runs from scratch, so job output is byte-identical to a
 //     fault-free run. Exhausting max_attempts fails the job cleanly
-//     (Result::failed + Result::error).
+//     (Result::failed + Result::error);
+//   * with checkpointing enabled (set_checkpointing), a reduce re-attempt
+//     instead restores the task's last alpha-boundary snapshot and resumes
+//     mid-schedule — same byte-identical outputs, but only the progress
+//     since the snapshot is re-executed;
+//   * machine-level failures (FaultConfig::machine_failures) play out in
+//     the timing model: a dying machine kills the attempts on its slots and
+//     leaves the cluster, orphaned tasks re-queue (with exponential
+//     backoff) on the survivors, and the replacement attempt is costed from
+//     the task's best recovery point. Losing every machine fails the job
+//     cleanly.
+//
+// The cluster configuration is validated at submission
+// (ValidateClusterConfig); an invalid config fails the job with a labelled
+// error instead of running with silently corrected parameters.
 //
 // Tasks execute concurrently on a thread pool; all algorithmic cost is
 // charged to deterministic per-task CostClocks, so results are bit-identical
@@ -168,6 +185,30 @@ class MapReduceJob {
   // Optional hook run when a task attempt fails (see TaskAbortFn).
   void set_task_abort(TaskAbortFn fn) { task_abort_ = std::move(fn); }
 
+  // Driver-state snapshot/restore hooks for checkpointed recovery. `save`
+  // returns a type-erased copy of the driver's per-task state; `restore`
+  // replaces the task's state with a snapshot, or resets it to
+  // freshly-constructed when the snapshot is null (no checkpoint yet).
+  using SaveStateFn = std::function<std::shared_ptr<const void>(int task_id)>;
+  using RestoreStateFn =
+      std::function<void(int task_id, const void* snapshot)>;
+
+  // Enables checkpointed progressive recovery of reduce tasks: after each
+  // group, when the task's cost clock crosses a multiple of `alpha` (the
+  // progressive emission boundary), its context and driver state are
+  // snapshotted into `store`; a re-attempt restores the latest snapshot and
+  // resumes instead of replaying from scratch. `store` must outlive Run,
+  // which resets it at submission. Outputs stay byte-identical to a
+  // fault-free run; only the "mr." bookkeeping and the simulated timeline
+  // change. Drivers that keep the abort-reset path simply never call this.
+  void set_checkpointing(double alpha, CheckpointStore* store,
+                         SaveStateFn save, RestoreStateFn restore) {
+    checkpoint_alpha_ = alpha;
+    checkpoint_store_ = store;
+    checkpoint_save_ = std::move(save);
+    checkpoint_restore_ = std::move(restore);
+  }
+
   // Runs the job on `input` using `cluster` for both real thread parallelism
   // and the simulated time model. `submit_time` is when the job starts on
   // the simulated clock.
@@ -177,7 +218,19 @@ class MapReduceJob {
     Result result;
     result.timing.start = submit_time;
 
+    const std::string config_error = ValidateClusterConfig(cluster);
+    if (!config_error.empty()) {
+      result.failed = true;
+      result.error = "invalid cluster config: " + config_error;
+      result.timing.map_end = submit_time;
+      result.timing.end = submit_time;
+      return result;
+    }
+    if (checkpointing()) checkpoint_store_->Reset(num_reduce_tasks_);
+
     const FaultPlan plan(cluster.fault);
+    const std::vector<MachineFault> machine_failures =
+        plan.MachineFailures(cluster.machines);
     const bool heterogeneous = !cluster.machine_speed.empty();
     const std::vector<double> map_speeds =
         heterogeneous
@@ -195,8 +248,33 @@ class MapReduceJob {
     TaskAttemptRunner reduce_runner(TaskPhase::kReduce, num_reduce_tasks_,
                                     &plan);
 
+    // Shared scheduler inputs of both phases: the machine fault domain and
+    // the retry-hygiene knobs.
+    const auto phase_options = [&](const std::vector<double>& speeds,
+                                   int slots_per_machine, double start) {
+      AttemptScheduleOptions options;
+      options.slot_speeds = speeds;
+      options.slots_per_machine = slots_per_machine;
+      options.start_time = start;
+      options.seconds_per_cost_unit = cluster.seconds_per_cost_unit;
+      options.speculation = cluster.speculation;
+      options.machine_failures = machine_failures;
+      options.retry_backoff_seconds = cluster.fault.retry_backoff_seconds;
+      options.retry_backoff_factor = cluster.fault.retry_backoff_factor;
+      options.blacklist_failures = cluster.fault.blacklist_failures;
+      return options;
+    };
+
     // ---- Map phase ----
     std::vector<MapContext> map_ctx(static_cast<size_t>(num_map_tasks_));
+    // Per-attempt recovery bookkeeping of the reduce phase, consumed by the
+    // machine-aware timing model after the pool scope closes: the absolute
+    // progress each executed attempt started from, and the input values a
+    // failed attempt forced the retry to re-process.
+    std::vector<std::vector<double>> reduce_attempt_bases(
+        static_cast<size_t>(num_reduce_tasks_));
+    std::vector<int64_t> reduce_replayed(
+        static_cast<size_t>(num_reduce_tasks_), 0);
     {
       const int threads = cluster.execution_threads > 0
                               ? cluster.execution_threads
@@ -243,13 +321,14 @@ class MapReduceJob {
       if (doomed_map >= 0) {
         result.failed = true;
         result.error = map_runner.DoomedError(doomed_map);
-        double map_end = submit_time;
-        result.timing.map_attempts = ScheduleTaskAttempts(
-            map_runner.attempt_costs(), map_speeds, submit_time,
-            cluster.seconds_per_cost_unit, cluster.speculation, &map_end,
-            nullptr);
-        result.timing.map_end = map_end;
-        result.timing.end = map_end;
+        AttemptScheduleOutcome map_schedule = ScheduleTaskAttemptsOnCluster(
+            map_runner.attempt_costs(),
+            phase_options(map_speeds, cluster.map_slots_per_machine,
+                          submit_time));
+        MergeRecoveryCounters(map_schedule, &result.counters);
+        result.timing.map_attempts = std::move(map_schedule.attempts);
+        result.timing.map_end = map_schedule.end_time;
+        result.timing.end = map_schedule.end_time;
         return result;
       }
 
@@ -274,18 +353,62 @@ class MapReduceJob {
       for (int r = 0; r < num_reduce_tasks_; ++r) {
         reduce_ctx[static_cast<size_t>(r)].task_id_ = r;
       }
+      // Per-task cursors of the checkpoint-aware attempt loop: the restored
+      // base cost and group watermark of the currently running attempt.
+      // Each task only ever touches its own slot.
+      std::vector<double> attempt_base(static_cast<size_t>(num_reduce_tasks_),
+                                       0.0);
+      std::vector<int64_t> attempt_skip(
+          static_cast<size_t>(num_reduce_tasks_), 0);
       reduce_runner.RunAll(
           &pool,
-          [this, &reduce_ctx](int t) {
-            ResetReduceContext(&reduce_ctx[static_cast<size_t>(t)]);
+          [this, &reduce_ctx, &reduce_attempt_bases, &attempt_base,
+           &attempt_skip](int t) {
+            ReduceContext& ctx = reduce_ctx[static_cast<size_t>(t)];
+            const TaskCheckpoint* checkpoint =
+                checkpointing() ? checkpoint_store_->Latest(t) : nullptr;
+            if (checkpoint != nullptr) {
+              RestoreReduceContext(&ctx, *checkpoint);
+              if (checkpoint_restore_) {
+                checkpoint_restore_(t, checkpoint->driver_state.get());
+              }
+              checkpoint_store_->NoteRestore(t);
+              attempt_base[static_cast<size_t>(t)] = checkpoint->cost;
+              attempt_skip[static_cast<size_t>(t)] = checkpoint->groups;
+            } else {
+              ResetReduceContext(&ctx);
+              if (checkpointing() && checkpoint_restore_) {
+                checkpoint_restore_(t, nullptr);
+              }
+              attempt_base[static_cast<size_t>(t)] = 0.0;
+              attempt_skip[static_cast<size_t>(t)] = 0;
+            }
+            reduce_attempt_bases[static_cast<size_t>(t)].push_back(
+                attempt_base[static_cast<size_t>(t)]);
           },
-          [this, &map_outputs, &reduce_fn, &reduce_ctx](
-              const TaskAttemptRunner::Attempt& attempt) {
+          [this, &map_outputs, &reduce_fn, &reduce_ctx, &attempt_base,
+           &attempt_skip](const TaskAttemptRunner::Attempt& attempt) {
             ReduceContext& ctx = reduce_ctx[static_cast<size_t>(attempt.task)];
-            RunReduceAttempt(map_outputs, reduce_fn, &ctx, attempt);
-            return ctx.clock_.units();
+            RunReduceAttempt(map_outputs, reduce_fn, &ctx, attempt,
+                             attempt_skip[static_cast<size_t>(attempt.task)]);
+            // Incremental cost: with a restored checkpoint, only the work
+            // past the boundary counts as this attempt's duration.
+            return ctx.clock_.units() -
+                   attempt_base[static_cast<size_t>(attempt.task)];
           },
-          task_abort_);
+          [this, &reduce_ctx, &reduce_replayed](TaskPhase phase, int t,
+                                                int att) {
+            // The retry repeats everything past the last checkpoint (from
+            // scratch without one) — the measurable price of the failure.
+            const ReduceContext& ctx = reduce_ctx[static_cast<size_t>(t)];
+            const TaskCheckpoint* checkpoint =
+                checkpointing() ? checkpoint_store_->Latest(t) : nullptr;
+            const int64_t kept =
+                checkpoint != nullptr ? checkpoint->records_in : 0;
+            reduce_replayed[static_cast<size_t>(t)] +=
+                std::max<int64_t>(0, ctx.stats_.records_in - kept);
+            if (task_abort_) task_abort_(phase, t, att);
+          });
 
       reduce_runner.MergeFaultCounters(&result.counters);
       const int doomed_reduce = reduce_runner.FirstDoomed();
@@ -308,20 +431,60 @@ class MapReduceJob {
       }
     }
 
-    // ---- Simulated timing (failed attempts and retries included) ----
-    double map_end = submit_time;
-    result.timing.map_attempts = ScheduleTaskAttempts(
-        map_runner.attempt_costs(), map_speeds, submit_time,
-        cluster.seconds_per_cost_unit, cluster.speculation, &map_end,
-        nullptr);
-    result.timing.map_end = map_end;
+    // ---- Checkpoint & replay bookkeeping ----
+    {
+      int64_t replayed = 0;
+      for (const int64_t r : reduce_replayed) replayed += r;
+      if (replayed > 0) {
+        result.counters.Increment("mr.recovery.replayed_pairs", replayed);
+      }
+      if (checkpointing() && checkpoint_store_->saved() > 0) {
+        result.counters.Increment("mr.checkpoint.saved",
+                                  checkpoint_store_->saved());
+      }
+      if (checkpointing() && checkpoint_store_->restored() > 0) {
+        result.counters.Increment("mr.checkpoint.restored",
+                                  checkpoint_store_->restored());
+      }
+    }
 
-    double end = map_end;
-    result.timing.reduce_attempts = ScheduleTaskAttempts(
-        reduce_runner.attempt_costs(), reduce_speeds, map_end,
-        cluster.seconds_per_cost_unit, cluster.speculation, &end,
-        &result.timing.reduce_start);
-    result.timing.end = end;
+    // ---- Simulated timing (failed attempts, retries, machine faults) ----
+    AttemptScheduleOutcome map_schedule = ScheduleTaskAttemptsOnCluster(
+        map_runner.attempt_costs(),
+        phase_options(map_speeds, cluster.map_slots_per_machine,
+                      submit_time));
+    MergeRecoveryCounters(map_schedule, &result.counters);
+    result.timing.map_attempts = std::move(map_schedule.attempts);
+    result.timing.map_end = map_schedule.end_time;
+    if (map_schedule.failed && !result.failed) {
+      FailOnLostCluster(&result, TaskPhase::kMap, map_schedule.failed_task);
+      result.timing.end = map_schedule.end_time;
+      return result;
+    }
+
+    AttemptScheduleOptions reduce_options = phase_options(
+        reduce_speeds, cluster.reduce_slots_per_machine,
+        result.timing.map_end);
+    reduce_options.attempt_bases = std::move(reduce_attempt_bases);
+    if (checkpointing()) {
+      reduce_options.recovery_points.resize(
+          static_cast<size_t>(num_reduce_tasks_));
+      for (int t = 0; t < num_reduce_tasks_; ++t) {
+        reduce_options.recovery_points[static_cast<size_t>(t)] =
+            checkpoint_store_->RecoveryPoints(t);
+      }
+    }
+    AttemptScheduleOutcome reduce_schedule = ScheduleTaskAttemptsOnCluster(
+        reduce_runner.attempt_costs(), reduce_options);
+    MergeRecoveryCounters(reduce_schedule, &result.counters);
+    result.timing.reduce_attempts = std::move(reduce_schedule.attempts);
+    result.timing.reduce_start = std::move(reduce_schedule.winning_starts);
+    result.timing.end = reduce_schedule.end_time;
+    if (reduce_schedule.failed && !result.failed) {
+      FailOnLostCluster(&result, TaskPhase::kReduce,
+                        reduce_schedule.failed_task);
+      return result;
+    }
 
     MergeSpeculationCounters(result.timing, &result.counters);
     return result;
@@ -342,14 +505,66 @@ class MapReduceJob {
     ctx->outputs_.clear();
   }
 
+  bool checkpointing() const {
+    return checkpoint_store_ != nullptr && checkpoint_alpha_ > 0.0;
+  }
+
+  // Rewinds a reduce context to a saved snapshot: clock re-charged to the
+  // boundary cost, counters/stats replaced, outputs truncated to the
+  // boundary's length (everything before the boundary was already emitted
+  // identically — determinism makes the prefix byte-equal).
+  void RestoreReduceContext(ReduceContext* ctx,
+                            const TaskCheckpoint& checkpoint) {
+    ctx->clock_.Reset();
+    ctx->clock_.Charge(checkpoint.cost);
+    ctx->counters_ = checkpoint.counters;
+    ctx->stats_ = TaskStats();
+    ctx->stats_.records_in = checkpoint.records_in;
+    ctx->stats_.pairs_out = checkpoint.pairs_out;
+    if (ctx->outputs_.size() > checkpoint.outputs) {
+      ctx->outputs_.erase(
+          ctx->outputs_.begin() +
+              static_cast<std::ptrdiff_t>(checkpoint.outputs),
+          ctx->outputs_.end());
+    }
+  }
+
+  // Snapshots the task after a group if its clock crossed into a new
+  // alpha-window (the progressive emission boundary) since the last saved
+  // snapshot. The store ignores non-advancing saves, so a resumed attempt
+  // re-crossing an old boundary is a no-op.
+  void MaybeCheckpoint(ReduceContext* ctx, int64_t groups_done) {
+    if (!checkpointing()) return;
+    const int task = ctx->task_id_;
+    const double units = ctx->clock_.units();
+    const TaskCheckpoint* latest = checkpoint_store_->Latest(task);
+    const double last = latest != nullptr ? latest->cost : 0.0;
+    if (units <= last) return;
+    if (std::floor(units / checkpoint_alpha_) <=
+        std::floor(last / checkpoint_alpha_)) {
+      return;
+    }
+    TaskCheckpoint checkpoint;
+    checkpoint.cost = units;
+    checkpoint.groups = groups_done;
+    checkpoint.records_in = ctx->stats_.records_in;
+    checkpoint.pairs_out = ctx->stats_.pairs_out;
+    checkpoint.outputs = ctx->outputs_.size();
+    checkpoint.counters = ctx->counters_;
+    if (checkpoint_save_) checkpoint.driver_state = checkpoint_save_(task);
+    checkpoint_store_->Save(task, std::move(checkpoint));
+  }
+
   // Runs one reduce-task attempt: gather/sort via the shuffle (a failing
   // attempt copies its input — the buckets must survive for the retry — and
   // stops at the group boundary past `fail_point` of the input pairs), then
-  // one reduce call per group; the winning attempt runs cleanup.
+  // one reduce call per group; the winning attempt runs cleanup. A resumed
+  // attempt skips the `skip_groups` groups its restored checkpoint already
+  // covers.
   void RunReduceAttempt(
       std::vector<typename JobShuffle::MapOutput*>& map_outputs,
       const ReduceFn& reduce_fn, ReduceContext* ctx,
-      const TaskAttemptRunner::Attempt& attempt) {
+      const TaskAttemptRunner::Attempt& attempt, int64_t skip_groups) {
     std::vector<std::pair<K, V>> pairs =
         shuffle_.GatherSorted(map_outputs, attempt.task, attempt.fails);
     const size_t limit =
@@ -359,15 +574,37 @@ class MapReduceJob {
             : pairs.size() + 1;
 
     if (reduce_setup_) reduce_setup_(attempt.task);
+    int64_t group_index = 0;
     JobShuffle::ForEachGroup(
         &pairs, limit, [&](const K& key, std::vector<V>* values) {
+          const int64_t group = group_index++;
+          if (group < skip_groups) return;
           ctx->stats_.records_in += static_cast<int64_t>(values->size());
           reduce_fn(key, values, ctx);
+          MaybeCheckpoint(ctx, group + 1);
         });
     if (!attempt.fails) {
       if (reduce_cleanup_) reduce_cleanup_(ctx);
       ctx->stats_.cost = ctx->clock_.units();
     }
+  }
+
+  // Clean job failure when a task ran out of machines to run on: keeps the
+  // "mr." bookkeeping but scrubs user-visible data, which Result documents
+  // as unspecified on failure.
+  void FailOnLostCluster(Result* result, TaskPhase phase, int task) {
+    result->failed = true;
+    result->error =
+        std::string(phase == TaskPhase::kMap ? "map" : "reduce") + " task " +
+        std::to_string(task) + " lost: no healthy machines remain";
+    result->outputs.clear();
+    result->map_stats.clear();
+    result->reduce_stats.clear();
+    Counters scrubbed;
+    for (const auto& [name, value] : result->counters.values()) {
+      if (name.rfind("mr.", 0) == 0) scrubbed.Increment(name, value);
+    }
+    result->counters = std::move(scrubbed);
   }
 
   int num_map_tasks_;
@@ -378,6 +615,10 @@ class MapReduceJob {
   SetupFn reduce_setup_;
   ReduceCleanupFn reduce_cleanup_;
   TaskAbortFn task_abort_;
+  double checkpoint_alpha_ = 0.0;
+  CheckpointStore* checkpoint_store_ = nullptr;
+  SaveStateFn checkpoint_save_;
+  RestoreStateFn checkpoint_restore_;
 };
 
 }  // namespace progres

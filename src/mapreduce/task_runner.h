@@ -21,6 +21,11 @@ namespace progres {
 // double-counts), then the winning attempt. Per-attempt costs and doomed
 // tasks are recorded for the attempt-aware timing model
 // (ScheduleTaskAttempts) and the "mr." fault counters.
+//
+// With checkpointed recovery (checkpoint.h) the reset hook restores the
+// task's last snapshot instead of clearing it, and the body reports the
+// attempt's *incremental* cost (work past the restored boundary) so the
+// timing model charges only the resumed portion.
 class TaskAttemptRunner {
  public:
   // What the body callback receives for one attempt. `fail_point` is the
@@ -114,6 +119,37 @@ class TaskAttemptRunner {
   std::vector<std::vector<double>> attempt_costs_;
   std::vector<char> doomed_;
 };
+
+// Machine-fault-domain and retry-hygiene totals of one phase's schedule,
+// under the reserved "mr." counter prefix: attempts killed by machine loss,
+// simulated retry-backoff delay, machines blacklisted for repeated attempt
+// failures, and the cost re-executed because of machine kills (~ pair
+// comparisons; see cost_clock.h).
+inline void MergeRecoveryCounters(const AttemptScheduleOutcome& outcome,
+                                  Counters* counters) {
+  // Zero totals stay absent so a fault-free job's counter set is unchanged.
+  if (outcome.machine_lost_attempts > 0) {
+    counters->Increment("mr.faults.machine_lost",
+                        outcome.machine_lost_attempts);
+  }
+  if (outcome.machines_lost > 0) {
+    counters->Increment("mr.faults.machines_dead", outcome.machines_lost);
+  }
+  if (outcome.machines_blacklisted > 0) {
+    counters->Increment("mr.blacklist.machines",
+                        outcome.machines_blacklisted);
+  }
+  if (outcome.backoff_seconds > 0.0) {
+    counters->Increment(
+        "mr.retry.backoff_seconds",
+        static_cast<int64_t>(outcome.backoff_seconds + 0.5));
+  }
+  if (outcome.replayed_cost_units > 0.0) {
+    counters->Increment(
+        "mr.recovery.replayed_cost",
+        static_cast<int64_t>(outcome.replayed_cost_units + 0.5));
+  }
+}
 
 // Speculation totals for a finished job's timing, under the reserved "mr."
 // counter prefix.

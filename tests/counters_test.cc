@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "mapreduce/checkpoint.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/job.h"
 
@@ -85,6 +86,87 @@ TEST(JobCountersTest, UserCountersIndependentOfReservedOnes) {
   for (const auto& [name, value] : result.counters.values()) {
     if (name.rfind("mr.", 0) == 0) continue;
     EXPECT_TRUE(name.rfind("user.", 0) == 0) << name;
+  }
+}
+
+TEST(JobCountersTest, RetriedAttemptsDoNotDoubleCountUserCounters) {
+  // A failed attempt's user counters must be discarded with the attempt —
+  // the job-wide totals count each record/value exactly once, for scratch
+  // retries and checkpoint-resumed retries alike.
+  using Job = MapReduceJob<int, int, int>;
+  const auto run = [](const ClusterConfig& cluster, CheckpointStore* store) {
+    Job job(2, 2);
+    if (store != nullptr) job.set_checkpointing(5.0, store, nullptr, nullptr);
+    std::vector<int> input;
+    for (int i = 0; i < 60; ++i) input.push_back(i);
+    return job.Run(
+        input,
+        [](const int& record, Job::MapContext* ctx) {
+          ctx->counters().Increment("user.map_records");
+          ctx->Emit(record % 6, record);
+        },
+        [](const int&, std::vector<int>* values, Job::ReduceContext* ctx) {
+          ctx->counters().Increment("user.reduce_values",
+                                    static_cast<int64_t>(values->size()));
+          ctx->clock().Charge(static_cast<double>(values->size()));
+        },
+        cluster);
+  };
+
+  FaultConfig fault;
+  fault.enabled = true;
+  fault.max_attempts = 5;
+  for (int task = 0; task < 2; ++task) {
+    fault.injected.push_back({TaskPhase::kMap, task, 0});
+    fault.injected.push_back({TaskPhase::kReduce, task, 0});
+    fault.injected.push_back({TaskPhase::kReduce, task, 1});
+  }
+  ClusterConfig faulty = TestCluster();
+  faulty.fault = fault;
+
+  const auto clean = run(TestCluster(), nullptr);
+  const auto scratch = run(faulty, nullptr);
+  CheckpointStore store;
+  const auto resumed = run(faulty, &store);
+
+  ASSERT_FALSE(scratch.failed) << scratch.error;
+  ASSERT_FALSE(resumed.failed) << resumed.error;
+  EXPECT_EQ(clean.counters.Get("user.map_records"), 60);
+  EXPECT_EQ(clean.counters.Get("user.reduce_values"), 60);
+  EXPECT_EQ(scratch.counters.Get("user.map_records"), 60);
+  EXPECT_EQ(scratch.counters.Get("user.reduce_values"), 60);
+  EXPECT_EQ(resumed.counters.Get("user.map_records"), 60);
+  EXPECT_EQ(resumed.counters.Get("user.reduce_values"), 60);
+  // The retries themselves are visible — but only under "mr.".
+  EXPECT_GE(scratch.counters.Get("mr.failed_attempts"), 6);
+  EXPECT_GE(resumed.counters.Get("mr.failed_attempts"), 6);
+}
+
+TEST(JobCountersTest, ShuffleAccountingSkipsEmptyPartitions) {
+  // A partitioner that routes everything to reduce task 0 leaves the other
+  // partitions empty: wire-size accounting must count only the pairs that
+  // actually cross the shuffle, and empty partitions contribute nothing.
+  using Job = MapReduceJob<int, int, int>;
+  Job job(2, 4);
+  job.set_partitioner([](const int&, int) { return 0; });
+  job.set_wire_size([](const int&, const int&) { return int64_t{8}; });
+  std::vector<int> input = {1, 2, 3, 4, 5};
+  const auto result = job.Run(
+      input,
+      [](const int& record, Job::MapContext* ctx) { ctx->Emit(record, 1); },
+      [](const int&, std::vector<int>*, Job::ReduceContext* ctx) {
+        ctx->counters().Increment("reduce.groups");
+      },
+      TestCluster());
+  ASSERT_FALSE(result.failed);
+  EXPECT_EQ(result.counters.Get("mr.shuffle.records"), 5);
+  EXPECT_EQ(result.counters.Get("mr.shuffle.bytes"), 40);
+  EXPECT_EQ(result.counters.Get("reduce.groups"), 5);
+  // All four reduce tasks ran; three saw no input.
+  ASSERT_EQ(result.reduce_stats.size(), 4u);
+  EXPECT_EQ(result.reduce_stats[0].records_in, 5);
+  for (size_t t = 1; t < 4; ++t) {
+    EXPECT_EQ(result.reduce_stats[t].records_in, 0);
   }
 }
 

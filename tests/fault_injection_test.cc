@@ -341,6 +341,25 @@ TEST(FaultInjectionTest, ProgressiveErSurvivesFaultsWithIdenticalDuplicates) {
     EXPECT_EQ(faulty.events[i].pair, clean.events[i].pair);
     EXPECT_GE(faulty.events[i].time, clean.events[i].time);
   }
+
+  // Checkpointed recovery under the same fault plan: identical duplicates
+  // again, but re-attempts resume from their last alpha-boundary snapshot
+  // instead of replaying, so strictly less work is repeated.
+  ProgressiveErOptions resumed_options = faulty_options;
+  resumed_options.checkpoint_recovery = true;
+  const ErRunResult resumed =
+      ProgressiveEr(blocking, match, sn, prob, resumed_options)
+          .Run(data.dataset);
+  ASSERT_FALSE(resumed.failed) << resumed.error;
+  EXPECT_EQ(resumed.duplicates, clean.duplicates);
+  EXPECT_EQ(resumed.duplicate_count, clean.duplicate_count);
+  EXPECT_EQ(resumed.comparisons, clean.comparisons);
+  EXPECT_EQ(CountersMinusMr(resumed.counters),
+            CountersMinusMr(clean.counters));
+  EXPECT_GT(resumed.counters.Get("mr.checkpoint.saved"), 0);
+  EXPECT_LE(resumed.counters.Get("mr.recovery.replayed_pairs"),
+            faulty.counters.Get("mr.recovery.replayed_pairs"));
+  EXPECT_LE(resumed.total_time, faulty.total_time);
 }
 
 TEST(FaultInjectionTest, ProgressiveErPropagatesJobFailure) {

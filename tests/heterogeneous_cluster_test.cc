@@ -39,9 +39,77 @@ TEST(SlotSpeedsTest, MissingEntriesDefaultToNominal) {
   EXPECT_DOUBLE_EQ(cluster.SpeedOfMachine(0), 0.5);
   EXPECT_DOUBLE_EQ(cluster.SpeedOfMachine(1), 1.0);
   EXPECT_DOUBLE_EQ(cluster.SpeedOfMachine(2), 1.0);
-  // Zero/negative speeds are treated as nominal, never divide-by-zero.
+  // Zero/negative speeds are a config error now, caught by validation
+  // instead of being silently coerced to nominal.
   cluster.machine_speed = {0.0};
-  EXPECT_DOUBLE_EQ(cluster.SpeedOfMachine(0), 1.0);
+  const std::string error = ValidateClusterConfig(cluster);
+  EXPECT_NE(error.find("machine_speed"), std::string::npos) << error;
+}
+
+TEST(ValidateClusterConfigTest, AcceptsDefaultsAndRejectsBadFields) {
+  ClusterConfig cluster;
+  EXPECT_EQ(ValidateClusterConfig(cluster), "");
+
+  cluster.machines = 0;
+  EXPECT_NE(ValidateClusterConfig(cluster).find("machines"),
+            std::string::npos);
+  cluster = ClusterConfig();
+  cluster.map_slots_per_machine = 0;
+  EXPECT_NE(ValidateClusterConfig(cluster).find("map_slots_per_machine"),
+            std::string::npos);
+  cluster = ClusterConfig();
+  cluster.seconds_per_cost_unit = 0.0;
+  EXPECT_NE(ValidateClusterConfig(cluster).find("seconds_per_cost_unit"),
+            std::string::npos);
+  cluster = ClusterConfig();
+  cluster.machine_speed = {1.0, -2.0};
+  EXPECT_NE(ValidateClusterConfig(cluster).find("machine_speed"),
+            std::string::npos);
+}
+
+TEST(ValidateClusterConfigTest, ChecksFaultFieldsOnlyWhenEnabled) {
+  ClusterConfig cluster;
+  // Garbage fault fields are ignored while fault injection is disabled.
+  cluster.fault.max_attempts = 0;
+  cluster.fault.map_failure_prob = 7.0;
+  EXPECT_EQ(ValidateClusterConfig(cluster), "");
+
+  cluster.fault.enabled = true;
+  EXPECT_NE(ValidateClusterConfig(cluster).find("max_attempts"),
+            std::string::npos);
+  cluster.fault.max_attempts = 3;
+  EXPECT_NE(ValidateClusterConfig(cluster).find("map_failure_prob"),
+            std::string::npos);
+  cluster.fault.map_failure_prob = 0.1;
+  EXPECT_EQ(ValidateClusterConfig(cluster), "");
+
+  cluster.fault.machine_failures.push_back(
+      {cluster.machines, 0.0});  // machine out of range
+  EXPECT_NE(ValidateClusterConfig(cluster).find("machine_failures"),
+            std::string::npos);
+  cluster.fault.machine_failures.clear();
+  cluster.fault.retry_backoff_factor = 0.5;
+  EXPECT_NE(ValidateClusterConfig(cluster).find("retry_backoff_factor"),
+            std::string::npos);
+  cluster.fault.retry_backoff_factor = 2.0;
+  cluster.fault.blacklist_failures = -1;
+  EXPECT_NE(ValidateClusterConfig(cluster).find("blacklist_failures"),
+            std::string::npos);
+}
+
+TEST(ValidateClusterConfigTest, InvalidConfigFailsJobSubmission) {
+  using Job = MapReduceJob<int, int, int>;
+  ClusterConfig cluster;
+  cluster.machines = -2;
+  Job job(2, 2);
+  const auto result = job.Run(
+      {1, 2, 3},
+      [](const int& record, Job::MapContext* ctx) { ctx->Emit(record, 1); },
+      [](const int&, std::vector<int>*, Job::ReduceContext*) {}, cluster);
+  EXPECT_TRUE(result.failed);
+  EXPECT_NE(result.error.find("invalid cluster config"), std::string::npos)
+      << result.error;
+  EXPECT_TRUE(result.outputs.empty());
 }
 
 TEST(ScheduleHeterogeneousTest, SlowSlotStretchesTask) {

@@ -1,0 +1,403 @@
+// Machine-level fault domains: deterministic machine deaths kill the
+// attempts on the machine's slots and remove it from the cluster, orphaned
+// tasks re-queue (with exponential backoff) on the survivors, repeatedly
+// failing machines are blacklisted, and the data plane stays byte-identical
+// throughout — only the simulated timeline and "mr." bookkeeping change.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/progressive_er.h"
+#include "datagen/generators.h"
+#include "mapreduce/fault.h"
+#include "mapreduce/job.h"
+#include "mechanism/sorted_neighbor.h"
+#include "mr_test_util.h"
+
+namespace progres {
+namespace {
+
+using testing_util::CountersMinusMr;
+using testing_util::ValidateAttemptSchedule;
+
+// ---- FaultPlan machine-failure derivation ----
+
+TEST(MachineFailurePlanTest, DisabledPlanHasNoFailures) {
+  FaultConfig config;
+  config.machine_failures.push_back({0, 5.0});
+  config.machine_failure_prob = 1.0;
+  config.machine_failure_horizon_seconds = 100.0;
+  const FaultPlan plan(config);  // enabled stays false
+  EXPECT_TRUE(plan.MachineFailures(4).empty());
+}
+
+TEST(MachineFailurePlanTest, SeededFailuresAreDeterministicAndInRange) {
+  FaultConfig config;
+  config.enabled = true;
+  config.seed = 11;
+  config.machine_failure_prob = 0.5;
+  config.machine_failure_horizon_seconds = 100.0;
+  const FaultPlan plan(config);
+  const std::vector<MachineFault> a = plan.MachineFailures(10);
+  const std::vector<MachineFault> b = plan.MachineFailures(10);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].machine, b[i].machine);
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time);
+    EXPECT_GE(a[i].machine, 0);
+    EXPECT_LT(a[i].machine, 10);
+    EXPECT_GE(a[i].time, 0.0);
+    EXPECT_LT(a[i].time, 100.0);
+  }
+  // prob=0.5 over 10 machines: some die, some survive (seed-checked once).
+  EXPECT_GE(a.size(), 1u);
+  EXPECT_LT(a.size(), 10u);
+  // Sorted by (time, machine), at most one event per machine.
+  std::vector<bool> seen(10, false);
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a[i - 1].time, a[i].time);
+  }
+  for (const MachineFault& f : a) {
+    EXPECT_FALSE(seen[static_cast<size_t>(f.machine)]);
+    seen[static_cast<size_t>(f.machine)] = true;
+  }
+}
+
+TEST(MachineFailurePlanTest, InjectedMergesWithSeededEarliestWins) {
+  FaultConfig config;
+  config.enabled = true;
+  config.machine_failures.push_back({2, 30.0});
+  config.machine_failures.push_back({2, 10.0});  // earlier event wins
+  config.machine_failures.push_back({7, 12.0});  // out of range for 4 machines
+  const FaultPlan plan(config);
+  const std::vector<MachineFault> failures = plan.MachineFailures(4);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].machine, 2);
+  EXPECT_DOUBLE_EQ(failures[0].time, 10.0);
+}
+
+// ---- Scheduler-level fault domains ----
+
+AttemptScheduleOptions TwoMachineOptions() {
+  AttemptScheduleOptions options;
+  options.slot_speeds = {1.0, 1.0};
+  options.slots_per_machine = 1;  // slot s == machine s
+  options.seconds_per_cost_unit = 1.0;
+  return options;
+}
+
+TEST(MachineScheduleTest, NoFaultsMatchesLegacyScheduler) {
+  const std::vector<std::vector<double>> chains = {
+      {5.0}, {3.0, 9.0}, {2.0}, {7.0, 1.0, 4.0}, {6.0}};
+  const std::vector<double> speeds = {1.0, 0.5, 2.0};
+  double legacy_end = 0.0;
+  std::vector<double> legacy_starts;
+  const std::vector<TaskAttemptTiming> legacy = ScheduleTaskAttempts(
+      chains, speeds, 2.0, 0.5, SpeculationConfig{}, &legacy_end,
+      &legacy_starts);
+
+  AttemptScheduleOptions options;
+  options.slot_speeds = speeds;
+  options.slots_per_machine = 1;
+  options.start_time = 2.0;
+  options.seconds_per_cost_unit = 0.5;
+  const AttemptScheduleOutcome outcome =
+      ScheduleTaskAttemptsOnCluster(chains, options);
+
+  EXPECT_DOUBLE_EQ(outcome.end_time, legacy_end);
+  ASSERT_EQ(outcome.attempts.size(), legacy.size());
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(outcome.attempts[i].task, legacy[i].task);
+    EXPECT_EQ(outcome.attempts[i].slot, legacy[i].slot);
+    EXPECT_DOUBLE_EQ(outcome.attempts[i].start, legacy[i].start);
+    EXPECT_DOUBLE_EQ(outcome.attempts[i].end, legacy[i].end);
+    EXPECT_EQ(outcome.attempts[i].won, legacy[i].won);
+  }
+  ASSERT_EQ(outcome.winning_starts.size(), legacy_starts.size());
+  for (size_t i = 0; i < legacy_starts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(outcome.winning_starts[i], legacy_starts[i]);
+  }
+  EXPECT_EQ(outcome.machine_lost_attempts, 0);
+  EXPECT_EQ(outcome.machines_lost, 0);
+  EXPECT_DOUBLE_EQ(outcome.replayed_cost_units, 0.0);
+}
+
+TEST(MachineScheduleTest, DeathKillsAttemptAndRequeuesOnSurvivor) {
+  AttemptScheduleOptions options = TwoMachineOptions();
+  options.machine_failures = {{0, 5.0}};
+  const AttemptScheduleOutcome outcome =
+      ScheduleTaskAttemptsOnCluster({{10.0}, {10.0}}, options);
+
+  ASSERT_FALSE(outcome.failed);
+  // Task 0 runs 0-5 on machine 0, is killed, then re-runs its full 10 units
+  // on machine 1 after task 1 finishes there at t=10.
+  ASSERT_EQ(outcome.attempts.size(), 3u);
+  const TaskAttemptTiming& killed = outcome.attempts[0];
+  EXPECT_EQ(killed.task, 0);
+  EXPECT_TRUE(killed.machine_lost);
+  EXPECT_TRUE(killed.failed);
+  EXPECT_FALSE(killed.won);
+  EXPECT_DOUBLE_EQ(killed.start, 0.0);
+  EXPECT_DOUBLE_EQ(killed.end, 5.0);
+  const TaskAttemptTiming& rerun = outcome.attempts.back();
+  EXPECT_EQ(rerun.task, 0);
+  EXPECT_EQ(rerun.attempt, killed.attempt);  // no max_attempts consumed
+  EXPECT_EQ(rerun.slot, 1);
+  EXPECT_TRUE(rerun.won);
+  EXPECT_DOUBLE_EQ(rerun.start, 10.0);
+  EXPECT_DOUBLE_EQ(rerun.end, 20.0);
+  EXPECT_DOUBLE_EQ(outcome.end_time, 20.0);
+  EXPECT_EQ(outcome.machine_lost_attempts, 1);
+  EXPECT_EQ(outcome.machines_lost, 1);
+  // The 5 units done before the kill are replayed from scratch.
+  EXPECT_DOUBLE_EQ(outcome.replayed_cost_units, 5.0);
+  ValidateAttemptSchedule(outcome.attempts, 2, 0.0, outcome.end_time);
+}
+
+TEST(MachineScheduleTest, RecoveryPointShortensTheRerun) {
+  AttemptScheduleOptions options = TwoMachineOptions();
+  options.machine_failures = {{0, 5.0}};
+  // Checkpoints at 2 and 4 cost units: the kill at progress 5 resumes from
+  // 4, so the rerun executes only 6 of the 10 units.
+  options.recovery_points = {{2.0, 4.0}, {}};
+  const AttemptScheduleOutcome outcome =
+      ScheduleTaskAttemptsOnCluster({{10.0}, {10.0}}, options);
+
+  ASSERT_FALSE(outcome.failed);
+  const TaskAttemptTiming& rerun = outcome.attempts.back();
+  EXPECT_EQ(rerun.task, 0);
+  EXPECT_DOUBLE_EQ(rerun.start, 10.0);
+  EXPECT_DOUBLE_EQ(rerun.end, 16.0);
+  EXPECT_DOUBLE_EQ(outcome.end_time, 16.0);
+  EXPECT_DOUBLE_EQ(outcome.replayed_cost_units, 1.0);  // progress 5 - point 4
+}
+
+TEST(MachineScheduleTest, LosingEveryMachineFailsThePhase) {
+  AttemptScheduleOptions options = TwoMachineOptions();
+  options.machine_failures = {{0, 5.0}, {1, 8.0}};
+  const AttemptScheduleOutcome outcome =
+      ScheduleTaskAttemptsOnCluster({{10.0}, {10.0}}, options);
+  EXPECT_TRUE(outcome.failed);
+  EXPECT_GE(outcome.failed_task, 0);
+  // The last death coincides with the truncated makespan, so at least the
+  // earlier one falls inside the phase window.
+  EXPECT_GE(outcome.machines_lost, 1);
+  EXPECT_GE(outcome.machine_lost_attempts, 2);
+}
+
+TEST(MachineScheduleTest, BackoffDelaysEachRedispatchExponentially) {
+  AttemptScheduleOptions options;
+  options.slot_speeds = {1.0};
+  options.slots_per_machine = 1;
+  options.seconds_per_cost_unit = 1.0;
+  options.retry_backoff_seconds = 3.0;
+  options.retry_backoff_factor = 2.0;
+  // Two plan failures then success: re-dispatch delays 3 and 6 seconds.
+  const AttemptScheduleOutcome outcome =
+      ScheduleTaskAttemptsOnCluster({{5.0, 5.0, 10.0}}, options);
+  ASSERT_FALSE(outcome.failed);
+  ASSERT_EQ(outcome.attempts.size(), 3u);
+  EXPECT_DOUBLE_EQ(outcome.attempts[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.attempts[0].end, 5.0);
+  EXPECT_DOUBLE_EQ(outcome.attempts[1].start, 8.0);   // 5 + 3
+  EXPECT_DOUBLE_EQ(outcome.attempts[1].end, 13.0);
+  EXPECT_DOUBLE_EQ(outcome.attempts[2].start, 19.0);  // 13 + 6
+  EXPECT_DOUBLE_EQ(outcome.attempts[2].end, 29.0);
+  EXPECT_DOUBLE_EQ(outcome.backoff_seconds, 9.0);
+  EXPECT_DOUBLE_EQ(outcome.end_time, 29.0);
+}
+
+TEST(MachineScheduleTest, RepeatedFailuresBlacklistTheMachine) {
+  AttemptScheduleOptions options = TwoMachineOptions();
+  options.blacklist_failures = 2;
+  // Task 0 fails twice; both failures land on machine 0 (ties go to the
+  // lowest slot), so machine 0 is blacklisted and the third attempt runs on
+  // machine 1.
+  const AttemptScheduleOutcome outcome =
+      ScheduleTaskAttemptsOnCluster({{1.0, 1.0, 10.0}}, options);
+  ASSERT_FALSE(outcome.failed);
+  ASSERT_EQ(outcome.attempts.size(), 3u);
+  EXPECT_EQ(outcome.attempts[0].slot, 0);
+  EXPECT_EQ(outcome.attempts[1].slot, 0);
+  EXPECT_EQ(outcome.attempts[2].slot, 1);
+  EXPECT_TRUE(outcome.attempts[2].won);
+  EXPECT_EQ(outcome.machines_blacklisted, 1);
+}
+
+TEST(MachineScheduleTest, LastHealthyMachineIsNeverBlacklisted) {
+  AttemptScheduleOptions options;
+  options.slot_speeds = {1.0};
+  options.slots_per_machine = 1;
+  options.seconds_per_cost_unit = 1.0;
+  options.blacklist_failures = 1;
+  const AttemptScheduleOutcome outcome =
+      ScheduleTaskAttemptsOnCluster({{1.0, 1.0, 10.0}}, options);
+  ASSERT_FALSE(outcome.failed);
+  EXPECT_EQ(outcome.machines_blacklisted, 0);
+  EXPECT_TRUE(outcome.attempts.back().won);
+}
+
+// ---- Job-level: data plane unchanged, timeline and counters shift ----
+
+constexpr int kMapTasks = 4;
+constexpr int kReduceTasks = 3;
+
+ClusterConfig TestCluster(FaultConfig fault = FaultConfig()) {
+  ClusterConfig cluster;
+  cluster.machines = 2;
+  cluster.execution_threads = 4;
+  cluster.seconds_per_cost_unit = 1.0;
+  cluster.fault = std::move(fault);
+  return cluster;
+}
+
+using Job = MapReduceJob<int, int, int>;
+
+Job::Result RunJob(const ClusterConfig& cluster) {
+  std::vector<int> input;
+  for (int i = 0; i < 229; ++i) input.push_back(i * 37 % 101);
+  Job job(kMapTasks, kReduceTasks);
+  job.set_map_cost_per_record(0.5);
+  job.set_partitioner([](const int& key, int r) { return key % r; });
+  return job.Run(
+      input,
+      [](const int& record, Job::MapContext* ctx) {
+        ctx->counters().Increment("map.records");
+        ctx->clock().Charge(0.25);
+        ctx->Emit(record % 11, record);
+      },
+      [](const int& key, std::vector<int>* values, Job::ReduceContext* ctx) {
+        int sum = 0;
+        for (int v : *values) sum += v;
+        ctx->counters().Increment("reduce.groups");
+        ctx->clock().Charge(static_cast<double>(values->size()));
+        ctx->Emit(key, sum);
+      },
+      cluster);
+}
+
+TEST(MachineFaultJobTest, OutputsIdenticalUnderMachineLoss) {
+  const Job::Result baseline = RunJob(TestCluster());
+  ASSERT_FALSE(baseline.failed);
+
+  FaultConfig fault;
+  fault.enabled = true;
+  fault.machine_failures = {{0, 20.0}};  // dies mid-map
+  const Job::Result run = RunJob(TestCluster(fault));
+  ASSERT_FALSE(run.failed) << run.error;
+
+  EXPECT_EQ(run.outputs, baseline.outputs);
+  EXPECT_EQ(CountersMinusMr(run.counters), CountersMinusMr(baseline.counters));
+  EXPECT_GE(run.counters.Get("mr.faults.machine_lost"), 1);
+  EXPECT_EQ(run.counters.Get("mr.faults.machines_dead"), 1);
+  EXPECT_GT(run.counters.Get("mr.recovery.replayed_cost"), 0);
+  EXPECT_GE(run.timing.end, baseline.timing.end);
+  ValidateAttemptSchedule(run.timing.map_attempts, kMapTasks, run.timing.start,
+                          run.timing.map_end);
+  ValidateAttemptSchedule(run.timing.reduce_attempts, kReduceTasks,
+                          run.timing.map_end, run.timing.end);
+}
+
+TEST(MachineFaultJobTest, FaultFreeCounterSetHasNoRecoveryEntries) {
+  const Job::Result baseline = RunJob(TestCluster());
+  for (const std::string name :
+       {"mr.faults.machine_lost", "mr.faults.machines_dead",
+        "mr.blacklist.machines", "mr.retry.backoff_seconds",
+        "mr.recovery.replayed_pairs", "mr.recovery.replayed_cost",
+        "mr.checkpoint.saved", "mr.checkpoint.restored"}) {
+    EXPECT_EQ(baseline.counters.values().count(name), 0u) << name;
+  }
+}
+
+TEST(MachineFaultJobTest, LosingAllMachinesFailsTheJobCleanly) {
+  FaultConfig fault;
+  fault.enabled = true;
+  fault.machine_failures = {{0, 10.0}, {1, 15.0}};
+  const Job::Result run = RunJob(TestCluster(fault));
+  EXPECT_TRUE(run.failed);
+  EXPECT_NE(run.error.find("no healthy machines remain"), std::string::npos)
+      << run.error;
+  EXPECT_TRUE(run.outputs.empty());
+  // Only the runtime's own bookkeeping survives a failed job.
+  for (const auto& [name, value] : run.counters.values()) {
+    EXPECT_EQ(name.rfind("mr.", 0), 0u) << name;
+  }
+}
+
+TEST(MachineFaultJobTest, BackoffShiftsTimelineOnly) {
+  FaultConfig fault;
+  fault.enabled = true;
+  fault.max_attempts = 4;
+  fault.injected = {{TaskPhase::kReduce, 0, 0}, {TaskPhase::kReduce, 0, 1}};
+  const Job::Result immediate = RunJob(TestCluster(fault));
+  ASSERT_FALSE(immediate.failed);
+
+  fault.retry_backoff_seconds = 5.0;
+  fault.retry_backoff_factor = 2.0;
+  const Job::Result delayed = RunJob(TestCluster(fault));
+  ASSERT_FALSE(delayed.failed);
+
+  EXPECT_EQ(delayed.outputs, immediate.outputs);
+  // Two failures of one task: delays 5 and 10 seconds.
+  EXPECT_EQ(delayed.counters.Get("mr.retry.backoff_seconds"), 15);
+  EXPECT_GE(delayed.timing.end, immediate.timing.end + 15.0);
+}
+
+// ---- End-to-end: ProgressiveEr under machine failures ----
+
+TEST(MachineFaultJobTest, ProgressiveErResolvedPairsSurviveMachineLoss) {
+  PublicationConfig gen;
+  gen.num_entities = 1500;
+  gen.seed = 23;
+  const LabeledDataset data = GeneratePublications(gen);
+  PublicationConfig train_gen;
+  train_gen.num_entities = 500;
+  train_gen.seed = 24;
+  const LabeledDataset train = GeneratePublications(train_gen);
+
+  const BlockingConfig blocking(
+      {{"X", kPubTitle, {2, 4}, -1}, {"Y", kPubVenue, {3}, -1}});
+  const MatchFunction match(
+      {{kPubTitle, AttributeSimilarity::kEditDistance, 0.7, 0},
+       {kPubVenue, AttributeSimilarity::kEditDistance, 0.3, 0}},
+      0.75);
+  const ProbabilityModel prob =
+      ProbabilityModel::Train(train.dataset, train.truth, blocking);
+  const SortedNeighborMechanism sn;
+
+  ProgressiveErOptions options;
+  options.cluster = TestCluster();
+  options.cluster.machines = 3;
+  options.cluster.seconds_per_cost_unit = 1e-3;
+  const ErRunResult clean =
+      ProgressiveEr(blocking, match, sn, prob, options).Run(data.dataset);
+  ASSERT_FALSE(clean.failed) << clean.error;
+
+  ProgressiveErOptions faulty_options = options;
+  faulty_options.cluster.fault.enabled = true;
+  faulty_options.cluster.fault.seed = 5;
+  faulty_options.cluster.fault.reduce_failure_prob = 0.2;
+  faulty_options.cluster.fault.max_attempts = 10;
+  faulty_options.cluster.fault.retry_backoff_seconds = 1.0;
+  // One machine dies mid-run; the survivors absorb its tasks.
+  faulty_options.cluster.fault.machine_failures = {
+      {1, clean.total_time * 0.5}};
+  const ErRunResult faulty =
+      ProgressiveEr(blocking, match, sn, prob, faulty_options)
+          .Run(data.dataset);
+  ASSERT_FALSE(faulty.failed) << faulty.error;
+
+  // Byte-identical resolved pairs — the acceptance bar for fault domains.
+  EXPECT_EQ(faulty.duplicates, clean.duplicates);
+  EXPECT_EQ(faulty.duplicate_count, clean.duplicate_count);
+  EXPECT_EQ(faulty.comparisons, clean.comparisons);
+  EXPECT_EQ(CountersMinusMr(faulty.counters), CountersMinusMr(clean.counters));
+  EXPECT_GE(faulty.total_time, clean.total_time);
+}
+
+}  // namespace
+}  // namespace progres

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -45,11 +46,15 @@ inline void ValidateAttemptSchedule(
     }
   }
 
-  // FIFO dispatch of first attempts.
+  // FIFO dispatch of first attempts. A machine-killed attempt re-runs under
+  // the same attempt index, so only the first occurrence of each task's
+  // attempt 0 is part of the FIFO dispatch order.
   double previous_start = start_time;
   int previous_task = -1;
+  std::set<int> first_seen;
   for (const TaskAttemptTiming& a : attempts) {
     if (a.speculative || a.attempt != 0) continue;
+    if (!first_seen.insert(a.task).second) continue;
     EXPECT_GT(a.task, previous_task) << "first attempts out of task order";
     EXPECT_GE(a.start, previous_start) << "FIFO order violated";
     previous_start = a.start;

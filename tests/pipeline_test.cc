@@ -158,6 +158,45 @@ TEST(PipelineTest, FailurePropagatesAndStopsLaterStages) {
   EXPECT_TRUE(result.Find("doomed")->result.failed);
 }
 
+TEST(PipelineTest, LastStageFailureAfterSuccessfulPredecessors) {
+  // The failure can also strike the *final* stage, after every earlier
+  // stage committed its counters and timing: the pipeline must report the
+  // earlier stages as succeeded and carry their results, failing only as a
+  // whole.
+  const std::vector<int> input = {1, 2, 3, 4, 5, 6};
+  ClusterConfig faulty = TestCluster();
+  faulty.fault.enabled = true;
+  faulty.fault.max_attempts = 2;
+  faulty.fault.injected = {{TaskPhase::kReduce, 0, 0},
+                           {TaskPhase::kReduce, 0, 1}};
+
+  Pipeline pipe;
+  pipe.AddStage("first", [&](double t) {
+    return RunCountingJob(input, TestCluster(), t, "first");
+  });
+  pipe.AddStage("second", [&](double t) {
+    return RunCountingJob(input, TestCluster(), t, "second");
+  });
+  pipe.AddStage("last", [&](double t) {
+    return RunCountingJob(input, faulty, t, "last");
+  });
+  const PipelineResult result = pipe.Run();
+
+  EXPECT_TRUE(result.failed);
+  EXPECT_EQ(result.error, "last: reduce task 0 failed after 2 attempts");
+  ASSERT_EQ(result.stages.size(), 3u);
+  EXPECT_FALSE(result.stages[0].result.failed);
+  EXPECT_FALSE(result.stages[1].result.failed);
+  EXPECT_TRUE(result.stages[2].result.failed);
+  // Both successful stages' user counters survive; the doomed stage
+  // contributes only its "mr." bookkeeping.
+  EXPECT_EQ(result.counters.Get("stage.maps"), 12);
+  EXPECT_GE(result.counters.Get("mr.failed_attempts"), 2);
+  // The pipeline clock ends where the failed stage's timeline stopped.
+  EXPECT_DOUBLE_EQ(result.end, result.stages[2].result.end_time);
+  EXPECT_GE(result.stages[2].start, result.stages[1].result.end_time);
+}
+
 TEST(PipelineTest, StageResultFromJobLabelsErrors) {
   Job job(1, 1);
   ClusterConfig faulty = TestCluster();

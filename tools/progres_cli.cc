@@ -7,6 +7,7 @@
 //   progres_cli resolve --data=data.tsv --train=train.tsv
 //       --train-truth=train_truth.tsv --machines=10 --out=pairs.tsv
 //       [--basic] [--budget=50000] [--scheduler=ours|nosplit|lpt]
+//       [--fault-prob=0.1] [--fault-seed=1] [--checkpoint-recovery]
 //   progres_cli explain --data=data.tsv --train=train.tsv
 //       --train-truth=train_truth.tsv [--machines=10] [--blocks=5]
 //   progres_cli evaluate --pairs=pairs.tsv --truth=truth.tsv
@@ -214,6 +215,21 @@ int CmdResolve(const std::map<std::string, std::string>& flags) {
   ClusterConfig cluster;
   cluster.machines = std::atoi(GetFlag(flags, "machines", "10").c_str());
   cluster.seconds_per_cost_unit = 0.02;
+  if (flags.count("fault-prob")) {
+    cluster.fault.enabled = true;
+    const double prob = std::atof(flags.at("fault-prob").c_str());
+    cluster.fault.map_failure_prob = prob;
+    cluster.fault.reduce_failure_prob = prob;
+    cluster.fault.seed =
+        static_cast<uint64_t>(std::atoll(GetFlag(flags, "fault-seed", "1")
+                                             .c_str()));
+  }
+  const std::string cluster_error = ValidateClusterConfig(cluster);
+  if (!cluster_error.empty()) {
+    std::fprintf(stderr, "invalid cluster config: %s\n",
+                 cluster_error.c_str());
+    return 1;
+  }
   const SortedNeighborMechanism sn;
 
   ErRunResult result;
@@ -245,6 +261,7 @@ int CmdResolve(const std::map<std::string, std::string>& flags) {
         ProbabilityModel::Train(train, train_truth, config.blocking);
     ProgressiveErOptions options;
     options.cluster = cluster;
+    options.checkpoint_recovery = flags.count("checkpoint-recovery") > 0;
     options.per_task_cost_budget =
         std::atof(GetFlag(flags, "budget", "0").c_str());
     const std::string scheduler = GetFlag(flags, "scheduler", "ours");
@@ -294,6 +311,12 @@ int CmdExplain(const std::map<std::string, std::string>& flags) {
   const SortedNeighborMechanism sn;
   ProgressiveErOptions options;
   options.cluster.machines = std::atoi(GetFlag(flags, "machines", "10").c_str());
+  const std::string cluster_error = ValidateClusterConfig(options.cluster);
+  if (!cluster_error.empty()) {
+    std::fprintf(stderr, "invalid cluster config: %s\n",
+                 cluster_error.c_str());
+    return 1;
+  }
   const ProgressiveEr er(config.blocking, config.match, sn, prob, options);
   const ProgressiveEr::Preprocessed pre = er.Preprocess(dataset);
   if (pre.failed) {
