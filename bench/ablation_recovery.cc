@@ -57,6 +57,10 @@ void Main() {
       {"faults+resume", true, true},
   };
 
+  // With PROGRES_TRACE_OUT set, every variant records into one trace (the
+  // pipeline stages repeat per variant, giving distinct process ids).
+  bench::ScopedTrace trace;
+
   TextTable table({"variant", "failed", "machines_lost", "replayed_pairs",
                    "ckpt_saved", "ckpt_restored", "t(recall=0.6)_sec",
                    "total_time_sec", "duplicates"});
@@ -81,6 +85,7 @@ void Main() {
 
     ProgressiveErOptions options;
     options.cluster = cluster;
+    trace.Attach(&options.cluster);
     options.checkpoint_recovery = v.checkpoint;
     const ErRunResult run =
         ProgressiveEr(setup.blocking, setup.match, sn, setup.prob, options)

@@ -7,6 +7,9 @@
 // and the simulated cluster.
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "blocking/blocking_function.h"
@@ -14,6 +17,7 @@
 #include "estimate/prob_model.h"
 #include "eval/recall_curve.h"
 #include "mapreduce/cluster.h"
+#include "mapreduce/trace.h"
 #include "similarity/match_function.h"
 
 namespace progres {
@@ -115,6 +119,39 @@ inline BlockingConfig BookMainBlocking() {
                          {"Y", kBookAuthors, {3}, -1},
                          {"Z", kBookPublisher, {3}, -1}});
 }
+
+// Opt-in execution tracing for the benches: when the PROGRES_TRACE_OUT
+// environment variable names a file, Attach wires the recorder into a
+// cluster config and the destructor writes the collected Chrome trace_event
+// JSON there. Without the variable everything is a no-op, so ablations can
+// unconditionally create one of these.
+class ScopedTrace {
+ public:
+  ScopedTrace() {
+    const char* path = std::getenv("PROGRES_TRACE_OUT");
+    if (path != nullptr && path[0] != '\0') path_ = path;
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+  ~ScopedTrace() {
+    if (path_.empty() || recorder_.empty()) return;
+    if (recorder_.WriteChromeJson(path_)) {
+      std::fprintf(stderr, "trace written to %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", path_.c_str());
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+  TraceRecorder* recorder() { return enabled() ? &recorder_ : nullptr; }
+  void Attach(ClusterConfig* cluster) {
+    if (enabled()) cluster->trace = &recorder_;
+  }
+
+ private:
+  std::string path_;
+  TraceRecorder recorder_;
+};
 
 // Quality (Eq. 1) with a 10-point uniform cost vector over [0, horizon] and
 // linearly decaying weights.

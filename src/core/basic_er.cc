@@ -37,6 +37,7 @@ ErRunResult BasicEr::Run(const Dataset& dataset) const {
   ErRunResult result;
 
   Pipeline pipe;
+  pipe.set_trace(options_.cluster.trace);
   pipe.AddStage("basic job", [&, this](double submit_time) {
     using Job = MapReduceJob<Entity, std::string, EntityId>;
     Job job(map_tasks, reduce_tasks);
@@ -107,7 +108,8 @@ ErRunResult BasicEr::Run(const Dataset& dataset) const {
     if (!run.failed) {
       result.preprocessing_end = run.timing.map_end;
       AccumulateReduceTasks(states.states(), run.timing, run.reduce_stats,
-                            spc, options_.alpha, &result);
+                            spc, options_.alpha, &result,
+                            options_.cluster.trace);
     }
     return StageResultFromJob(std::move(run), "basic job");
   });

@@ -13,6 +13,7 @@
 #include "mapreduce/cost_clock.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/fault.h"
+#include "mapreduce/trace.h"
 #include "mechanism/mechanism.h"
 #include "model/entity.h"
 
@@ -107,22 +108,48 @@ void RecordResolveOutcome(const ResolveOutcome& outcome, ErTaskState* state,
 
 // Assembles the per-task portion of an ErRunResult after a successful
 // resolution job: aggregate tallies plus the globally-timed event stream
-// and incremental-output chunks of every reduce task, in task order.
+// and incremental-output chunks of every reduce task, in task order. With a
+// `trace` attached, every incremental-output chunk is also recorded as an
+// alpha-emission trace event (carrying the task-cumulative pair count), on
+// the slot lane of the task's winning reduce attempt.
 template <typename State>
 void AccumulateReduceTasks(const std::vector<State>& states,
                            const JobTiming& timing,
                            const std::vector<TaskStats>& reduce_stats,
                            double seconds_per_cost_unit, double alpha,
-                           ErRunResult* result) {
+                           ErRunResult* result,
+                           TraceRecorder* trace = nullptr) {
   for (size_t t = 0; t < reduce_stats.size(); ++t) {
     const ErTaskState& state = states[t];
     result->duplicate_count += state.duplicates;
     result->distinct_count += state.distinct;
     result->skipped_count += state.skipped;
     result->comparisons += state.duplicates + state.distinct;
+    const size_t first_chunk = result->chunks.size();
     AppendTaskEvents(static_cast<int>(t), timing.reduce_start[t],
                      reduce_stats[t].cost, seconds_per_cost_unit, alpha,
                      state.raw_events, result);
+    if (trace == nullptr) continue;
+    int slot = -1;
+    for (const TaskAttemptTiming& a : timing.reduce_attempts) {
+      if (a.won && a.task == static_cast<int>(t)) {
+        slot = a.slot;
+        break;
+      }
+    }
+    int64_t cumulative = 0;
+    for (size_t c = first_chunk; c < result->chunks.size(); ++c) {
+      const ResultChunk& chunk = result->chunks[c];
+      cumulative += static_cast<int64_t>(chunk.pairs.size());
+      AlphaEmission emission;
+      emission.pid = trace->current_pid();
+      emission.task = static_cast<int>(t);
+      emission.slot = slot;
+      emission.time = chunk.flush_time;
+      emission.pairs = static_cast<int64_t>(chunk.pairs.size());
+      emission.cumulative_pairs = cumulative;
+      trace->RecordEmission(emission);
+    }
   }
 }
 

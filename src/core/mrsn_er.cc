@@ -61,6 +61,7 @@ ErRunResult MrsnEr::Run(const Dataset& dataset) const {
   // One boundary pre-pass + one MR job per blocking family, chained on the
   // simulated clock.
   Pipeline pipe;
+  pipe.set_trace(options_.cluster.trace);
   for (int pass = 0; pass < blocking_.num_families(); ++pass) {
     // ---- Boundary pre-pass: global sort order and range boundaries ----
     pipe.AddComputation("boundary pre-pass", [&, pass](double /*submit*/) {
@@ -158,7 +159,8 @@ ErRunResult MrsnEr::Run(const Dataset& dataset) const {
                                 options_.cluster, submit_time);
       if (!run.failed) {
         AccumulateReduceTasks(states.states(), run.timing, run.reduce_stats,
-                              spc, options_.alpha, &result);
+                              spc, options_.alpha, &result,
+                              options_.cluster.trace);
       }
       return StageResultFromJob(std::move(run), "mrsn pass");
     });

@@ -129,6 +129,7 @@ ProgressiveEr::Preprocessed ProgressiveEr::Preprocess(
     const Dataset& dataset) const {
   Preprocessed pre;
   Pipeline pipe;
+  pipe.set_trace(options_.cluster.trace);
   AddPreprocessStages(dataset, &pipe, &pre);
   const PipelineResult run = pipe.Run(/*submit_time=*/0.0);
   pre.end_time = run.end;
@@ -144,6 +145,7 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
   ErRunResult result;
 
   Pipeline pipe;
+  pipe.set_trace(options_.cluster.trace);
   AddPreprocessStages(dataset, &pipe, &pre);
 
   // ---- Second MR job: progressive resolution ----
@@ -378,7 +380,7 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
     if (!run.failed) {
       AccumulateReduceTasks(states.states(), run.timing, run.reduce_stats,
                             options_.cluster.seconds_per_cost_unit,
-                            options_.alpha, &result);
+                            options_.alpha, &result, options_.cluster.trace);
     }
     return StageResultFromJob(std::move(run), "resolution job");
   });

@@ -47,6 +47,11 @@ StatsJobOutput RunStatisticsJob(const Dataset& dataset,
   // registry's abort hook drops them so the retry starts clean.
   TaskStateRegistry<std::vector<StatsRecord>> sinks(num_reduce_tasks);
 
+  // This inner pipeline deliberately does not register with the trace
+  // recorder: when the progressive driver calls in here its own pipeline
+  // already opened a "statistics job" process, so the job's spans land
+  // there via the recorder's current pid (a standalone RunStatisticsJob
+  // records under the default pid 0).
   Pipeline pipe;
   pipe.AddStage("statistics job", [&](double stage_submit) {
     using Job = MapReduceJob<Entity, std::string, StatsValue>;

@@ -1,11 +1,14 @@
 #include "mapreduce/cluster.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <limits>
 #include <queue>
 #include <string>
 #include <utility>
+
+#include "mapreduce/trace.h"
 
 namespace progres {
 
@@ -144,6 +147,48 @@ AttemptScheduleOutcome ScheduleTaskAttemptsOnCluster(
   std::vector<int> win_index(n, -1);  // index into `outcome.attempts`
   std::vector<int> task_failures(n, 0);
 
+  // ---- Tracing (observational only; never feeds back into the schedule)
+  // Child spans of an attempt are collected per dispatched occurrence in
+  // `notes` (parallel to outcome.attempts) and flushed together with the
+  // attempt spans once the final outcomes (incl. speculation) are known.
+  TraceRecorder* const trace = options.trace;
+  struct SpanNotes {
+    bool restored = false;     // resumed from a checkpoint at dispatch
+    double restore_base = 0.0; // absolute progress restored to
+    // Checkpoint saves first crossed in this run: (sim time, progress).
+    std::vector<std::pair<double, double>> saves;
+  };
+  std::vector<SpanNotes> notes;
+  // Highest progress any earlier occurrence of the task reached — a
+  // checkpoint save is attributed to the first occurrence crossing it.
+  std::vector<double> max_progress(n, 0.0);
+  std::vector<int> last_planned(n, -1);
+  const auto note_dispatch = [&](int task, int attempt, double run_base,
+                                 double plan_base, double best_start,
+                                 double speed, double reached) {
+    SpanNotes note;
+    if (attempt != last_planned[static_cast<size_t>(task)]) {
+      last_planned[static_cast<size_t>(task)] = attempt;
+      if (plan_base > 0.0) {
+        note.restored = true;
+        note.restore_base = plan_base;
+      }
+    }
+    if (static_cast<size_t>(task) < options.recovery_points.size()) {
+      const double tol = 1e-9 + 1e-12 * std::abs(reached);
+      for (const double point :
+           options.recovery_points[static_cast<size_t>(task)]) {
+        if (point > reached + tol) break;
+        if (point <= max_progress[static_cast<size_t>(task)]) continue;
+        note.saves.emplace_back(
+            best_start + (point - run_base) * spcu / speed, point);
+      }
+    }
+    double& high = max_progress[static_cast<size_t>(task)];
+    high = std::max(high, reached);
+    notes.push_back(std::move(note));
+  };
+
   // Absolute progress at which a planned attempt starts (0 without a
   // recovery model — every attempt restarts from scratch).
   const auto base_of = [&options](int task, int attempt) {
@@ -236,6 +281,10 @@ AttemptScheduleOutcome ScheduleTaskAttemptsOnCluster(
       free_at[static_cast<size_t>(best)] = death;
       const double done = (death - best_start) * speed / spcu;
       const double progress = p.base + done;
+      if (trace != nullptr) {
+        note_dispatch(p.task, p.attempt, p.base, plan_base, best_start, speed,
+                      progress);
+      }
       double resume = plan_base;
       if (static_cast<size_t>(p.task) < options.recovery_points.size()) {
         for (const double point :
@@ -248,6 +297,17 @@ AttemptScheduleOutcome ScheduleTaskAttemptsOnCluster(
       const int k = ++task_failures[static_cast<size_t>(p.task)];
       const double delay = backoff_delay(k);
       outcome.backoff_seconds += delay;
+      if (trace != nullptr && delay > 0.0) {
+        TraceSpan wait;
+        wait.kind = SpanKind::kRetryBackoff;
+        wait.phase = options.trace_phase;
+        wait.pid = options.trace_pid;
+        wait.task = p.task;
+        wait.attempt = p.attempt;  // the occurrence being delayed
+        wait.start = death;
+        wait.end = death + delay;
+        trace->RecordSpan(wait);
+      }
       queue.push_back({p.task, p.attempt, death + delay, resume});
       continue;
     }
@@ -263,6 +323,10 @@ AttemptScheduleOutcome ScheduleTaskAttemptsOnCluster(
     timing.failed = failed;
     timing.won = !failed;
     outcome.attempts.push_back(timing);
+    if (trace != nullptr) {
+      note_dispatch(p.task, p.attempt, p.base, plan_base, best_start, speed,
+                    plan_base + plan_cost);
+    }
     if (failed) {
       // Blacklist a machine that keeps killing attempts — unless it is the
       // last healthy one.
@@ -281,11 +345,31 @@ AttemptScheduleOutcome ScheduleTaskAttemptsOnCluster(
         if (healthy_others > 0) {
           blacklist_time[static_cast<size_t>(machine)] = finish;
           ++outcome.machines_blacklisted;
+          if (trace != nullptr) {
+            TraceInstant instant;
+            instant.kind = InstantKind::kMachineBlacklisted;
+            instant.phase = options.trace_phase;
+            instant.pid = options.trace_pid;
+            instant.machine = machine;
+            instant.time = finish;
+            trace->RecordInstant(instant);
+          }
         }
       }
       const int k = ++task_failures[static_cast<size_t>(p.task)];
       const double delay = backoff_delay(k);
       outcome.backoff_seconds += delay;
+      if (trace != nullptr && delay > 0.0) {
+        TraceSpan wait;
+        wait.kind = SpanKind::kRetryBackoff;
+        wait.phase = options.trace_phase;
+        wait.pid = options.trace_pid;
+        wait.task = p.task;
+        wait.attempt = p.attempt + 1;  // the attempt being delayed
+        wait.start = finish;
+        wait.end = finish + delay;
+        trace->RecordSpan(wait);
+      }
       queue.push_back({p.task, p.attempt + 1, finish + delay,
                        base_of(p.task, p.attempt + 1)});
     } else {
@@ -366,6 +450,59 @@ AttemptScheduleOutcome ScheduleTaskAttemptsOnCluster(
         f.time >= options.start_time && f.time < makespan &&
         dead_time[static_cast<size_t>(f.machine)] == f.time) {
       ++outcome.machines_lost;
+      if (trace != nullptr) {
+        TraceInstant instant;
+        instant.kind = InstantKind::kMachineDeath;
+        instant.phase = options.trace_phase;
+        instant.pid = options.trace_pid;
+        instant.machine = f.machine;
+        instant.time = f.time;
+        trace->RecordInstant(instant);
+      }
+    }
+  }
+  // Flush the attempt spans last, once speculation has settled every
+  // attempt's final outcome; checkpoint children follow their attempt.
+  if (trace != nullptr) {
+    for (size_t i = 0; i < outcome.attempts.size(); ++i) {
+      const TaskAttemptTiming& a = outcome.attempts[i];
+      TraceSpan span;
+      span.kind = SpanKind::kAttempt;
+      span.phase = options.trace_phase;
+      span.pid = options.trace_pid;
+      span.task = a.task;
+      span.attempt = a.attempt;
+      span.machine = a.slot / spm;
+      span.slot = a.slot;
+      span.start = a.start;
+      span.end = a.end;
+      span.speculative = a.speculative;
+      span.outcome = a.machine_lost ? SpanOutcome::kMachineLost
+                     : a.failed     ? SpanOutcome::kFailed
+                     : a.won        ? SpanOutcome::kCompleted
+                                    : SpanOutcome::kLostSpeculation;
+      trace->RecordSpan(span);
+      if (i >= notes.size()) continue;  // speculative backups: no children
+      const SpanNotes& note = notes[i];
+      if (note.restored) {
+        TraceSpan child = span;
+        child.kind = SpanKind::kCheckpointRestore;
+        child.end = child.start;
+        child.outcome = SpanOutcome::kNone;
+        child.cost_units = note.restore_base;
+        trace->RecordSpan(child);
+      }
+      for (const auto& [when, point] : note.saves) {
+        TraceSpan child = span;
+        child.kind = SpanKind::kCheckpointSave;
+        // Clamp into the attempt: the crossing tolerance can land a save
+        // an epsilon past the attempt's end.
+        child.start = std::min(std::max(when, span.start), span.end);
+        child.end = child.start;
+        child.outcome = SpanOutcome::kNone;
+        child.cost_units = point;
+        trace->RecordSpan(child);
+      }
     }
   }
   outcome.winning_starts = std::move(win_start);

@@ -10,6 +10,8 @@
 
 namespace progres {
 
+class TraceRecorder;
+
 // Configuration of the simulated Hadoop-style cluster. Mirrors the paper's
 // setup (Sec. VI-A1): mu machines, at most two concurrent map and two
 // concurrent reduce tasks per machine.
@@ -37,6 +39,11 @@ struct ClusterConfig {
   // the runtime is byte- and timing-identical to the pre-fault behaviour.
   FaultConfig fault;
   SpeculationConfig speculation;
+
+  // Optional execution tracing (see mapreduce/trace.h). Strictly
+  // observational: attaching a recorder never changes outputs, counters or
+  // timings. Not owned; must outlive every job run with this config.
+  TraceRecorder* trace = nullptr;
 
   int map_slots() const { return machines * map_slots_per_machine; }
   int reduce_slots() const { return machines * reduce_slots_per_machine; }
@@ -188,6 +195,13 @@ struct AttemptScheduleOptions {
   // point and p is re-executed and accumulated into `replayed_cost_units`.
   std::vector<std::vector<double>> attempt_bases;
   std::vector<std::vector<double>> recovery_points;
+
+  // Optional trace sink: attempt spans (with nested checkpoint/backoff
+  // children) and machine-death/blacklist instants are recorded under
+  // `trace_pid` with `trace_phase` lanes. Purely observational.
+  TraceRecorder* trace = nullptr;
+  TaskPhase trace_phase = TaskPhase::kMap;
+  int trace_pid = 0;
 };
 
 // Result of the machine-aware scheduler: the attempt timeline plus the

@@ -19,6 +19,7 @@
 #include "mapreduce/fault.h"
 #include "mapreduce/shuffle.h"
 #include "mapreduce/task_runner.h"
+#include "mapreduce/trace.h"
 
 namespace progres {
 
@@ -250,7 +251,8 @@ class MapReduceJob {
 
     // Shared scheduler inputs of both phases: the machine fault domain and
     // the retry-hygiene knobs.
-    const auto phase_options = [&](const std::vector<double>& speeds,
+    const auto phase_options = [&](TaskPhase phase,
+                                   const std::vector<double>& speeds,
                                    int slots_per_machine, double start) {
       AttemptScheduleOptions options;
       options.slot_speeds = speeds;
@@ -262,6 +264,10 @@ class MapReduceJob {
       options.retry_backoff_seconds = cluster.fault.retry_backoff_seconds;
       options.retry_backoff_factor = cluster.fault.retry_backoff_factor;
       options.blacklist_failures = cluster.fault.blacklist_failures;
+      options.trace = cluster.trace;
+      options.trace_phase = phase;
+      options.trace_pid =
+          cluster.trace != nullptr ? cluster.trace->current_pid() : 0;
       return options;
     };
 
@@ -323,8 +329,8 @@ class MapReduceJob {
         result.error = map_runner.DoomedError(doomed_map);
         AttemptScheduleOutcome map_schedule = ScheduleTaskAttemptsOnCluster(
             map_runner.attempt_costs(),
-            phase_options(map_speeds, cluster.map_slots_per_machine,
-                          submit_time));
+            phase_options(TaskPhase::kMap, map_speeds,
+                          cluster.map_slots_per_machine, submit_time));
         MergeRecoveryCounters(map_schedule, &result.counters);
         result.timing.map_attempts = std::move(map_schedule.attempts);
         result.timing.map_end = map_schedule.end_time;
@@ -451,8 +457,8 @@ class MapReduceJob {
     // ---- Simulated timing (failed attempts, retries, machine faults) ----
     AttemptScheduleOutcome map_schedule = ScheduleTaskAttemptsOnCluster(
         map_runner.attempt_costs(),
-        phase_options(map_speeds, cluster.map_slots_per_machine,
-                      submit_time));
+        phase_options(TaskPhase::kMap, map_speeds,
+                      cluster.map_slots_per_machine, submit_time));
     MergeRecoveryCounters(map_schedule, &result.counters);
     result.timing.map_attempts = std::move(map_schedule.attempts);
     result.timing.map_end = map_schedule.end_time;
@@ -463,7 +469,7 @@ class MapReduceJob {
     }
 
     AttemptScheduleOptions reduce_options = phase_options(
-        reduce_speeds, cluster.reduce_slots_per_machine,
+        TaskPhase::kReduce, reduce_speeds, cluster.reduce_slots_per_machine,
         result.timing.map_end);
     reduce_options.attempt_bases = std::move(reduce_attempt_bases);
     if (checkpointing()) {
@@ -484,6 +490,27 @@ class MapReduceJob {
       FailOnLostCluster(&result, TaskPhase::kReduce,
                         reduce_schedule.failed_task);
       return result;
+    }
+
+    // Shuffle delivery marks: each winning reduce attempt starts by pulling
+    // its sorted input — a zero-duration child span carrying the volume.
+    if (cluster.trace != nullptr && !result.failed) {
+      for (const TaskAttemptTiming& a : result.timing.reduce_attempts) {
+        if (!a.won) continue;
+        TraceSpan span;
+        span.kind = SpanKind::kShuffle;
+        span.phase = TaskPhase::kReduce;
+        span.pid = cluster.trace->current_pid();
+        span.task = a.task;
+        span.attempt = a.attempt;
+        span.machine = a.slot / cluster.reduce_slots_per_machine;
+        span.slot = a.slot;
+        span.start = a.start;
+        span.end = a.start;
+        span.records_in =
+            result.reduce_stats[static_cast<size_t>(a.task)].records_in;
+        cluster.trace->RecordSpan(span);
+      }
     }
 
     MergeSpeculationCounters(result.timing, &result.counters);

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "mapreduce/trace.h"
+
 namespace progres {
 
 const StageReport* PipelineResult::Find(const std::string& name) const {
@@ -32,6 +34,7 @@ PipelineResult Pipeline::Run(double submit_time) const {
     StageReport report;
     report.name = stage.name;
     report.start = clock;
+    if (trace_ != nullptr) trace_->BeginProcess(stage.name);
     report.result = stage.fn(clock);
     clock = report.result.end_time;
     result.end = clock;

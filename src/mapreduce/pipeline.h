@@ -88,6 +88,11 @@ class Pipeline {
   // Appends a computation stage: end_time = submit_time + fn(submit_time).
   void AddComputation(std::string name, ComputeFn fn);
 
+  // Attaches a trace recorder: Run registers each stage as a trace process
+  // (TraceRecorder::BeginProcess) right before executing it, so spans the
+  // stage records group under a per-stage pid. Observational only.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
   // Executes the stages in order, starting at `submit_time`. Stops after
   // the first failing stage; its report is still included and its counters
   // still merged.
@@ -99,6 +104,7 @@ class Pipeline {
     StageFn fn;
   };
   std::vector<Stage> stages_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace progres

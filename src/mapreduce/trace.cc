@@ -1,0 +1,410 @@
+#include "mapreduce/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <utility>
+
+namespace progres {
+
+namespace {
+
+// Shortest round-trippable decimal form, matching the golden fixtures'
+// number formatting.
+std::string FormatDouble(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+std::string FormatFixed(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", v);
+  return buffer;
+}
+
+// Simulated seconds -> trace_event microseconds.
+std::string FormatTs(double seconds) { return FormatDouble(seconds * 1e6); }
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* PhaseName(TaskPhase phase) {
+  return phase == TaskPhase::kMap ? "map" : "reduce";
+}
+
+const char* OutcomeName(SpanOutcome outcome) {
+  switch (outcome) {
+    case SpanOutcome::kCompleted:
+      return "completed";
+    case SpanOutcome::kFailed:
+      return "failed";
+    case SpanOutcome::kMachineLost:
+      return "machine-lost";
+    case SpanOutcome::kLostSpeculation:
+      return "lost-speculation";
+    case SpanOutcome::kNone:
+      break;
+  }
+  return "none";
+}
+
+int LaneOf(const TraceSpan& span) {
+  if (span.kind == SpanKind::kRetryBackoff) {
+    return BackoffLane(span.phase, span.task);
+  }
+  return SlotLane(span.phase, span.slot);
+}
+
+int LaneOf(const AlphaEmission& emission) {
+  return emission.slot >= 0 ? SlotLane(TaskPhase::kReduce, emission.slot)
+                            : kClusterLane;
+}
+
+// Human name of an export lane, decoded from the id ranges in trace.h.
+std::string LaneName(int lane) {
+  if (lane == kClusterLane) return "cluster";
+  if (lane >= 400000) return "reduce backoff task " + std::to_string(lane - 400000);
+  if (lane >= 300000) return "map backoff task " + std::to_string(lane - 300000);
+  if (lane >= 200000) return "reduce slot " + std::to_string(lane - 200000);
+  return "map slot " + std::to_string(lane - 100000);
+}
+
+std::string SpanName(const TraceSpan& span) {
+  switch (span.kind) {
+    case SpanKind::kAttempt: {
+      std::string name = std::string(PhaseName(span.phase)) + " task " +
+                         std::to_string(span.task) + " attempt " +
+                         std::to_string(span.attempt);
+      if (span.speculative) name += " (speculative)";
+      return name;
+    }
+    case SpanKind::kShuffle:
+      return "shuffle task " + std::to_string(span.task);
+    case SpanKind::kCheckpointSave:
+      return "checkpoint save task " + std::to_string(span.task);
+    case SpanKind::kCheckpointRestore:
+      return "checkpoint restore task " + std::to_string(span.task);
+    case SpanKind::kRetryBackoff:
+      return "retry backoff task " + std::to_string(span.task);
+  }
+  return "span";
+}
+
+const char* SpanCategory(const TraceSpan& span) {
+  switch (span.kind) {
+    case SpanKind::kAttempt:
+      return PhaseName(span.phase);
+    case SpanKind::kShuffle:
+      return "shuffle";
+    case SpanKind::kCheckpointSave:
+    case SpanKind::kCheckpointRestore:
+      return "checkpoint";
+    case SpanKind::kRetryBackoff:
+      return "backoff";
+  }
+  return "span";
+}
+
+std::string SpanArgs(const TraceSpan& span) {
+  std::string args = "{\"task\":" + std::to_string(span.task) +
+                     ",\"attempt\":" + std::to_string(span.attempt);
+  if (span.kind == SpanKind::kAttempt) {
+    args += ",\"machine\":" + std::to_string(span.machine);
+    args += ",\"slot\":" + std::to_string(span.slot);
+    args += ",\"outcome\":\"" + std::string(OutcomeName(span.outcome)) + "\"";
+    args += ",\"speculative\":" + std::string(span.speculative ? "true"
+                                                              : "false");
+  }
+  if (span.records_in >= 0) {
+    args += ",\"records_in\":" + std::to_string(span.records_in);
+  }
+  if (span.cost_units >= 0.0) {
+    args += ",\"cost_units\":" + FormatDouble(span.cost_units);
+  }
+  args += "}";
+  return args;
+}
+
+}  // namespace
+
+int TraceRecorder::BeginProcess(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  processes_.push_back(name);
+  current_pid_ = static_cast<int>(processes_.size()) - 1;
+  return current_pid_;
+}
+
+int TraceRecorder::current_pid() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return current_pid_;
+}
+
+int TraceRecorder::PidOf(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void TraceRecorder::RecordSpan(const TraceSpan& span) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(span);
+}
+
+void TraceRecorder::RecordInstant(const TraceInstant& instant) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  instants_.push_back(instant);
+}
+
+void TraceRecorder::RecordEmission(const AlphaEmission& emission) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  emissions_.push_back(emission);
+}
+
+std::vector<TraceSpan> TraceRecorder::spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<TraceInstant> TraceRecorder::instants() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return instants_;
+}
+
+std::vector<AlphaEmission> TraceRecorder::emissions() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return emissions_;
+}
+
+std::vector<std::string> TraceRecorder::process_names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return processes_;
+}
+
+bool TraceRecorder::empty() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_.empty() && instants_.empty() && emissions_.empty();
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::vector<TraceSpan> spans;
+  std::vector<TraceInstant> instants;
+  std::vector<AlphaEmission> emissions;
+  std::vector<std::string> processes;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+    instants = instants_;
+    emissions = emissions_;
+    processes = processes_;
+  }
+
+  std::vector<std::string> events;
+
+  // ---- Metadata: process names, then every used lane's thread name ----
+  for (size_t pid = 0; pid < processes.size(); ++pid) {
+    events.push_back("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+                     std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+                     EscapeJson(processes[pid]) + "\"}}");
+  }
+  std::map<std::pair<int, int>, bool> lanes;  // ordered -> deterministic
+  for (const TraceSpan& span : spans) lanes[{span.pid, LaneOf(span)}] = true;
+  for (const TraceInstant& i : instants) lanes[{i.pid, kClusterLane}] = true;
+  for (const AlphaEmission& e : emissions) lanes[{e.pid, LaneOf(e)}] = true;
+  for (const auto& [lane, unused] : lanes) {
+    (void)unused;
+    events.push_back("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+                     std::to_string(lane.first) + ",\"tid\":" +
+                     std::to_string(lane.second) + ",\"args\":{\"name\":\"" +
+                     EscapeJson(LaneName(lane.second)) + "\"}}");
+  }
+
+  // ---- Spans & instants in recorded (deterministic) order ----
+  for (const TraceSpan& span : spans) {
+    events.push_back(
+        "{\"ph\":\"X\",\"name\":\"" + EscapeJson(SpanName(span)) +
+        "\",\"cat\":\"" + SpanCategory(span) + "\",\"pid\":" +
+        std::to_string(span.pid) + ",\"tid\":" + std::to_string(LaneOf(span)) +
+        ",\"ts\":" + FormatTs(span.start) + ",\"dur\":" +
+        FormatTs(span.end - span.start) + ",\"args\":" + SpanArgs(span) + "}");
+  }
+  for (const TraceInstant& instant : instants) {
+    const char* name = instant.kind == InstantKind::kMachineDeath
+                           ? "machine death"
+                           : "machine blacklisted";
+    events.push_back(
+        "{\"ph\":\"i\",\"s\":\"p\",\"name\":\"" + std::string(name) +
+        "\",\"cat\":\"fault\",\"pid\":" + std::to_string(instant.pid) +
+        ",\"tid\":" + std::to_string(kClusterLane) + ",\"ts\":" +
+        FormatTs(instant.time) + ",\"args\":{\"machine\":" +
+        std::to_string(instant.machine) + ",\"phase\":\"" +
+        PhaseName(instant.phase) + "\"}}");
+  }
+  for (const AlphaEmission& emission : emissions) {
+    events.push_back(
+        "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"alpha emission\",\"cat\":"
+        "\"emission\",\"pid\":" +
+        std::to_string(emission.pid) + ",\"tid\":" +
+        std::to_string(LaneOf(emission)) + ",\"ts\":" +
+        FormatTs(emission.time) + ",\"args\":{\"task\":" +
+        std::to_string(emission.task) + ",\"pairs\":" +
+        std::to_string(emission.pairs) + ",\"cumulative_pairs\":" +
+        std::to_string(emission.cumulative_pairs) + "}}");
+  }
+
+  // ---- Recall-over-time for free: a per-process cumulative counter track
+  // of pairs emitted, from the emission instants sorted by flush time ----
+  std::vector<AlphaEmission> ordered = emissions;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const AlphaEmission& a, const AlphaEmission& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.task < b.task;
+                   });
+  std::map<int, int64_t> total_per_pid;
+  for (const AlphaEmission& emission : ordered) {
+    const int64_t total = total_per_pid[emission.pid] += emission.pairs;
+    events.push_back(
+        "{\"ph\":\"C\",\"name\":\"pairs emitted\",\"pid\":" +
+        std::to_string(emission.pid) + ",\"tid\":" +
+        std::to_string(kClusterLane) + ",\"ts\":" + FormatTs(emission.time) +
+        ",\"args\":{\"pairs\":" + std::to_string(total) + "}}");
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    out += "\n";
+    out += events[i];
+    if (i + 1 < events.size()) out += ",";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string TraceRecorder::ToSlotTimeline() const {
+  std::vector<TraceSpan> spans;
+  std::vector<TraceInstant> instants;
+  std::vector<AlphaEmission> emissions;
+  std::vector<std::string> processes;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+    instants = instants_;
+    emissions = emissions_;
+    processes = processes_;
+  }
+
+  // Group spans by (pid, lane), keeping recorded order inside a lane so
+  // children print right after their attempt.
+  std::map<std::pair<int, int>, std::vector<const TraceSpan*>> by_lane;
+  std::vector<int> pids;
+  for (const TraceSpan& span : spans) {
+    by_lane[{span.pid, LaneOf(span)}].push_back(&span);
+  }
+  for (const auto& [key, unused] : by_lane) {
+    (void)unused;
+    if (pids.empty() || pids.back() != key.first) pids.push_back(key.first);
+  }
+  for (const TraceInstant& instant : instants) {
+    if (std::find(pids.begin(), pids.end(), instant.pid) == pids.end()) {
+      pids.push_back(instant.pid);
+    }
+  }
+  for (const AlphaEmission& emission : emissions) {
+    if (std::find(pids.begin(), pids.end(), emission.pid) == pids.end()) {
+      pids.push_back(emission.pid);
+    }
+  }
+  std::sort(pids.begin(), pids.end());
+
+  std::string out;
+  for (const int pid : pids) {
+    const std::string name =
+        pid >= 0 && pid < static_cast<int>(processes.size())
+            ? processes[static_cast<size_t>(pid)]
+            : std::string("(default)");
+    out += "process " + std::to_string(pid) + " \"" + name + "\"\n";
+    for (const auto& [key, lane_spans] : by_lane) {
+      if (key.first != pid) continue;
+      out += "  " + LaneName(key.second) + ":\n";
+      for (const TraceSpan* span : lane_spans) {
+        out += "    [" + FormatFixed(span->start) + ", " +
+               FormatFixed(span->end) + ") " + SpanName(*span);
+        if (span->kind == SpanKind::kAttempt) {
+          out += " machine=" + std::to_string(span->machine) + " " +
+                 OutcomeName(span->outcome);
+        } else if (span->kind == SpanKind::kShuffle) {
+          out += " records_in=" + std::to_string(span->records_in);
+        } else if (span->kind == SpanKind::kCheckpointSave ||
+                   span->kind == SpanKind::kCheckpointRestore) {
+          out += " @" + FormatFixed(span->cost_units);
+        }
+        out += "\n";
+      }
+    }
+    bool header = false;
+    for (const TraceInstant& instant : instants) {
+      if (instant.pid != pid) continue;
+      if (!header) {
+        out += "  instants:\n";
+        header = true;
+      }
+      out += "    [" + FormatFixed(instant.time) + "] machine " +
+             std::to_string(instant.machine) + " " +
+             (instant.kind == InstantKind::kMachineDeath ? "death"
+                                                         : "blacklisted") +
+             " (" + PhaseName(instant.phase) + ")\n";
+    }
+    header = false;
+    for (const AlphaEmission& emission : emissions) {
+      if (emission.pid != pid) continue;
+      if (!header) {
+        out += "  emissions:\n";
+        header = true;
+      }
+      out += "    [" + FormatFixed(emission.time) + "] task " +
+             std::to_string(emission.task) + " +" +
+             std::to_string(emission.pairs) + " pairs (cumulative " +
+             std::to_string(emission.cumulative_pairs) + ")\n";
+    }
+  }
+  return out;
+}
+
+bool TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << ToChromeJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace progres

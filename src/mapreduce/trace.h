@@ -1,0 +1,150 @@
+#ifndef PROGRES_MAPREDUCE_TRACE_H_
+#define PROGRES_MAPREDUCE_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mapreduce/fault.h"
+
+namespace progres {
+
+// Runtime tracing of the simulated cluster. A TraceRecorder collects typed
+// spans and instant events on the *simulated* clock — per task-attempt
+// spans with machine/slot placement and an outcome, nested phase marks
+// (shuffle delivery, checkpoint save/restore, retry backoff) and instants
+// for machine deaths, blacklistings and alpha-emission flushes — and
+// exports them as Chrome trace_event JSON (loadable in chrome://tracing or
+// https://ui.perfetto.dev) or as a plain-text per-slot timeline.
+//
+// Recording is strictly observational: a job run with a recorder attached
+// (ClusterConfig::trace) produces byte-identical outputs, counters and
+// timings to one without — tests/trace_test.cc and the golden fixtures
+// enforce this. All recording during a simulated run happens on the
+// driver's thread in deterministic schedule order, so the exports are
+// byte-stable across runs; the recorder is nonetheless mutex-protected so
+// concurrent producers (e.g. bench harnesses) may share one instance.
+//
+// Export identifiers: `pid` is the pipeline stage (one process per
+// Pipeline stage, registered via BeginProcess), `tid` is a lane — slot
+// lanes carry attempt spans and their nested children, per-task backoff
+// lanes carry re-dispatch delays (the slot is reused while a task waits),
+// and lane 0 is the per-process cluster lane for machine-level instants.
+
+enum class SpanKind {
+  kAttempt,            // one scheduled task-attempt occurrence
+  kShuffle,            // reduce input delivered to the winning attempt
+  kCheckpointSave,     // snapshot at an alpha-emission boundary
+  kCheckpointRestore,  // attempt resumed from the latest snapshot
+  kRetryBackoff,       // re-dispatch delay after a failure
+};
+
+// How an attempt span ended. Non-attempt spans keep kNone.
+enum class SpanOutcome {
+  kNone,
+  kCompleted,        // ran to completion and produced the task's result
+  kFailed,           // ended by an injected task-attempt failure
+  kMachineLost,      // killed because its machine died mid-run
+  kLostSpeculation,  // completed but lost the race against its backup copy
+};
+
+struct TraceSpan {
+  SpanKind kind = SpanKind::kAttempt;
+  TaskPhase phase = TaskPhase::kMap;
+  int pid = 0;
+  int task = 0;
+  int attempt = 0;
+  int machine = -1;
+  int slot = -1;  // -1 for backoff spans (they live on per-task lanes)
+  double start = 0.0;  // simulated seconds
+  double end = 0.0;
+  bool speculative = false;
+  SpanOutcome outcome = SpanOutcome::kNone;
+  // Shuffle spans: input values delivered to the reduce task (-1 unset).
+  int64_t records_in = -1;
+  // Checkpoint spans: the boundary's absolute task progress (-1 unset).
+  double cost_units = -1.0;
+};
+
+enum class InstantKind { kMachineDeath, kMachineBlacklisted };
+
+struct TraceInstant {
+  InstantKind kind = InstantKind::kMachineDeath;
+  TaskPhase phase = TaskPhase::kMap;
+  int pid = 0;
+  int machine = 0;
+  double time = 0.0;
+};
+
+// One alpha-emission: a reduce task closed an incremental-output chunk.
+struct AlphaEmission {
+  int pid = 0;
+  int task = 0;
+  int slot = -1;  // slot of the winning reduce attempt (-1 unknown)
+  double time = 0.0;
+  int64_t pairs = 0;             // pairs in this chunk
+  int64_t cumulative_pairs = 0;  // task-cumulative pairs at this flush
+};
+
+// Export thread-lane ids. The ranges keep map/reduce slots and per-task
+// backoff lanes disjoint for any realistic cluster or task count.
+inline constexpr int kClusterLane = 0;
+inline int SlotLane(TaskPhase phase, int slot) {
+  return (phase == TaskPhase::kMap ? 100000 : 200000) + slot;
+}
+inline int BackoffLane(TaskPhase phase, int task) {
+  return (phase == TaskPhase::kMap ? 300000 : 400000) + task;
+}
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Registers a new process (pipeline stage) and makes it current;
+  // subsequent spans recorded with current_pid() group under it. Returns
+  // the new pid. Without any BeginProcess call everything records under
+  // the default pid 0.
+  int BeginProcess(const std::string& name);
+  int current_pid() const;
+
+  // First registered process with `name`, or -1.
+  int PidOf(const std::string& name) const;
+
+  void RecordSpan(const TraceSpan& span);
+  void RecordInstant(const TraceInstant& instant);
+  void RecordEmission(const AlphaEmission& emission);
+
+  // Snapshot accessors (copies taken under the lock).
+  std::vector<TraceSpan> spans() const;
+  std::vector<TraceInstant> instants() const;
+  std::vector<AlphaEmission> emissions() const;
+  std::vector<std::string> process_names() const;
+  bool empty() const;
+
+  // Chrome trace_event JSON ("X" complete spans, "i" instants, "C"
+  // cumulative pairs-emitted counter tracks, "M" process/thread names);
+  // timestamps are simulated microseconds. Deterministic byte-for-byte for
+  // deterministic recording orders.
+  std::string ToChromeJson() const;
+
+  // Plain-text timeline: one line per span, grouped by process and lane.
+  std::string ToSlotTimeline() const;
+
+  // Writes ToChromeJson() to `path`; false on I/O failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  int current_pid_ = 0;
+  std::vector<std::string> processes_;
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceInstant> instants_;
+  std::vector<AlphaEmission> emissions_;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_MAPREDUCE_TRACE_H_

@@ -15,6 +15,7 @@
 #include "er_golden_util.h"
 #include "eval/clustering.h"
 #include "eval/recall_curve.h"
+#include "mapreduce/trace.h"
 #include "mechanism/psnm.h"
 #include "mechanism/sorted_neighbor.h"
 
@@ -136,6 +137,25 @@ TEST_P(GoldenEquivalenceTest, MatchesFrozenFixture) {
   frozen << in.rdbuf();
   const std::string actual = testing_util::RunGoldenDriver(name);
   EXPECT_EQ(actual, frozen.str()) << name << " output diverged from the seed";
+}
+
+// Differential: attaching a trace recorder must not change any observable
+// output — pairs, counters, events, chunks, recall curve and every
+// simulated timestamp (including the makespan) stay byte-identical to the
+// untraced run, which the fixture above already pins. The recorder itself
+// must not be left empty, or the check would pass vacuously.
+TEST_P(GoldenEquivalenceTest, TracingLeavesOutputByteIdentical) {
+  const std::string name = GetParam();
+  std::ifstream in(std::string(PROGRES_GOLDEN_DIR) + "/" + name + ".golden",
+                   std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "missing fixture for " << name;
+  std::stringstream frozen;
+  frozen << in.rdbuf();
+  TraceRecorder recorder;
+  const std::string traced = testing_util::RunGoldenDriver(name, &recorder);
+  EXPECT_EQ(traced, frozen.str()) << name << " output changed under tracing";
+  EXPECT_FALSE(recorder.spans().empty())
+      << name << " recorded no spans while traced";
 }
 
 INSTANTIATE_TEST_SUITE_P(Drivers, GoldenEquivalenceTest,

@@ -22,6 +22,7 @@
 #include "core/stats_job.h"
 #include "datagen/generators.h"
 #include "eval/recall_curve.h"
+#include "mapreduce/trace.h"
 #include "mechanism/sorted_neighbor.h"
 
 namespace progres {
@@ -138,7 +139,11 @@ inline std::vector<std::string> GoldenDriverNames() {
           "stats"};
 }
 
-inline std::string RunGoldenDriver(const std::string& name) {
+// Runs one frozen driver configuration. With `trace` non-null the run is
+// recorded (which must not change the returned dump — tracing is
+// observational; driver_matrix_test checks exactly that).
+inline std::string RunGoldenDriver(const std::string& name,
+                                   TraceRecorder* trace = nullptr) {
   const GoldenWorkload w = MakeGoldenWorkload();
   const SortedNeighborMechanism sn;
   if (name == "basic") {
@@ -151,6 +156,7 @@ inline std::string RunGoldenDriver(const std::string& name) {
     }
     BasicErOptions options;
     options.cluster = GoldenCluster();
+    options.cluster.trace = trace;
     options.popcorn_threshold = 0.001;
     const BasicEr er(BlockingConfig(mains), w.match, sn, options);
     return DumpErRunResult(er.Run(w.data.dataset), w.data.truth);
@@ -158,6 +164,7 @@ inline std::string RunGoldenDriver(const std::string& name) {
   if (name == "mrsn") {
     MrsnOptions options;
     options.cluster = GoldenCluster();
+    options.cluster.trace = trace;
     options.window = 10;
     const MrsnEr er(w.blocking, w.match, options);
     return DumpErRunResult(er.Run(w.data.dataset), w.data.truth);
@@ -167,6 +174,7 @@ inline std::string RunGoldenDriver(const std::string& name) {
         ProbabilityModel::Train(w.train.dataset, w.train.truth, w.blocking);
     ProgressiveErOptions options;
     options.cluster = GoldenCluster();
+    options.cluster.trace = trace;
     options.map_emission = name == "progressive_pertree"
                                ? MapEmission::kPerTree
                                : MapEmission::kPerBlock;
@@ -174,11 +182,22 @@ inline std::string RunGoldenDriver(const std::string& name) {
     return DumpErRunResult(er.Run(w.data.dataset), w.data.truth);
   }
   if (name == "stats") {
+    ClusterConfig cluster = GoldenCluster();
+    cluster.trace = trace;
     const StatsJobOutput out =
-        RunStatisticsJob(w.data.dataset, w.blocking, GoldenCluster(), 4, 3);
+        RunStatisticsJob(w.data.dataset, w.blocking, cluster, 4, 3);
     return DumpForests(out.forests);
   }
   return "unknown driver: " + name + "\n";
+}
+
+// The frozen trace fixture: Chrome trace_event JSON of the traced
+// progressive_perblock run (tests/golden/trace_progressive.golden). Any
+// schedule change shows up as a diff here.
+inline std::string GoldenTraceJson() {
+  TraceRecorder recorder;
+  RunGoldenDriver("progressive_perblock", &recorder);
+  return recorder.ToChromeJson();
 }
 
 }  // namespace testing_util

@@ -27,5 +27,16 @@ int main(int argc, char** argv) {
     out << content;
     std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
   }
+  {
+    const std::string content = progres::testing_util::GoldenTraceJson();
+    const std::string path = dir + "/trace_progressive.golden";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << content;
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+  }
   return 0;
 }

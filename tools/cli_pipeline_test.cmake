@@ -23,3 +23,33 @@ run_cli(resolve --data=${WORK}/data.tsv --basic --machines=4
 run_cli(explain --data=${WORK}/data.tsv --train=${WORK}/train.tsv
         --train-truth=${WORK}/train_truth.tsv --machines=4 --blocks=3)
 run_cli(evaluate --pairs=${WORK}/pairs.tsv --truth=${WORK}/truth.tsv)
+
+# Tracing is observational: a traced resolve writes both exports and the
+# resolved pairs stay byte-identical to the untraced run.
+run_cli(resolve --data=${WORK}/data.tsv --basic --machines=4
+        --out=${WORK}/pairs_traced.tsv --trace-out=${WORK}/trace.json
+        --trace-timeline=${WORK}/timeline.txt)
+foreach(artifact trace.json timeline.txt)
+  if(NOT EXISTS ${WORK}/${artifact})
+    message(FATAL_ERROR "traced resolve did not write ${artifact}")
+  endif()
+endforeach()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK}/pairs_basic.tsv ${WORK}/pairs_traced.tsv
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "tracing changed the resolved pairs")
+endif()
+
+# An unwritable --trace-out must fail fast with a labelled error.
+execute_process(COMMAND ${CLI} resolve --data=${WORK}/data.tsv --basic
+                --machines=4 --out=${WORK}/pairs_reject.tsv
+                --trace-out=${WORK}/missing_dir/trace.json
+                RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(code EQUAL 0)
+  message(FATAL_ERROR "unwritable --trace-out was accepted")
+endif()
+if(NOT err MATCHES "invalid trace config")
+  message(FATAL_ERROR "unwritable --trace-out error not labelled: ${err}")
+endif()
+message(STATUS "unwritable --trace-out rejected: ${err}")

@@ -8,6 +8,7 @@
 //       --train-truth=train_truth.tsv --machines=10 --out=pairs.tsv
 //       [--basic] [--budget=50000] [--scheduler=ours|nosplit|lpt]
 //       [--fault-prob=0.1] [--fault-seed=1] [--checkpoint-recovery]
+//       [--trace-out=trace.json] [--trace-timeline=timeline.txt]
 //   progres_cli explain --data=data.tsv --train=train.tsv
 //       --train-truth=train_truth.tsv [--machines=10] [--blocks=5]
 //   progres_cli evaluate --pairs=pairs.tsv --truth=truth.tsv
@@ -20,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -32,6 +34,7 @@
 #include "estimate/prob_model.h"
 #include "eval/clustering.h"
 #include "eval/recall_curve.h"
+#include "mapreduce/trace.h"
 #include "mechanism/sorted_neighbor.h"
 #include "schedule/schedule.h"
 
@@ -113,6 +116,14 @@ bool ConfigForSchema(const Dataset& dataset, PipelineConfig* out) {
     return true;
   }
   return false;
+}
+
+// Fails fast on an unwritable trace destination (missing directory, no
+// permission) instead of discovering it after a long resolve run. The probe
+// leaves an empty file behind, which the real export then overwrites.
+bool ProbeWritable(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  return static_cast<bool>(out);
 }
 
 bool SavePairs(const std::string& path, const std::vector<PairKey>& pairs) {
@@ -230,6 +241,25 @@ int CmdResolve(const std::map<std::string, std::string>& flags) {
                  cluster_error.c_str());
     return 1;
   }
+  const std::string trace_out = GetFlag(flags, "trace-out", "");
+  const std::string trace_timeline = GetFlag(flags, "trace-timeline", "");
+  if (!trace_out.empty() && !ProbeWritable(trace_out)) {
+    std::fprintf(stderr,
+                 "invalid trace config: trace-out is not writable (got %s)\n",
+                 trace_out.c_str());
+    return 1;
+  }
+  if (!trace_timeline.empty() && !ProbeWritable(trace_timeline)) {
+    std::fprintf(
+        stderr,
+        "invalid trace config: trace-timeline is not writable (got %s)\n",
+        trace_timeline.c_str());
+    return 1;
+  }
+  TraceRecorder trace;
+  if (!trace_out.empty() || !trace_timeline.empty()) {
+    cluster.trace = &trace;
+  }
   const SortedNeighborMechanism sn;
 
   ErRunResult result;
@@ -279,6 +309,25 @@ int CmdResolve(const std::map<std::string, std::string>& flags) {
   if (!SavePairs(RequireFlag(flags, "out"), result.duplicates)) {
     std::fprintf(stderr, "failed to write pairs\n");
     return 1;
+  }
+  if (!trace_out.empty()) {
+    if (!trace.WriteChromeJson(trace_out)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (open in chrome://tracing or "
+                "https://ui.perfetto.dev)\n",
+                trace_out.c_str());
+  }
+  if (!trace_timeline.empty()) {
+    std::ofstream timeline(trace_timeline, std::ios::binary | std::ios::trunc);
+    timeline << trace.ToSlotTimeline();
+    if (!timeline) {
+      std::fprintf(stderr, "failed to write timeline to %s\n",
+                   trace_timeline.c_str());
+      return 1;
+    }
+    std::printf("timeline written to %s\n", trace_timeline.c_str());
   }
   std::printf("resolved %lld comparisons in %.0f simulated seconds; "
               "%zu duplicate pairs written\n",
