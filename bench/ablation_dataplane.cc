@@ -1,0 +1,160 @@
+// Ablation: data-plane faults. Hangs (killed by the heartbeat timeout) and
+// shuffle checksum corruption (re-fetched, escalating to map re-runs) slow
+// the simulated timeline without changing a single resolved pair — the
+// progressive emission curve shifts right but ends at the same recall.
+// Two views:
+//   1. the emission-rate curve (cumulative resolved pairs over simulated
+//      time) with hangs+corruption on vs off;
+//   2. a task-timeout sweep under hangs — Hadoop's mapred.task.timeout
+//      trade-off: a short timeout kills hung attempts quickly (fast
+//      recovery), a long one leaves slots pinned by silent tasks.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/progressive_er.h"
+#include "eval/report.h"
+#include "mechanism/sorted_neighbor.h"
+
+namespace progres {
+namespace {
+
+constexpr int64_t kEntities = 8000;
+constexpr int kMachines = 10;
+constexpr uint64_t kFaultSeed = 1701;
+constexpr double kHangProb = 0.1;
+constexpr double kCorruptProb = 0.05;
+
+struct Variant {
+  const char* label;
+  double hang_prob;
+  double corrupt_prob;
+};
+
+ClusterConfig VariantCluster(const Variant& v, double timeout_seconds) {
+  ClusterConfig cluster = bench::MakeCluster(kMachines);
+  cluster.fault.enabled = v.hang_prob > 0.0 || v.corrupt_prob > 0.0;
+  cluster.fault.seed = kFaultSeed;
+  cluster.fault.map_hang_prob = v.hang_prob;
+  cluster.fault.reduce_hang_prob = v.hang_prob;
+  cluster.fault.task_timeout_seconds = timeout_seconds;
+  cluster.fault.shuffle_corrupt_prob = v.corrupt_prob;
+  cluster.fault.max_fetch_retries = 1;
+  cluster.fault.max_attempts = 12;
+  return cluster;
+}
+
+int64_t PairsBefore(const std::vector<DuplicateEvent>& events, double t) {
+  int64_t pairs = 0;
+  for (const DuplicateEvent& e : events) {
+    if (e.time <= t) ++pairs;
+  }
+  return pairs;
+}
+
+void Main() {
+  const bench::PublicationSetup setup =
+      bench::MakePublicationSetup(kEntities);
+  const SortedNeighborMechanism sn;
+
+  std::printf("=== Ablation: data-plane faults (hangs + corruption) ===\n\n");
+
+  const std::vector<Variant> variants = {
+      {"clean", 0.0, 0.0},
+      {"hangs", kHangProb, 0.0},
+      {"corruption", 0.0, kCorruptProb},
+      {"hangs+corruption", kHangProb, kCorruptProb},
+  };
+
+  std::vector<ErRunResult> runs;
+  TextTable table({"variant", "timeouts", "chk_errors", "map_reruns",
+                   "t(recall=0.6)_sec", "total_time_sec", "duplicates"});
+  for (const Variant& v : variants) {
+    ProgressiveErOptions options;
+    options.cluster = VariantCluster(v, /*timeout_seconds=*/60.0);
+    const ErRunResult run =
+        ProgressiveEr(setup.blocking, setup.match, sn, setup.prob, options)
+            .Run(setup.data.dataset);
+    if (run.failed) {
+      std::printf("run failed: %s\n", run.error.c_str());
+      return;
+    }
+    const RecallCurve curve =
+        RecallCurve::FromEvents(run.events, setup.data.truth);
+    table.AddRow(
+        {v.label, std::to_string(run.counters.Get("mr.faults.task_timeouts")),
+         std::to_string(run.counters.Get("mr.shuffle.checksum_errors")),
+         std::to_string(run.counters.Get("mr.shuffle.map_reruns")),
+         FormatDouble(curve.TimeToRecall(0.6), 0),
+         FormatDouble(run.total_time, 0),
+         std::to_string(run.duplicate_count)});
+    runs.push_back(run);
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  bool invariant_held = true;
+  for (const ErRunResult& run : runs) {
+    if (run.duplicates != runs.front().duplicates) invariant_held = false;
+  }
+  std::printf(
+      "\nexactly-once invariant (identical resolved pairs across "
+      "variants): %s\n\n",
+      invariant_held ? "HELD" : "VIOLATED");
+
+  // ---- Emission-rate curve: pairs resolved by time t ----
+  double horizon = 0.0;
+  for (const ErRunResult& run : runs) {
+    horizon = std::max(horizon, run.total_time);
+  }
+  std::printf("--- emission curve (cumulative pairs at t) ---\n");
+  TextTable curve_table({"t_sec", "clean", "hangs", "corruption",
+                         "hangs+corruption"});
+  for (int step = 1; step <= 8; ++step) {
+    const double t = horizon * step / 8.0;
+    std::vector<std::string> row = {FormatDouble(t, 0)};
+    for (const ErRunResult& run : runs) {
+      row.push_back(std::to_string(PairsBefore(run.events, t)));
+    }
+    curve_table.AddRow(row);
+  }
+  std::printf("%s", curve_table.ToString().c_str());
+
+  // ---- Task-timeout sweep under hangs ----
+  std::printf("\n--- task-timeout sweep (hang_prob=%.2f) ---\n", kHangProb);
+  TextTable sweep({"timeout_sec", "timeouts", "t(recall=0.6)_sec",
+                   "total_time_sec", "duplicates"});
+  for (const double timeout : {10.0, 60.0, 300.0, 600.0}) {
+    ProgressiveErOptions options;
+    options.cluster = VariantCluster({"sweep", kHangProb, 0.0}, timeout);
+    const ErRunResult run =
+        ProgressiveEr(setup.blocking, setup.match, sn, setup.prob, options)
+            .Run(setup.data.dataset);
+    if (run.failed) {
+      std::printf("run failed: %s\n", run.error.c_str());
+      return;
+    }
+    const RecallCurve curve =
+        RecallCurve::FromEvents(run.events, setup.data.truth);
+    sweep.AddRow(
+        {FormatDouble(timeout, 0),
+         std::to_string(run.counters.Get("mr.faults.task_timeouts")),
+         FormatDouble(curve.TimeToRecall(0.6), 0),
+         FormatDouble(run.total_time, 0),
+         std::to_string(run.duplicate_count)});
+  }
+  std::printf("%s", sweep.ToString().c_str());
+  std::printf(
+      "\na hung attempt holds its slot for the work done plus the timeout: "
+      "shorter timeouts recover faster, identical outputs throughout.\n");
+}
+
+}  // namespace
+}  // namespace progres
+
+int main() {
+  progres::Main();
+  return 0;
+}

@@ -1,10 +1,12 @@
-// Ablation: fault tolerance. Task attempts fail with a configurable
-// probability and are retried (deterministically, from the fault seed).
-// The data plane is exactly once — duplicates, recall, and final counters
-// are identical to the fault-free run — but retried attempts occupy slots,
-// so every recall milestone shifts later on the simulated clock. With
-// speculative execution enabled on top, backup copies claw back part of
-// the straggling retries.
+// Ablation: fault tolerance. Task attempts fail (or hang until the
+// heartbeat timeout kills them) with a configurable probability and are
+// retried (deterministically, from the fault seed); shuffle partitions are
+// corrupted and re-fetched. The data plane is exactly once — duplicates,
+// recall, and final counters are identical to the fault-free run — but
+// retried attempts occupy slots and hung ones additionally sit out the
+// timeout, so every recall milestone shifts later on the simulated clock.
+// With speculative execution enabled on top, backup copies claw back part
+// of the straggling retries.
 
 #include <cstdio>
 #include <string>
@@ -26,6 +28,8 @@ struct Variant {
   const char* label;
   double failure_prob;
   bool speculate;
+  double hang_prob = 0.0;
+  double corrupt_prob = 0.0;
 };
 
 void Main() {
@@ -39,11 +43,14 @@ void Main() {
       {"p=0.05", 0.05, false},
       {"p=0.15", 0.15, false},
       {"p=0.15+spec", 0.15, true},
+      {"hang=0.10", 0.0, false, 0.10},
+      {"corrupt=0.05", 0.0, false, 0.0, 0.05},
+      {"all", 0.05, false, 0.05, 0.05},
   };
 
-  TextTable table({"variant", "attempts", "failed", "spec_wins",
-                   "t(recall=0.6)_sec", "total_time_sec", "duplicates",
-                   "final_recall"});
+  TextTable table({"variant", "attempts", "failed", "spec_wins", "timeouts",
+                   "chk_errors", "t(recall=0.6)_sec", "total_time_sec",
+                   "duplicates", "final_recall"});
   int64_t baseline_duplicates = -1;
   double baseline_recall = -1.0;
   bool invariant_held = true;
@@ -52,10 +59,15 @@ void Main() {
     // A mildly heterogeneous cluster gives speculation room to win.
     cluster.machine_speed = {1.0, 1.0, 1.0, 1.0, 1.0,
                              1.0, 1.0, 1.0, 0.25, 0.25};
-    cluster.fault.enabled = v.failure_prob > 0.0;
+    cluster.fault.enabled =
+        v.failure_prob > 0.0 || v.hang_prob > 0.0 || v.corrupt_prob > 0.0;
     cluster.fault.seed = kFaultSeed;
     cluster.fault.map_failure_prob = v.failure_prob;
     cluster.fault.reduce_failure_prob = v.failure_prob;
+    cluster.fault.map_hang_prob = v.hang_prob;
+    cluster.fault.reduce_hang_prob = v.hang_prob;
+    cluster.fault.task_timeout_seconds = 30.0;
+    cluster.fault.shuffle_corrupt_prob = v.corrupt_prob;
     cluster.fault.max_attempts = 12;
     cluster.speculation.enabled = v.speculate;
 
@@ -73,6 +85,9 @@ void Main() {
     table.AddRow({v.label, std::to_string(run.counters.Get("mr.attempts")),
                   std::to_string(run.counters.Get("mr.failed_attempts")),
                   std::to_string(run.counters.Get("mr.speculative_wins")),
+                  std::to_string(run.counters.Get("mr.faults.task_timeouts")),
+                  std::to_string(
+                      run.counters.Get("mr.shuffle.checksum_errors")),
                   FormatDouble(curve.TimeToRecall(0.6), 0),
                   FormatDouble(run.total_time, 0),
                   std::to_string(run.duplicate_count),

@@ -49,6 +49,8 @@ ErRunResult BasicEr::Run(const Dataset& dataset) const {
              static_cast<int64_t>(key.size()) +
              VarintSize(static_cast<uint64_t>(id));
     });
+    // Resolution-side user code: poison records crash its map attempts.
+    job.set_poison_faults(true);
 
     const auto map_fn = [&, this](const Entity& e, Job::MapContext* ctx) {
       for (int f = 0; f < num_families; ++f) {
@@ -105,6 +107,7 @@ ErRunResult BasicEr::Run(const Dataset& dataset) const {
 
     Job::Result run = job.Run(dataset.entities(), map_fn, reduce_fn,
                               options_.cluster, submit_time);
+    SurfaceQuarantinedIds(run.quarantined, dataset.entities(), &result);
     if (!run.failed) {
       result.preprocessing_end = run.timing.map_end;
       AccumulateReduceTasks(states.states(), run.timing, run.reduce_stats,

@@ -44,6 +44,22 @@ void AppendTaskEvents(
   result->chunks.push_back(std::move(chunk));
 }
 
+void SurfaceQuarantinedIds(const std::vector<QuarantinedRecord>& quarantined,
+                           const std::vector<Entity>& entities,
+                           ErRunResult* result) {
+  if (quarantined.empty()) return;
+  for (const QuarantinedRecord& q : quarantined) {
+    if (q.record >= 0 && q.record < static_cast<int64_t>(entities.size())) {
+      result->quarantined_ids.push_back(
+          entities[static_cast<size_t>(q.record)].id);
+    }
+  }
+  std::sort(result->quarantined_ids.begin(), result->quarantined_ids.end());
+  result->quarantined_ids.erase(std::unique(result->quarantined_ids.begin(),
+                                            result->quarantined_ids.end()),
+                                result->quarantined_ids.end());
+}
+
 void FinalizeDuplicates(ErRunResult* result) {
   std::unordered_set<PairKey> unique;
   unique.reserve(result->events.size());

@@ -7,6 +7,7 @@
 
 #include "eval/recall_curve.h"
 #include "mapreduce/counters.h"
+#include "mapreduce/fault.h"
 #include "model/entity.h"
 
 namespace progres {
@@ -47,6 +48,12 @@ struct ErRunResult {
   // (e.g. "map.emitted_pairs", "reduce.blocks_resolved").
   Counters counters;
 
+  // Entities the runtime quarantined as poison records
+  // (FaultConfig::skip_bad_records), sorted ascending, duplicates removed.
+  // Pairs touching these entities are the only ones a faulty run may miss
+  // relative to a fault-free run.
+  std::vector<EntityId> quarantined_ids;
+
   // Set when an underlying MR job exhausted its fault-injection
   // max_attempts budget; events/duplicates/chunks are empty in that case.
   bool failed = false;
@@ -70,6 +77,14 @@ void AppendTaskEvents(
 
 // Fills ErRunResult::duplicates with the sorted unique pairs of `events`.
 void FinalizeDuplicates(ErRunResult* result);
+
+// Shared by the drivers: translates quarantined input records (indices into
+// `entities`) to entity ids and merges them into result->quarantined_ids,
+// keeping the list sorted and unique (multi-pass drivers like MRSN surface
+// the same poison record once per pass).
+void SurfaceQuarantinedIds(const std::vector<QuarantinedRecord>& quarantined,
+                           const std::vector<Entity>& entities,
+                           ErRunResult* result);
 
 }  // namespace progres
 

@@ -103,6 +103,9 @@ ErRunResult MrsnEr::Run(const Dataset& dataset) const {
                    VarintSize(static_cast<uint64_t>(value.id))) +
                1;  // the owned flag
       });
+      // Resolution-side user code: poison records crash its map attempts.
+      // SurfaceQuarantinedIds dedups across the per-family passes.
+      job.set_poison_faults(true);
 
       const int window = options_.window;
       const auto map_fn = [&](const Entity& e, Job::MapContext* ctx) {
@@ -157,6 +160,7 @@ ErRunResult MrsnEr::Run(const Dataset& dataset) const {
 
       Job::Result run = job.Run(dataset.entities(), map_fn, reduce_fn,
                                 options_.cluster, submit_time);
+      SurfaceQuarantinedIds(run.quarantined, dataset.entities(), &result);
       if (!run.failed) {
         AccumulateReduceTasks(states.states(), run.timing, run.reduce_stats,
                               spc, options_.alpha, &result,

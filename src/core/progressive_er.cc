@@ -196,6 +196,10 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
     job.set_wire_size([](const int64_t& sq, const ResolveValue& value) {
       return WireSize(sq, value);
     });
+    // The resolution map runs the match-adjacent user code a poison record
+    // crashes; the statistics pre-pass never does, so only this job engages
+    // the skip-bad-records machinery.
+    job.set_poison_faults(true);
 
     const auto map_fn = [&, this](const Entity& e, Job::MapContext* ctx) {
       for (int f = 0; f < num_families; ++f) {
@@ -377,6 +381,7 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
 
     Job::Result run = job.Run(dataset.entities(), map_fn, reduce_fn,
                               options_.cluster, submit_time);
+    SurfaceQuarantinedIds(run.quarantined, dataset.entities(), &result);
     if (!run.failed) {
       AccumulateReduceTasks(states.states(), run.timing, run.reduce_stats,
                             options_.cluster.seconds_per_cost_unit,

@@ -112,6 +112,45 @@ std::string ValidateClusterConfig(const ClusterConfig& cluster) {
     return "fault.blacklist_failures must be >= 0 (got " +
            std::to_string(fault.blacklist_failures) + ")";
   }
+  if (fault.map_hang_prob < 0.0 || fault.map_hang_prob > 1.0) {
+    return "fault.map_hang_prob must be in [0, 1] (got " +
+           std::to_string(fault.map_hang_prob) + ")";
+  }
+  if (fault.reduce_hang_prob < 0.0 || fault.reduce_hang_prob > 1.0) {
+    return "fault.reduce_hang_prob must be in [0, 1] (got " +
+           std::to_string(fault.reduce_hang_prob) + ")";
+  }
+  if (fault.task_timeout_seconds < 0.0) {
+    return "fault.task_timeout_seconds must be >= 0 (got " +
+           std::to_string(fault.task_timeout_seconds) + ")";
+  }
+  for (size_t i = 0; i < fault.injected_hangs.size(); ++i) {
+    const TaskHangFault& hang = fault.injected_hangs[i];
+    if (!(hang.hang_at_fraction > 0.0) || hang.hang_at_fraction > 1.0) {
+      return "fault.injected_hangs[" + std::to_string(i) +
+             "].hang_at_fraction must be in (0, 1] (got " +
+             std::to_string(hang.hang_at_fraction) + ")";
+    }
+  }
+  if (fault.shuffle_corrupt_prob < 0.0 || fault.shuffle_corrupt_prob > 1.0) {
+    return "fault.shuffle_corrupt_prob must be in [0, 1] (got " +
+           std::to_string(fault.shuffle_corrupt_prob) + ")";
+  }
+  if (fault.max_fetch_retries < 0) {
+    return "fault.max_fetch_retries must be >= 0 (got " +
+           std::to_string(fault.max_fetch_retries) + ")";
+  }
+  if (fault.max_attempts_before_skip < 1) {
+    return "fault.max_attempts_before_skip must be >= 1 (got " +
+           std::to_string(fault.max_attempts_before_skip) + ")";
+  }
+  for (size_t i = 0; i < fault.poison_records.size(); ++i) {
+    if (fault.poison_records[i] < 0) {
+      return "fault.poison_records[" + std::to_string(i) +
+             "] must be >= 0 (got " +
+             std::to_string(fault.poison_records[i]) + ")";
+    }
+  }
   return "";
 }
 
@@ -189,6 +228,25 @@ AttemptScheduleOutcome ScheduleTaskAttemptsOnCluster(
     notes.push_back(std::move(note));
   };
 
+  // Whether planned attempt `attempt` of `task` hangs (heartbeat stops; the
+  // tracker kills it after the task timeout).
+  const auto hang_of = [&options](int task, int attempt) {
+    if (static_cast<size_t>(task) >= options.hang_attempts.size()) {
+      return false;
+    }
+    const std::vector<char>& hangs =
+        options.hang_attempts[static_cast<size_t>(task)];
+    return static_cast<size_t>(attempt) < hangs.size() &&
+           hangs[static_cast<size_t>(attempt)] != 0;
+  };
+  // Fetch-stall seconds charged to the task's first dispatched occurrence.
+  const auto stall_of = [&options](int task) {
+    return static_cast<size_t>(task) < options.fetch_stall_seconds.size()
+               ? options.fetch_stall_seconds[static_cast<size_t>(task)]
+               : 0.0;
+  };
+  std::vector<char> dispatched(n, 0);
+
   // Absolute progress at which a planned attempt starts (0 without a
   // recovery model — every attempt restarts from scratch).
   const auto base_of = [&options](int task, int attempt) {
@@ -261,7 +319,21 @@ AttemptScheduleOutcome ScheduleTaskAttemptsOnCluster(
                             : std::max(0.0, plan_base + plan_cost - p.base);
     const int machine = best / spm;
     const double speed = SpeedOfSlot(slot_speeds, best);
-    const double duration = run_cost * spcu / speed;
+    // A hung occurrence finishes its pre-hang work, then sits silent until
+    // the tracker's heartbeat timeout kills it. A task's first dispatched
+    // occurrence additionally pays its shuffle-fetch stall before any
+    // processing. Both additions are exact no-ops when absent, keeping the
+    // fault-free timeline bit-identical.
+    const bool hangs = hang_of(p.task, p.attempt);
+    double stall = 0.0;
+    if (!dispatched[static_cast<size_t>(p.task)]) {
+      dispatched[static_cast<size_t>(p.task)] = 1;
+      stall = stall_of(p.task);
+    }
+    const double proc_start = stall > 0.0 ? best_start + stall : best_start;
+    double duration = run_cost * spcu / speed;
+    if (stall > 0.0) duration += stall;
+    if (hangs) duration += options.task_timeout_seconds;
     const double finish = best_start + duration;
 
     const double death = dead_time[static_cast<size_t>(machine)];
@@ -279,10 +351,16 @@ AttemptScheduleOutcome ScheduleTaskAttemptsOnCluster(
       outcome.attempts.push_back(timing);
       ++outcome.machine_lost_attempts;
       free_at[static_cast<size_t>(best)] = death;
-      const double done = (death - best_start) * speed / spcu;
+      // Progress stops at the hang point (run_cost) even though a hung
+      // occurrence keeps its slot; the stall spends wall time without
+      // advancing progress. Both clamps are exact no-ops in the plain
+      // crash path, where 0 < elapsed work < run_cost by construction.
+      double done = (death - proc_start) * speed / spcu;
+      if (done < 0.0) done = 0.0;
+      if (done > run_cost) done = run_cost;
       const double progress = p.base + done;
       if (trace != nullptr) {
-        note_dispatch(p.task, p.attempt, p.base, plan_base, best_start, speed,
+        note_dispatch(p.task, p.attempt, p.base, plan_base, proc_start, speed,
                       progress);
       }
       double resume = plan_base;
@@ -321,10 +399,15 @@ AttemptScheduleOutcome ScheduleTaskAttemptsOnCluster(
     timing.start = best_start;
     timing.end = finish;
     timing.failed = failed;
+    // A hung attempt is killed by the heartbeat timeout, never a winner —
+    // which is also why a hung original can only lose to its speculative
+    // twin: winners are drawn from non-hung attempts alone.
+    timing.timed_out = failed && hangs;
     timing.won = !failed;
     outcome.attempts.push_back(timing);
+    if (timing.timed_out) ++outcome.timeout_kills;
     if (trace != nullptr) {
-      note_dispatch(p.task, p.attempt, p.base, plan_base, best_start, speed,
+      note_dispatch(p.task, p.attempt, p.base, plan_base, proc_start, speed,
                     plan_base + plan_cost);
     }
     if (failed) {
@@ -373,7 +456,9 @@ AttemptScheduleOutcome ScheduleTaskAttemptsOnCluster(
       queue.push_back({p.task, p.attempt + 1, finish + delay,
                        base_of(p.task, p.attempt + 1)});
     } else {
-      win_start[static_cast<size_t>(p.task)] = best_start;
+      // Winning starts report when *processing* starts (after any fetch
+      // stall) — that is what progressive-emission times key off.
+      win_start[static_cast<size_t>(p.task)] = proc_start;
       win_end[static_cast<size_t>(p.task)] = finish;
       win_index[static_cast<size_t>(p.task)] =
           static_cast<int>(outcome.attempts.size()) - 1;
@@ -478,6 +563,7 @@ AttemptScheduleOutcome ScheduleTaskAttemptsOnCluster(
       span.end = a.end;
       span.speculative = a.speculative;
       span.outcome = a.machine_lost ? SpanOutcome::kMachineLost
+                     : a.timed_out  ? SpanOutcome::kTimedOut
                      : a.failed     ? SpanOutcome::kFailed
                      : a.won        ? SpanOutcome::kCompleted
                                     : SpanOutcome::kLostSpeculation;

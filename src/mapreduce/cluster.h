@@ -64,10 +64,13 @@ struct ClusterConfig {
 };
 
 // Validates a cluster configuration at job submission: machine and slot
-// counts >= 1, failure probabilities in [0, 1], max_attempts >= 1, speed
-// factors and time conversions > 0, machine-failure events inside the
-// cluster, backoff/blacklist knobs non-negative. Returns an empty string
-// when valid, otherwise a labelled description of the first violation.
+// counts >= 1, failure/hang/corruption probabilities in [0, 1],
+// max_attempts >= 1, speed factors and time conversions > 0,
+// machine-failure events inside the cluster, backoff/blacklist knobs
+// non-negative, task_timeout_seconds non-negative, injected hang fractions
+// in (0, 1], fetch-retry and skip knobs within range. Returns an empty
+// string when valid, otherwise a labelled description of the first
+// violation.
 // MapReduceJob::Run fails cleanly (Result::failed) on a non-empty result
 // instead of running with a silently "normalized" config.
 std::string ValidateClusterConfig(const ClusterConfig& cluster);
@@ -92,6 +95,10 @@ struct TaskAttemptTiming {
   // against max_attempts), so one (task, attempt) pair may appear more than
   // once — every occurrence but the last is machine_lost.
   bool machine_lost = false;
+  // Hung (heartbeat went silent) and was killed by the task timeout. Always
+  // also `failed`; the occurrence held its slot for the work it finished
+  // before hanging plus the timeout.
+  bool timed_out = false;
 };
 
 // Per-task execution statistics (winning attempt only).
@@ -196,6 +203,22 @@ struct AttemptScheduleOptions {
   std::vector<std::vector<double>> attempt_bases;
   std::vector<std::vector<double>> recovery_points;
 
+  // Hang model: `hang_attempts[t][a]` is non-zero when planned attempt `a`
+  // of task `t` hangs (its run cost covers only the progress before the
+  // heartbeat stopped). A hung occurrence holds its slot for its run time
+  // plus `task_timeout_seconds` before the tracker kills it; the kill goes
+  // through the normal failure path (backoff, blacklist). A hung occurrence
+  // killed earlier by its machine's death counts as machine-lost, not
+  // timed-out; its re-run hangs again.
+  std::vector<std::vector<char>> hang_attempts;
+  double task_timeout_seconds = 600.0;
+
+  // Shuffle-corruption recovery: extra seconds the *first dispatched
+  // occurrence* of task `t` spends re-fetching corrupt partitions and
+  // waiting for producing map tasks to re-run, before its processing
+  // starts. Later occurrences re-use the repaired fetches. Empty = none.
+  std::vector<double> fetch_stall_seconds;
+
   // Optional trace sink: attempt spans (with nested checkpoint/backoff
   // children) and machine-death/blacklist instants are recorded under
   // `trace_pid` with `trace_phase` lanes. Purely observational.
@@ -216,6 +239,9 @@ struct AttemptScheduleOutcome {
   int failed_task = -1;
   // Attempts killed by a machine death ("mr.faults.machine_lost").
   int64_t machine_lost_attempts = 0;
+  // Hung attempts killed by the heartbeat timeout
+  // ("mr.faults.task_timeouts").
+  int64_t timeout_kills = 0;
   // Machines whose death fell before this phase's end.
   int machines_lost = 0;
   // Machines blacklisted during this phase ("mr.blacklist.machines").

@@ -14,19 +14,25 @@ namespace progres {
 // The "mr." name prefix is reserved for the runtime's own bookkeeping and
 // must not be used by user map/reduce functions:
 //   mr.attempts             task attempts executed (>= task count)
-//   mr.failed_attempts      attempts ended by an injected failure
+//   mr.failed_attempts      non-winning attempts (crashes, hangs, poison)
 //   mr.speculative_launched backup copies launched by speculative execution
 //   mr.speculative_wins     backup copies that beat the original attempt
 //   mr.shuffle.records      post-combine pairs crossing the shuffle
 //   mr.shuffle.bytes        their serialized volume (needs set_wire_size)
+//   mr.shuffle.checksum_errors  partition fetches failing their CRC32
+//   mr.shuffle.refetches    re-fetches triggered by checksum errors
+//   mr.shuffle.map_reruns   map re-runs after max_fetch_retries corrupt
+//                           copies of the same partition
 //   mr.faults.machine_lost  attempts killed by a machine failure
 //   mr.faults.machines_dead machines that died during the job's timeline
+//   mr.faults.task_timeouts hung attempts killed by the heartbeat timeout
 //   mr.blacklist.machines   machines blacklisted for repeated failures
 //   mr.retry.backoff_seconds  simulated retry-backoff delay (rounded)
 //   mr.recovery.replayed_pairs  reduce input values re-processed by retries
 //   mr.recovery.replayed_cost   cost units re-executed after machine kills
 //   mr.checkpoint.saved     reduce-task snapshots saved (checkpointing only)
 //   mr.checkpoint.restored  snapshots restored by re-attempts (ditto)
+//   mr.skipped.records      poison records quarantined by skip-bad-records
 // Counters that would be zero stay absent, so a fault-free job's counter
 // set is unchanged by these features. User counters merge independently of
 // the reserved ones: the runtime only ever increments "mr." names, and a

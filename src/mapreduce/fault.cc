@@ -34,6 +34,9 @@ constexpr uint64_t kFailSalt = 0xfa117a5cULL;
 constexpr uint64_t kPointSalt = 0x9017a11bULL;
 constexpr uint64_t kMachineSalt = 0x3ac41fedULL;
 constexpr uint64_t kMachineTimeSalt = 0x7139e0a1ULL;
+constexpr uint64_t kHangSalt = 0x4a46c0deULL;
+constexpr uint64_t kHangPointSalt = 0x51e9d2b7ULL;
+constexpr uint64_t kFetchSalt = 0xc0221f7eULL;
 
 uint64_t HashMachine(uint64_t seed, int machine, uint64_t salt) {
   uint64_t h = SplitMix64(seed ^ salt);
@@ -43,7 +46,13 @@ uint64_t HashMachine(uint64_t seed, int machine, uint64_t salt) {
 
 }  // namespace
 
-FaultPlan::FaultPlan(FaultConfig config) : config_(std::move(config)) {}
+FaultPlan::FaultPlan(FaultConfig config) : config_(std::move(config)) {
+  poison_sorted_ = config_.poison_records;
+  std::sort(poison_sorted_.begin(), poison_sorted_.end());
+  poison_sorted_.erase(
+      std::unique(poison_sorted_.begin(), poison_sorted_.end()),
+      poison_sorted_.end());
+}
 
 int FaultPlan::max_attempts() const {
   return std::max(1, config_.max_attempts);
@@ -68,13 +77,80 @@ bool FaultPlan::Fails(TaskPhase phase, int task, int attempt) const {
 int FaultPlan::FailuresBeforeSuccess(TaskPhase phase, int task,
                                      int cap) const {
   int failures = 0;
-  while (failures < cap && Fails(phase, task, failures)) ++failures;
+  while (failures < cap && (Fails(phase, task, failures) ||
+                            Hangs(phase, task, failures))) {
+    ++failures;
+  }
   return failures;
 }
 
 double FaultPlan::FailurePoint(TaskPhase phase, int task, int attempt) const {
   return HashToUnit(HashAttempt(config_.seed, phase, task, attempt,
                                 kPointSalt));
+}
+
+bool FaultPlan::Hangs(TaskPhase phase, int task, int attempt) const {
+  if (!config_.enabled) return false;
+  if (Fails(phase, task, attempt)) return false;  // the crash fires first
+  for (const TaskHangFault& hang : config_.injected_hangs) {
+    if (hang.phase == phase && hang.task == task &&
+        hang.attempt == attempt) {
+      return true;
+    }
+  }
+  const double prob = phase == TaskPhase::kMap ? config_.map_hang_prob
+                                               : config_.reduce_hang_prob;
+  if (prob <= 0.0) return false;
+  if (prob >= 1.0) return true;
+  return HashToUnit(HashAttempt(config_.seed, phase, task, attempt,
+                                kHangSalt)) < prob;
+}
+
+double FaultPlan::HangPoint(TaskPhase phase, int task, int attempt) const {
+  for (const TaskHangFault& hang : config_.injected_hangs) {
+    if (hang.phase == phase && hang.task == task &&
+        hang.attempt == attempt) {
+      return hang.hang_at_fraction;
+    }
+  }
+  // Map [0, 1) onto (0, 1]: a hang at fraction 0 would be a dead-on-arrival
+  // attempt, which the crash path already models.
+  return 1.0 - HashToUnit(HashAttempt(config_.seed, phase, task, attempt,
+                                      kHangPointSalt));
+}
+
+bool FaultPlan::FetchCorrupted(int map_task, int reduce_task,
+                               int fetch) const {
+  if (!config_.enabled) return false;
+  const double prob = config_.shuffle_corrupt_prob;
+  if (prob <= 0.0) return false;
+  if (prob >= 1.0) return true;
+  uint64_t h = SplitMix64(config_.seed ^ kFetchSalt);
+  h = SplitMix64(h ^ static_cast<uint64_t>(map_task));
+  h = SplitMix64(h ^ static_cast<uint64_t>(reduce_task));
+  h = SplitMix64(h ^ static_cast<uint64_t>(fetch));
+  return HashToUnit(h) < prob;
+}
+
+int FaultPlan::CorruptFetches(int map_task, int reduce_task, int cap) const {
+  int corrupt = 0;
+  while (corrupt < cap && FetchCorrupted(map_task, reduce_task, corrupt)) {
+    ++corrupt;
+  }
+  return corrupt;
+}
+
+bool FaultPlan::IsPoisonRecord(int64_t record) const {
+  return config_.enabled &&
+         std::binary_search(poison_sorted_.begin(), poison_sorted_.end(),
+                            record);
+}
+
+int FaultPlan::PoisonIndex(int64_t record) const {
+  const auto it = std::lower_bound(poison_sorted_.begin(),
+                                   poison_sorted_.end(), record);
+  if (it == poison_sorted_.end() || *it != record) return -1;
+  return static_cast<int>(it - poison_sorted_.begin());
 }
 
 std::vector<MachineFault> FaultPlan::MachineFailures(int num_machines) const {

@@ -18,6 +18,18 @@ struct TaskFault {
   int attempt = 0;
 };
 
+// One explicitly injected hang: attempt `attempt` of the given task stops
+// making progress after processing `hang_at_fraction` of its input — the
+// process stays alive but its heartbeat goes silent, so only the tracker's
+// task timeout (FaultConfig::task_timeout_seconds, Hadoop's
+// mapred.task.timeout) can kill it. Fractions must lie in (0, 1].
+struct TaskHangFault {
+  TaskPhase phase = TaskPhase::kMap;
+  int task = 0;
+  int attempt = 0;
+  double hang_at_fraction = 0.5;
+};
+
 // One machine-level failure: machine `machine` dies at simulated time
 // `time` (seconds, absolute). Every attempt running on the machine's slots
 // at that moment is killed and the machine's slots leave the cluster for
@@ -72,6 +84,54 @@ struct FaultConfig {
   // healthy machine is never blacklisted. Exported as
   // "mr.blacklist.machines".
   int blacklist_failures = 0;
+
+  // ---- Hangs & heartbeat timeouts ----
+  // A hung attempt stops heartbeating partway through its input instead of
+  // crashing: it holds its slot until the tracker's timeout expires, then is
+  // killed and re-queued under the normal retry path (backoff, blacklist,
+  // max_attempts). Sources mirror the crash sources: explicit injections
+  // plus per-attempt seed-hashed probabilities. An attempt planned to
+  // *crash* never also hangs — the crash fires first.
+  std::vector<TaskHangFault> injected_hangs;
+  double map_hang_prob = 0.0;
+  double reduce_hang_prob = 0.0;
+  // Heartbeat timeout in simulated seconds (Hadoop's mapred.task.timeout,
+  // default 600s). A hung attempt occupies its slot for the work it did
+  // before hanging plus this long. Timeout kills are exported as
+  // "mr.faults.task_timeouts".
+  double task_timeout_seconds = 600.0;
+
+  // ---- Shuffle corruption ----
+  // Each (map task, reduce task) partition fetch is independently corrupted
+  // with this probability (seed-hashed per fetch attempt). A corrupt fetch
+  // is detected by the partition's CRC32 checksum and re-fetched; after
+  // `max_fetch_retries` consecutive corrupt re-fetches the runtime re-runs
+  // the producing map task to regenerate the partition. Exported as
+  // "mr.shuffle.checksum_errors" / "mr.shuffle.refetches" /
+  // "mr.shuffle.map_reruns".
+  double shuffle_corrupt_prob = 0.0;
+  int max_fetch_retries = 3;
+
+  // ---- Poison records (Hadoop's skip-bad-records feature) ----
+  // Global input-record indices that deterministically crash any map
+  // attempt processing them. With `skip_bad_records` set, a record that has
+  // crashed `max_attempts_before_skip` attempts of its task is quarantined:
+  // the next attempt skips it (emitting it to the task's quarantine output,
+  // Job::Result::quarantined) and continues — one bad record costs one
+  // record, not the job. Without it the task crashes until max_attempts
+  // dooms the job. Poison only fires in jobs that opted in via
+  // MapReduceJob::set_poison_faults (the ones running user code a bad
+  // record can crash). Exported as "mr.skipped.records".
+  std::vector<int64_t> poison_records;
+  bool skip_bad_records = false;
+  int max_attempts_before_skip = 2;
+};
+
+// One record quarantined by the skip-bad-records machinery: map task `task`
+// skipped global input record `record` after repeated poison crashes.
+struct QuarantinedRecord {
+  int task = 0;
+  int64_t record = 0;
 };
 
 // Speculative execution (Hadoop's backup tasks) in the timing model. When a
@@ -101,14 +161,44 @@ class FaultPlan {
   // Whether attempt `attempt` of the given task is planned to fail.
   bool Fails(TaskPhase phase, int task, int attempt) const;
 
-  // Number of consecutive failing attempts starting at attempt 0, capped at
-  // `cap` (the runtime passes max_attempts; a return value >= cap means the
-  // task — and therefore the job — is doomed).
+  // Number of consecutive non-winning attempts (planned crashes or hangs)
+  // starting at attempt 0, capped at `cap` (the runtime passes
+  // max_attempts; a return value >= cap means the task — and therefore the
+  // job — is doomed).
   int FailuresBeforeSuccess(TaskPhase phase, int task, int cap) const;
 
   // Fraction in [0, 1) of the attempt's input processed before the injected
   // failure fires. Deterministic per (seed, phase, task, attempt).
   double FailurePoint(TaskPhase phase, int task, int attempt) const;
+
+  // Whether attempt `attempt` of the given task is planned to hang (stop
+  // heartbeating without crashing). False whenever Fails() is true — a
+  // crash pre-empts a hang on the same attempt.
+  bool Hangs(TaskPhase phase, int task, int attempt) const;
+
+  // Fraction in (0, 1] of the attempt's input processed before its
+  // heartbeat goes silent. Injected hangs report their configured fraction;
+  // hashed hangs a deterministic one.
+  double HangPoint(TaskPhase phase, int task, int attempt) const;
+
+  // Whether fetch attempt `fetch` (0 = the initial fetch) of map task
+  // `map_task`'s partition for `reduce_task` delivers corrupted bytes.
+  bool FetchCorrupted(int map_task, int reduce_task, int fetch) const;
+
+  // Consecutive corrupted fetches of the (map_task, reduce_task) partition
+  // starting at fetch 0, capped at `cap`. A return value >= cap means
+  // re-fetching never succeeded within the retry budget.
+  int CorruptFetches(int map_task, int reduce_task, int cap) const;
+
+  // Whether the global input record index is configured as poison.
+  bool IsPoisonRecord(int64_t record) const;
+
+  // Index of `record` in the sorted unique poison list, or -1. Stable
+  // across runs — the runtime keys per-record crash counts on it.
+  int PoisonIndex(int64_t record) const;
+  int num_poison_records() const {
+    return static_cast<int>(poison_sorted_.size());
+  }
 
   // Machine-failure events for a cluster of `num_machines` machines, merged
   // from the injected list and the seed-hashed source, at most one per
@@ -118,6 +208,8 @@ class FaultPlan {
 
  private:
   FaultConfig config_;
+  // Sorted unique copy of config_.poison_records for O(log n) lookup.
+  std::vector<int64_t> poison_sorted_;
 };
 
 }  // namespace progres

@@ -144,6 +144,11 @@ class MapReduceJob {
     // fault-free run.
     Counters counters;
     JobTiming timing;
+    // Input records quarantined by the skip-bad-records machinery
+    // (FaultConfig::skip_bad_records), in map-task order. Quarantined
+    // records were *not* processed — their absence from `outputs` is the
+    // only permitted divergence from a fault-free run.
+    std::vector<QuarantinedRecord> quarantined;
     // Set when some task exhausted FaultConfig::max_attempts. `outputs`,
     // stats and non-"mr." counters are empty/unspecified in that case.
     bool failed = false;
@@ -185,6 +190,13 @@ class MapReduceJob {
 
   // Optional hook run when a task attempt fails (see TaskAbortFn).
   void set_task_abort(TaskAbortFn fn) { task_abort_ = std::move(fn); }
+
+  // Marks this job's map function as poison-sensitive: the records listed
+  // in FaultConfig::poison_records crash its map attempts, engaging the
+  // skip-bad-records machinery. Off by default — jobs whose map function
+  // never runs the user code a bad record would crash (e.g. a statistics
+  // pre-pass) stay immune, exactly like a Hadoop job without skipping.
+  void set_poison_faults(bool sensitive) { poison_faults_ = sensitive; }
 
   // Driver-state snapshot/restore hooks for checkpointed recovery. `save`
   // returns a type-erased copy of the driver's per-task state; `restore`
@@ -249,11 +261,13 @@ class MapReduceJob {
     TaskAttemptRunner reduce_runner(TaskPhase::kReduce, num_reduce_tasks_,
                                     &plan);
 
-    // Shared scheduler inputs of both phases: the machine fault domain and
-    // the retry-hygiene knobs.
+    // Shared scheduler inputs of both phases: the machine fault domain, the
+    // retry-hygiene knobs, and the phase's hung attempts with the heartbeat
+    // timeout that kills them.
     const auto phase_options = [&](TaskPhase phase,
                                    const std::vector<double>& speeds,
-                                   int slots_per_machine, double start) {
+                                   int slots_per_machine, double start,
+                                   const TaskAttemptRunner& runner) {
       AttemptScheduleOptions options;
       options.slot_speeds = speeds;
       options.slots_per_machine = slots_per_machine;
@@ -264,6 +278,8 @@ class MapReduceJob {
       options.retry_backoff_seconds = cluster.fault.retry_backoff_seconds;
       options.retry_backoff_factor = cluster.fault.retry_backoff_factor;
       options.blacklist_failures = cluster.fault.blacklist_failures;
+      options.hang_attempts = runner.attempt_hangs();
+      options.task_timeout_seconds = cluster.fault.task_timeout_seconds;
       options.trace = cluster.trace;
       options.trace_phase = phase;
       options.trace_pid =
@@ -281,6 +297,24 @@ class MapReduceJob {
         static_cast<size_t>(num_reduce_tasks_));
     std::vector<int64_t> reduce_replayed(
         static_cast<size_t>(num_reduce_tasks_), 0);
+    // Shuffle-corruption recovery bookkeeping, filled at the map/reduce
+    // barrier and consumed by the reduce timing model and the trace:
+    // per-reduce-task fetch stalls and one (reduce, map) event per detected
+    // checksum error.
+    std::vector<double> fetch_stalls(static_cast<size_t>(num_reduce_tasks_),
+                                     0.0);
+    std::vector<std::pair<int, int>> corrupt_events;
+    // Poison-record state, keyed by FaultPlan::PoisonIndex. Records
+    // partition into disjoint per-map-task ranges, so each entry is only
+    // ever touched by one task's thread.
+    const bool poison_active = poison_faults_ && plan.enabled() &&
+                               plan.num_poison_records() > 0;
+    std::vector<int> poison_crashes(
+        static_cast<size_t>(plan.num_poison_records()), 0);
+    std::vector<char> poison_quarantined(
+        static_cast<size_t>(plan.num_poison_records()), 0);
+    std::vector<std::vector<int64_t>> quarantined_by_task(
+        static_cast<size_t>(num_map_tasks_));
     {
       const int threads = cluster.execution_threads > 0
                               ? cluster.execution_threads
@@ -296,33 +330,74 @@ class MapReduceJob {
           [this, &map_ctx](int t) {
             ResetMapContext(&map_ctx[static_cast<size_t>(t)]);
           },
-          [this, &input, &map_fn, &map_ctx, n](
-              const TaskAttemptRunner::Attempt& attempt) {
+          [this, &input, &map_fn, &map_ctx, n, &plan, &cluster,
+           poison_active, &poison_crashes, &poison_quarantined,
+           &quarantined_by_task](const TaskAttemptRunner::Attempt& attempt) {
             MapContext& ctx = map_ctx[static_cast<size_t>(attempt.task)];
             const size_t lo = n * static_cast<size_t>(attempt.task) /
                               static_cast<size_t>(num_map_tasks_);
             const size_t hi = n * static_cast<size_t>(attempt.task + 1) /
                               static_cast<size_t>(num_map_tasks_);
             size_t limit = hi - lo;
-            if (attempt.fails) {
-              limit = static_cast<size_t>(static_cast<double>(limit) *
-                                          attempt.fail_point);
+            // Crashes and hangs both cut the attempt short; a hung attempt
+            // simply stops heartbeating at its cutoff instead of dying.
+            const bool cut = attempt.fails || attempt.hangs;
+            if (cut) {
+              const double point =
+                  attempt.fails ? attempt.fail_point : attempt.hang_point;
+              limit = static_cast<size_t>(static_cast<double>(limit) * point);
             }
             if (map_setup_) map_setup_(attempt.task);
+            TaskAttemptRunner::BodyOutcome out;
             for (size_t i = lo; i < lo + limit; ++i) {
+              if (poison_active &&
+                  plan.IsPoisonRecord(static_cast<int64_t>(i))) {
+                const size_t p = static_cast<size_t>(
+                    plan.PoisonIndex(static_cast<int64_t>(i)));
+                if (poison_quarantined[p]) continue;  // skipped, not run
+                // The record crashes this attempt. Once it has crashed
+                // max_attempts_before_skip attempts, skip-bad-records
+                // quarantines it so the next attempt can pass over it.
+                ++poison_crashes[p];
+                if (cluster.fault.skip_bad_records &&
+                    poison_crashes[p] >=
+                        cluster.fault.max_attempts_before_skip) {
+                  poison_quarantined[p] = 1;
+                  quarantined_by_task[static_cast<size_t>(attempt.task)]
+                      .push_back(static_cast<int64_t>(i));
+                }
+                out.poison_crashed = true;
+                break;
+              }
               ctx.clock_.Charge(map_cost_per_record_);
               map_fn(input[i], &ctx);
               ++ctx.stats_.records_in;
             }
-            if (!attempt.fails) {
+            if (!cut && !out.poison_crashed) {
               shuffle_.Combine(&ctx.output_);
               ctx.stats_.cost = ctx.clock_.units();
             }
-            return ctx.clock_.units();
+            out.cost = ctx.clock_.units();
+            return out;
           },
           task_abort_);
 
       map_runner.MergeFaultCounters(&result.counters);
+      // Quarantine bookkeeping survives even a doomed job: the skipped
+      // records and their counter are facts about the map phase.
+      {
+        int64_t skipped = 0;
+        for (int t = 0; t < num_map_tasks_; ++t) {
+          for (const int64_t rec :
+               quarantined_by_task[static_cast<size_t>(t)]) {
+            result.quarantined.push_back({t, rec});
+            ++skipped;
+          }
+        }
+        if (skipped > 0) {
+          result.counters.Increment("mr.skipped.records", skipped);
+        }
+      }
       const int doomed_map = map_runner.FirstDoomed();
       if (doomed_map >= 0) {
         result.failed = true;
@@ -330,7 +405,8 @@ class MapReduceJob {
         AttemptScheduleOutcome map_schedule = ScheduleTaskAttemptsOnCluster(
             map_runner.attempt_costs(),
             phase_options(TaskPhase::kMap, map_speeds,
-                          cluster.map_slots_per_machine, submit_time));
+                          cluster.map_slots_per_machine, submit_time,
+                          map_runner));
         MergeRecoveryCounters(map_schedule, &result.counters);
         result.timing.map_attempts = std::move(map_schedule.attempts);
         result.timing.map_end = map_schedule.end_time;
@@ -348,6 +424,52 @@ class MapReduceJob {
         }
         result.counters.Increment("mr.shuffle.records", volume.records);
         result.counters.Increment("mr.shuffle.bytes", volume.bytes);
+      }
+
+      // ---- Checksummed shuffle: corruption detection & recovery ----
+      // Every (map, reduce) partition ships with its CRC32; the consuming
+      // reduce task recomputes it on fetch. A corrupt fetch is re-fetched
+      // (free — the shuffle is in-memory), and after max_fetch_retries
+      // consecutive corrupt copies the producing map attempt is re-run,
+      // stalling the reduce task for the map's winning run time.
+      if (plan.enabled() && cluster.fault.shuffle_corrupt_prob > 0.0) {
+        int64_t checksum_errors = 0;
+        int64_t refetches = 0;
+        int64_t map_reruns = 0;
+        const int cap = cluster.fault.max_fetch_retries + 1;
+        for (int r = 0; r < num_reduce_tasks_; ++r) {
+          for (int m = 0; m < num_map_tasks_; ++m) {
+            const int corrupt = plan.CorruptFetches(m, r, cap);
+            if (corrupt == 0) continue;
+            // Detection itself: the shipped checksum against one recomputed
+            // from the delivered partition. The corruption model flips the
+            // delivered copy's checksum, so a mismatch is certain — but the
+            // comparison below is the real gate, not the plan.
+            const uint32_t shipped = shuffle_.PartitionChecksum(
+                map_ctx[static_cast<size_t>(m)].output_, r);
+            const uint32_t delivered = shipped ^ 0xffffffffu;
+            if (delivered == shipped) continue;  // fetch verified clean
+            checksum_errors += corrupt;
+            refetches += corrupt;  // one re-fetch per detected error
+            for (int e = 0; e < corrupt; ++e) corrupt_events.push_back({r, m});
+            if (corrupt > cluster.fault.max_fetch_retries) {
+              // Re-fetching never yielded a clean copy: re-run the winning
+              // map attempt (at nominal speed) to regenerate the partition.
+              ++map_reruns;
+              fetch_stalls[static_cast<size_t>(r)] +=
+                  map_runner.attempt_costs()[static_cast<size_t>(m)].back() *
+                  cluster.seconds_per_cost_unit;
+            }
+          }
+        }
+        if (checksum_errors > 0) {
+          result.counters.Increment("mr.shuffle.checksum_errors",
+                                    checksum_errors);
+          result.counters.Increment("mr.shuffle.refetches", refetches);
+        }
+        if (map_reruns > 0) {
+          result.counters.Increment("mr.shuffle.map_reruns", map_reruns);
+        }
       }
 
       // ---- Reduce phase ----
@@ -399,8 +521,10 @@ class MapReduceJob {
                              attempt_skip[static_cast<size_t>(attempt.task)]);
             // Incremental cost: with a restored checkpoint, only the work
             // past the boundary counts as this attempt's duration.
-            return ctx.clock_.units() -
-                   attempt_base[static_cast<size_t>(attempt.task)];
+            return TaskAttemptRunner::BodyOutcome{
+                ctx.clock_.units() -
+                    attempt_base[static_cast<size_t>(attempt.task)],
+                false};
           },
           [this, &reduce_ctx, &reduce_replayed](TaskPhase phase, int t,
                                                 int att) {
@@ -458,7 +582,8 @@ class MapReduceJob {
     AttemptScheduleOutcome map_schedule = ScheduleTaskAttemptsOnCluster(
         map_runner.attempt_costs(),
         phase_options(TaskPhase::kMap, map_speeds,
-                      cluster.map_slots_per_machine, submit_time));
+                      cluster.map_slots_per_machine, submit_time,
+                      map_runner));
     MergeRecoveryCounters(map_schedule, &result.counters);
     result.timing.map_attempts = std::move(map_schedule.attempts);
     result.timing.map_end = map_schedule.end_time;
@@ -468,10 +593,39 @@ class MapReduceJob {
       return result;
     }
 
+    // Data-plane fault instants, timestamped off the map schedule: checksum
+    // errors surface at the map/reduce barrier (when fetches happen), and a
+    // quarantine takes effect when the task's winning attempt first skips
+    // the record.
+    if (cluster.trace != nullptr) {
+      for (const auto& [r, m] : corrupt_events) {
+        TraceInstant instant;
+        instant.kind = InstantKind::kShuffleCorruption;
+        instant.phase = TaskPhase::kReduce;
+        instant.pid = cluster.trace->current_pid();
+        instant.time = result.timing.map_end;
+        instant.task = r;
+        instant.peer_task = m;
+        cluster.trace->RecordInstant(instant);
+      }
+      for (const QuarantinedRecord& q : result.quarantined) {
+        TraceInstant instant;
+        instant.kind = InstantKind::kRecordQuarantined;
+        instant.phase = TaskPhase::kMap;
+        instant.pid = cluster.trace->current_pid();
+        instant.time =
+            map_schedule.winning_starts[static_cast<size_t>(q.task)];
+        instant.task = q.task;
+        instant.record = q.record;
+        cluster.trace->RecordInstant(instant);
+      }
+    }
+
     AttemptScheduleOptions reduce_options = phase_options(
         TaskPhase::kReduce, reduce_speeds, cluster.reduce_slots_per_machine,
-        result.timing.map_end);
+        result.timing.map_end, reduce_runner);
     reduce_options.attempt_bases = std::move(reduce_attempt_bases);
+    reduce_options.fetch_stall_seconds = std::move(fetch_stalls);
     if (checkpointing()) {
       reduce_options.recovery_points.resize(
           static_cast<size_t>(num_reduce_tasks_));
@@ -582,22 +736,23 @@ class MapReduceJob {
     checkpoint_store_->Save(task, std::move(checkpoint));
   }
 
-  // Runs one reduce-task attempt: gather/sort via the shuffle (a failing
-  // attempt copies its input — the buckets must survive for the retry — and
-  // stops at the group boundary past `fail_point` of the input pairs), then
-  // one reduce call per group; the winning attempt runs cleanup. A resumed
-  // attempt skips the `skip_groups` groups its restored checkpoint already
-  // covers.
+  // Runs one reduce-task attempt: gather/sort via the shuffle (a failing or
+  // hanging attempt copies its input — the buckets must survive for the
+  // retry — and stops at the group boundary past its cutoff fraction of the
+  // input pairs), then one reduce call per group; the winning attempt runs
+  // cleanup. A resumed attempt skips the `skip_groups` groups its restored
+  // checkpoint already covers.
   void RunReduceAttempt(
       std::vector<typename JobShuffle::MapOutput*>& map_outputs,
       const ReduceFn& reduce_fn, ReduceContext* ctx,
       const TaskAttemptRunner::Attempt& attempt, int64_t skip_groups) {
+    const bool cut = attempt.fails || attempt.hangs;
     std::vector<std::pair<K, V>> pairs =
-        shuffle_.GatherSorted(map_outputs, attempt.task, attempt.fails);
+        shuffle_.GatherSorted(map_outputs, attempt.task, cut);
     const size_t limit =
-        attempt.fails
-            ? static_cast<size_t>(static_cast<double>(pairs.size()) *
-                                  attempt.fail_point)
+        cut ? static_cast<size_t>(
+                  static_cast<double>(pairs.size()) *
+                  (attempt.fails ? attempt.fail_point : attempt.hang_point))
             : pairs.size() + 1;
 
     if (reduce_setup_) reduce_setup_(attempt.task);
@@ -610,7 +765,7 @@ class MapReduceJob {
           reduce_fn(key, values, ctx);
           MaybeCheckpoint(ctx, group + 1);
         });
-    if (!attempt.fails) {
+    if (!cut) {
       if (reduce_cleanup_) reduce_cleanup_(ctx);
       ctx->stats_.cost = ctx->clock_.units();
     }
@@ -642,6 +797,7 @@ class MapReduceJob {
   SetupFn reduce_setup_;
   ReduceCleanupFn reduce_cleanup_;
   TaskAbortFn task_abort_;
+  bool poison_faults_ = false;
   double checkpoint_alpha_ = 0.0;
   CheckpointStore* checkpoint_store_ = nullptr;
   SaveStateFn checkpoint_save_;

@@ -51,4 +51,33 @@ int VarintSize(uint64_t value) {
   return size;
 }
 
+namespace {
+
+// Byte-at-a-time CRC-32 lookup table, built once.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t crc) {
+  const uint32_t* table = Crc32Table();
+  uint32_t c = crc ^ 0xffffffffu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<uint8_t>(ch)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
 }  // namespace progres

@@ -38,6 +38,12 @@ bool GetString(std::string_view in, size_t* offset, std::string* value);
 // Number of bytes PutVarint64 would append.
 int VarintSize(uint64_t value);
 
+// CRC-32 (IEEE, reflected polynomial 0xEDB88320 — the zlib/Hadoop checksum)
+// of `data`, continuing from `crc` so multi-buffer streams can chain calls.
+// Crc32("123456789") == 0xCBF43926. The shuffle checksums each map-output
+// partition with this before the "wire" transfer.
+uint32_t Crc32(std::string_view data, uint32_t crc = 0);
+
 }  // namespace progres
 
 #endif  // PROGRES_MAPREDUCE_SERDE_H_

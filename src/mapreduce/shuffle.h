@@ -4,9 +4,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "mapreduce/serde.h"
 
 namespace progres {
 
@@ -119,6 +122,27 @@ class Shuffle {
       }
     }
     return volume;
+  }
+
+  // CRC32 of partition `r` of a finished map output — the checksum shipped
+  // alongside the partition so the consuming reduce task can verify its
+  // fetch. The runtime moves typed values rather than serialized bytes, so
+  // the checksum covers the partition's *wire stream shape*: the varint
+  // record count followed by each pair's wire size (0 without a wire-size
+  // function). That is exactly the framing a length-prefixed transfer would
+  // put on the wire, and any corruption model that flips the delivered
+  // checksum is detected the same way Hadoop's IFile checksum detects
+  // flipped payload bytes.
+  uint32_t PartitionChecksum(const MapOutput& out, int r) const {
+    const auto& bucket = out.buckets_[static_cast<size_t>(r)];
+    std::string stream;
+    PutVarint64(bucket.size(), &stream);
+    for (const KV& kv : bucket) {
+      const int64_t bytes =
+          wire_size_ ? wire_size_(kv.first, kv.second) : 0;
+      PutVarint64(static_cast<uint64_t>(bytes), &stream);
+    }
+    return Crc32(stream);
   }
 
   // Reduce-side merge: gathers partition `r` from every map output (in

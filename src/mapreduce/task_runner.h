@@ -30,16 +30,28 @@ class TaskAttemptRunner {
  public:
   // What the body callback receives for one attempt. `fail_point` is the
   // fraction of the attempt's input processed before the injected failure
-  // fires (1.0 for winning attempts).
+  // fires; `hang_point` the fraction processed before a hung attempt's
+  // heartbeat goes silent (both 1.0 when unused). At most one of `fails` /
+  // `hangs` is set — the fault plan gives crashes precedence.
   struct Attempt {
     int task = 0;
+    int attempt = 0;
     bool fails = false;
     double fail_point = 1.0;
+    bool hangs = false;
+    double hang_point = 1.0;
+  };
+
+  // What the body reports back: the cost units the attempt charged, and
+  // whether a poison record crashed it mid-run (a *dynamic* failure the
+  // fault plan cannot precompute — it depends on the quarantine state).
+  struct BodyOutcome {
+    double cost = 0.0;
+    bool poison_crashed = false;
   };
 
   using ResetFn = std::function<void(int task)>;
-  // Runs one attempt's work; returns the cost units it charged.
-  using BodyFn = std::function<double(const Attempt&)>;
+  using BodyFn = std::function<BodyOutcome(const Attempt&)>;
   using AbortFn = std::function<void(TaskPhase phase, int task, int attempt)>;
 
   TaskAttemptRunner(TaskPhase phase, int num_tasks, const FaultPlan* plan)
@@ -47,30 +59,46 @@ class TaskAttemptRunner {
         num_tasks_(num_tasks),
         plan_(plan),
         attempt_costs_(static_cast<size_t>(num_tasks)),
+        attempt_hangs_(static_cast<size_t>(num_tasks)),
         doomed_(static_cast<size_t>(num_tasks), 0) {}
 
   // Runs every task's attempt chain concurrently on `pool` and waits for
-  // completion. `abort` may be null.
+  // completion. `abort` may be null. The chain cannot be precomputed from
+  // the plan alone: a poison crash fails an attempt the plan scored as a
+  // winner, and a quarantine later turns the same planned attempt into a
+  // real winner — so the loop re-evaluates after every attempt.
   void RunAll(ThreadPool* pool, const ResetFn& reset, const BodyFn& body,
               const AbortFn& abort) {
     const int max_attempts = plan_->max_attempts();
     for (int t = 0; t < num_tasks_; ++t) {
-      const int failures =
-          plan_->FailuresBeforeSuccess(phase_, t, max_attempts);
-      pool->Submit([this, &reset, &body, &abort, t, failures, max_attempts] {
-        const int executed = std::min(failures + 1, max_attempts);
-        for (int attempt = 0; attempt < executed; ++attempt) {
+      pool->Submit([this, &reset, &body, &abort, t, max_attempts] {
+        int attempt = 0;
+        while (true) {
           Attempt a;
           a.task = t;
-          a.fails = attempt < failures;
+          a.attempt = attempt;
+          a.fails = plan_->Fails(phase_, t, attempt);
           a.fail_point =
               a.fails ? plan_->FailurePoint(phase_, t, attempt) : 1.0;
+          a.hangs = !a.fails && plan_->Hangs(phase_, t, attempt);
+          a.hang_point =
+              a.hangs ? plan_->HangPoint(phase_, t, attempt) : 1.0;
           reset(t);
-          const double cost = body(a);
-          attempt_costs_[static_cast<size_t>(t)].push_back(cost);
-          if (a.fails && abort) abort(phase_, t, attempt);
+          const BodyOutcome out = body(a);
+          attempt_costs_[static_cast<size_t>(t)].push_back(out.cost);
+          // A hang only materializes if the attempt survived to the hang
+          // point (a poison record earlier in the input crashes it first).
+          attempt_hangs_[static_cast<size_t>(t)].push_back(
+              a.hangs && !out.poison_crashed ? 1 : 0);
+          const bool failed = a.fails || a.hangs || out.poison_crashed;
+          if (!failed) break;  // the winner
+          if (abort) abort(phase_, t, attempt);
+          ++attempt;
+          if (attempt >= max_attempts) {
+            doomed_[static_cast<size_t>(t)] = 1;
+            break;
+          }
         }
-        if (failures >= max_attempts) doomed_[static_cast<size_t>(t)] = 1;
       });
     }
     pool->Wait();
@@ -80,6 +108,13 @@ class TaskAttemptRunner {
   // the winning one). Feeds the attempt-aware timing model.
   const std::vector<std::vector<double>>& attempt_costs() const {
     return attempt_costs_;
+  }
+
+  // Parallel to attempt_costs(): 1 where the attempt hung (stopped
+  // heartbeating) instead of crashing. The timing model holds the slot for
+  // the heartbeat timeout before killing such attempts.
+  const std::vector<std::vector<char>>& attempt_hangs() const {
+    return attempt_hangs_;
   }
 
   // Lowest-indexed task that exhausted max_attempts, or -1.
@@ -117,6 +152,7 @@ class TaskAttemptRunner {
   int num_tasks_;
   const FaultPlan* plan_;
   std::vector<std::vector<double>> attempt_costs_;
+  std::vector<std::vector<char>> attempt_hangs_;
   std::vector<char> doomed_;
 };
 
@@ -131,6 +167,9 @@ inline void MergeRecoveryCounters(const AttemptScheduleOutcome& outcome,
   if (outcome.machine_lost_attempts > 0) {
     counters->Increment("mr.faults.machine_lost",
                         outcome.machine_lost_attempts);
+  }
+  if (outcome.timeout_kills > 0) {
+    counters->Increment("mr.faults.task_timeouts", outcome.timeout_kills);
   }
   if (outcome.machines_lost > 0) {
     counters->Increment("mr.faults.machines_dead", outcome.machines_lost);

@@ -71,10 +71,43 @@ const char* OutcomeName(SpanOutcome outcome) {
       return "machine-lost";
     case SpanOutcome::kLostSpeculation:
       return "lost-speculation";
+    case SpanOutcome::kTimedOut:
+      return "timed-out";
     case SpanOutcome::kNone:
       break;
   }
   return "none";
+}
+
+const char* InstantName(InstantKind kind) {
+  switch (kind) {
+    case InstantKind::kMachineDeath:
+      return "machine death";
+    case InstantKind::kMachineBlacklisted:
+      return "machine blacklisted";
+    case InstantKind::kShuffleCorruption:
+      return "shuffle corruption";
+    case InstantKind::kRecordQuarantined:
+      return "record quarantined";
+  }
+  return "instant";
+}
+
+// Args payload of an instant: machine-level kinds report the machine,
+// data-plane kinds the tasks/record involved.
+std::string InstantArgs(const TraceInstant& instant) {
+  if (instant.kind == InstantKind::kShuffleCorruption) {
+    return "{\"task\":" + std::to_string(instant.task) +
+           ",\"map_task\":" + std::to_string(instant.peer_task) +
+           ",\"phase\":\"" + PhaseName(instant.phase) + "\"}";
+  }
+  if (instant.kind == InstantKind::kRecordQuarantined) {
+    return "{\"task\":" + std::to_string(instant.task) +
+           ",\"record\":" + std::to_string(instant.record) +
+           ",\"phase\":\"" + PhaseName(instant.phase) + "\"}";
+  }
+  return "{\"machine\":" + std::to_string(instant.machine) +
+         ",\"phase\":\"" + std::string(PhaseName(instant.phase)) + "\"}";
 }
 
 int LaneOf(const TraceSpan& span) {
@@ -259,16 +292,12 @@ std::string TraceRecorder::ToChromeJson() const {
         FormatTs(span.end - span.start) + ",\"args\":" + SpanArgs(span) + "}");
   }
   for (const TraceInstant& instant : instants) {
-    const char* name = instant.kind == InstantKind::kMachineDeath
-                           ? "machine death"
-                           : "machine blacklisted";
     events.push_back(
-        "{\"ph\":\"i\",\"s\":\"p\",\"name\":\"" + std::string(name) +
+        "{\"ph\":\"i\",\"s\":\"p\",\"name\":\"" +
+        std::string(InstantName(instant.kind)) +
         "\",\"cat\":\"fault\",\"pid\":" + std::to_string(instant.pid) +
         ",\"tid\":" + std::to_string(kClusterLane) + ",\"ts\":" +
-        FormatTs(instant.time) + ",\"args\":{\"machine\":" +
-        std::to_string(instant.machine) + ",\"phase\":\"" +
-        PhaseName(instant.phase) + "\"}}");
+        FormatTs(instant.time) + ",\"args\":" + InstantArgs(instant) + "}");
   }
   for (const AlphaEmission& emission : emissions) {
     events.push_back(
@@ -378,11 +407,22 @@ std::string TraceRecorder::ToSlotTimeline() const {
         out += "  instants:\n";
         header = true;
       }
-      out += "    [" + FormatFixed(instant.time) + "] machine " +
-             std::to_string(instant.machine) + " " +
-             (instant.kind == InstantKind::kMachineDeath ? "death"
-                                                         : "blacklisted") +
-             " (" + PhaseName(instant.phase) + ")\n";
+      if (instant.kind == InstantKind::kShuffleCorruption) {
+        out += "    [" + FormatFixed(instant.time) + "] reduce task " +
+               std::to_string(instant.task) +
+               " corrupt fetch from map task " +
+               std::to_string(instant.peer_task) + "\n";
+      } else if (instant.kind == InstantKind::kRecordQuarantined) {
+        out += "    [" + FormatFixed(instant.time) + "] map task " +
+               std::to_string(instant.task) + " quarantined record " +
+               std::to_string(instant.record) + "\n";
+      } else {
+        out += "    [" + FormatFixed(instant.time) + "] machine " +
+               std::to_string(instant.machine) + " " +
+               (instant.kind == InstantKind::kMachineDeath ? "death"
+                                                           : "blacklisted") +
+               " (" + PhaseName(instant.phase) + ")\n";
+      }
     }
     header = false;
     for (const AlphaEmission& emission : emissions) {

@@ -47,6 +47,7 @@ enum class SpanOutcome {
   kFailed,           // ended by an injected task-attempt failure
   kMachineLost,      // killed because its machine died mid-run
   kLostSpeculation,  // completed but lost the race against its backup copy
+  kTimedOut,         // hung and was killed by the heartbeat timeout
 };
 
 struct TraceSpan {
@@ -67,7 +68,12 @@ struct TraceSpan {
   double cost_units = -1.0;
 };
 
-enum class InstantKind { kMachineDeath, kMachineBlacklisted };
+enum class InstantKind {
+  kMachineDeath,
+  kMachineBlacklisted,
+  kShuffleCorruption,   // a reduce fetch failed its partition checksum
+  kRecordQuarantined,   // skip-bad-records quarantined a poison record
+};
 
 struct TraceInstant {
   InstantKind kind = InstantKind::kMachineDeath;
@@ -75,6 +81,11 @@ struct TraceInstant {
   int pid = 0;
   int machine = 0;
   double time = 0.0;
+  // Data-plane instants: the consuming/owning task, the producing map task
+  // of a corrupt fetch, and the quarantined record index (-1 unset).
+  int task = -1;
+  int peer_task = -1;
+  int64_t record = -1;
 };
 
 // One alpha-emission: a reduce task closed an incremental-output chunk.

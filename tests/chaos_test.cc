@@ -1,0 +1,245 @@
+// Chaos soak: every fault family at once — task-attempt crashes, hangs
+// killed by the heartbeat timeout, a machine death, shuffle checksum
+// corruption and poison records under skip-bad-records — across many fault
+// seeds, against one clean run. The acceptance bar: resolved pairs are
+// byte-identical to the fault-free run except for pairs touching
+// quarantined records, and every new "mr." fault counter reconciles
+// exactly with the recorded trace.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/progressive_er.h"
+#include "datagen/generators.h"
+#include "mapreduce/fault.h"
+#include "mapreduce/trace.h"
+#include "mechanism/sorted_neighbor.h"
+#include "model/entity.h"
+#include "mr_test_util.h"
+
+namespace progres {
+namespace {
+
+// The three poison records, one per region of the input. Fixed across
+// seeds: the quarantine set — and with it the data plane — must not depend
+// on the fault seed.
+const std::vector<int64_t> kPoisonRecords = {7, 450, 901};
+
+struct ChaosWorld {
+  LabeledDataset data;
+  LabeledDataset train;
+  BlockingConfig blocking;
+  MatchFunction match;
+  ProbabilityModel prob;
+  SortedNeighborMechanism sn;
+  ProgressiveErOptions base;
+  ErRunResult clean;
+  // Quarantined entity ids implied by kPoisonRecords, sorted.
+  std::vector<EntityId> poison_ids;
+  // The clean run's duplicates minus every pair touching a poison id — what
+  // a run that quarantines kPoisonRecords must resolve, exactly.
+  std::vector<PairKey> expected_pairs;
+};
+
+const ChaosWorld& World() {
+  static const ChaosWorld* world = [] {
+    auto* w = new ChaosWorld{
+        [] {
+          PublicationConfig gen;
+          gen.num_entities = 1200;
+          gen.seed = 23;
+          return GeneratePublications(gen);
+        }(),
+        [] {
+          PublicationConfig gen;
+          gen.num_entities = 400;
+          gen.seed = 24;
+          return GeneratePublications(gen);
+        }(),
+        BlockingConfig(
+            {{"X", kPubTitle, {2, 4}, -1}, {"Y", kPubVenue, {3}, -1}}),
+        MatchFunction({{kPubTitle, AttributeSimilarity::kEditDistance, 0.7, 0},
+                       {kPubVenue, AttributeSimilarity::kEditDistance, 0.3, 0}},
+                      0.75),
+        ProbabilityModel(),
+        SortedNeighborMechanism(),
+        ProgressiveErOptions(),
+        ErRunResult(),
+        {},
+        {}};
+    w->prob = ProbabilityModel::Train(w->train.dataset, w->train.truth,
+                                      w->blocking);
+    w->base.cluster.machines = 3;
+    w->base.cluster.execution_threads = 4;
+    w->base.cluster.seconds_per_cost_unit = 1e-3;
+    w->base.alpha = 500.0;
+    w->clean = ProgressiveEr(w->blocking, w->match, w->sn, w->prob, w->base)
+                   .Run(w->data.dataset);
+    for (const int64_t r : kPoisonRecords) {
+      w->poison_ids.push_back(
+          w->data.dataset.entity(static_cast<EntityId>(r)).id);
+    }
+    std::sort(w->poison_ids.begin(), w->poison_ids.end());
+    for (const PairKey pair : w->clean.duplicates) {
+      const auto [a, b] = PairKeyIds(pair);
+      if (!std::binary_search(w->poison_ids.begin(), w->poison_ids.end(), a) &&
+          !std::binary_search(w->poison_ids.begin(), w->poison_ids.end(), b)) {
+        w->expected_pairs.push_back(pair);
+      }
+    }
+    return w;
+  }();
+  return *world;
+}
+
+// All fault families at once, derived from one seed.
+FaultConfig ChaosFault(uint64_t seed, double machine_death_time) {
+  FaultConfig fault;
+  fault.enabled = true;
+  fault.seed = seed;
+  fault.max_attempts = 12;
+  fault.map_failure_prob = 0.05;
+  fault.reduce_failure_prob = 0.1;
+  fault.map_hang_prob = 0.05;
+  fault.reduce_hang_prob = 0.1;
+  fault.task_timeout_seconds = 2.0;
+  fault.retry_backoff_seconds = 0.5;
+  fault.machine_failures = {{1, machine_death_time}};
+  fault.shuffle_corrupt_prob = 0.05;
+  fault.max_fetch_retries = 1;
+  fault.poison_records = kPoisonRecords;
+  fault.skip_bad_records = true;
+  return fault;
+}
+
+TEST(ChaosTest, TenSeedsResolveIdenticalNonQuarantinedPairs) {
+  const ChaosWorld& w = World();
+  ASSERT_FALSE(w.clean.failed) << w.clean.error;
+  ASSERT_FALSE(w.expected_pairs.empty());
+  ASSERT_LT(w.expected_pairs.size(), w.clean.duplicates.size())
+      << "poison records must actually remove some pairs";
+
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    TraceRecorder trace;
+    ProgressiveErOptions options = w.base;
+    options.cluster.fault = ChaosFault(seed, w.clean.total_time * 0.4);
+    options.cluster.trace = &trace;
+    options.checkpoint_recovery = true;
+    const ErRunResult run =
+        ProgressiveEr(w.blocking, w.match, w.sn, w.prob, options)
+            .Run(w.data.dataset);
+    ASSERT_FALSE(run.failed) << run.error;
+
+    // The quarantine set is exactly the poison set, every seed.
+    EXPECT_EQ(run.quarantined_ids, w.poison_ids);
+    // Byte-identical resolved pairs, minus only the quarantined records'.
+    EXPECT_EQ(run.duplicates, w.expected_pairs);
+    EXPECT_GE(run.total_time, w.clean.total_time);
+
+    // Counter/trace reconciliation: every fault the counters claim is a
+    // fault the trace shows, one for one. ErRunResult::counters reports the
+    // resolution job only, so restrict the tally to its trace process (the
+    // statistics job's faults live under its own pid).
+    const int pid = trace.PidOf("resolution job");
+    ASSERT_GE(pid, 0);
+    int64_t timed_out_spans = 0;
+    int64_t machine_lost_spans = 0;
+    for (const TraceSpan& span : trace.spans()) {
+      if (span.pid != pid || span.kind != SpanKind::kAttempt) continue;
+      if (span.outcome == SpanOutcome::kTimedOut) ++timed_out_spans;
+      if (span.outcome == SpanOutcome::kMachineLost) ++machine_lost_spans;
+    }
+    int64_t corruption_instants = 0;
+    int64_t quarantine_instants = 0;
+    for (const TraceInstant& instant : trace.instants()) {
+      if (instant.pid != pid) continue;
+      if (instant.kind == InstantKind::kShuffleCorruption) {
+        ++corruption_instants;
+        EXPECT_GE(instant.task, 0);
+        EXPECT_GE(instant.peer_task, 0);
+      }
+      if (instant.kind == InstantKind::kRecordQuarantined) {
+        ++quarantine_instants;
+        EXPECT_GE(instant.record, 0);
+      }
+    }
+    EXPECT_EQ(timed_out_spans, run.counters.Get("mr.faults.task_timeouts"));
+    EXPECT_EQ(machine_lost_spans, run.counters.Get("mr.faults.machine_lost"));
+    EXPECT_EQ(corruption_instants,
+              run.counters.Get("mr.shuffle.checksum_errors"));
+    EXPECT_EQ(quarantine_instants, run.counters.Get("mr.skipped.records"));
+    // Every checksum error was re-fetched exactly once.
+    EXPECT_EQ(run.counters.Get("mr.shuffle.refetches"),
+              run.counters.Get("mr.shuffle.checksum_errors"));
+    EXPECT_EQ(quarantine_instants,
+              static_cast<int64_t>(kPoisonRecords.size()));
+  }
+}
+
+// At least one seed of the soak exercises every family (seed-checked once:
+// the sum over the ten fixed seeds is deterministic).
+TEST(ChaosTest, SoakCoversEveryFaultFamily) {
+  const ChaosWorld& w = World();
+  int64_t timeouts = 0, errors = 0, lost = 0, failed = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    ProgressiveErOptions options = w.base;
+    options.cluster.fault = ChaosFault(seed, w.clean.total_time * 0.4);
+    const ErRunResult run =
+        ProgressiveEr(w.blocking, w.match, w.sn, w.prob, options)
+            .Run(w.data.dataset);
+    ASSERT_FALSE(run.failed) << run.error;
+    timeouts += run.counters.Get("mr.faults.task_timeouts");
+    errors += run.counters.Get("mr.shuffle.checksum_errors");
+    lost += run.counters.Get("mr.faults.machine_lost");
+    failed += run.counters.Get("mr.failed_attempts");
+  }
+  EXPECT_GE(timeouts, 1);
+  EXPECT_GE(errors, 1);
+  EXPECT_GE(lost, 1);
+  // Crashes + hangs + poison crashes all feed mr.failed_attempts.
+  EXPECT_GE(failed, 10);
+}
+
+// The tentpole's checkpoint interaction: a reduce attempt killed by the
+// heartbeat timeout resumes from its last alpha-boundary checkpoint, so the
+// run replays strictly fewer pairs than the same run without checkpointed
+// recovery — with byte-identical resolved pairs.
+TEST(ChaosTest, CheckpointRecoveryReplaysFewerPairsAfterReduceHang) {
+  const ChaosWorld& w = World();
+
+  ProgressiveErOptions options = w.base;
+  options.cluster.fault.enabled = true;
+  options.cluster.fault.task_timeout_seconds = 2.0;
+  // Reduce task 0 hangs at 90% of its first attempt — well past several
+  // alpha boundaries.
+  options.cluster.fault.injected_hangs = {{TaskPhase::kReduce, 0, 0, 0.9}};
+
+  const ErRunResult scratch =
+      ProgressiveEr(w.blocking, w.match, w.sn, w.prob, options)
+          .Run(w.data.dataset);
+  ASSERT_FALSE(scratch.failed) << scratch.error;
+
+  options.checkpoint_recovery = true;
+  const ErRunResult resumed =
+      ProgressiveEr(w.blocking, w.match, w.sn, w.prob, options)
+          .Run(w.data.dataset);
+  ASSERT_FALSE(resumed.failed) << resumed.error;
+
+  EXPECT_EQ(scratch.duplicates, w.clean.duplicates);
+  EXPECT_EQ(resumed.duplicates, w.clean.duplicates);
+  EXPECT_GE(scratch.counters.Get("mr.faults.task_timeouts"), 1);
+  EXPECT_GE(resumed.counters.Get("mr.faults.task_timeouts"), 1);
+  ASSERT_GT(scratch.counters.Get("mr.recovery.replayed_pairs"), 0);
+  EXPECT_GT(resumed.counters.Get("mr.checkpoint.restored"), 0);
+  EXPECT_LT(resumed.counters.Get("mr.recovery.replayed_pairs"),
+            scratch.counters.Get("mr.recovery.replayed_pairs"));
+}
+
+}  // namespace
+}  // namespace progres

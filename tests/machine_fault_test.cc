@@ -4,6 +4,7 @@
 // failing machines are blacklisted, and the data plane stays byte-identical
 // throughout — only the simulated timeline and "mr." bookkeeping change.
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -78,6 +79,59 @@ TEST(MachineFailurePlanTest, InjectedMergesWithSeededEarliestWins) {
   ASSERT_EQ(failures.size(), 1u);
   EXPECT_EQ(failures[0].machine, 2);
   EXPECT_DOUBLE_EQ(failures[0].time, 10.0);
+}
+
+// ---- Config validation of the fault taxonomy knobs ----
+
+TEST(FaultValidationTest, RejectsOutOfRangeHangTimeoutAndSkipKnobs) {
+  const auto error_of = [](void (*mutate)(FaultConfig*)) {
+    ClusterConfig cluster;
+    cluster.fault.enabled = true;
+    mutate(&cluster.fault);
+    return ValidateClusterConfig(cluster);
+  };
+
+  EXPECT_NE(error_of([](FaultConfig* f) { f->map_hang_prob = 1.5; })
+                .find("fault.map_hang_prob"),
+            std::string::npos);
+  EXPECT_NE(error_of([](FaultConfig* f) { f->reduce_hang_prob = -0.1; })
+                .find("fault.reduce_hang_prob"),
+            std::string::npos);
+  EXPECT_NE(error_of([](FaultConfig* f) { f->task_timeout_seconds = -1.0; })
+                .find("fault.task_timeout_seconds"),
+            std::string::npos);
+  EXPECT_NE(error_of([](FaultConfig* f) {
+              f->injected_hangs = {{TaskPhase::kMap, 0, 0, 0.0}};
+            }).find("fault.injected_hangs[0].hang_at_fraction"),
+            std::string::npos);
+  EXPECT_NE(error_of([](FaultConfig* f) {
+              f->injected_hangs = {{TaskPhase::kMap, 0, 0, 1.5}};
+            }).find("fault.injected_hangs[0].hang_at_fraction"),
+            std::string::npos);
+  EXPECT_NE(error_of([](FaultConfig* f) { f->shuffle_corrupt_prob = 2.0; })
+                .find("fault.shuffle_corrupt_prob"),
+            std::string::npos);
+  EXPECT_NE(error_of([](FaultConfig* f) { f->max_fetch_retries = -1; })
+                .find("fault.max_fetch_retries"),
+            std::string::npos);
+  EXPECT_NE(error_of([](FaultConfig* f) { f->max_attempts_before_skip = 0; })
+                .find("fault.max_attempts_before_skip"),
+            std::string::npos);
+  EXPECT_NE(error_of([](FaultConfig* f) { f->poison_records = {-3}; })
+                .find("fault.poison_records[0]"),
+            std::string::npos);
+  // In-range values of every new knob pass.
+  EXPECT_EQ(error_of([](FaultConfig* f) {
+              f->map_hang_prob = 0.5;
+              f->reduce_hang_prob = 1.0;
+              f->task_timeout_seconds = 0.0;
+              f->injected_hangs = {{TaskPhase::kReduce, 1, 0, 1.0}};
+              f->shuffle_corrupt_prob = 0.25;
+              f->max_fetch_retries = 0;
+              f->max_attempts_before_skip = 1;
+              f->poison_records = {0, 7};
+            }),
+            "");
 }
 
 // ---- Scheduler-level fault domains ----
@@ -241,6 +295,70 @@ TEST(MachineScheduleTest, LastHealthyMachineIsNeverBlacklisted) {
   EXPECT_TRUE(outcome.attempts.back().won);
 }
 
+// ---- Scheduler-level hangs and heartbeat timeouts ----
+
+TEST(MachineScheduleTest, HungAttemptHoldsSlotThroughTimeoutThenRetries) {
+  AttemptScheduleOptions options;
+  options.slot_speeds = {1.0};
+  options.slots_per_machine = 1;
+  options.seconds_per_cost_unit = 1.0;
+  options.task_timeout_seconds = 7.0;
+  // Attempt 0 does 4 units of work, then its heartbeat goes silent; the
+  // tracker kills it 7 seconds later and the retry (10 units) runs clean.
+  options.hang_attempts = {{1, 0}};
+  const AttemptScheduleOutcome outcome =
+      ScheduleTaskAttemptsOnCluster({{4.0, 10.0}}, options);
+
+  ASSERT_FALSE(outcome.failed);
+  ASSERT_EQ(outcome.attempts.size(), 2u);
+  const TaskAttemptTiming& hung = outcome.attempts[0];
+  EXPECT_TRUE(hung.timed_out);
+  EXPECT_TRUE(hung.failed);
+  EXPECT_FALSE(hung.won);
+  EXPECT_FALSE(hung.machine_lost);
+  EXPECT_DOUBLE_EQ(hung.start, 0.0);
+  EXPECT_DOUBLE_EQ(hung.end, 11.0);  // 4 units of work + 7s of silence
+  const TaskAttemptTiming& retry = outcome.attempts[1];
+  EXPECT_TRUE(retry.won);
+  EXPECT_FALSE(retry.timed_out);
+  EXPECT_DOUBLE_EQ(retry.start, 11.0);
+  EXPECT_DOUBLE_EQ(retry.end, 21.0);
+  EXPECT_EQ(outcome.timeout_kills, 1);
+  EXPECT_DOUBLE_EQ(outcome.end_time, 21.0);
+}
+
+TEST(MachineScheduleTest, MachineDeathDuringHangCountsAsMachineLost) {
+  AttemptScheduleOptions options = TwoMachineOptions();
+  options.task_timeout_seconds = 7.0;
+  options.hang_attempts = {{1, 0}};
+  // The hung occurrence (work done at t=4, kill due t=11) loses its machine
+  // at t=6: that is a machine loss, not a timeout, and the re-run of the
+  // same attempt index hangs again on the survivor.
+  options.machine_failures = {{0, 6.0}};
+  const AttemptScheduleOutcome outcome =
+      ScheduleTaskAttemptsOnCluster({{4.0, 10.0}}, options);
+
+  ASSERT_FALSE(outcome.failed);
+  ASSERT_EQ(outcome.attempts.size(), 3u);
+  const TaskAttemptTiming& lost = outcome.attempts[0];
+  EXPECT_TRUE(lost.machine_lost);
+  EXPECT_FALSE(lost.timed_out);
+  EXPECT_DOUBLE_EQ(lost.end, 6.0);
+  const TaskAttemptTiming& rehang = outcome.attempts[1];
+  EXPECT_EQ(rehang.attempt, lost.attempt);  // machine loss costs no attempt
+  EXPECT_EQ(rehang.slot, 1);
+  EXPECT_TRUE(rehang.timed_out);
+  EXPECT_DOUBLE_EQ(rehang.start, 6.0);
+  EXPECT_DOUBLE_EQ(rehang.end, 17.0);
+  const TaskAttemptTiming& retry = outcome.attempts[2];
+  EXPECT_TRUE(retry.won);
+  EXPECT_DOUBLE_EQ(retry.end, 27.0);
+  EXPECT_EQ(outcome.machine_lost_attempts, 1);
+  EXPECT_EQ(outcome.timeout_kills, 1);
+  // All 4 units of pre-hang progress are replayed (no recovery points).
+  EXPECT_DOUBLE_EQ(outcome.replayed_cost_units, 4.0);
+}
+
 // ---- Job-level: data plane unchanged, timeline and counters shift ----
 
 constexpr int kMapTasks = 4;
@@ -308,9 +426,191 @@ TEST(MachineFaultJobTest, FaultFreeCounterSetHasNoRecoveryEntries) {
        {"mr.faults.machine_lost", "mr.faults.machines_dead",
         "mr.blacklist.machines", "mr.retry.backoff_seconds",
         "mr.recovery.replayed_pairs", "mr.recovery.replayed_cost",
-        "mr.checkpoint.saved", "mr.checkpoint.restored"}) {
+        "mr.checkpoint.saved", "mr.checkpoint.restored",
+        "mr.faults.task_timeouts", "mr.shuffle.checksum_errors",
+        "mr.shuffle.refetches", "mr.shuffle.map_reruns",
+        "mr.skipped.records"}) {
     EXPECT_EQ(baseline.counters.values().count(name), 0u) << name;
   }
+}
+
+TEST(MachineFaultJobTest, OutputsIdenticalUnderInjectedHangs) {
+  const Job::Result baseline = RunJob(TestCluster());
+  ASSERT_FALSE(baseline.failed);
+
+  FaultConfig fault;
+  fault.enabled = true;
+  fault.task_timeout_seconds = 30.0;
+  fault.injected_hangs = {{TaskPhase::kMap, 1, 0, 0.5},
+                          {TaskPhase::kReduce, 0, 0, 0.25}};
+  const Job::Result run = RunJob(TestCluster(fault));
+  ASSERT_FALSE(run.failed) << run.error;
+
+  EXPECT_EQ(run.outputs, baseline.outputs);
+  EXPECT_EQ(CountersMinusMr(run.counters), CountersMinusMr(baseline.counters));
+  EXPECT_EQ(run.counters.Get("mr.faults.task_timeouts"), 2);
+  EXPECT_EQ(run.counters.Get("mr.failed_attempts"), 2);
+  // Each hang holds its slot for the timeout before the retry can start.
+  EXPECT_GE(run.timing.end, baseline.timing.end + 30.0);
+  // A hung original never wins — the timeout kill subsumes the race with
+  // any speculative twin.
+  int timed_out = 0;
+  for (const auto* attempts : {&run.timing.map_attempts,
+                               &run.timing.reduce_attempts}) {
+    for (const TaskAttemptTiming& a : *attempts) {
+      if (a.timed_out) {
+        ++timed_out;
+        EXPECT_TRUE(a.failed);
+        EXPECT_FALSE(a.won);
+      }
+    }
+  }
+  EXPECT_EQ(timed_out, 2);
+  ValidateAttemptSchedule(run.timing.map_attempts, kMapTasks, run.timing.start,
+                          run.timing.map_end);
+  ValidateAttemptSchedule(run.timing.reduce_attempts, kReduceTasks,
+                          run.timing.map_end, run.timing.end);
+}
+
+TEST(MachineFaultJobTest, SeededHangsKeepOutputsIdentical) {
+  const Job::Result baseline = RunJob(TestCluster());
+  FaultConfig fault;
+  fault.enabled = true;
+  fault.seed = 9;
+  fault.map_hang_prob = 0.3;
+  fault.reduce_hang_prob = 0.3;
+  fault.task_timeout_seconds = 20.0;
+  fault.max_attempts = 10;
+  const Job::Result run = RunJob(TestCluster(fault));
+  ASSERT_FALSE(run.failed) << run.error;
+  EXPECT_EQ(run.outputs, baseline.outputs);
+  EXPECT_EQ(CountersMinusMr(run.counters), CountersMinusMr(baseline.counters));
+  // prob=0.3 over 7 tasks: at least one hangs (seed-checked once).
+  EXPECT_GE(run.counters.Get("mr.faults.task_timeouts"), 1);
+}
+
+TEST(MachineFaultJobTest, ShuffleCorruptionRefetchesAndRecovers) {
+  const Job::Result baseline = RunJob(TestCluster());
+  FaultConfig fault;
+  fault.enabled = true;
+  fault.seed = 3;
+  fault.shuffle_corrupt_prob = 0.4;
+  fault.max_fetch_retries = 1;
+  const Job::Result run = RunJob(TestCluster(fault));
+  ASSERT_FALSE(run.failed) << run.error;
+
+  EXPECT_EQ(run.outputs, baseline.outputs);
+  EXPECT_EQ(CountersMinusMr(run.counters), CountersMinusMr(baseline.counters));
+  const int64_t errors = run.counters.Get("mr.shuffle.checksum_errors");
+  // prob=0.4 over 4x3 partitions: some fetch is corrupt (seed-checked once).
+  EXPECT_GE(errors, 1);
+  // Every checksum error triggers exactly one re-fetch.
+  EXPECT_EQ(run.counters.Get("mr.shuffle.refetches"), errors);
+  const int64_t reruns = run.counters.Get("mr.shuffle.map_reruns");
+  EXPECT_GE(reruns, 0);
+  EXPECT_LE(reruns, errors);
+  if (reruns > 0) {
+    // Waiting out a map re-run stalls the affected reduce task.
+    EXPECT_GT(run.timing.end, baseline.timing.end);
+  }
+}
+
+TEST(MachineFaultJobTest, CorruptionCountersAbsentWhenProbabilityZero) {
+  FaultConfig fault;
+  fault.enabled = true;
+  fault.injected = {{TaskPhase::kMap, 0, 0}};  // unrelated crash fault
+  const Job::Result run = RunJob(TestCluster(fault));
+  ASSERT_FALSE(run.failed) << run.error;
+  EXPECT_EQ(run.counters.values().count("mr.shuffle.checksum_errors"), 0u);
+  EXPECT_EQ(run.counters.values().count("mr.shuffle.refetches"), 0u);
+  EXPECT_EQ(run.counters.values().count("mr.shuffle.map_reruns"), 0u);
+}
+
+// Poison-sensitive variant of RunJob: input record i carries value i, so
+// FaultPlan's record indices line up with the values the map function sees.
+// `drop_records` (sorted) makes the map function itself skip those records —
+// the fault-free twin of what skip-bad-records quarantining should produce.
+Job::Result RunPoisonableJob(const ClusterConfig& cluster,
+                             const std::vector<int64_t>& drop_records = {}) {
+  std::vector<int> input;
+  for (int i = 0; i < 229; ++i) input.push_back(i);
+  Job job(kMapTasks, kReduceTasks);
+  job.set_map_cost_per_record(0.5);
+  job.set_partitioner([](const int& key, int r) { return key % r; });
+  job.set_poison_faults(true);
+  return job.Run(
+      input,
+      [&drop_records](const int& record, Job::MapContext* ctx) {
+        if (std::binary_search(drop_records.begin(), drop_records.end(),
+                               static_cast<int64_t>(record))) {
+          return;
+        }
+        ctx->counters().Increment("map.records");
+        ctx->clock().Charge(0.25);
+        ctx->Emit(record % 11, record);
+      },
+      [](const int& key, std::vector<int>* values, Job::ReduceContext* ctx) {
+        int sum = 0;
+        for (int v : *values) sum += v;
+        ctx->counters().Increment("reduce.groups");
+        ctx->clock().Charge(static_cast<double>(values->size()));
+        ctx->Emit(key, sum);
+      },
+      cluster);
+}
+
+TEST(MachineFaultJobTest, SkipBadRecordsQuarantinesAndMatchesManualSkip) {
+  // Records 10 (map task 0) and 100 (map task 1) are poison.
+  FaultConfig fault;
+  fault.enabled = true;
+  fault.poison_records = {10, 100};
+  fault.skip_bad_records = true;
+  const Job::Result run = RunPoisonableJob(TestCluster(fault));
+  ASSERT_FALSE(run.failed) << run.error;
+
+  ASSERT_EQ(run.quarantined.size(), 2u);
+  EXPECT_EQ(run.quarantined[0].task, 0);
+  EXPECT_EQ(run.quarantined[0].record, 10);
+  EXPECT_EQ(run.quarantined[1].task, 1);
+  EXPECT_EQ(run.quarantined[1].record, 100);
+  EXPECT_EQ(run.counters.Get("mr.skipped.records"), 2);
+  // Each poison record crashed max_attempts_before_skip=2 attempts.
+  EXPECT_EQ(run.counters.Get("mr.failed_attempts"), 4);
+
+  // Byte-identical to a fault-free run whose map function skips the same
+  // records by hand — quarantining is the ONLY divergence.
+  const Job::Result twin = RunPoisonableJob(TestCluster(), {10, 100});
+  ASSERT_FALSE(twin.failed);
+  EXPECT_TRUE(twin.quarantined.empty());
+  EXPECT_EQ(run.outputs, twin.outputs);
+  EXPECT_EQ(CountersMinusMr(run.counters), CountersMinusMr(twin.counters));
+}
+
+TEST(MachineFaultJobTest, PoisonWithoutSkipDoomsTheJob) {
+  FaultConfig fault;
+  fault.enabled = true;
+  fault.poison_records = {10};
+  fault.skip_bad_records = false;  // Hadoop default: the record kills the job
+  const Job::Result run = RunPoisonableJob(TestCluster(fault));
+  EXPECT_TRUE(run.failed);
+  EXPECT_NE(run.error.find("attempts"), std::string::npos) << run.error;
+  EXPECT_TRUE(run.quarantined.empty());
+  EXPECT_TRUE(run.outputs.empty());
+}
+
+TEST(MachineFaultJobTest, PoisonInsensitiveJobIgnoresPoisonRecords) {
+  const Job::Result baseline = RunJob(TestCluster());
+  FaultConfig fault;
+  fault.enabled = true;
+  fault.poison_records = {10, 100};
+  fault.skip_bad_records = true;
+  // RunJob never calls set_poison_faults: like a statistics pre-pass, its
+  // map code cannot crash on a bad record.
+  const Job::Result run = RunJob(TestCluster(fault));
+  ASSERT_FALSE(run.failed) << run.error;
+  EXPECT_TRUE(run.quarantined.empty());
+  EXPECT_EQ(run.outputs, baseline.outputs);
+  EXPECT_EQ(run.counters.values().count("mr.skipped.records"), 0u);
 }
 
 TEST(MachineFaultJobTest, LosingAllMachinesFailsTheJobCleanly) {

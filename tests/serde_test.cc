@@ -1,3 +1,4 @@
+#include <cstdint>
 #include <limits>
 #include <string>
 
@@ -106,6 +107,33 @@ TEST(StringTest, TruncatedPayloadFails) {
   size_t offset = 0;
   std::string value;
   EXPECT_FALSE(GetString(buffer, &offset, &value));
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // The CRC-32/IEEE check value (reflected 0xEDB88320 polynomial).
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32("a"), 0xe8b7be43u);
+}
+
+TEST(Crc32Test, ChainingMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32(data);
+  for (size_t cut : {size_t{0}, size_t{1}, size_t{10}, data.size()}) {
+    const uint32_t chained =
+        Crc32(data.substr(cut), Crc32(data.substr(0, cut)));
+    EXPECT_EQ(chained, whole) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32Test, SingleBitFlipChangesTheChecksum) {
+  std::string data = "partition payload";
+  const uint32_t clean = Crc32(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 1;
+    EXPECT_NE(Crc32(data), clean) << "flip at " << i;
+    data[i] ^= 1;
+  }
 }
 
 }  // namespace

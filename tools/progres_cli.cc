@@ -7,7 +7,10 @@
 //   progres_cli resolve --data=data.tsv --train=train.tsv
 //       --train-truth=train_truth.tsv --machines=10 --out=pairs.tsv
 //       [--basic] [--budget=50000] [--scheduler=ours|nosplit|lpt]
-//       [--fault-prob=0.1] [--fault-seed=1] [--checkpoint-recovery]
+//       [--fault-prob=0.1] [--fault-seed=1] [--max-attempts=4]
+//       [--hang-prob=0.05] [--task-timeout=600]
+//       [--shuffle-corrupt-prob=0.01] [--poison-records=3,17,90]
+//       [--skip-bad-records] [--checkpoint-recovery]
 //       [--trace-out=trace.json] [--trace-timeline=timeline.txt]
 //   progres_cli explain --data=data.tsv --train=train.tsv
 //       --train-truth=train_truth.tsv [--machines=10] [--blocks=5]
@@ -18,6 +21,7 @@
 // two synthetic workloads (publications: title/abstract/venue; books: eight
 // attributes). Datasets are TSV files whose header row names the schema.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -226,14 +230,60 @@ int CmdResolve(const std::map<std::string, std::string>& flags) {
   ClusterConfig cluster;
   cluster.machines = std::atoi(GetFlag(flags, "machines", "10").c_str());
   cluster.seconds_per_cost_unit = 0.02;
-  if (flags.count("fault-prob")) {
+  // Any fault knob turns the fault machinery on; ValidateClusterConfig then
+  // rejects out-of-range values with a labelled message.
+  const bool any_fault_flag =
+      flags.count("fault-prob") || flags.count("hang-prob") ||
+      flags.count("task-timeout") || flags.count("shuffle-corrupt-prob") ||
+      flags.count("poison-records") || flags.count("skip-bad-records") ||
+      flags.count("max-attempts");
+  if (any_fault_flag) {
     cluster.fault.enabled = true;
-    const double prob = std::atof(flags.at("fault-prob").c_str());
-    cluster.fault.map_failure_prob = prob;
-    cluster.fault.reduce_failure_prob = prob;
     cluster.fault.seed =
         static_cast<uint64_t>(std::atoll(GetFlag(flags, "fault-seed", "1")
                                              .c_str()));
+    if (flags.count("fault-prob")) {
+      const double prob = std::atof(flags.at("fault-prob").c_str());
+      cluster.fault.map_failure_prob = prob;
+      cluster.fault.reduce_failure_prob = prob;
+    }
+    if (flags.count("hang-prob")) {
+      const double prob = std::atof(flags.at("hang-prob").c_str());
+      cluster.fault.map_hang_prob = prob;
+      cluster.fault.reduce_hang_prob = prob;
+    }
+    if (flags.count("task-timeout")) {
+      cluster.fault.task_timeout_seconds =
+          std::atof(flags.at("task-timeout").c_str());
+    }
+    if (flags.count("shuffle-corrupt-prob")) {
+      cluster.fault.shuffle_corrupt_prob =
+          std::atof(flags.at("shuffle-corrupt-prob").c_str());
+    }
+    if (flags.count("max-attempts")) {
+      cluster.fault.max_attempts = std::atoi(flags.at("max-attempts").c_str());
+    }
+    if (flags.count("poison-records")) {
+      // Comma-separated global input-record indices.
+      const std::string& list = flags.at("poison-records");
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        const size_t comma = std::min(list.find(',', pos), list.size());
+        const std::string token = list.substr(pos, comma - pos);
+        char* end = nullptr;
+        const long long value = std::strtoll(token.c_str(), &end, 10);
+        if (token.empty() || end == nullptr || *end != '\0') {
+          std::fprintf(stderr,
+                       "invalid --poison-records: expected comma-separated "
+                       "record indices (got \"%s\")\n",
+                       token.c_str());
+          return 2;
+        }
+        cluster.fault.poison_records.push_back(value);
+        pos = comma + 1;
+      }
+    }
+    cluster.fault.skip_bad_records = flags.count("skip-bad-records") > 0;
   }
   const std::string cluster_error = ValidateClusterConfig(cluster);
   if (!cluster_error.empty()) {
@@ -329,6 +379,14 @@ int CmdResolve(const std::map<std::string, std::string>& flags) {
     }
     std::printf("timeline written to %s\n", trace_timeline.c_str());
   }
+  if (!result.quarantined_ids.empty()) {
+    std::printf("%zu poison record(s) quarantined by skip-bad-records:",
+                result.quarantined_ids.size());
+    for (EntityId id : result.quarantined_ids) {
+      std::printf(" %d", static_cast<int>(id));
+    }
+    std::printf("\n");
+  }
   std::printf("resolved %lld comparisons in %.0f simulated seconds; "
               "%zu duplicate pairs written\n",
               static_cast<long long>(result.comparisons), result.total_time,
@@ -403,9 +461,27 @@ int CmdEvaluate(const std::map<std::string, std::string>& flags) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: progres_cli <generate|stats|resolve|evaluate> "
-               "[--flag=value ...]\n");
+  std::fprintf(
+      stderr,
+      "usage: progres_cli <generate|stats|resolve|explain|evaluate> "
+      "[--flag=value ...]\n"
+      "\n"
+      "resolve fault-injection flags (any of them enables fault "
+      "simulation):\n"
+      "  --fault-prob=P            per-attempt crash probability in [0, 1]\n"
+      "  --fault-seed=S            seed of all hashed fault decisions\n"
+      "  --max-attempts=N          attempts per task before the job fails "
+      "(default 4)\n"
+      "  --hang-prob=P             per-attempt hang probability in [0, 1]\n"
+      "  --task-timeout=T          heartbeat timeout in simulated seconds "
+      "(default 600)\n"
+      "  --shuffle-corrupt-prob=P  per-fetch partition corruption "
+      "probability in [0, 1]\n"
+      "  --poison-records=I,J,...  input records that crash map attempts\n"
+      "  --skip-bad-records        quarantine poison records instead of "
+      "failing the job\n"
+      "  --checkpoint-recovery     resume reduce retries from "
+      "alpha-boundary checkpoints\n");
   return 2;
 }
 
