@@ -6,13 +6,17 @@
 // functions (Table II, scaled prefix lengths), match functions (Sec. VI-A2),
 // and the simulated cluster.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "blocking/blocking_function.h"
+#include "common/stopwatch.h"
 #include "datagen/generators.h"
 #include "estimate/prob_model.h"
 #include "eval/recall_curve.h"
@@ -152,6 +156,133 @@ class ScopedTrace {
   std::string path_;
   TraceRecorder recorder_;
 };
+
+// ---- BENCH_*.json performance reports ----
+//
+// A bench's --json mode writes BENCH_<name>.json: a flat list of named
+// metrics, each living on exactly one of the runtime's two clocks —
+//
+//   * kind "sim"  — deterministic simulated-clock numbers (makespans,
+//     shuffle volumes, time-to-recall milestones). Reproducible
+//     bit-for-bit on any machine; tools/compare_bench.py holds them to
+//     exact equality against the committed baseline, like a golden file.
+//   * kind "wall" — real measurements from common/stopwatch.h (wall
+//     seconds, pairs per wall second). Machine-dependent; the compare
+//     script divides them by the run's own calibration score (below) so a
+//     faster or slower CI machine cancels out, then applies its >15%
+//     regression tolerance.
+//
+// A metric is one kind or the other, never a mix — the same rule the text
+// tables follow by keeping "sim_*" and "wall_*" in separate columns.
+//
+// `gated` opts a metric into the regression gate. Wall measurements that
+// are inherently noisy on shared or oversubscribed hardware (e.g. an
+// 8-worker pool on a small CI runner) set it false: the compare script
+// still requires the metric to exist and prints its trend, but never fails
+// on it. Serial wall measurements and all sim metrics stay gated.
+struct BenchMetric {
+  std::string name;
+  std::string kind;  // "sim" or "wall"
+  std::string unit;
+  bool higher_is_better = false;
+  bool gated = true;
+  double value = 0.0;
+};
+
+// Score of this machine/build for normalizing wall metrics: iterations per
+// second of a fixed xorshift loop (loop-carried dependency, so it measures
+// scalar throughput rather than vectorizer luck). Best of three short reps.
+inline double CalibrationScore() {
+  constexpr int64_t kOps = int64_t{1} << 24;
+  volatile uint64_t sink = 0;
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch watch;
+    uint64_t x = 88172645463325252ull;
+    for (int64_t i = 0; i < kOps; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+    sink = sink + x;
+    const double seconds = watch.ElapsedSeconds();
+    if (seconds > 0.0) {
+      best = std::max(best, static_cast<double>(kOps) / seconds);
+    }
+  }
+  return best;
+}
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench)
+      : bench_(std::move(bench)), calibration_(CalibrationScore()) {}
+
+  void AddSim(const std::string& name, const std::string& unit, double value,
+              bool higher_is_better = false) {
+    metrics_.push_back(
+        {name, "sim", unit, higher_is_better, /*gated=*/true, value});
+  }
+  void AddWall(const std::string& name, const std::string& unit, double value,
+               bool higher_is_better = false, bool gated = true) {
+    metrics_.push_back({name, "wall", unit, higher_is_better, gated, value});
+  }
+
+  std::string ToJson() const {
+    const auto number = [](double v) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+      return std::string(buffer);
+    };
+    std::string out = "{\n";
+    out += "  \"bench\": \"" + bench_ + "\",\n";
+    out += "  \"schema\": 1,\n";
+    out += "  \"calibration_ops_per_sec\": " + number(calibration_) + ",\n";
+    out += "  \"metrics\": [\n";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      const BenchMetric& m = metrics_[i];
+      out += "    {\"name\": \"" + m.name + "\", \"kind\": \"" + m.kind +
+             "\", \"unit\": \"" + m.unit + "\", \"higher_is_better\": " +
+             (m.higher_is_better ? "true" : "false") +
+             ", \"gated\": " + (m.gated ? "true" : "false") +
+             ", \"value\": " + number(m.value) + "}";
+      out += i + 1 < metrics_.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  bool WriteJson(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::string json = ToJson();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  std::string bench_;
+  double calibration_ = 0.0;
+  std::vector<BenchMetric> metrics_;
+};
+
+// Detects the benches' "--json[=path]" flag. Returns true when JSON mode is
+// requested and sets *path to the override or to "BENCH_<bench>.json".
+inline bool ParseJsonMode(int argc, char** argv, const std::string& bench,
+                          std::string* path) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      *path = "BENCH_" + bench + ".json";
+      return true;
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      *path = argv[i] + 7;
+      if (path->empty()) *path = "BENCH_" + bench + ".json";
+      return true;
+    }
+  }
+  return false;
+}
 
 // Quality (Eq. 1) with a 10-point uniform cost vector over [0, horizon] and
 // linearly decaying weights.

@@ -4,13 +4,22 @@
 
 namespace progres {
 
+namespace {
+// Worker index of the current thread, -1 off-pool. Thread-local so nested
+// pools are impossible to confuse: each worker thread belongs to exactly
+// one pool for its whole lifetime.
+thread_local int current_worker_index = -1;
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
+
+int ThreadPool::CurrentWorker() { return current_worker_index; }
 
 ThreadPool::~ThreadPool() {
   {
@@ -34,7 +43,8 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  current_worker_index = worker_index;
   while (true) {
     std::function<void()> task;
     {

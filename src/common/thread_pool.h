@@ -38,8 +38,14 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  // Index of the calling thread within its pool, in [0, num_threads), or -1
+  // when called from a thread that is not a pool worker. Lets task code
+  // attribute work to a worker lane without plumbing an id through every
+  // callback.
+  static int CurrentWorker();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // signalled when work arrives or stop

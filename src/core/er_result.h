@@ -37,6 +37,10 @@ struct ErRunResult {
   double preprocessing_end = 0.0;
   // Simulated completion time of the whole run.
   double total_time = 0.0;
+  // Measured wall-clock duration of the run (seconds). A real measurement
+  // on the driver's clock — varies run to run, excluded from the golden
+  // dumps, and never mixed with the simulated times above.
+  double wall_seconds = 0.0;
 
   // Aggregate resolution counters (across all reduce tasks).
   int64_t comparisons = 0;

@@ -173,6 +173,7 @@ ErRunResult MrsnEr::Run(const Dataset& dataset) const {
   const PipelineResult pipe_result = pipe.Run(/*submit_time=*/0.0);
   result.counters = pipe_result.counters;
   result.total_time = pipe_result.end;
+  result.wall_seconds = pipe_result.wall_seconds;
   if (pipe_result.failed) {
     result.failed = true;
     result.error = pipe_result.error;

@@ -403,6 +403,7 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
     result.preprocessing_end = pipe_result.end;
   }
   result.total_time = pipe_result.end;
+  result.wall_seconds = pipe_result.wall_seconds;
   if (pipe_result.failed) {
     result.failed = true;
     result.error = pipe_result.error;

@@ -56,6 +56,29 @@ std::string ValidateClusterConfig(const ClusterConfig& cluster) {
     return "execution_threads must be >= 0 (got " +
            std::to_string(cluster.execution_threads) + ")";
   }
+  if (cluster.backend == ExecutionBackend::kThreaded) {
+    if (cluster.execution_threads < 1) {
+      return "backend=threaded requires execution_threads >= 1 (got " +
+             std::to_string(cluster.execution_threads) + ")";
+    }
+    const int slot_capacity =
+        std::max(cluster.map_slots(), cluster.reduce_slots());
+    if (cluster.execution_threads > slot_capacity) {
+      return "backend=threaded: execution_threads must not exceed the "
+             "cluster's slot capacity " +
+             std::to_string(slot_capacity) + " (got " +
+             std::to_string(cluster.execution_threads) + ")";
+    }
+    if (cluster.speculation.enabled) {
+      return "backend=threaded does not support speculative execution "
+             "(speculation lives in the simulated timing model)";
+    }
+    if (cluster.fault.enabled && (cluster.fault.machine_failure_prob > 0.0 ||
+                                  !cluster.fault.machine_failures.empty())) {
+      return "backend=threaded does not support machine failures "
+             "(the machine fault domain lives in the simulated timing model)";
+    }
+  }
   for (size_t m = 0; m < cluster.machine_speed.size(); ++m) {
     if (!(cluster.machine_speed[m] > 0.0)) {
       return "machine_speed[" + std::to_string(m) + "] must be > 0 (got " +

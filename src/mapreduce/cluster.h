@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "mapreduce/executor.h"
 #include "mapreduce/fault.h"
 
 namespace progres {
@@ -25,7 +26,19 @@ struct ClusterConfig {
   // ballpark of the paper's edit-distance match function.
   double seconds_per_cost_unit = 1e-5;
 
-  // Number of real threads used to execute simulated tasks. 0 means use
+  // Which engine executes task attempts (see mapreduce/executor.h). The
+  // simulated backend runs them serially — the deterministic reference; the
+  // threaded backend runs them concurrently on `execution_threads` pool
+  // workers and measures wall-clock time alongside. Outputs and counters
+  // are byte-identical either way.
+  ExecutionBackend backend = ExecutionBackend::kSimulated;
+
+  // Worker threads of the threaded backend. Ignored by the simulated
+  // backend (which is serial); the threaded backend requires >= 1, at most
+  // the cluster's slot capacity — more workers than simulated slots would
+  // give the wall clock concurrency the modeled cluster does not have.
+  // 0 (the default) is only valid with the simulated backend; callers
+  // selecting the threaded backend typically pass
   // std::thread::hardware_concurrency().
   int execution_threads = 0;
 
@@ -68,9 +81,11 @@ struct ClusterConfig {
 // max_attempts >= 1, speed factors and time conversions > 0,
 // machine-failure events inside the cluster, backoff/blacklist knobs
 // non-negative, task_timeout_seconds non-negative, injected hang fractions
-// in (0, 1], fetch-retry and skip knobs within range. Returns an empty
-// string when valid, otherwise a labelled description of the first
-// violation.
+// in (0, 1], fetch-retry and skip knobs within range. The threaded backend
+// additionally requires execution_threads in [1, slot capacity] and rejects
+// speculation and machine failures (both live in the simulated timing
+// model). Returns an empty string when valid, otherwise a labelled
+// description of the first violation.
 // MapReduceJob::Run fails cleanly (Result::failed) on a non-empty result
 // instead of running with a silently "normalized" config.
 std::string ValidateClusterConfig(const ClusterConfig& cluster);
@@ -108,7 +123,19 @@ struct TaskStats {
   int64_t pairs_out = 0;    // map: emitted KVs; reduce: emitted KVs
 };
 
-// Timing of one job on the simulated cluster.
+// Measured wall-clock timing of one job run. Unlike the simulated fields
+// of JobTiming these are real, nondeterministic measurements — they vary
+// run to run and across machines, and nothing downstream of the results
+// clock (events, recall curves, counters, goldens) reads them. Benches
+// report the two clocks side by side, never conflated.
+struct JobWallTiming {
+  int threads = 1;             // pool workers (1 = serial simulated backend)
+  double map_seconds = 0.0;    // submission to the map/shuffle barrier
+  double reduce_seconds = 0.0; // barrier to job completion
+  double total_seconds = 0.0;  // submission to job completion
+};
+
+// Timing of one job on the simulated cluster, plus the measured wall clock.
 struct JobTiming {
   double start = 0.0;               // when the job was submitted (seconds)
   double map_end = 0.0;             // end of the map phase (barrier)
@@ -117,6 +144,8 @@ struct JobTiming {
   // Every scheduled attempt, including failed and speculative ones.
   std::vector<TaskAttemptTiming> map_attempts;
   std::vector<TaskAttemptTiming> reduce_attempts;
+  // Measured wall clock of the same run (filled by both backends).
+  JobWallTiming wall;
 };
 
 // FIFO-schedules tasks with the given `costs` (in cost units) onto `slots`

@@ -7,15 +7,16 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "mapreduce/checkpoint.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/cost_clock.h"
 #include "mapreduce/counters.h"
+#include "mapreduce/executor.h"
 #include "mapreduce/fault.h"
 #include "mapreduce/shuffle.h"
 #include "mapreduce/task_runner.h"
@@ -64,9 +65,15 @@ namespace progres {
 // (ValidateClusterConfig); an invalid config fails the job with a labelled
 // error instead of running with silently corrected parameters.
 //
-// Tasks execute concurrently on a thread pool; all algorithmic cost is
-// charged to deterministic per-task CostClocks, so results are bit-identical
-// regardless of real thread interleaving.
+// Two execution backends share this contract (ClusterConfig::backend):
+// the simulated backend runs attempts serially on the submitting thread —
+// the deterministic reference — while the threaded backend runs them
+// concurrently on a thread pool (executor.h) and measures wall-clock time
+// alongside (JobTiming::wall, wall-stamped trace spans). All algorithmic
+// cost is charged to deterministic per-task CostClocks and all cross-task
+// state merges after the phase barriers, so results are bit-identical
+// across backends and regardless of real thread interleaving; the simulated
+// timeline stays the results clock under both.
 //
 // Keys and values are typed (template parameters) rather than raw bytes;
 // serialization would add nothing to the reproduced algorithms.
@@ -230,6 +237,16 @@ class MapReduceJob {
              double submit_time = 0.0) {
     Result result;
     result.timing.start = submit_time;
+    Stopwatch wall_watch;
+    const bool threaded = cluster.backend == ExecutionBackend::kThreaded;
+    // Stamps the measured wall clock into the result; called at every
+    // return path so even failed jobs report how long they really took.
+    const auto finish_wall = [&result, &wall_watch] {
+      result.timing.wall.total_seconds = wall_watch.ElapsedSeconds();
+      result.timing.wall.reduce_seconds =
+          std::max(0.0, result.timing.wall.total_seconds -
+                            result.timing.wall.map_seconds);
+    };
 
     const std::string config_error = ValidateClusterConfig(cluster);
     if (!config_error.empty()) {
@@ -237,8 +254,17 @@ class MapReduceJob {
       result.error = "invalid cluster config: " + config_error;
       result.timing.map_end = submit_time;
       result.timing.end = submit_time;
+      finish_wall();
       return result;
     }
+    // The threaded backend's engine: the worker pool plus the wall-clock
+    // record of every attempt executed on it. Null under the simulated
+    // backend, whose attempt chains run serially on this thread.
+    std::unique_ptr<ThreadedExecutor> wall;
+    if (threaded) {
+      wall = std::make_unique<ThreadedExecutor>(cluster.execution_threads);
+    }
+    result.timing.wall.threads = threaded ? wall->threads() : 1;
     if (checkpointing()) checkpoint_store_->Reset(num_reduce_tasks_);
 
     const FaultPlan plan(cluster.fault);
@@ -280,7 +306,10 @@ class MapReduceJob {
       options.blacklist_failures = cluster.fault.blacklist_failures;
       options.hang_attempts = runner.attempt_hangs();
       options.task_timeout_seconds = cluster.fault.task_timeout_seconds;
-      options.trace = cluster.trace;
+      // The simulated scheduler still computes the results clock under both
+      // backends, but only the simulated backend records its spans — the
+      // threaded backend stamps the executor's wall-clock timeline instead.
+      options.trace = threaded ? nullptr : cluster.trace;
       options.trace_phase = phase;
       options.trace_pid =
           cluster.trace != nullptr ? cluster.trace->current_pid() : 0;
@@ -315,18 +344,71 @@ class MapReduceJob {
         static_cast<size_t>(plan.num_poison_records()), 0);
     std::vector<std::vector<int64_t>> quarantined_by_task(
         static_cast<size_t>(num_map_tasks_));
+    // Under the threaded backend the simulated scheduler records no spans;
+    // the executor's wall-clock timeline is stamped once per run instead:
+    // attempt spans from the workers' measurements, data-plane instants at
+    // their wall-clock anchors (checksum errors at the map barrier, a
+    // quarantine at its winning map attempt's start) and shuffle delivery
+    // marks at the winning reduce attempts' wall starts. Called exactly
+    // once on every return path past the map phase.
+    const auto stamp_wall_trace = [&] {
+      if (!threaded || cluster.trace == nullptr) return;
+      const int pid = cluster.trace->current_pid();
+      wall->StampAttemptSpans(cluster.trace, pid);
+      const double map_wall_end = wall->phase_end(TaskPhase::kMap);
+      for (const auto& [r, m] : corrupt_events) {
+        TraceInstant instant;
+        instant.kind = InstantKind::kShuffleCorruption;
+        instant.phase = TaskPhase::kReduce;
+        instant.pid = pid;
+        instant.time = map_wall_end;
+        instant.task = r;
+        instant.peer_task = m;
+        cluster.trace->RecordInstant(instant);
+      }
+      for (const QuarantinedRecord& q : result.quarantined) {
+        TraceInstant instant;
+        instant.kind = InstantKind::kRecordQuarantined;
+        instant.phase = TaskPhase::kMap;
+        instant.pid = pid;
+        WallAttempt winner;
+        instant.time =
+            wall->WinningAttempt(TaskPhase::kMap, q.task, &winner)
+                ? winner.start
+                : map_wall_end;
+        instant.task = q.task;
+        instant.record = q.record;
+        cluster.trace->RecordInstant(instant);
+      }
+      if (result.failed) return;
+      for (size_t t = 0; t < result.reduce_stats.size(); ++t) {
+        WallAttempt winner;
+        if (!wall->WinningAttempt(TaskPhase::kReduce, static_cast<int>(t),
+                                  &winner)) {
+          continue;
+        }
+        TraceSpan span;
+        span.kind = SpanKind::kShuffle;
+        span.phase = TaskPhase::kReduce;
+        span.pid = pid;
+        span.task = static_cast<int>(t);
+        span.attempt = winner.attempt;
+        span.machine = -1;
+        span.slot = winner.worker;
+        span.start = winner.start;
+        span.end = winner.start;
+        span.records_in = result.reduce_stats[t].records_in;
+        cluster.trace->RecordSpan(span);
+      }
+    };
     {
-      const int threads = cluster.execution_threads > 0
-                              ? cluster.execution_threads
-                              : static_cast<int>(
-                                    std::thread::hardware_concurrency());
-      ThreadPool pool(threads);
+      ThreadPool* pool = threaded ? wall->pool() : nullptr;
       const size_t n = input.size();
       for (int t = 0; t < num_map_tasks_; ++t) {
         map_ctx[static_cast<size_t>(t)].task_id_ = t;
       }
       map_runner.RunAll(
-          &pool,
+          pool, wall.get(),
           [this, &map_ctx](int t) {
             ResetMapContext(&map_ctx[static_cast<size_t>(t)]);
           },
@@ -381,6 +463,8 @@ class MapReduceJob {
             return out;
           },
           task_abort_);
+      if (threaded) wall->EndPhase(TaskPhase::kMap);
+      result.timing.wall.map_seconds = wall_watch.ElapsedSeconds();
 
       map_runner.MergeFaultCounters(&result.counters);
       // Quarantine bookkeeping survives even a doomed job: the skipped
@@ -411,6 +495,8 @@ class MapReduceJob {
         result.timing.map_attempts = std::move(map_schedule.attempts);
         result.timing.map_end = map_schedule.end_time;
         result.timing.end = map_schedule.end_time;
+        stamp_wall_trace();
+        finish_wall();
         return result;
       }
 
@@ -489,9 +575,9 @@ class MapReduceJob {
       std::vector<int64_t> attempt_skip(
           static_cast<size_t>(num_reduce_tasks_), 0);
       reduce_runner.RunAll(
-          &pool,
+          pool, wall.get(),
           [this, &reduce_ctx, &reduce_attempt_bases, &attempt_base,
-           &attempt_skip](int t) {
+           &attempt_skip, &wall, &cluster, threaded](int t) {
             ReduceContext& ctx = reduce_ctx[static_cast<size_t>(t)];
             const TaskCheckpoint* checkpoint =
                 checkpointing() ? checkpoint_store_->Latest(t) : nullptr;
@@ -503,6 +589,21 @@ class MapReduceJob {
               checkpoint_store_->NoteRestore(t);
               attempt_base[static_cast<size_t>(t)] = checkpoint->cost;
               attempt_skip[static_cast<size_t>(t)] = checkpoint->groups;
+              // Wall-clock restore mark, recorded live from the worker
+              // thread (the simulated backend's scheduler emits its own).
+              if (threaded && cluster.trace != nullptr) {
+                TraceSpan span;
+                span.kind = SpanKind::kCheckpointRestore;
+                span.phase = TaskPhase::kReduce;
+                span.pid = cluster.trace->current_pid();
+                span.task = t;
+                span.machine = -1;
+                span.slot = ThreadPool::CurrentWorker();
+                span.start = wall->Now();
+                span.end = span.start;
+                span.cost_units = checkpoint->cost;
+                cluster.trace->RecordSpan(span);
+              }
             } else {
               ResetReduceContext(&ctx);
               if (checkpointing() && checkpoint_restore_) {
@@ -515,10 +616,13 @@ class MapReduceJob {
                 attempt_base[static_cast<size_t>(t)]);
           },
           [this, &map_outputs, &reduce_fn, &reduce_ctx, &attempt_base,
-           &attempt_skip](const TaskAttemptRunner::Attempt& attempt) {
+           &attempt_skip, &wall, &cluster,
+           threaded](const TaskAttemptRunner::Attempt& attempt) {
             ReduceContext& ctx = reduce_ctx[static_cast<size_t>(attempt.task)];
             RunReduceAttempt(map_outputs, reduce_fn, &ctx, attempt,
-                             attempt_skip[static_cast<size_t>(attempt.task)]);
+                             attempt_skip[static_cast<size_t>(attempt.task)],
+                             wall.get(),
+                             threaded ? cluster.trace : nullptr);
             // Incremental cost: with a restored checkpoint, only the work
             // past the boundary counts as this attempt's duration.
             return TaskAttemptRunner::BodyOutcome{
@@ -539,6 +643,8 @@ class MapReduceJob {
                 std::max<int64_t>(0, ctx.stats_.records_in - kept);
             if (task_abort_) task_abort_(phase, t, att);
           });
+
+      if (threaded) wall->EndPhase(TaskPhase::kReduce);
 
       reduce_runner.MergeFaultCounters(&result.counters);
       const int doomed_reduce = reduce_runner.FirstDoomed();
@@ -590,14 +696,17 @@ class MapReduceJob {
     if (map_schedule.failed && !result.failed) {
       FailOnLostCluster(&result, TaskPhase::kMap, map_schedule.failed_task);
       result.timing.end = map_schedule.end_time;
+      stamp_wall_trace();
+      finish_wall();
       return result;
     }
 
     // Data-plane fault instants, timestamped off the map schedule: checksum
     // errors surface at the map/reduce barrier (when fetches happen), and a
     // quarantine takes effect when the task's winning attempt first skips
-    // the record.
-    if (cluster.trace != nullptr) {
+    // the record. The threaded backend records the same instants on the
+    // wall clock instead (stamp_wall_trace).
+    if (!threaded && cluster.trace != nullptr) {
       for (const auto& [r, m] : corrupt_events) {
         TraceInstant instant;
         instant.kind = InstantKind::kShuffleCorruption;
@@ -643,12 +752,16 @@ class MapReduceJob {
     if (reduce_schedule.failed && !result.failed) {
       FailOnLostCluster(&result, TaskPhase::kReduce,
                         reduce_schedule.failed_task);
+      stamp_wall_trace();
+      finish_wall();
       return result;
     }
 
     // Shuffle delivery marks: each winning reduce attempt starts by pulling
     // its sorted input — a zero-duration child span carrying the volume.
-    if (cluster.trace != nullptr && !result.failed) {
+    // (Simulated backend only; the threaded backend marks deliveries at the
+    // winning attempts' wall starts in stamp_wall_trace.)
+    if (!threaded && cluster.trace != nullptr && !result.failed) {
       for (const TaskAttemptTiming& a : result.timing.reduce_attempts) {
         if (!a.won) continue;
         TraceSpan span;
@@ -668,6 +781,8 @@ class MapReduceJob {
     }
 
     MergeSpeculationCounters(result.timing, &result.counters);
+    stamp_wall_trace();
+    finish_wall();
     return result;
   }
 
@@ -713,8 +828,11 @@ class MapReduceJob {
   // Snapshots the task after a group if its clock crossed into a new
   // alpha-window (the progressive emission boundary) since the last saved
   // snapshot. The store ignores non-advancing saves, so a resumed attempt
-  // re-crossing an old boundary is a no-op.
-  void MaybeCheckpoint(ReduceContext* ctx, int64_t groups_done) {
+  // re-crossing an old boundary is a no-op. Under the threaded backend
+  // (`wall` and `wall_trace` non-null) each save is marked on the wall
+  // clock live from the worker thread that took it.
+  void MaybeCheckpoint(ReduceContext* ctx, int64_t groups_done,
+                       ThreadedExecutor* wall, TraceRecorder* wall_trace) {
     if (!checkpointing()) return;
     const int task = ctx->task_id_;
     const double units = ctx->clock_.units();
@@ -734,6 +852,19 @@ class MapReduceJob {
     checkpoint.counters = ctx->counters_;
     if (checkpoint_save_) checkpoint.driver_state = checkpoint_save_(task);
     checkpoint_store_->Save(task, std::move(checkpoint));
+    if (wall != nullptr && wall_trace != nullptr) {
+      TraceSpan span;
+      span.kind = SpanKind::kCheckpointSave;
+      span.phase = TaskPhase::kReduce;
+      span.pid = wall_trace->current_pid();
+      span.task = task;
+      span.machine = -1;
+      span.slot = ThreadPool::CurrentWorker();
+      span.start = wall->Now();
+      span.end = span.start;
+      span.cost_units = units;
+      wall_trace->RecordSpan(span);
+    }
   }
 
   // Runs one reduce-task attempt: gather/sort via the shuffle (a failing or
@@ -745,7 +876,8 @@ class MapReduceJob {
   void RunReduceAttempt(
       std::vector<typename JobShuffle::MapOutput*>& map_outputs,
       const ReduceFn& reduce_fn, ReduceContext* ctx,
-      const TaskAttemptRunner::Attempt& attempt, int64_t skip_groups) {
+      const TaskAttemptRunner::Attempt& attempt, int64_t skip_groups,
+      ThreadedExecutor* wall, TraceRecorder* wall_trace) {
     const bool cut = attempt.fails || attempt.hangs;
     std::vector<std::pair<K, V>> pairs =
         shuffle_.GatherSorted(map_outputs, attempt.task, cut);
@@ -763,7 +895,7 @@ class MapReduceJob {
           if (group < skip_groups) return;
           ctx->stats_.records_in += static_cast<int64_t>(values->size());
           reduce_fn(key, values, ctx);
-          MaybeCheckpoint(ctx, group + 1);
+          MaybeCheckpoint(ctx, group + 1, wall, wall_trace);
         });
     if (!cut) {
       if (reduce_cleanup_) reduce_cleanup_(ctx);

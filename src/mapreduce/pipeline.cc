@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "mapreduce/trace.h"
 
 namespace progres {
@@ -20,7 +21,9 @@ void Pipeline::AddStage(std::string name, StageFn fn) {
 void Pipeline::AddComputation(std::string name, ComputeFn fn) {
   AddStage(std::move(name), [fn = std::move(fn)](double submit_time) {
     StageResult result;
+    Stopwatch watch;
     result.end_time = submit_time + fn(submit_time);
+    result.wall_seconds = watch.ElapsedSeconds();
     return result;
   });
 }
@@ -38,6 +41,7 @@ PipelineResult Pipeline::Run(double submit_time) const {
     report.result = stage.fn(clock);
     clock = report.result.end_time;
     result.end = clock;
+    result.wall_seconds += report.result.wall_seconds;
     result.counters.MergeFrom(report.result.counters);
     const bool failed = report.result.failed;
     if (failed) {

@@ -19,6 +19,10 @@ struct StageResult {
   std::string error;
   // Simulated completion time (seconds); the next stage is submitted here.
   double end_time = 0.0;
+  // Measured wall-clock duration of the stage (seconds). A real
+  // measurement, never on the simulated clock — reported alongside it,
+  // never mixed into end_time.
+  double wall_seconds = 0.0;
   Counters counters;
   JobTiming timing;
   std::vector<TaskStats> map_stats;
@@ -37,6 +41,7 @@ StageResult StageResultFromJob(JobResult&& result,
                     ? result.error
                     : error_prefix + ": " + result.error;
   stage.end_time = result.timing.end;
+  stage.wall_seconds = result.timing.wall.total_seconds;
   stage.counters = std::move(result.counters);
   stage.timing = std::move(result.timing);
   stage.map_stats = std::move(result.map_stats);
@@ -59,6 +64,8 @@ struct PipelineResult {
   std::vector<StageReport> stages;
   double start = 0.0;
   double end = 0.0;  // end of the last executed stage
+  // Total measured wall-clock seconds across the executed stages.
+  double wall_seconds = 0.0;
   bool failed = false;
   // Verbatim from the failing stage (stages label their own errors).
   std::string error;

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/counters.h"
+#include "mapreduce/executor.h"
 #include "mapreduce/fault.h"
 
 namespace progres {
@@ -62,44 +63,56 @@ class TaskAttemptRunner {
         attempt_hangs_(static_cast<size_t>(num_tasks)),
         doomed_(static_cast<size_t>(num_tasks), 0) {}
 
-  // Runs every task's attempt chain concurrently on `pool` and waits for
-  // completion. `abort` may be null. The chain cannot be precomputed from
+  // Runs every task's attempt chain and waits for completion: one chain per
+  // task concurrently on `pool` workers when `pool` is non-null (the
+  // threaded backend), serially in task order on the calling thread when it
+  // is null (the simulated backend's deterministic reference path — results
+  // are identical either way because all cross-task state is merged after
+  // the phase barrier). `wall`, if non-null, observes every attempt on the
+  // wall clock. `abort` may be null. The chain cannot be precomputed from
   // the plan alone: a poison crash fails an attempt the plan scored as a
   // winner, and a quarantine later turns the same planned attempt into a
   // real winner — so the loop re-evaluates after every attempt.
-  void RunAll(ThreadPool* pool, const ResetFn& reset, const BodyFn& body,
-              const AbortFn& abort) {
+  void RunAll(ThreadPool* pool, ThreadedExecutor* wall, const ResetFn& reset,
+              const BodyFn& body, const AbortFn& abort) {
     const int max_attempts = plan_->max_attempts();
-    for (int t = 0; t < num_tasks_; ++t) {
-      pool->Submit([this, &reset, &body, &abort, t, max_attempts] {
-        int attempt = 0;
-        while (true) {
-          Attempt a;
-          a.task = t;
-          a.attempt = attempt;
-          a.fails = plan_->Fails(phase_, t, attempt);
-          a.fail_point =
-              a.fails ? plan_->FailurePoint(phase_, t, attempt) : 1.0;
-          a.hangs = !a.fails && plan_->Hangs(phase_, t, attempt);
-          a.hang_point =
-              a.hangs ? plan_->HangPoint(phase_, t, attempt) : 1.0;
-          reset(t);
-          const BodyOutcome out = body(a);
-          attempt_costs_[static_cast<size_t>(t)].push_back(out.cost);
-          // A hang only materializes if the attempt survived to the hang
-          // point (a poison record earlier in the input crashes it first).
-          attempt_hangs_[static_cast<size_t>(t)].push_back(
-              a.hangs && !out.poison_crashed ? 1 : 0);
-          const bool failed = a.fails || a.hangs || out.poison_crashed;
-          if (!failed) break;  // the winner
-          if (abort) abort(phase_, t, attempt);
-          ++attempt;
-          if (attempt >= max_attempts) {
-            doomed_[static_cast<size_t>(t)] = 1;
-            break;
-          }
+    const auto chain = [this, wall, &reset, &body, &abort, max_attempts](
+                           int t) {
+      int attempt = 0;
+      while (true) {
+        Attempt a;
+        a.task = t;
+        a.attempt = attempt;
+        a.fails = plan_->Fails(phase_, t, attempt);
+        a.fail_point = a.fails ? plan_->FailurePoint(phase_, t, attempt) : 1.0;
+        a.hangs = !a.fails && plan_->Hangs(phase_, t, attempt);
+        a.hang_point = a.hangs ? plan_->HangPoint(phase_, t, attempt) : 1.0;
+        reset(t);
+        const size_t token =
+            wall != nullptr ? wall->BeginAttempt(phase_, t, attempt) : 0;
+        const BodyOutcome out = body(a);
+        attempt_costs_[static_cast<size_t>(t)].push_back(out.cost);
+        // A hang only materializes if the attempt survived to the hang
+        // point (a poison record earlier in the input crashes it first).
+        const bool hung = a.hangs && !out.poison_crashed;
+        attempt_hangs_[static_cast<size_t>(t)].push_back(hung ? 1 : 0);
+        const bool failed = a.fails || a.hangs || out.poison_crashed;
+        if (wall != nullptr) wall->EndAttempt(token, failed, hung);
+        if (!failed) break;  // the winner
+        if (abort) abort(phase_, t, attempt);
+        ++attempt;
+        if (attempt >= max_attempts) {
+          doomed_[static_cast<size_t>(t)] = 1;
+          break;
         }
-      });
+      }
+    };
+    if (pool == nullptr) {
+      for (int t = 0; t < num_tasks_; ++t) chain(t);
+      return;
+    }
+    for (int t = 0; t < num_tasks_; ++t) {
+      pool->Submit([&chain, t] { chain(t); });
     }
     pool->Wait();
   }

@@ -141,11 +141,20 @@ inline std::vector<std::string> GoldenDriverNames() {
 
 // Runs one frozen driver configuration. With `trace` non-null the run is
 // recorded (which must not change the returned dump — tracing is
-// observational; driver_matrix_test checks exactly that).
-inline std::string RunGoldenDriver(const std::string& name,
-                                   TraceRecorder* trace = nullptr) {
+// observational; driver_matrix_test checks exactly that). `backend` selects
+// the execution engine: the MR contract makes the dump byte-identical
+// across backends, which executor_diff_test checks against the fixtures.
+// `threads` overrides GoldenCluster()'s execution_threads when > 0.
+inline std::string RunGoldenDriver(
+    const std::string& name, TraceRecorder* trace = nullptr,
+    ExecutionBackend backend = ExecutionBackend::kSimulated,
+    int threads = 0) {
   const GoldenWorkload w = MakeGoldenWorkload();
   const SortedNeighborMechanism sn;
+  ClusterConfig cluster = GoldenCluster();
+  cluster.backend = backend;
+  if (threads > 0) cluster.execution_threads = threads;
+  cluster.trace = trace;
   if (name == "basic") {
     // Basic uses the main blocking functions only.
     std::vector<FamilySpec> mains;
@@ -155,16 +164,14 @@ inline std::string RunGoldenDriver(const std::string& name,
       mains.push_back(std::move(spec));
     }
     BasicErOptions options;
-    options.cluster = GoldenCluster();
-    options.cluster.trace = trace;
+    options.cluster = cluster;
     options.popcorn_threshold = 0.001;
     const BasicEr er(BlockingConfig(mains), w.match, sn, options);
     return DumpErRunResult(er.Run(w.data.dataset), w.data.truth);
   }
   if (name == "mrsn") {
     MrsnOptions options;
-    options.cluster = GoldenCluster();
-    options.cluster.trace = trace;
+    options.cluster = cluster;
     options.window = 10;
     const MrsnEr er(w.blocking, w.match, options);
     return DumpErRunResult(er.Run(w.data.dataset), w.data.truth);
@@ -173,8 +180,7 @@ inline std::string RunGoldenDriver(const std::string& name,
     const ProbabilityModel prob =
         ProbabilityModel::Train(w.train.dataset, w.train.truth, w.blocking);
     ProgressiveErOptions options;
-    options.cluster = GoldenCluster();
-    options.cluster.trace = trace;
+    options.cluster = cluster;
     options.map_emission = name == "progressive_pertree"
                                ? MapEmission::kPerTree
                                : MapEmission::kPerBlock;
@@ -182,8 +188,6 @@ inline std::string RunGoldenDriver(const std::string& name,
     return DumpErRunResult(er.Run(w.data.dataset), w.data.truth);
   }
   if (name == "stats") {
-    ClusterConfig cluster = GoldenCluster();
-    cluster.trace = trace;
     const StatsJobOutput out =
         RunStatisticsJob(w.data.dataset, w.blocking, cluster, 4, 3);
     return DumpForests(out.forests);

@@ -97,6 +97,84 @@ TEST(ValidateClusterConfigTest, ChecksFaultFieldsOnlyWhenEnabled) {
             std::string::npos);
 }
 
+TEST(ValidateClusterConfigTest, ThreadedBackendRequiresValidThreadCount) {
+  ClusterConfig cluster;
+  cluster.backend = ExecutionBackend::kThreaded;
+  // 0 (the simulated default) is not a legal worker count.
+  cluster.execution_threads = 0;
+  EXPECT_NE(ValidateClusterConfig(cluster)
+                .find("backend=threaded requires execution_threads >= 1"),
+            std::string::npos);
+  // More workers than simulated slots would give the wall clock
+  // concurrency the modeled cluster does not have. Default cluster:
+  // 10 machines x 2 slots = 20-slot capacity.
+  cluster.execution_threads = 21;
+  EXPECT_NE(
+      ValidateClusterConfig(cluster).find("must not exceed the cluster's"),
+      std::string::npos);
+  cluster.execution_threads = 20;
+  EXPECT_EQ(ValidateClusterConfig(cluster), "");
+  cluster.execution_threads = 1;
+  EXPECT_EQ(ValidateClusterConfig(cluster), "");
+}
+
+TEST(ValidateClusterConfigTest, ThreadedBackendRejectsSpeculation) {
+  ClusterConfig cluster;
+  cluster.backend = ExecutionBackend::kThreaded;
+  cluster.execution_threads = 4;
+  cluster.speculation.enabled = true;
+  EXPECT_NE(ValidateClusterConfig(cluster)
+                .find("does not support speculative execution"),
+            std::string::npos);
+  // The simulated backend keeps accepting the same config.
+  cluster.backend = ExecutionBackend::kSimulated;
+  EXPECT_EQ(ValidateClusterConfig(cluster), "");
+}
+
+TEST(ValidateClusterConfigTest, ThreadedBackendRejectsMachineFailures) {
+  ClusterConfig cluster;
+  cluster.backend = ExecutionBackend::kThreaded;
+  cluster.execution_threads = 4;
+  cluster.fault.enabled = true;
+  cluster.fault.machine_failure_prob = 0.05;
+  cluster.fault.machine_failure_horizon_seconds = 100.0;
+  EXPECT_NE(
+      ValidateClusterConfig(cluster).find("does not support machine failures"),
+      std::string::npos);
+  cluster.fault.machine_failure_prob = 0.0;
+  cluster.fault.machine_failures.push_back({0, 5.0});
+  EXPECT_NE(
+      ValidateClusterConfig(cluster).find("does not support machine failures"),
+      std::string::npos);
+  // Task-level faults remain fair game for the threaded backend...
+  cluster.fault.machine_failures.clear();
+  cluster.fault.map_failure_prob = 0.2;
+  EXPECT_EQ(ValidateClusterConfig(cluster), "");
+  // ...and the simulated backend still takes the machine fault domain.
+  cluster.backend = ExecutionBackend::kSimulated;
+  cluster.fault.machine_failure_prob = 0.05;
+  cluster.fault.machine_failures.push_back({0, 5.0});
+  EXPECT_EQ(ValidateClusterConfig(cluster), "");
+}
+
+TEST(ValidateClusterConfigTest, ThreadedMisconfigFailsJobSubmission) {
+  using Job = MapReduceJob<int, int, int>;
+  ClusterConfig cluster;
+  cluster.backend = ExecutionBackend::kThreaded;
+  cluster.execution_threads = 0;
+  Job job(2, 2);
+  const auto result = job.Run(
+      {1, 2, 3},
+      [](const int& record, Job::MapContext* ctx) { ctx->Emit(record, 1); },
+      [](const int&, std::vector<int>*, Job::ReduceContext*) {}, cluster);
+  EXPECT_TRUE(result.failed);
+  EXPECT_NE(result.error.find("invalid cluster config"), std::string::npos)
+      << result.error;
+  EXPECT_NE(result.error.find("backend=threaded"), std::string::npos)
+      << result.error;
+  EXPECT_TRUE(result.outputs.empty());
+}
+
 TEST(ValidateClusterConfigTest, InvalidConfigFailsJobSubmission) {
   using Job = MapReduceJob<int, int, int>;
   ClusterConfig cluster;

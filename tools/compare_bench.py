@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH_*.json against its committed baseline.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--tolerance FRAC]
+
+The report format (bench/bench_util.h, BenchReport) carries two metric
+kinds, held to different standards:
+
+  * "sim"  -- deterministic simulated-clock numbers. Reproducible
+              bit-for-bit on any machine, so they are compared exactly
+              (tiny relative epsilon for decimal round-tripping). Any
+              drift means the schedule changed: regenerate the baseline
+              deliberately, the way a golden file is regenerated.
+  * "wall" -- real measured numbers (wall seconds, pairs per wall
+              second). Machine-dependent, so each value is first divided
+              by its own file's calibration_ops_per_sec (a fixed scalar
+              loop timed in the same process) to cancel machine speed,
+              then the normalized value must not be worse than the
+              baseline by more than --tolerance (default 0.15, the >15%
+              regression gate). Improvements always pass.
+
+Metrics with "gated": false (inherently noisy wall measurements, e.g. an
+oversubscribed thread pool on a small runner) must still exist, and their
+trend is printed, but they never fail the gate.
+
+Exit status: 0 when every metric passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+SIM_EPSILON = 1e-9
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    if report.get("schema") != 1:
+        sys.exit(f"{path}: unsupported schema {report.get('schema')!r}")
+    calibration = report.get("calibration_ops_per_sec", 0.0)
+    if not calibration or calibration <= 0.0:
+        sys.exit(f"{path}: missing or non-positive calibration_ops_per_sec")
+    metrics = {m["name"]: m for m in report.get("metrics", [])}
+    if not metrics:
+        sys.exit(f"{path}: no metrics")
+    return report, calibration, metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="BENCH_*.json regression gate")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional wall-metric regression "
+                             "after calibration normalization "
+                             "(default: 0.15)")
+    args = parser.parse_args()
+
+    base_report, base_cal, base_metrics = load(args.baseline)
+    cur_report, cur_cal, cur_metrics = load(args.current)
+    if base_report["bench"] != cur_report["bench"]:
+        sys.exit(f"bench mismatch: baseline is {base_report['bench']!r}, "
+                 f"current is {cur_report['bench']!r}")
+
+    print(f"bench: {base_report['bench']}")
+    print(f"calibration ops/s: baseline {base_cal:.3g}, "
+          f"current {cur_cal:.3g} (x{cur_cal / base_cal:.2f})")
+    header = (f"{'metric':44s} {'kind':5s} {'baseline':>14s} "
+              f"{'current':>14s} {'delta':>9s}  status")
+    print(header)
+    print("-" * len(header))
+
+    failures = 0
+    for name, base in sorted(base_metrics.items()):
+        cur = cur_metrics.get(name)
+        if cur is None:
+            print(f"{name:44s} {base['kind']:5s} {base['value']:14.6g} "
+                  f"{'MISSING':>14s} {'-':>9s}  FAIL (metric disappeared)")
+            failures += 1
+            continue
+        if cur["kind"] != base["kind"]:
+            print(f"{name:44s} {base['kind']:5s} {base['value']:14.6g} "
+                  f"{cur['value']:14.6g} {'-':>9s}  FAIL (kind changed to "
+                  f"{cur['kind']!r})")
+            failures += 1
+            continue
+
+        gated = base.get("gated", True)
+        if base["kind"] == "sim":
+            scale = max(abs(base["value"]), abs(cur["value"]), 1.0)
+            drift = abs(cur["value"] - base["value"]) / scale
+            ok = drift <= SIM_EPSILON
+            status = "ok" if ok else "FAIL (sim drift: regenerate baseline)"
+            delta = f"{drift:9.2e}"
+        else:  # wall
+            base_norm = base["value"] / base_cal
+            cur_norm = cur["value"] / cur_cal
+            if base_norm <= 0.0 or cur_norm <= 0.0:
+                print(f"{name:44s} {base['kind']:5s} {base['value']:14.6g} "
+                      f"{cur['value']:14.6g} {'-':>9s}  FAIL (non-positive "
+                      f"wall value)")
+                failures += 1
+                continue
+            if base.get("higher_is_better"):
+                change = cur_norm / base_norm - 1.0  # <0 means worse
+            else:
+                change = base_norm / cur_norm - 1.0  # <0 means worse
+            ok = change >= -args.tolerance
+            status = "ok" if ok else (
+                f"FAIL ({-change:.0%} regression > "
+                f"{args.tolerance:.0%} tolerance)")
+            delta = f"{change:+8.1%}"
+
+        if not gated and not ok:
+            ok = True
+            status = "info (not gated)"
+        print(f"{name:44s} {base['kind']:5s} {base['value']:14.6g} "
+              f"{cur['value']:14.6g} {delta:>9s}  {status}")
+        if not ok:
+            failures += 1
+
+    for name in sorted(set(cur_metrics) - set(base_metrics)):
+        print(f"{name:44s} {cur_metrics[name]['kind']:5s} {'-':>14s} "
+              f"{cur_metrics[name]['value']:14.6g} {'-':>9s}  "
+              f"warn (new metric, not in baseline)")
+
+    if failures:
+        print(f"\n{failures} metric(s) failed")
+        return 1
+    print("\nall metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
