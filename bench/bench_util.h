@@ -168,9 +168,10 @@ class ScopedTrace {
 //     exact equality against the committed baseline, like a golden file.
 //   * kind "wall" — real measurements from common/stopwatch.h (wall
 //     seconds, pairs per wall second). Machine-dependent; the compare
-//     script divides them by the run's own calibration score (below) so a
-//     faster or slower CI machine cancels out, then applies its >15%
-//     regression tolerance.
+//     script normalizes them by the run's own calibration score (below) —
+//     durations multiply by it, rates divide by it — so a faster or
+//     slower CI machine cancels out, then applies its >15% regression
+//     tolerance.
 //
 // A metric is one kind or the other, never a mix — the same rule the text
 // tables follow by keeping "sim_*" and "wall_*" in separate columns.

@@ -241,11 +241,18 @@ class MapReduceJob {
     const bool threaded = cluster.backend == ExecutionBackend::kThreaded;
     // Stamps the measured wall clock into the result; called at every
     // return path so even failed jobs report how long they really took.
-    const auto finish_wall = [&result, &wall_watch] {
+    // reduce_seconds is derived (total minus the map barrier's stamp) only
+    // once the reduce phase has actually started — on earlier exits (invalid
+    // config, doomed map task) it stays 0 rather than absorbing elapsed time
+    // from a phase that never ran.
+    bool reduce_phase_started = false;
+    const auto finish_wall = [&result, &wall_watch, &reduce_phase_started] {
       result.timing.wall.total_seconds = wall_watch.ElapsedSeconds();
-      result.timing.wall.reduce_seconds =
-          std::max(0.0, result.timing.wall.total_seconds -
-                            result.timing.wall.map_seconds);
+      if (reduce_phase_started) {
+        result.timing.wall.reduce_seconds =
+            std::max(0.0, result.timing.wall.total_seconds -
+                              result.timing.wall.map_seconds);
+      }
     };
 
     const std::string config_error = ValidateClusterConfig(cluster);
@@ -574,6 +581,7 @@ class MapReduceJob {
                                        0.0);
       std::vector<int64_t> attempt_skip(
           static_cast<size_t>(num_reduce_tasks_), 0);
+      reduce_phase_started = true;
       reduce_runner.RunAll(
           pool, wall.get(),
           [this, &reduce_ctx, &reduce_attempt_bases, &attempt_base,

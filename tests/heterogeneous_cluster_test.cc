@@ -173,6 +173,9 @@ TEST(ValidateClusterConfigTest, ThreadedMisconfigFailsJobSubmission) {
   EXPECT_NE(result.error.find("backend=threaded"), std::string::npos)
       << result.error;
   EXPECT_TRUE(result.outputs.empty());
+  // No phase ran: the elapsed wall time must not be booked to reduce.
+  EXPECT_EQ(result.timing.wall.map_seconds, 0.0);
+  EXPECT_EQ(result.timing.wall.reduce_seconds, 0.0);
 }
 
 TEST(ValidateClusterConfigTest, InvalidConfigFailsJobSubmission) {
@@ -188,6 +191,9 @@ TEST(ValidateClusterConfigTest, InvalidConfigFailsJobSubmission) {
   EXPECT_NE(result.error.find("invalid cluster config"), std::string::npos)
       << result.error;
   EXPECT_TRUE(result.outputs.empty());
+  // No phase ran: the elapsed wall time must not be booked to reduce.
+  EXPECT_EQ(result.timing.wall.map_seconds, 0.0);
+  EXPECT_EQ(result.timing.wall.reduce_seconds, 0.0);
 }
 
 TEST(ScheduleHeterogeneousTest, SlowSlotStretchesTask) {

@@ -12,12 +12,15 @@ kinds, held to different standards:
               drift means the schedule changed: regenerate the baseline
               deliberately, the way a golden file is regenerated.
   * "wall" -- real measured numbers (wall seconds, pairs per wall
-              second). Machine-dependent, so each value is first divided
-              by its own file's calibration_ops_per_sec (a fixed scalar
-              loop timed in the same process) to cancel machine speed,
-              then the normalized value must not be worse than the
-              baseline by more than --tolerance (default 0.15, the >15%
-              regression gate). Improvements always pass.
+              second). Machine-dependent, so each value is first
+              normalized by its own file's calibration_ops_per_sec (a
+              fixed scalar loop timed in the same process) to cancel
+              machine speed: durations (lower-is-better) are MULTIPLIED
+              by it (seconds x ops/s ~ machine-independent work units),
+              rates (higher-is-better) are DIVIDED by it. Then the
+              normalized value must not be worse than the baseline by
+              more than --tolerance (default 0.15, the >15% regression
+              gate). Improvements always pass.
 
 Metrics with "gated": false (inherently noisy wall measurements, e.g. an
 oversubscribed thread pool on a small runner) must still exist, and their
@@ -95,13 +98,25 @@ def main():
             status = "ok" if ok else "FAIL (sim drift: regenerate baseline)"
             delta = f"{drift:9.2e}"
         else:  # wall
-            base_norm = base["value"] / base_cal
-            cur_norm = cur["value"] / cur_cal
+            # A k-times-slower machine scales durations by k and the
+            # calibration ops/s by 1/k: multiplying cancels the machine for
+            # lower-is-better times, dividing cancels it for
+            # higher-is-better rates. (Dividing a duration would square
+            # the machine difference instead of cancelling it.)
+            if base.get("higher_is_better"):
+                base_norm = base["value"] / base_cal
+                cur_norm = cur["value"] / cur_cal
+            else:
+                base_norm = base["value"] * base_cal
+                cur_norm = cur["value"] * cur_cal
             if base_norm <= 0.0 or cur_norm <= 0.0:
+                if gated:
+                    status = "FAIL (non-positive wall value)"
+                    failures += 1
+                else:
+                    status = "info (not gated)"
                 print(f"{name:44s} {base['kind']:5s} {base['value']:14.6g} "
-                      f"{cur['value']:14.6g} {'-':>9s}  FAIL (non-positive "
-                      f"wall value)")
-                failures += 1
+                      f"{cur['value']:14.6g} {'-':>9s}  {status}")
                 continue
             if base.get("higher_is_better"):
                 change = cur_norm / base_norm - 1.0  # <0 means worse
