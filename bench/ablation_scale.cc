@@ -1,0 +1,235 @@
+// Ablation: out-of-core scale. Runs the multi-pass MRSN resolver on the
+// book workload at increasing entity counts under one fixed, deliberately
+// tiny shuffle memory budget, showing that
+//   1. the recall-vs-cost shape holds as the workload grows 20k -> 1M+
+//      (recall stays flat, comparisons grow linearly in n for a fixed
+//      window), and
+//   2. the runtime crosses from all-in-memory into spilling sorted runs as
+//      per-task map output outgrows the budget, without changing a single
+//      resolved pair — the spill counters are the only difference.
+//
+// The workload is built with the streaming generator (StreamBooks), so
+// datagen never holds a shuffled PendingEntity copy of the dataset; 1-30M
+// entities stream straight into the Dataset.
+//
+// "--json[=path]" writes a BENCH_ablation_scale.json report at the two
+// CI-sized scales; "--entities=N,M,..." overrides the scales in text mode
+// (e.g. --entities=1000000 for the out-of-core acceptance run).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/mrsn_er.h"
+#include "eval/report.h"
+
+namespace progres {
+namespace {
+
+constexpr int kMachines = 10;
+constexpr int kWindow = 4;
+
+// The fixed budget: 512 KiB across the job, 16 KiB blocks. With 20 map
+// tasks every task gets a ~26 KiB buffer — the book passes stay in memory
+// at 20k entities (~10 KiB of map output per task) and must spill from
+// ~100k entities up (~50 KiB per task and growing).
+ShuffleBudget ScaleBudget() {
+  ShuffleBudget budget;
+  budget.max_bytes = 512 * 1024;
+  budget.block_bytes = 16 * 1024;
+  return budget;
+}
+
+// Book workload streamed straight into a dataset: no training sample and
+// no Fisher-Yates pass over a pending copy, so setup memory is the dataset
+// itself plus one in-flight entity.
+struct ScaleWorkload {
+  Dataset dataset;
+  GroundTruth truth;
+};
+
+ScaleWorkload MakeWorkload(int64_t n) {
+  ScaleWorkload workload;
+  workload.dataset = Dataset(BookSchema());
+  BookConfig config;
+  config.num_entities = n;
+  std::vector<int32_t> cluster_of;
+  cluster_of.reserve(static_cast<size_t>(n));
+  StreamBooks(config, [&](std::vector<std::string> attributes,
+                          int32_t cluster) {
+    workload.dataset.Add(std::move(attributes));
+    cluster_of.push_back(cluster);
+  });
+  workload.truth = GroundTruth(std::move(cluster_of));
+  return workload;
+}
+
+MatchFunction BookMatch() {
+  return MatchFunction(
+      {{kBookTitle, AttributeSimilarity::kEditDistance, 0.35, 0},
+       {kBookAuthors, AttributeSimilarity::kEditDistance, 0.2, 0},
+       {kBookPublisher, AttributeSimilarity::kEditDistance, 0.1, 0},
+       {kBookYear, AttributeSimilarity::kExact, 0.1, 0},
+       {kBookIsbn, AttributeSimilarity::kEditDistance, 0.1, 0},
+       {kBookPages, AttributeSimilarity::kExact, 0.05, 0},
+       {kBookLanguage, AttributeSimilarity::kExact, 0.05, 0},
+       {kBookEdition, AttributeSimilarity::kExact, 0.05, 0}},
+      0.75);
+}
+
+struct ScalePoint {
+  int64_t entities = 0;
+  double final_recall = 0.0;
+  int64_t comparisons = 0;
+  double sim_seconds = 0.0;
+  int64_t spill_runs = 0;
+  int64_t spill_records = 0;
+  int64_t spill_bytes = 0;
+  int64_t merge_passes = 0;
+  double wall_seconds = 0.0;
+  bool failed = false;
+  std::string error;
+};
+
+ScalePoint RunAtScale(int64_t n) {
+  ScalePoint point;
+  point.entities = n;
+
+  Stopwatch watch;
+  const ScaleWorkload workload = MakeWorkload(n);
+
+  MrsnOptions options;
+  options.cluster = bench::MakeCluster(kMachines);
+  options.cluster.shuffle_budget = ScaleBudget();
+  options.window = kWindow;
+  const MrsnEr er(bench::BookMainBlocking(), BookMatch(),
+                  std::move(options));
+  const ErRunResult run = er.Run(workload.dataset);
+  point.wall_seconds = watch.ElapsedSeconds();
+
+  if (run.failed) {
+    point.failed = true;
+    point.error = run.error;
+    return point;
+  }
+  const RecallCurve curve = RecallCurve::FromEvents(run.events,
+                                                    workload.truth);
+  point.final_recall = curve.final_recall();
+  point.comparisons = run.comparisons;
+  point.sim_seconds = run.total_time;
+  point.spill_runs = run.counters.Get("mr.spill.runs");
+  point.spill_records = run.counters.Get("mr.spill.records");
+  point.spill_bytes = run.counters.Get("mr.spill.bytes");
+  point.merge_passes = run.counters.Get("mr.spill.merge_passes");
+  return point;
+}
+
+int TextMain(const std::vector<int64_t>& scales) {
+  std::printf("=== Ablation: out-of-core scale (MRSN, window=%d, "
+              "budget=%lld KiB) ===\n\n",
+              kWindow,
+              static_cast<long long>(ScaleBudget().max_bytes / 1024));
+
+  TextTable table({"entities", "final_recall", "comparisons", "cmp/entity",
+                   "sim_total_sec", "spill_runs", "spill_MB", "merges",
+                   "wall_sec"});
+  std::vector<ScalePoint> points;
+  for (int64_t n : scales) {
+    const ScalePoint point = RunAtScale(n);
+    if (point.failed) {
+      std::printf("run at n=%lld failed: %s\n",
+                  static_cast<long long>(n), point.error.c_str());
+      return 1;
+    }
+    table.AddRow({std::to_string(point.entities),
+                  FormatDouble(point.final_recall, 4),
+                  std::to_string(point.comparisons),
+                  FormatDouble(static_cast<double>(point.comparisons) /
+                                   static_cast<double>(point.entities),
+                               2),
+                  FormatDouble(point.sim_seconds, 0),
+                  std::to_string(point.spill_runs),
+                  FormatDouble(static_cast<double>(point.spill_bytes) /
+                                   (1024.0 * 1024.0),
+                               2),
+                  std::to_string(point.merge_passes),
+                  FormatDouble(point.wall_seconds, 1)});
+    points.push_back(point);
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  std::printf(
+      "\nthe fixed window keeps comparisons/entity flat and recall stable "
+      "while the\nshuffle crosses from in-memory (spill_runs=0) into "
+      "sorted on-disk runs under\nthe same %lld KiB budget.\n",
+      static_cast<long long>(ScaleBudget().max_bytes / 1024));
+  return 0;
+}
+
+int JsonMain(const std::string& path) {
+  bench::BenchReport report("ablation_scale");
+  for (const auto& [n, suffix] :
+       std::vector<std::pair<int64_t, const char*>>{{20000, "20k"},
+                                                    {100000, "100k"}}) {
+    const ScalePoint point = RunAtScale(n);
+    if (point.failed) {
+      std::fprintf(stderr, "run at n=%lld failed: %s\n",
+                   static_cast<long long>(n), point.error.c_str());
+      return 1;
+    }
+    const std::string tag = std::string("_") + suffix;
+    report.AddSim("final_recall" + tag, "recall", point.final_recall,
+                  /*higher_is_better=*/true);
+    report.AddSim("comparisons" + tag, "pairs",
+                  static_cast<double>(point.comparisons));
+    report.AddSim("sim_total_seconds" + tag, "sim_s", point.sim_seconds);
+    report.AddSim("spill_runs" + tag, "runs",
+                  static_cast<double>(point.spill_runs));
+    report.AddSim("spill_records" + tag, "records",
+                  static_cast<double>(point.spill_records));
+    report.AddSim("spill_bytes" + tag, "bytes",
+                  static_cast<double>(point.spill_bytes));
+    report.AddSim("spill_merge_passes" + tag, "merges",
+                  static_cast<double>(point.merge_passes));
+    report.AddWall("wall_total_seconds" + tag, "wall_s", point.wall_seconds);
+  }
+  if (!report.WriteJson(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+std::vector<int64_t> ParseScales(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--entities=", 11) != 0) continue;
+    std::vector<int64_t> scales;
+    const std::string list = argv[i] + 11;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+      const size_t comma = std::min(list.find(',', pos), list.size());
+      const std::string token = list.substr(pos, comma - pos);
+      if (!token.empty()) scales.push_back(std::atoll(token.c_str()));
+      pos = comma + 1;
+    }
+    if (!scales.empty()) return scales;
+  }
+  return {20000, 100000};
+}
+
+}  // namespace
+}  // namespace progres
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (progres::bench::ParseJsonMode(argc, argv, "ablation_scale",
+                                    &json_path)) {
+    return progres::JsonMain(json_path);
+  }
+  return progres::TextMain(progres::ParseScales(argc, argv));
+}

@@ -37,6 +37,25 @@ struct MrsnTaskState : ErTaskState {
 
 }  // namespace
 
+// Wire form of SlideValue: the entity id as a varint plus one flag byte —
+// the same layout the job's wire-size accounting describes.
+template <>
+struct KvCodec<SlideValue> {
+  static void Encode(const SlideValue& value, std::string* out) {
+    PutVarint64(static_cast<uint64_t>(value.id), out);
+    out->push_back(value.owned ? '\1' : '\0');
+  }
+  static bool Decode(std::string_view in, size_t* offset, SlideValue* value) {
+    uint64_t id = 0;
+    if (!GetVarint64(in, offset, &id)) return false;
+    if (*offset >= in.size()) return false;
+    value->id = static_cast<EntityId>(id);
+    value->owned = in[*offset] != '\0';
+    ++*offset;
+    return true;
+  }
+};
+
 MrsnEr::MrsnEr(const BlockingConfig& blocking, const MatchFunction& match,
                MrsnOptions options)
     : blocking_(blocking),

@@ -57,6 +57,38 @@ struct ResolveTaskState : ErTaskState {
 
 }  // namespace
 
+// Wire form of ResolveValue: the entity id, then the dominance list as a
+// counted sequence of ZigZag varints — the layout WireSize describes.
+template <>
+struct KvCodec<ResolveValue> {
+  static void Encode(const ResolveValue& value, std::string* out) {
+    PutVarint64(static_cast<uint64_t>(value.id), out);
+    PutVarint64(value.list.values.size(), out);
+    for (const int32_t v : value.list.values) {
+      PutVarint64(ZigZagEncode(v), out);
+    }
+  }
+  static bool Decode(std::string_view in, size_t* offset,
+                     ResolveValue* value) {
+    uint64_t id = 0;
+    if (!GetVarint64(in, offset, &id)) return false;
+    value->id = static_cast<EntityId>(id);
+    uint64_t count = 0;
+    if (!GetVarint64(in, offset, &count)) return false;
+    // Each entry costs at least one byte; a larger count is corruption.
+    if (count > in.size() - *offset) return false;
+    value->list.values.clear();
+    value->list.values.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t raw = 0;
+      if (!GetVarint64(in, offset, &raw)) return false;
+      value->list.values.push_back(
+          static_cast<int32_t>(ZigZagDecode(raw)));
+    }
+    return true;
+  }
+};
+
 ProgressiveEr::ProgressiveEr(const BlockingConfig& blocking,
                              const MatchFunction& match,
                              const ProgressiveMechanism& mechanism,

@@ -35,6 +35,35 @@ constexpr double kReduceValueCost = 0.05;
 
 }  // namespace
 
+// Wire form of StatsValue: a counted sequence of level keys, then the
+// tuple — each length-prefixed, matching the job's wire-size accounting
+// plus one varint for the sequence count.
+template <>
+struct KvCodec<StatsValue> {
+  static void Encode(const StatsValue& value, std::string* out) {
+    PutVarint64(value.level_keys.size(), out);
+    for (const std::string& level_key : value.level_keys) {
+      PutString(level_key, out);
+    }
+    PutString(value.tuple, out);
+  }
+  static bool Decode(std::string_view in, size_t* offset, StatsValue* value) {
+    uint64_t count = 0;
+    if (!GetVarint64(in, offset, &count)) return false;
+    // Each key costs at least its one-byte length prefix, so a count past
+    // the remaining bytes is corruption — reject before reserving.
+    if (count > in.size() - *offset) return false;
+    value->level_keys.clear();
+    value->level_keys.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string level_key;
+      if (!GetString(in, offset, &level_key)) return false;
+      value->level_keys.push_back(std::move(level_key));
+    }
+    return GetString(in, offset, &value->tuple);
+  }
+};
+
 StatsJobOutput RunStatisticsJob(const Dataset& dataset,
                                 const BlockingConfig& config,
                                 const ClusterConfig& cluster,

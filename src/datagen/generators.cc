@@ -82,123 +82,171 @@ LabeledDataset Materialize(std::vector<std::string> schema,
   return out;
 }
 
-}  // namespace
-
-LabeledDataset GeneratePublications(const PublicationConfig& config) {
-  Rng rng(config.seed);
+// Streams the publication workload into `sink` in generation order using
+// `rng`, which must already be seeded. Both the batch and the streaming
+// entry points run exactly this draw sequence, so they see the same
+// entities; the batch path just shuffles afterwards.
+void GeneratePublicationsInto(const PublicationConfig& config, Rng* rng,
+                              const EntitySink& sink) {
   const std::vector<std::string> vocabulary =
-      BuildVocabulary(config.vocabulary_size, &rng);
+      BuildVocabulary(config.vocabulary_size, rng);
   std::vector<std::string> venues;
   venues.reserve(static_cast<size_t>(config.num_venues));
   for (int i = 0; i < config.num_venues; ++i) {
-    venues.push_back(MakePhrase(vocabulary, 1.0, 2, &rng) + " conference");
+    venues.push_back(MakePhrase(vocabulary, 1.0, 2, rng) + " conference");
   }
 
   // The share of base records that receive duplicates, chosen so that
   // roughly duplicate_fraction of *entities* live in multi-entity clusters.
-  std::vector<PendingEntity> pending;
-  pending.reserve(static_cast<size_t>(config.num_entities));
+  int64_t produced = 0;
   int32_t cluster = 0;
-  while (static_cast<int64_t>(pending.size()) < config.num_entities) {
+  while (produced < config.num_entities) {
     std::vector<std::string> base(3);
     base[kPubTitle] =
         MakePhrase(vocabulary, config.first_word_zipf,
-                   static_cast<int>(4 + rng.UniformU64(4)), &rng);
+                   static_cast<int>(4 + rng->UniformU64(4)), rng);
     base[kPubAbstract] =
         MakePhrase(vocabulary, config.first_word_zipf,
-                   static_cast<int>(15 + rng.UniformU64(16)), &rng);
-    base[kPubVenue] = venues[rng.UniformU64(venues.size())];
+                   static_cast<int>(15 + rng->UniformU64(16)), rng);
+    base[kPubVenue] = venues[rng->UniformU64(venues.size())];
 
     const int k = DrawClusterSize(config.duplicate_fraction / 2.0,
                                   config.cluster_zipf,
-                                  config.max_cluster_size, &rng);
-    pending.push_back({base, cluster});
-    for (int c = 1; c < k && static_cast<int64_t>(pending.size()) <
-                                 config.num_entities;
-         ++c) {
+                                  config.max_cluster_size, rng);
+    sink(base, cluster);
+    ++produced;
+    for (int c = 1; c < k && produced < config.num_entities; ++c) {
       std::vector<std::string> copy(3);
       for (size_t a = 0; a < base.size(); ++a) {
-        copy[a] = CorruptValue(base[a], config.corruption, &rng);
+        copy[a] = CorruptValue(base[a], config.corruption, rng);
       }
-      pending.push_back({std::move(copy), cluster});
+      sink(std::move(copy), cluster);
+      ++produced;
     }
     ++cluster;
   }
-  return Materialize({"title", "abstract", "venue"}, std::move(pending),
-                     &rng);
 }
 
-LabeledDataset GenerateBooks(const BookConfig& config) {
-  Rng rng(config.seed);
+// Streaming core of the book workload; see GeneratePublicationsInto.
+void GenerateBooksInto(const BookConfig& config, Rng* rng,
+                       const EntitySink& sink) {
   const std::vector<std::string> vocabulary =
-      BuildVocabulary(config.vocabulary_size, &rng);
+      BuildVocabulary(config.vocabulary_size, rng);
   std::vector<std::string> publishers;
   publishers.reserve(static_cast<size_t>(config.num_publishers));
   for (int i = 0; i < config.num_publishers; ++i) {
-    publishers.push_back(MakePhrase(vocabulary, 1.0, 1, &rng) + " press");
+    publishers.push_back(MakePhrase(vocabulary, 1.0, 1, rng) + " press");
   }
   constexpr const char* kLanguages[] = {"english", "german",  "french",
                                         "spanish", "italian", "russian",
                                         "chinese", "japanese"};
   constexpr const char* kEditions[] = {"1st", "2nd", "3rd", "4th", "revised"};
 
-  std::vector<PendingEntity> pending;
-  pending.reserve(static_cast<size_t>(config.num_entities));
+  int64_t produced = 0;
   int32_t cluster = 0;
-  while (static_cast<int64_t>(pending.size()) < config.num_entities) {
+  while (produced < config.num_entities) {
     std::vector<std::string> base(8);
     base[kBookTitle] =
         MakePhrase(vocabulary, config.first_word_zipf,
-                   static_cast<int>(3 + rng.UniformU64(4)), &rng);
+                   static_cast<int>(3 + rng->UniformU64(4)), rng);
     base[kBookAuthors] = MakePhrase(vocabulary, config.first_word_zipf, 2,
-                                    &rng);
-    base[kBookPublisher] = publishers[rng.UniformU64(publishers.size())];
-    base[kBookYear] = NumberString(&rng, 1950, 2020);
-    base[kBookIsbn] = NumberString(&rng, 1000000000000LL, 9999999999999LL);
-    base[kBookPages] = NumberString(&rng, 50, 1500);
-    base[kBookLanguage] = kLanguages[rng.UniformU64(8)];
-    base[kBookEdition] = kEditions[rng.UniformU64(5)];
+                                    rng);
+    base[kBookPublisher] = publishers[rng->UniformU64(publishers.size())];
+    base[kBookYear] = NumberString(rng, 1950, 2020);
+    base[kBookIsbn] = NumberString(rng, 1000000000000LL, 9999999999999LL);
+    base[kBookPages] = NumberString(rng, 50, 1500);
+    base[kBookLanguage] = kLanguages[rng->UniformU64(8)];
+    base[kBookEdition] = kEditions[rng->UniformU64(5)];
 
     const int k = DrawClusterSize(config.duplicate_fraction / 2.0,
                                   config.cluster_zipf,
-                                  config.max_cluster_size, &rng);
-    pending.push_back({base, cluster});
-    for (int c = 1; c < k && static_cast<int64_t>(pending.size()) <
-                                 config.num_entities;
-         ++c) {
+                                  config.max_cluster_size, rng);
+    sink(base, cluster);
+    ++produced;
+    for (int c = 1; c < k && produced < config.num_entities; ++c) {
       std::vector<std::string> copy(8);
       // String attributes get edit-style corruption; numeric attributes are
       // occasionally perturbed; language/edition occasionally flip.
       copy[kBookTitle] =
-          CorruptValue(base[kBookTitle], config.corruption, &rng);
+          CorruptValue(base[kBookTitle], config.corruption, rng);
       copy[kBookAuthors] =
-          CorruptValue(base[kBookAuthors], config.corruption, &rng);
+          CorruptValue(base[kBookAuthors], config.corruption, rng);
       copy[kBookPublisher] =
-          CorruptValue(base[kBookPublisher], config.corruption, &rng);
-      copy[kBookYear] = rng.Bernoulli(0.05)
-                            ? NumberString(&rng, 1950, 2020)
+          CorruptValue(base[kBookPublisher], config.corruption, rng);
+      copy[kBookYear] = rng->Bernoulli(0.05)
+                            ? NumberString(rng, 1950, 2020)
                             : base[kBookYear];
       copy[kBookIsbn] =
           CorruptValue(base[kBookIsbn],
                        {.typo_rate = 0.005, .missing_rate = 0.05,
                         .truncate_rate = 0.0},
-                       &rng);
-      copy[kBookPages] = rng.Bernoulli(0.05)
-                             ? NumberString(&rng, 50, 1500)
+                       rng);
+      copy[kBookPages] = rng->Bernoulli(0.05)
+                             ? NumberString(rng, 50, 1500)
                              : base[kBookPages];
-      copy[kBookLanguage] = rng.Bernoulli(0.02)
-                                ? kLanguages[rng.UniformU64(8)]
+      copy[kBookLanguage] = rng->Bernoulli(0.02)
+                                ? kLanguages[rng->UniformU64(8)]
                                 : base[kBookLanguage];
-      copy[kBookEdition] = rng.Bernoulli(0.05)
-                               ? kEditions[rng.UniformU64(5)]
+      copy[kBookEdition] = rng->Bernoulli(0.05)
+                               ? kEditions[rng->UniformU64(5)]
                                : base[kBookEdition];
-      pending.push_back({std::move(copy), cluster});
+      sink(std::move(copy), cluster);
+      ++produced;
     }
     ++cluster;
   }
-  return Materialize({"title", "authors", "publisher", "year", "isbn",
-                      "pages", "language", "edition"},
-                     std::move(pending), &rng);
+}
+
+// Collects a streaming core's output for the batch entry points.
+std::vector<PendingEntity> Collect(int64_t reserve,
+                                   const std::function<void(
+                                       const EntitySink&)>& generate) {
+  std::vector<PendingEntity> pending;
+  pending.reserve(static_cast<size_t>(reserve));
+  generate([&pending](std::vector<std::string> attributes, int32_t cluster) {
+    pending.push_back({std::move(attributes), cluster});
+  });
+  return pending;
+}
+
+}  // namespace
+
+LabeledDataset GeneratePublications(const PublicationConfig& config) {
+  Rng rng(config.seed);
+  std::vector<PendingEntity> pending =
+      Collect(config.num_entities, [&](const EntitySink& sink) {
+        GeneratePublicationsInto(config, &rng, sink);
+      });
+  return Materialize(PublicationSchema(), std::move(pending), &rng);
+}
+
+LabeledDataset GenerateBooks(const BookConfig& config) {
+  Rng rng(config.seed);
+  std::vector<PendingEntity> pending =
+      Collect(config.num_entities, [&](const EntitySink& sink) {
+        GenerateBooksInto(config, &rng, sink);
+      });
+  return Materialize(BookSchema(), std::move(pending), &rng);
+}
+
+void StreamPublications(const PublicationConfig& config,
+                        const EntitySink& sink) {
+  Rng rng(config.seed);
+  GeneratePublicationsInto(config, &rng, sink);
+}
+
+void StreamBooks(const BookConfig& config, const EntitySink& sink) {
+  Rng rng(config.seed);
+  GenerateBooksInto(config, &rng, sink);
+}
+
+std::vector<std::string> PublicationSchema() {
+  return {"title", "abstract", "venue"};
+}
+
+std::vector<std::string> BookSchema() {
+  return {"title", "authors", "publisher", "year", "isbn", "pages",
+          "language", "edition"};
 }
 
 LabeledDataset GeneratePeopleToy() {

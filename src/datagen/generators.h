@@ -2,7 +2,10 @@
 #define PROGRES_DATAGEN_GENERATORS_H_
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "datagen/corruption.h"
 #include "model/dataset.h"
@@ -43,6 +46,23 @@ enum PublicationAttribute { kPubTitle = 0, kPubAbstract = 1, kPubVenue = 2 };
 
 LabeledDataset GeneratePublications(const PublicationConfig& config);
 
+// Streaming generation for workloads too large to shuffle and hold in one
+// LabeledDataset (the scale ablations run 1-30M entities). The sink
+// receives each entity's attribute values plus its duplicate-cluster id the
+// moment it is generated, so peak memory is one entity, not the dataset.
+// Entities arrive in generation order — cluster members adjacent — unlike
+// the batch Generate* functions, which Fisher-Yates-shuffle at the end; the
+// RNG draw sequence up to that shuffle is shared, so a Stream* call sees
+// exactly the entities of the equally-configured Generate* call.
+using EntitySink =
+    std::function<void(std::vector<std::string> attributes, int32_t cluster)>;
+
+void StreamPublications(const PublicationConfig& config,
+                        const EntitySink& sink);
+
+// The publication schema, for building datasets around streamed entities.
+std::vector<std::string> PublicationSchema();
+
 // Synthetic substitute for the OL-Books dataset (Sec. VI-A2): eight
 // attributes (title, authors, publisher, year, isbn, pages, language,
 // edition), compared with edit distance or exact matching.
@@ -70,6 +90,12 @@ enum BookAttribute {
 };
 
 LabeledDataset GenerateBooks(const BookConfig& config);
+
+// Streaming counterpart of GenerateBooks; see StreamPublications.
+void StreamBooks(const BookConfig& config, const EntitySink& sink);
+
+// The book schema, for building datasets around streamed entities.
+std::vector<std::string> BookSchema();
 
 // The toy people dataset of Table I (9 entities, attributes name / state;
 // clusters {e1,e2,e3}, {e4,e5}, {e6}, {e7}, {e8}, {e9}).

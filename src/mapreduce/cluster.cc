@@ -89,6 +89,14 @@ std::string ValidateClusterConfig(const ClusterConfig& cluster) {
     return "speculation.min_remaining_seconds must be >= 0 (got " +
            std::to_string(cluster.speculation.min_remaining_seconds) + ")";
   }
+  if (cluster.shuffle_budget.max_bytes < 0) {
+    return "shuffle_budget.max_bytes must be >= 0 (got " +
+           std::to_string(cluster.shuffle_budget.max_bytes) + ")";
+  }
+  if (cluster.shuffle_budget.block_bytes < 1) {
+    return "shuffle_budget.block_bytes must be >= 1 (got " +
+           std::to_string(cluster.shuffle_budget.block_bytes) + ")";
+  }
   const FaultConfig& fault = cluster.fault;
   if (!fault.enabled) return "";
   if (fault.max_attempts < 1) {

@@ -13,6 +13,21 @@ namespace progres {
 
 class TraceRecorder;
 
+// Memory policy of the shuffle data plane (see shuffle.h). `max_bytes` is
+// the job-wide budget for buffered map output: each map task may hold its
+// share (max_bytes / num_map_tasks, floored at one block) of encoded KV
+// blocks in memory before spilling a sorted run to `spill_dir`. 0 (the
+// default) disables spilling — buffers grow without bound, the historical
+// in-memory behaviour. `block_bytes` sizes the KV blocks (and the spill
+// readers' chunks); `spill_dir` empty means the system temp directory.
+// Outputs are byte-identical with spilling off or on — only memory
+// footprint, the "mr.spill.*" counters and spill trace spans change.
+struct ShuffleBudget {
+  int64_t max_bytes = 0;
+  int64_t block_bytes = 256 * 1024;
+  std::string spill_dir;
+};
+
 // Configuration of the simulated Hadoop-style cluster. Mirrors the paper's
 // setup (Sec. VI-A1): mu machines, at most two concurrent map and two
 // concurrent reduce tasks per machine.
@@ -58,6 +73,9 @@ struct ClusterConfig {
   // timings. Not owned; must outlive every job run with this config.
   TraceRecorder* trace = nullptr;
 
+  // Out-of-core shuffle memory budget (spilling off by default).
+  ShuffleBudget shuffle_budget;
+
   int map_slots() const { return machines * map_slots_per_machine; }
   int reduce_slots() const { return machines * reduce_slots_per_machine; }
 
@@ -81,7 +99,8 @@ struct ClusterConfig {
 // max_attempts >= 1, speed factors and time conversions > 0,
 // machine-failure events inside the cluster, backoff/blacklist knobs
 // non-negative, task_timeout_seconds non-negative, injected hang fractions
-// in (0, 1], fetch-retry and skip knobs within range. The threaded backend
+// in (0, 1], fetch-retry and skip knobs within range, shuffle-budget bytes
+// non-negative with a positive block size. The threaded backend
 // additionally requires execution_threads in [1, slot capacity] and rejects
 // speculation and machine failures (both live in the simulated timing
 // model). Returns an empty string when valid, otherwise a labelled

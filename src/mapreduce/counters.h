@@ -23,6 +23,12 @@ namespace progres {
 //   mr.shuffle.refetches    re-fetches triggered by checksum errors
 //   mr.shuffle.map_reruns   map re-runs after max_fetch_retries corrupt
 //                           copies of the same partition
+//   mr.spill.runs           sorted spill runs written by winning map
+//                           attempts (shuffle_budget.max_bytes > 0 only)
+//   mr.spill.records        post-combine records in those runs
+//   mr.spill.bytes          encoded bytes written to spill files
+//   mr.spill.merge_passes   reduce tasks whose winning gather k-way merged
+//                           at least one spill run
 //   mr.faults.machine_lost  attempts killed by a machine failure
 //   mr.faults.machines_dead machines that died during the job's timeline
 //   mr.faults.task_timeouts hung attempts killed by the heartbeat timeout

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -19,15 +20,19 @@
 #include "mapreduce/executor.h"
 #include "mapreduce/fault.h"
 #include "mapreduce/shuffle.h"
+#include "mapreduce/spill.h"
 #include "mapreduce/task_runner.h"
 #include "mapreduce/trace.h"
 
 namespace progres {
 
 // In-process MapReduce runtime, layered out of three components:
-//   * Shuffle (shuffle.h) — partition routing, map-side spill buffers, the
-//     combiner, the reduce-side gather/sort/group merge, and shuffle-volume
-//     accounting (exported under "mr.shuffle.records"/"mr.shuffle.bytes");
+//   * Shuffle (shuffle.h) — partition routing, the memory-budgeted map-side
+//     KV block buffers with their sorted spill runs
+//     (ClusterConfig::shuffle_budget), the combiner, the reduce-side
+//     gather (an in-memory sort, or a k-way external merge over the spill
+//     runs), and data-plane accounting (exported under "mr.shuffle.*" and
+//     "mr.spill.*");
 //   * TaskAttemptRunner (task_runner.h) — the retry/abort bookkeeping of
 //     fault-injected task attempts, per phase;
 //   * the attempt-aware timing model (cluster.h) — converts per-attempt
@@ -264,6 +269,41 @@ class MapReduceJob {
       finish_wall();
       return result;
     }
+    // ---- Shuffle memory budget ----
+    // Resolved once per run: the job-wide budget split across map tasks
+    // (floored at one block each) and the spill directory prepared and
+    // probed up front, so an unusable directory fails the submission
+    // instead of a mid-map spill. The PROGRES_FORCE_SPILL environment hook
+    // drops a disabled budget to one block so test suites can drive the
+    // out-of-core path through unmodified configs — outputs are
+    // byte-identical either way by design.
+    {
+      ShuffleBudget budget = cluster.shuffle_budget;
+      if (budget.max_bytes == 0 &&
+          std::getenv("PROGRES_FORCE_SPILL") != nullptr) {
+        budget.max_bytes = 1;
+        budget.block_bytes = 4096;
+      }
+      typename JobShuffle::SpillConfig spill;
+      spill.block_bytes = budget.block_bytes;
+      if (budget.max_bytes > 0) {
+        std::string spill_error;
+        spill.dir = ResolveSpillDir(budget.spill_dir, &spill_error);
+        if (spill.dir.empty()) {
+          result.failed = true;
+          result.error = "shuffle budget unusable: " + spill_error;
+          result.timing.map_end = submit_time;
+          result.timing.end = submit_time;
+          finish_wall();
+          return result;
+        }
+        spill.enabled = true;
+        spill.task_buffer_bytes =
+            std::max(budget.block_bytes,
+                     budget.max_bytes / static_cast<int64_t>(num_map_tasks_));
+      }
+      shuffle_.set_spill(std::move(spill));
+    }
     // The threaded backend's engine: the worker pool plus the wall-clock
     // record of every attempt executed on it. Null under the simulated
     // backend, whose attempt chains run serially on this thread.
@@ -340,6 +380,11 @@ class MapReduceJob {
     std::vector<double> fetch_stalls(static_cast<size_t>(num_reduce_tasks_),
                                      0.0);
     std::vector<std::pair<int, int>> corrupt_events;
+    // Per-task gather accounting of the most recent reduce attempt (so the
+    // winner's values survive), consumed by the "mr.spill.merge_passes"
+    // counter and the spill-merge trace spans.
+    std::vector<typename JobShuffle::GatherStats> gather_stats(
+        static_cast<size_t>(num_reduce_tasks_));
     // Poison-record state, keyed by FaultPlan::PoisonIndex. Records
     // partition into disjoint per-map-task ranges, so each entry is only
     // ever touched by one task's thread.
@@ -388,6 +433,28 @@ class MapReduceJob {
         cluster.trace->RecordInstant(instant);
       }
       if (result.failed) return;
+      for (int t = 0; t < num_map_tasks_; ++t) {
+        const auto& runs =
+            map_ctx[static_cast<size_t>(t)].output_.spill_runs();
+        if (runs.empty()) continue;
+        WallAttempt winner;
+        if (!wall->WinningAttempt(TaskPhase::kMap, t, &winner)) continue;
+        for (const SpillRun& run : runs) {
+          TraceSpan span;
+          span.kind = SpanKind::kSpillWrite;
+          span.phase = TaskPhase::kMap;
+          span.pid = pid;
+          span.task = t;
+          span.attempt = winner.attempt;
+          span.machine = -1;
+          span.slot = winner.worker;
+          span.start = winner.end;
+          span.end = winner.end;
+          span.records_in = run.records;
+          span.bytes = run.bytes;
+          cluster.trace->RecordSpan(span);
+        }
+      }
       for (size_t t = 0; t < result.reduce_stats.size(); ++t) {
         WallAttempt winner;
         if (!wall->WinningAttempt(TaskPhase::kReduce, static_cast<int>(t),
@@ -406,6 +473,22 @@ class MapReduceJob {
         span.end = winner.start;
         span.records_in = result.reduce_stats[t].records_in;
         cluster.trace->RecordSpan(span);
+        const auto& gs = gather_stats[t];
+        if (gs.runs_merged > 0) {
+          TraceSpan merge;
+          merge.kind = SpanKind::kSpillMerge;
+          merge.phase = TaskPhase::kReduce;
+          merge.pid = pid;
+          merge.task = static_cast<int>(t);
+          merge.attempt = winner.attempt;
+          merge.machine = -1;
+          merge.slot = winner.worker;
+          merge.start = winner.start;
+          merge.end = winner.start;
+          merge.records_in = gs.spilled_records;
+          merge.bytes = gs.spilled_bytes;
+          cluster.trace->RecordSpan(merge);
+        }
       }
     };
     {
@@ -506,6 +589,29 @@ class MapReduceJob {
         finish_wall();
         return result;
       }
+      // A winning map attempt that could not honour the spill contract
+      // fails the job with the labelled I/O error — silently exceeding the
+      // memory budget is not an option (the buffered data stayed complete
+      // in memory, but the configuration needs fixing, not retrying).
+      for (int t = 0; t < num_map_tasks_; ++t) {
+        const std::string& spill_error =
+            map_ctx[static_cast<size_t>(t)].output_.spill_error();
+        if (spill_error.empty()) continue;
+        result.failed = true;
+        result.error = "map task " + std::to_string(t) + ": " + spill_error;
+        AttemptScheduleOutcome map_schedule = ScheduleTaskAttemptsOnCluster(
+            map_runner.attempt_costs(),
+            phase_options(TaskPhase::kMap, map_speeds,
+                          cluster.map_slots_per_machine, submit_time,
+                          map_runner));
+        MergeRecoveryCounters(map_schedule, &result.counters);
+        result.timing.map_attempts = std::move(map_schedule.attempts);
+        result.timing.map_end = map_schedule.end_time;
+        result.timing.end = map_schedule.end_time;
+        stamp_wall_trace();
+        finish_wall();
+        return result;
+      }
 
       // Post-combine shuffle volume of the winning map attempts.
       {
@@ -517,6 +623,27 @@ class MapReduceJob {
         }
         result.counters.Increment("mr.shuffle.records", volume.records);
         result.counters.Increment("mr.shuffle.bytes", volume.bytes);
+      }
+
+      // Out-of-core bookkeeping of the winning map attempts: every sorted
+      // spill run that will feed the reduce-side merges, reconciled against
+      // the kSpillWrite trace spans (one span per run).
+      {
+        int64_t spill_runs = 0;
+        int64_t spill_records = 0;
+        int64_t spill_bytes = 0;
+        for (const MapContext& ctx : map_ctx) {
+          for (const SpillRun& run : ctx.output_.spill_runs()) {
+            ++spill_runs;
+            spill_records += run.records;
+            spill_bytes += run.bytes;
+          }
+        }
+        if (spill_runs > 0) {
+          result.counters.Increment("mr.spill.runs", spill_runs);
+          result.counters.Increment("mr.spill.records", spill_records);
+          result.counters.Increment("mr.spill.bytes", spill_bytes);
+        }
       }
 
       // ---- Checksummed shuffle: corruption detection & recovery ----
@@ -624,11 +751,12 @@ class MapReduceJob {
                 attempt_base[static_cast<size_t>(t)]);
           },
           [this, &map_outputs, &reduce_fn, &reduce_ctx, &attempt_base,
-           &attempt_skip, &wall, &cluster,
+           &attempt_skip, &gather_stats, &wall, &cluster,
            threaded](const TaskAttemptRunner::Attempt& attempt) {
             ReduceContext& ctx = reduce_ctx[static_cast<size_t>(attempt.task)];
             RunReduceAttempt(map_outputs, reduce_fn, &ctx, attempt,
                              attempt_skip[static_cast<size_t>(attempt.task)],
+                             &gather_stats[static_cast<size_t>(attempt.task)],
                              wall.get(),
                              threaded ? cluster.trace : nullptr);
             // Incremental cost: with a restored checkpoint, only the work
@@ -659,6 +787,33 @@ class MapReduceJob {
       if (doomed_reduce >= 0) {
         result.failed = true;
         result.error = reduce_runner.DoomedError(doomed_reduce);
+      }
+      if (!result.failed) {
+        // A gather that could not read its spill runs back (unreadable or
+        // corrupt files) fails the job with the labelled error, like any
+        // other data-plane fault.
+        for (int t = 0; t < num_reduce_tasks_; ++t) {
+          const std::string& gather_error =
+              gather_stats[static_cast<size_t>(t)].error;
+          if (gather_error.empty()) continue;
+          result.failed = true;
+          result.error =
+              "reduce task " + std::to_string(t) + ": " + gather_error;
+          break;
+        }
+      }
+      if (!result.failed) {
+        // Reduce tasks whose winning gather ran the k-way external merge,
+        // reconciled against the kSpillMerge trace spans (one per task).
+        int64_t merge_passes = 0;
+        for (int t = 0; t < num_reduce_tasks_; ++t) {
+          if (gather_stats[static_cast<size_t>(t)].runs_merged > 0) {
+            ++merge_passes;
+          }
+        }
+        if (merge_passes > 0) {
+          result.counters.Increment("mr.spill.merge_passes", merge_passes);
+        }
       }
 
       if (!result.failed) {
@@ -707,6 +862,32 @@ class MapReduceJob {
       stamp_wall_trace();
       finish_wall();
       return result;
+    }
+
+    // Spill-run write marks at the winning map attempts' ends: zero-
+    // duration children, one per run, carrying its volume — reconciled
+    // against the "mr.spill.*" counters. (Simulated backend; the threaded
+    // backend stamps the same marks on the wall clock in stamp_wall_trace.)
+    if (!threaded && cluster.trace != nullptr && !result.failed) {
+      for (const TaskAttemptTiming& a : result.timing.map_attempts) {
+        if (!a.won) continue;
+        for (const SpillRun& run :
+             map_ctx[static_cast<size_t>(a.task)].output_.spill_runs()) {
+          TraceSpan span;
+          span.kind = SpanKind::kSpillWrite;
+          span.phase = TaskPhase::kMap;
+          span.pid = cluster.trace->current_pid();
+          span.task = a.task;
+          span.attempt = a.attempt;
+          span.machine = a.slot / cluster.map_slots_per_machine;
+          span.slot = a.slot;
+          span.start = a.end;
+          span.end = a.end;
+          span.records_in = run.records;
+          span.bytes = run.bytes;
+          cluster.trace->RecordSpan(span);
+        }
+      }
     }
 
     // Data-plane fault instants, timestamped off the map schedule: checksum
@@ -785,6 +966,22 @@ class MapReduceJob {
         span.records_in =
             result.reduce_stats[static_cast<size_t>(a.task)].records_in;
         cluster.trace->RecordSpan(span);
+        const auto& gs = gather_stats[static_cast<size_t>(a.task)];
+        if (gs.runs_merged > 0) {
+          TraceSpan merge;
+          merge.kind = SpanKind::kSpillMerge;
+          merge.phase = TaskPhase::kReduce;
+          merge.pid = cluster.trace->current_pid();
+          merge.task = a.task;
+          merge.attempt = a.attempt;
+          merge.machine = a.slot / cluster.reduce_slots_per_machine;
+          merge.slot = a.slot;
+          merge.start = a.start;
+          merge.end = a.start;
+          merge.records_in = gs.spilled_records;
+          merge.bytes = gs.spilled_bytes;
+          cluster.trace->RecordSpan(merge);
+        }
       }
     }
 
@@ -799,7 +996,7 @@ class MapReduceJob {
     ctx->clock_.Reset();
     ctx->counters_ = Counters();
     ctx->stats_ = TaskStats();
-    ctx->output_.Reset(shuffle_);
+    ctx->output_.Reset(shuffle_, ctx->task_id_);
   }
 
   void ResetReduceContext(ReduceContext* ctx) {
@@ -875,20 +1072,23 @@ class MapReduceJob {
     }
   }
 
-  // Runs one reduce-task attempt: gather/sort via the shuffle (a failing or
-  // hanging attempt copies its input — the buckets must survive for the
-  // retry — and stops at the group boundary past its cutoff fraction of the
-  // input pairs), then one reduce call per group; the winning attempt runs
+  // Runs one reduce-task attempt: gather/merge via the shuffle (decoding
+  // never consumes the map-side blocks or spill files, so a failing or
+  // hanging attempt leaves everything intact for the retry; a cut attempt
+  // stops at the group boundary past its cutoff fraction of the input
+  // pairs), then one reduce call per group; the winning attempt runs
   // cleanup. A resumed attempt skips the `skip_groups` groups its restored
-  // checkpoint already covers.
+  // checkpoint already covers. `gather_stats` receives the attempt's merge
+  // accounting (the winner's values are the ones the job reports).
   void RunReduceAttempt(
       std::vector<typename JobShuffle::MapOutput*>& map_outputs,
       const ReduceFn& reduce_fn, ReduceContext* ctx,
       const TaskAttemptRunner::Attempt& attempt, int64_t skip_groups,
-      ThreadedExecutor* wall, TraceRecorder* wall_trace) {
+      typename JobShuffle::GatherStats* gather_stats, ThreadedExecutor* wall,
+      TraceRecorder* wall_trace) {
     const bool cut = attempt.fails || attempt.hangs;
     std::vector<std::pair<K, V>> pairs =
-        shuffle_.GatherSorted(map_outputs, attempt.task, cut);
+        shuffle_.GatherSorted(map_outputs, attempt.task, gather_stats);
     const size_t limit =
         cut ? static_cast<size_t>(
                   static_cast<double>(pairs.size()) *

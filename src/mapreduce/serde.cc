@@ -16,6 +16,9 @@ bool GetVarint64(std::string_view in, size_t* offset, uint64_t* value) {
   size_t i = *offset;
   while (i < in.size() && shift < 64) {
     const uint8_t byte = static_cast<uint8_t>(in[i]);
+    // The 10th byte holds only bit 63: anything above is an overlong
+    // encoding PutVarint64 never writes, not a wrapped value.
+    if (shift == 63 && (byte & 0x7e) != 0) return false;
     result |= static_cast<uint64_t>(byte & 0x7f) << shift;
     ++i;
     if ((byte & 0x80) == 0) {
@@ -36,7 +39,9 @@ void PutString(std::string_view value, std::string* out) {
 bool GetString(std::string_view in, size_t* offset, std::string* value) {
   uint64_t length = 0;
   if (!GetVarint64(in, offset, &length)) return false;
-  if (*offset + length > in.size()) return false;
+  // Compare against the remaining bytes, not `*offset + length`: a huge
+  // claimed length must fail cleanly instead of overflowing the offset.
+  if (length > in.size() - *offset) return false;
   value->assign(in.substr(*offset, length));
   *offset += length;
   return true;

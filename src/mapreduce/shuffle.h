@@ -4,29 +4,52 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <queue>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "mapreduce/serde.h"
+#include "mapreduce/spill.h"
 
 namespace progres {
 
 // The shuffle of one MapReduce job as a first-class component: it owns the
-// partition function, the map-side spill buffers (one bucket per reduce
-// partition), the optional combiner, and the reduce-side gather/sort/group
-// merge. MapReduceJob composes a Shuffle with the task-attempt runner and
-// the timing model; tests can exercise the shuffle in isolation.
+// partition function, the map-side KV block buffers (one chain per reduce
+// partition), the optional combiner, the spill-to-disk path that keeps a
+// map task inside its memory budget, and the reduce-side gather/merge.
+// MapReduceJob composes a Shuffle with the task-attempt runner and the
+// timing model; tests can exercise the shuffle in isolation.
+//
+// Records are stored *encoded*: Emit serializes (key, value) through the
+// KvCodec for K and V (serde.h) into fixed-size blocks, replacing the old
+// per-partition std::vector<std::pair<K, V>>. When SpillConfig::enabled and
+// a map task's buffered bytes cross its budget share, every partition is
+// decoded, sorted (stably, by key), combined, re-encoded and appended to a
+// spill-run file (spill.h); GatherSorted then k-way merges the runs with
+// the sorted in-memory tail. The merge's tie-break — (map task, run order,
+// memory last) — reproduces exactly the stable_sort order of the all-in-
+// memory path, so outputs are byte-identical with spilling off or forced
+// on.
 //
 // The component also *accounts* for the data crossing it: MeasureVolume
 // reports the post-combine record count of a map task's output, and — when
-// a wire-size function is configured — the serialized byte volume. The
-// runtime exports these under the reserved "mr.shuffle.records" and
-// "mr.shuffle.bytes" counters, which is what makes shuffle skew and the
-// per-block vs per-tree emission trade-off directly measurable.
+// a wire-size function is configured — the serialized byte volume (without
+// one, the actual encoded bytes). The runtime exports these under the
+// reserved "mr.shuffle.records" and "mr.shuffle.bytes" counters, and the
+// spill machinery under "mr.spill.*" (see counters.h).
 template <typename K, typename V>
 class Shuffle {
+  static_assert(SerdeEncodable<K>,
+                "Shuffle key type has no KvCodec specialization (serde.h); "
+                "the encoded data plane cannot carry it");
+  static_assert(SerdeEncodable<V>,
+                "Shuffle value type has no KvCodec specialization (serde.h); "
+                "the encoded data plane cannot carry it");
+
  public:
   using KV = std::pair<K, V>;
   using PartitionFn = std::function<int(const K&, int num_partitions)>;
@@ -35,149 +58,387 @@ class Shuffle {
   using CombineFn =
       std::function<void(const K&, std::vector<V>*, std::vector<KV>*)>;
   // Wire size of one (key, value) pair under the job's serde encoding;
-  // feeds the "mr.shuffle.bytes" accounting.
+  // feeds the "mr.shuffle.bytes" accounting. Optional — without it the
+  // accounting falls back to the codecs' actual encoded size.
   using WireSizeFn = std::function<int64_t(const K&, const V&)>;
+
+  // Memory policy of the map-side buffers, set by MapReduceJob::Run from
+  // ClusterConfig::shuffle_budget. Disabled (the default) means buffers
+  // grow without spilling — the reference in-memory behaviour.
+  struct SpillConfig {
+    bool enabled = false;
+    // One map task's in-memory bound: the job-wide budget divided across
+    // map tasks, floored at one block.
+    int64_t task_buffer_bytes = 0;
+    int64_t block_bytes = 256 * 1024;
+    std::string dir;  // resolved, writable spill directory
+  };
+
+  // Merge accounting of one GatherSorted call, reconciled against the
+  // "mr.spill.merge_passes" counter and kSpillMerge trace spans.
+  struct GatherStats {
+    int64_t runs_merged = 0;      // spill-run segments fed into the merge
+    int64_t spilled_records = 0;  // records read back from those segments
+    int64_t spilled_bytes = 0;    // their encoded bytes
+    std::string error;            // non-empty on spill read/decode failure
+  };
 
   explicit Shuffle(int num_partitions)
       : num_partitions_(std::max(1, num_partitions)),
         partition_([](const K& key, int r) {
-          return static_cast<int>(std::hash<K>{}(key) %
-                                  static_cast<size_t>(r));
+          // FNV-1a over the encoded key: stable across standard libraries
+          // and platforms, unlike std::hash. (MapOutput::Add hashes the
+          // already-encoded key bytes instead of calling this, skipping
+          // the second Encode; this lambda serves direct callers.)
+          std::string encoded;
+          KvCodec<K>::Encode(key, &encoded);
+          return static_cast<int>(Fnv1a64(encoded) %
+                                  static_cast<uint64_t>(r));
         }) {}
 
   int num_partitions() const { return num_partitions_; }
   bool has_combiner() const { return static_cast<bool>(combiner_); }
 
-  void set_partitioner(PartitionFn fn) { partition_ = std::move(fn); }
+  void set_partitioner(PartitionFn fn) {
+    partition_ = std::move(fn);
+    default_partitioner_ = false;
+  }
   void set_combiner(CombineFn fn) { combiner_ = std::move(fn); }
   void set_wire_size(WireSizeFn fn) { wire_size_ = std::move(fn); }
+  void set_spill(SpillConfig config) { spill_ = std::move(config); }
+  const SpillConfig& spill_config() const { return spill_; }
 
-  // Map-side spill buffer of one map task. Reset discards a failed
-  // attempt's pairs so the retry starts from scratch.
+  // Map-side buffer of one map task: per-partition chains of encoded KV
+  // blocks, spilled to sorted runs when the task's budget share fills.
+  // Reset discards a failed attempt's pairs — and deletes its spill files —
+  // so the retry starts from scratch. The destructor removes any remaining
+  // run files (winning outputs live until the job's map contexts die).
   class MapOutput {
    public:
     MapOutput() = default;
+    MapOutput(const MapOutput&) = delete;
+    MapOutput& operator=(const MapOutput&) = delete;
+    ~MapOutput() { DeleteSpillFiles(); }
 
-    void Reset(const Shuffle& shuffle) {
+    void Reset(const Shuffle& shuffle) { Reset(shuffle, task_); }
+    void Reset(const Shuffle& shuffle, int task) {
       shuffle_ = &shuffle;
+      task_ = task;
+      DeleteSpillFiles();
+      runs_.clear();
       buckets_.clear();
       buckets_.resize(static_cast<size_t>(shuffle.num_partitions_));
+      spill_crc_.assign(static_cast<size_t>(shuffle.num_partitions_), 0);
+      mem_bytes_ = 0;
+      spilled_volume_ = {};
+      spill_error_.clear();
     }
 
-    // Routes one pair to its partition bucket.
+    // Routes one pair to its partition's block chain, encoded. Crossing the
+    // task's budget share triggers a spill.
     void Add(K key, V value) {
-      const int r = shuffle_->partition_(key, shuffle_->num_partitions_);
-      buckets_[static_cast<size_t>(r)].emplace_back(std::move(key),
-                                                    std::move(value));
+      scratch_.clear();
+      KvCodec<K>::Encode(key, &scratch_);
+      // The default partitioner is FNV-1a over the encoded key — hash the
+      // bytes just written instead of encoding the key a second time.
+      const int r =
+          shuffle_->default_partitioner_
+              ? static_cast<int>(
+                    Fnv1a64(scratch_) %
+                    static_cast<uint64_t>(shuffle_->num_partitions_))
+              : shuffle_->partition_(key, shuffle_->num_partitions_);
+      Bucket& bucket = buckets_[static_cast<size_t>(r)];
+      KvCodec<V>::Encode(value, &scratch_);
+      AppendEncoded(&bucket, scratch_);
+      ++bucket.records;
+      bucket.wire_bytes += shuffle_->wire_size_
+                               ? shuffle_->wire_size_(key, value)
+                               : static_cast<int64_t>(scratch_.size());
+      if (shuffle_->spill_.enabled && spill_error_.empty() &&
+          mem_bytes_ >= shuffle_->spill_.task_buffer_bytes) {
+        Spill();
+      }
     }
+
+    // The sorted runs this task has spilled so far (winning attempts only —
+    // Reset removed any failed attempt's).
+    const std::vector<SpillRun>& spill_runs() const { return runs_; }
+    // Encoded bytes currently buffered in memory.
+    int64_t buffered_bytes() const { return mem_bytes_; }
+    // Non-empty after a spill write failed; the job fails with it at the
+    // map barrier (the buffered data stayed in memory, but the budget
+    // contract is broken and the configuration needs fixing, not retrying).
+    const std::string& spill_error() const { return spill_error_; }
 
    private:
     friend class Shuffle;
+
+    // One partition's buffered records: sealed blocks of at most
+    // block_bytes each (records never straddle blocks) plus running
+    // post-combine tallies for the volume accounting.
+    struct Bucket {
+      std::vector<std::string> blocks;
+      int64_t records = 0;
+      int64_t wire_bytes = 0;
+    };
+
+    void AppendEncoded(Bucket* bucket, std::string_view record) {
+      const size_t cap = static_cast<size_t>(
+          std::max<int64_t>(1, shuffle_->spill_.block_bytes));
+      if (bucket->blocks.empty() ||
+          bucket->blocks.back().size() + record.size() > cap) {
+        bucket->blocks.emplace_back();
+        bucket->blocks.back().reserve(std::min(cap, record.size() + cap / 2));
+      }
+      bucket->blocks.back().append(record.data(), record.size());
+      mem_bytes_ += static_cast<int64_t>(record.size());
+    }
+
+    // Sorts, combines and writes every partition's buffered records as one
+    // spill run, then resets the in-memory chains. On I/O failure the run
+    // is dropped, the buffers stay, and spill_error_ carries the label.
+    void Spill() {
+      std::vector<std::string> payloads(
+          static_cast<size_t>(shuffle_->num_partitions_));
+      std::vector<int64_t> records(
+          static_cast<size_t>(shuffle_->num_partitions_), 0);
+      std::vector<typename Shuffle::Volume> volumes(
+          static_cast<size_t>(shuffle_->num_partitions_));
+      for (int r = 0; r < shuffle_->num_partitions_; ++r) {
+        Bucket& bucket = buckets_[static_cast<size_t>(r)];
+        std::vector<KV> pairs;
+        std::string error;
+        shuffle_->DecodeBucket(bucket, &pairs, &error);
+        if (!error.empty()) {
+          spill_error_ = error;
+          return;
+        }
+        shuffle_->SortAndCombine(&pairs);
+        std::string& payload = payloads[static_cast<size_t>(r)];
+        for (const KV& kv : pairs) {
+          KvCodec<K>::Encode(kv.first, &payload);
+          KvCodec<V>::Encode(kv.second, &payload);
+          volumes[static_cast<size_t>(r)].bytes +=
+              shuffle_->wire_size_
+                  ? shuffle_->wire_size_(kv.first, kv.second)
+                  : 0;
+        }
+        if (!shuffle_->wire_size_) {
+          volumes[static_cast<size_t>(r)].bytes =
+              static_cast<int64_t>(payload.size());
+        }
+        volumes[static_cast<size_t>(r)].records =
+            static_cast<int64_t>(pairs.size());
+        records[static_cast<size_t>(r)] = static_cast<int64_t>(pairs.size());
+      }
+      SpillRun run;
+      if (!WriteSpillRun(NextSpillPath(shuffle_->spill_.dir, task_), payloads,
+                         records, &run)) {
+        spill_error_ = "spill write failed in " + shuffle_->spill_.dir +
+                       " (map task " + std::to_string(task_) + ")";
+        return;
+      }
+      for (int r = 0; r < shuffle_->num_partitions_; ++r) {
+        spill_crc_[static_cast<size_t>(r)] =
+            Crc32(payloads[static_cast<size_t>(r)],
+                  spill_crc_[static_cast<size_t>(r)]);
+        spilled_volume_.records += volumes[static_cast<size_t>(r)].records;
+        spilled_volume_.bytes += volumes[static_cast<size_t>(r)].bytes;
+      }
+      runs_.push_back(std::move(run));
+      buckets_.clear();
+      buckets_.resize(static_cast<size_t>(shuffle_->num_partitions_));
+      mem_bytes_ = 0;
+    }
+
+    void DeleteSpillFiles() {
+      for (const SpillRun& run : runs_) RemoveSpillFile(run.path);
+      runs_.clear();
+    }
+
     const Shuffle* shuffle_ = nullptr;
-    std::vector<std::vector<KV>> buckets_;
+    int task_ = 0;
+    std::vector<Bucket> buckets_;
+    std::vector<SpillRun> runs_;
+    // Per-partition CRC32 chained over the spilled segments, in run order;
+    // PartitionChecksum continues it over the in-memory blocks.
+    std::vector<uint32_t> spill_crc_;
+    int64_t mem_bytes_ = 0;
+    struct Volume {
+      int64_t records = 0;
+      int64_t bytes = 0;
+    };
+    Volume spilled_volume_;
+    std::string spill_error_;
+    std::string scratch_;
   };
 
-  // Applies the combiner to every partition bucket of a finished map
-  // attempt: values are grouped by key locally and replaced by the
-  // combiner's output. No-op without a combiner.
+  // Applies the combiner to every partition's *in-memory* records of a
+  // finished map attempt (spilled runs were already combined when written):
+  // values are grouped by key locally and replaced by the combiner's
+  // output, re-encoded. No-op without a combiner.
   void Combine(MapOutput* out) const {
     if (!combiner_) return;
     for (auto& bucket : out->buckets_) {
-      std::stable_sort(bucket.begin(), bucket.end(),
-                       [](const KV& a, const KV& b) {
-                         return a.first < b.first;
-                       });
-      std::vector<KV> combined;
-      size_t i = 0;
-      while (i < bucket.size()) {
-        size_t j = i;
-        while (j < bucket.size() && !(bucket[i].first < bucket[j].first)) ++j;
-        std::vector<V> values;
-        values.reserve(j - i);
-        for (size_t k = i; k < j; ++k) {
-          values.push_back(std::move(bucket[k].second));
-        }
-        combiner_(bucket[i].first, &values, &combined);
-        i = j;
+      std::vector<KV> pairs;
+      std::string error;
+      DecodeBucket(bucket, &pairs, &error);
+      if (!error.empty()) {
+        if (out->spill_error_.empty()) out->spill_error_ = error;
+        return;
       }
-      bucket = std::move(combined);
+      SortAndCombine(&pairs);
+      out->mem_bytes_ -= BucketBytes(bucket);
+      bucket = typename MapOutput::Bucket{};
+      std::string encoded;
+      for (const KV& kv : pairs) {
+        encoded.clear();
+        KvCodec<K>::Encode(kv.first, &encoded);
+        KvCodec<V>::Encode(kv.second, &encoded);
+        out->AppendEncoded(&bucket, encoded);
+        ++bucket.records;
+        bucket.wire_bytes += wire_size_
+                                 ? wire_size_(kv.first, kv.second)
+                                 : static_cast<int64_t>(encoded.size());
+      }
     }
   }
 
-  // Post-combine shuffle volume of one map task's output: what actually
-  // crosses the map/reduce boundary. `bytes` stays 0 without a wire-size
-  // function.
+  // Post-combine shuffle volume of one map task's output — what actually
+  // crosses the map/reduce boundary, spilled runs included. `bytes` uses
+  // the wire-size function when set, the encoded size otherwise.
   struct Volume {
     int64_t records = 0;
     int64_t bytes = 0;
   };
   Volume MeasureVolume(const MapOutput& out) const {
     Volume volume;
+    volume.records = out.spilled_volume_.records;
+    volume.bytes = out.spilled_volume_.bytes;
     for (const auto& bucket : out.buckets_) {
-      volume.records += static_cast<int64_t>(bucket.size());
-      if (wire_size_) {
-        for (const KV& kv : bucket) {
-          volume.bytes += wire_size_(kv.first, kv.second);
-        }
-      }
+      volume.records += bucket.records;
+      volume.bytes += bucket.wire_bytes;
     }
     return volume;
   }
 
   // CRC32 of partition `r` of a finished map output — the checksum shipped
   // alongside the partition so the consuming reduce task can verify its
-  // fetch. The runtime moves typed values rather than serialized bytes, so
-  // the checksum covers the partition's *wire stream shape*: the varint
-  // record count followed by each pair's wire size (0 without a wire-size
-  // function). That is exactly the framing a length-prefixed transfer would
-  // put on the wire, and any corruption model that flips the delivered
-  // checksum is detected the same way Hadoop's IFile checksum detects
-  // flipped payload bytes.
+  // fetch. With the encoded data plane the checksum covers the partition's
+  // actual byte stream: the spilled segments (chained in write order) and
+  // then the buffered blocks — exactly what a length-prefixed transfer
+  // would put on the wire, detecting flipped payload bytes the same way
+  // Hadoop's IFile checksum does.
   uint32_t PartitionChecksum(const MapOutput& out, int r) const {
-    const auto& bucket = out.buckets_[static_cast<size_t>(r)];
-    std::string stream;
-    PutVarint64(bucket.size(), &stream);
-    for (const KV& kv : bucket) {
-      const int64_t bytes =
-          wire_size_ ? wire_size_(kv.first, kv.second) : 0;
-      PutVarint64(static_cast<uint64_t>(bytes), &stream);
+    uint32_t crc = out.spill_crc_[static_cast<size_t>(r)];
+    for (const std::string& block :
+         out.buckets_[static_cast<size_t>(r)].blocks) {
+      crc = Crc32(block, crc);
     }
-    return Crc32(stream);
+    return crc;
   }
 
-  // Reduce-side merge: gathers partition `r` from every map output (in
-  // map-task order, so the merge is deterministic), then sorts by key.
-  // stable_sort keeps the map-task order among equal keys, mirroring
-  // Hadoop's merge. With `copy` the buckets survive (a retried attempt
-  // must replay them); move-only payloads cannot be replayed, so a copying
-  // gather returns empty — the failing attempt then dies before touching
-  // any input, which keeps retries correct.
-  std::vector<KV> GatherSorted(std::vector<MapOutput*>& maps, int r,
-                               bool copy) const {
+  // Reduce-side merge: partition `r` from every map output, sorted by key.
+  // Without spills this decodes the buffered blocks in map-task order and
+  // stable_sorts — the reference order, where equal keys keep (map task,
+  // emission order). With spills it k-way merges each task's runs (in run
+  // order, each already sorted and internally stable) with its sorted
+  // in-memory tail, tie-breaking on source order — which reproduces the
+  // reference order bit for bit, because a task's runs hold earlier
+  // emissions than its memory tail. Decoding never consumes the underlying
+  // blocks or files, so a failed attempt's retry simply gathers again —
+  // move-only payloads included (the old copying gather silently returned
+  // empty for those; the codec path has no copy to refuse).
+  std::vector<KV> GatherSorted(const std::vector<MapOutput*>& maps, int r,
+                               GatherStats* stats = nullptr) const {
+    GatherStats local;
+    GatherStats& gs = stats != nullptr ? *stats : local;
+    gs = GatherStats{};
+    bool any_runs = false;
+    for (const MapOutput* m : maps) {
+      if (!m->runs_.empty()) any_runs = true;
+    }
     std::vector<KV> pairs;
+    if (!any_runs) {
+      // Fast path: the all-in-memory reference merge.
+      size_t total = 0;
+      for (const MapOutput* m : maps) {
+        total += static_cast<size_t>(
+            m->buckets_[static_cast<size_t>(r)].records);
+      }
+      pairs.reserve(total);
+      for (const MapOutput* m : maps) {
+        DecodeBucket(m->buckets_[static_cast<size_t>(r)], &pairs, &gs.error);
+        if (!gs.error.empty()) return {};
+      }
+      std::stable_sort(pairs.begin(), pairs.end(),
+                       [](const KV& a, const KV& b) {
+                         return a.first < b.first;
+                       });
+      return pairs;
+    }
+
+    // External merge: one source per non-empty spill segment plus one per
+    // task's in-memory tail, in (map task, run order, memory last) order.
+    std::vector<std::unique_ptr<MergeSource>> sources;
     size_t total = 0;
     for (const MapOutput* m : maps) {
-      total += m->buckets_[static_cast<size_t>(r)].size();
+      for (const SpillRun& run : m->runs_) {
+        const SpillSegment& segment = run.segments[static_cast<size_t>(r)];
+        if (segment.bytes == 0) continue;
+        auto source = std::make_unique<MergeSource>();
+        source->reader = std::make_unique<SpillSegmentReader>(
+            run.path, segment,
+            static_cast<size_t>(std::max<int64_t>(1, spill_.block_bytes)));
+        sources.push_back(std::move(source));
+        total += static_cast<size_t>(segment.records);
+        ++gs.runs_merged;
+        gs.spilled_records += segment.records;
+        gs.spilled_bytes += segment.bytes;
+      }
+      const auto& bucket = m->buckets_[static_cast<size_t>(r)];
+      if (bucket.records > 0) {
+        auto source = std::make_unique<MergeSource>();
+        DecodeBucket(bucket, &source->mem, &gs.error);
+        if (!gs.error.empty()) return {};
+        std::stable_sort(source->mem.begin(), source->mem.end(),
+                         [](const KV& a, const KV& b) {
+                           return a.first < b.first;
+                         });
+        sources.push_back(std::move(source));
+        total += static_cast<size_t>(bucket.records);
+      }
+    }
+    for (size_t i = 0; i < sources.size(); ++i) {
+      sources[i]->index = i;
+      if (!AdvanceSource(sources[i].get(), &gs.error)) {
+        if (!gs.error.empty()) return {};
+      }
+    }
+    const auto after = [](const MergeSource* a, const MergeSource* b) {
+      // True when `a` pops after `b`: larger key, or equal key from a later
+      // source (the stability tie-break).
+      if (b->current.first < a->current.first) return true;
+      if (a->current.first < b->current.first) return false;
+      return a->index > b->index;
+    };
+    std::priority_queue<MergeSource*, std::vector<MergeSource*>,
+                        decltype(after)>
+        heap(after);
+    for (const auto& source : sources) {
+      if (source->has) heap.push(source.get());
     }
     pairs.reserve(total);
-    if (copy) {
-      if constexpr (std::is_copy_constructible_v<K> &&
-                    std::is_copy_constructible_v<V>) {
-        for (const MapOutput* m : maps) {
-          const auto& bucket = m->buckets_[static_cast<size_t>(r)];
-          for (const auto& kv : bucket) pairs.push_back(kv);
-        }
-      }
-    } else {
-      for (MapOutput* m : maps) {
-        auto& bucket = m->buckets_[static_cast<size_t>(r)];
-        for (auto& kv : bucket) pairs.push_back(std::move(kv));
+    while (!heap.empty()) {
+      MergeSource* source = heap.top();
+      heap.pop();
+      pairs.push_back(std::move(source->current));
+      if (AdvanceSource(source, &gs.error)) {
+        heap.push(source);
+      } else if (!gs.error.empty()) {
+        return {};
       }
     }
-    std::stable_sort(pairs.begin(), pairs.end(),
-                     [](const KV& a, const KV& b) {
-                       return a.first < b.first;
-                     });
     return pairs;
   }
 
@@ -206,10 +467,121 @@ class Shuffle {
   }
 
  private:
+  // One sorted stream feeding the k-way merge: a spill segment (buffered
+  // file reads) or a task's decoded in-memory tail.
+  struct MergeSource {
+    std::unique_ptr<SpillSegmentReader> reader;
+    std::vector<KV> mem;
+    size_t mem_pos = 0;
+    size_t index = 0;
+    KV current;
+    bool has = false;
+  };
+
+  // Pulls the next record into source->current. False at end of stream or
+  // on error (`*error` then labels the corrupt/unreadable spill).
+  static bool AdvanceSource(MergeSource* source, std::string* error) {
+    if (source->reader == nullptr) {
+      if (source->mem_pos >= source->mem.size()) {
+        source->has = false;
+        return false;
+      }
+      source->current = std::move(source->mem[source->mem_pos++]);
+      source->has = true;
+      return true;
+    }
+    SpillSegmentReader& reader = *source->reader;
+    for (;;) {
+      const std::string_view window = reader.window();
+      size_t offset = 0;
+      K key;
+      V value;
+      if (KvCodec<K>::Decode(window, &offset, &key) &&
+          KvCodec<V>::Decode(window, &offset, &value)) {
+        reader.Consume(offset);
+        source->current = KV(std::move(key), std::move(value));
+        source->has = true;
+        return true;
+      }
+      // A failed decode mid-window means the record straddles the chunk
+      // boundary: refill and retry. At end of segment, leftover bytes (or
+      // an I/O error) mean corruption.
+      if (!reader.Refill()) {
+        source->has = false;
+        if (!reader.ok()) {
+          *error = "spill read failed";
+        } else if (!reader.window().empty()) {
+          *error = "corrupt spill record";
+        }
+        return false;
+      }
+    }
+  }
+
+  // Decodes every record of a bucket's block chain, appending to `*pairs`.
+  // Blocks end at record boundaries, so a failed decode is a logic error
+  // surfaced through `*error` rather than silently dropped data.
+  void DecodeBucket(const typename MapOutput::Bucket& bucket,
+                    std::vector<KV>* pairs, std::string* error) const {
+    pairs->reserve(pairs->size() + static_cast<size_t>(bucket.records));
+    for (const std::string& block : bucket.blocks) {
+      const std::string_view view(block);
+      size_t offset = 0;
+      while (offset < view.size()) {
+        K key;
+        V value;
+        if (!KvCodec<K>::Decode(view, &offset, &key) ||
+            !KvCodec<V>::Decode(view, &offset, &value)) {
+          *error = "corrupt in-memory shuffle block";
+          return;
+        }
+        pairs->emplace_back(std::move(key), std::move(value));
+      }
+    }
+  }
+
+  // Stable sort by key, then local aggregation through the combiner (when
+  // set) — shared by Combine and the spill writer.
+  void SortAndCombine(std::vector<KV>* pairs) const {
+    std::stable_sort(pairs->begin(), pairs->end(),
+                     [](const KV& a, const KV& b) {
+                       return a.first < b.first;
+                     });
+    if (!combiner_) return;
+    std::vector<KV> combined;
+    size_t i = 0;
+    while (i < pairs->size()) {
+      size_t j = i;
+      while (j < pairs->size() && !((*pairs)[i].first < (*pairs)[j].first)) {
+        ++j;
+      }
+      std::vector<V> values;
+      values.reserve(j - i);
+      for (size_t k = i; k < j; ++k) {
+        values.push_back(std::move((*pairs)[k].second));
+      }
+      combiner_((*pairs)[i].first, &values, &combined);
+      i = j;
+    }
+    *pairs = std::move(combined);
+  }
+
+  static int64_t BucketBytes(const typename MapOutput::Bucket& bucket) {
+    int64_t bytes = 0;
+    for (const std::string& block : bucket.blocks) {
+      bytes += static_cast<int64_t>(block.size());
+    }
+    return bytes;
+  }
+
   int num_partitions_;
   PartitionFn partition_;
+  // True until set_partitioner replaces the FNV-1a default; lets Add hash
+  // the encoded key bytes it just wrote rather than re-encoding the key.
+  bool default_partitioner_ = true;
   CombineFn combiner_;
   WireSizeFn wire_size_;
+  SpillConfig spill_;
 };
 
 }  // namespace progres

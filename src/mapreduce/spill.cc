@@ -1,0 +1,133 @@
+#include "mapreduce/spill.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <system_error>
+
+namespace progres {
+
+namespace fs = std::filesystem;
+
+std::string ResolveSpillDir(const std::string& dir, std::string* error) {
+  std::error_code ec;
+  fs::path path;
+  if (dir.empty()) {
+    path = fs::temp_directory_path(ec);
+    if (ec) {
+      *error = "no temporary directory available: " + ec.message();
+      return std::string();
+    }
+  } else {
+    path = dir;
+  }
+  fs::create_directories(path, ec);
+  if (ec) {
+    *error = "cannot create spill dir " + path.string() + ": " + ec.message();
+    return std::string();
+  }
+  // Probe writability now, with a throwaway file, so a read-only directory
+  // fails the job at submission instead of mid-spill.
+  const fs::path probe = path / NextSpillPath(".", -1).substr(2);
+  {
+    std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << 'x')) {
+      *error = "spill dir " + path.string() + " is not writable";
+      fs::remove(probe, ec);
+      return std::string();
+    }
+  }
+  fs::remove(probe, ec);
+  return path.string();
+}
+
+std::string NextSpillPath(const std::string& dir, int task) {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  return (fs::path(dir) /
+          ("progres-spill-" + std::to_string(::getpid()) + "-" +
+           std::to_string(n) + "-map" + std::to_string(task) + ".run"))
+      .string();
+}
+
+bool WriteSpillRun(const std::string& path,
+                   const std::vector<std::string>& partitions,
+                   const std::vector<int64_t>& records_per_partition,
+                   SpillRun* run) {
+  run->path = path;
+  run->segments.clear();
+  run->segments.reserve(partitions.size());
+  run->records = 0;
+  run->bytes = 0;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  int64_t offset = 0;
+  for (size_t r = 0; r < partitions.size(); ++r) {
+    const std::string& payload = partitions[r];
+    if (!payload.empty() &&
+        !out.write(payload.data(),
+                   static_cast<std::streamsize>(payload.size()))) {
+      RemoveSpillFile(path);
+      return false;
+    }
+    SpillSegment segment;
+    segment.offset = offset;
+    segment.bytes = static_cast<int64_t>(payload.size());
+    segment.records = records_per_partition[r];
+    run->segments.push_back(segment);
+    offset += segment.bytes;
+    run->records += segment.records;
+    run->bytes += segment.bytes;
+  }
+  out.flush();
+  if (!out) {
+    RemoveSpillFile(path);
+    return false;
+  }
+  return true;
+}
+
+void RemoveSpillFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+SpillSegmentReader::SpillSegmentReader(const std::string& path,
+                                       const SpillSegment& segment,
+                                       size_t chunk_bytes)
+    : file_(path, std::ios::binary),
+      remaining_(segment.bytes),
+      chunk_bytes_(chunk_bytes > 0 ? chunk_bytes : 1) {
+  if (!file_ || !file_.seekg(segment.offset)) {
+    ok_ = false;
+    remaining_ = 0;
+  }
+}
+
+bool SpillSegmentReader::Refill() {
+  if (!ok_ || remaining_ == 0) return false;
+  // Compact the consumed prefix before growing, keeping the buffer bounded
+  // by the unconsumed tail plus one chunk.
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const size_t want = static_cast<size_t>(
+      std::min<int64_t>(remaining_, static_cast<int64_t>(chunk_bytes_)));
+  const size_t old_size = buffer_.size();
+  buffer_.resize(old_size + want);
+  if (!file_.read(buffer_.data() + old_size,
+                  static_cast<std::streamsize>(want))) {
+    buffer_.resize(old_size);
+    ok_ = false;
+    remaining_ = 0;
+    return false;
+  }
+  remaining_ -= static_cast<int64_t>(want);
+  return true;
+}
+
+}  // namespace progres

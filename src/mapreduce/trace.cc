@@ -148,6 +148,10 @@ std::string SpanName(const TraceSpan& span) {
       return "checkpoint restore task " + std::to_string(span.task);
     case SpanKind::kRetryBackoff:
       return "retry backoff task " + std::to_string(span.task);
+    case SpanKind::kSpillWrite:
+      return "spill run task " + std::to_string(span.task);
+    case SpanKind::kSpillMerge:
+      return "spill merge task " + std::to_string(span.task);
   }
   return "span";
 }
@@ -163,6 +167,9 @@ const char* SpanCategory(const TraceSpan& span) {
       return "checkpoint";
     case SpanKind::kRetryBackoff:
       return "backoff";
+    case SpanKind::kSpillWrite:
+    case SpanKind::kSpillMerge:
+      return "spill";
   }
   return "span";
 }
@@ -179,6 +186,9 @@ std::string SpanArgs(const TraceSpan& span) {
   }
   if (span.records_in >= 0) {
     args += ",\"records_in\":" + std::to_string(span.records_in);
+  }
+  if (span.bytes >= 0) {
+    args += ",\"bytes\":" + std::to_string(span.bytes);
   }
   if (span.cost_units >= 0.0) {
     args += ",\"cost_units\":" + FormatDouble(span.cost_units);
@@ -393,6 +403,10 @@ std::string TraceRecorder::ToSlotTimeline() const {
                  OutcomeName(span->outcome);
         } else if (span->kind == SpanKind::kShuffle) {
           out += " records_in=" + std::to_string(span->records_in);
+        } else if (span->kind == SpanKind::kSpillWrite ||
+                   span->kind == SpanKind::kSpillMerge) {
+          out += " records=" + std::to_string(span->records_in) +
+                 " bytes=" + std::to_string(span->bytes);
         } else if (span->kind == SpanKind::kCheckpointSave ||
                    span->kind == SpanKind::kCheckpointRestore) {
           out += " @" + FormatFixed(span->cost_units);

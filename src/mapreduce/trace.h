@@ -38,6 +38,8 @@ enum class SpanKind {
   kCheckpointSave,     // snapshot at an alpha-emission boundary
   kCheckpointRestore,  // attempt resumed from the latest snapshot
   kRetryBackoff,       // re-dispatch delay after a failure
+  kSpillWrite,         // a map task wrote a sorted spill run to disk
+  kSpillMerge,         // a reduce gather k-way merged spill runs
 };
 
 // How an attempt span ended. Non-attempt spans keep kNone.
@@ -62,8 +64,13 @@ struct TraceSpan {
   double end = 0.0;
   bool speculative = false;
   SpanOutcome outcome = SpanOutcome::kNone;
-  // Shuffle spans: input values delivered to the reduce task (-1 unset).
+  // Shuffle/spill spans: input values delivered to the reduce task, spill
+  // records written, or spill records merged (-1 unset).
   int64_t records_in = -1;
+  // Spill spans: encoded bytes written to / read back from spill runs
+  // (-1 unset; unset fields are omitted from the exports, so traces
+  // without spills are byte-identical to before the field existed).
+  int64_t bytes = -1;
   // Checkpoint spans: the boundary's absolute task progress (-1 unset).
   double cost_units = -1.0;
 };

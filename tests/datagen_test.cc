@@ -168,6 +168,84 @@ TEST(BookGeneratorTest, Deterministic) {
   }
 }
 
+// ---------------------------------------------------------------- stream
+
+// Joins an entity's attributes and cluster id into one comparison key.
+std::string EntityFingerprint(const std::vector<std::string>& attributes,
+                              int32_t cluster) {
+  std::string key;
+  for (const std::string& attribute : attributes) {
+    key += attribute;
+    key.push_back('\t');
+  }
+  key += std::to_string(cluster);
+  return key;
+}
+
+// The streaming entry points share the batch generators' RNG draw sequence,
+// so a stream must deliver exactly the batch dataset's entities — as a
+// multiset, since the batch path shuffles and the stream does not.
+TEST(StreamGeneratorTest, PublicationsMatchBatchAsMultiset) {
+  PublicationConfig config;
+  config.num_entities = 500;
+  config.seed = 99;
+
+  std::multiset<std::string> streamed;
+  int64_t count = 0;
+  StreamPublications(config, [&](std::vector<std::string> attributes,
+                                 int32_t cluster) {
+    ASSERT_EQ(attributes.size(), PublicationSchema().size());
+    streamed.insert(EntityFingerprint(attributes, cluster));
+    ++count;
+  });
+  EXPECT_EQ(count, config.num_entities);
+
+  const LabeledDataset batch = GeneratePublications(config);
+  std::multiset<std::string> materialized;
+  for (EntityId i = 0; i < batch.dataset.size(); ++i) {
+    materialized.insert(EntityFingerprint(batch.dataset.entity(i).attributes,
+                                          batch.truth.cluster_of(i)));
+  }
+  EXPECT_EQ(streamed, materialized);
+}
+
+TEST(StreamGeneratorTest, BooksMatchBatchAsMultiset) {
+  BookConfig config;
+  config.num_entities = 400;
+  config.seed = 7;
+
+  std::multiset<std::string> streamed;
+  StreamBooks(config, [&](std::vector<std::string> attributes,
+                          int32_t cluster) {
+    ASSERT_EQ(attributes.size(), BookSchema().size());
+    streamed.insert(EntityFingerprint(attributes, cluster));
+  });
+
+  const LabeledDataset batch = GenerateBooks(config);
+  std::multiset<std::string> materialized;
+  for (EntityId i = 0; i < batch.dataset.size(); ++i) {
+    materialized.insert(EntityFingerprint(batch.dataset.entity(i).attributes,
+                                          batch.truth.cluster_of(i)));
+  }
+  EXPECT_EQ(streamed, materialized);
+}
+
+TEST(StreamGeneratorTest, ClusterMembersArriveAdjacent) {
+  PublicationConfig config;
+  config.num_entities = 300;
+  std::vector<int32_t> order;
+  StreamPublications(config, [&](std::vector<std::string> /*attributes*/,
+                                 int32_t cluster) {
+    order.push_back(cluster);
+  });
+  ASSERT_EQ(order.size(), 300u);
+  // Generation order: cluster ids are non-decreasing and dense.
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(order[i], order[i - 1]);
+    EXPECT_LE(order[i], order[i - 1] + 1);
+  }
+}
+
 // ---------------------------------------------------------------- toy
 
 TEST(PeopleToyTest, MatchesTableI) {

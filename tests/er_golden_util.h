@@ -72,8 +72,11 @@ inline std::string FormatExact(double v) {
 }
 
 // Canonical text form of everything a driver reports. Counters under the
-// reserved "mr.shuffle." prefix are skipped: they did not exist when the
-// fixtures were frozen and are runtime bookkeeping, not driver output.
+// reserved "mr.shuffle." and "mr.spill." prefixes are skipped: they did not
+// exist when the fixtures were frozen and are runtime bookkeeping, not
+// driver output — which also keeps the dump byte-identical with spilling
+// forced on (PROGRES_FORCE_SPILL) or off, the out-of-core invariant the
+// matrix tests pin down.
 inline std::string DumpErRunResult(const ErRunResult& r,
                                    const GroundTruth& truth) {
   std::string out;
@@ -86,6 +89,7 @@ inline std::string DumpErRunResult(const ErRunResult& r,
   out += "skipped_count=" + std::to_string(r.skipped_count) + "\n";
   for (const auto& [name, value] : r.counters.values()) {
     if (name.rfind("mr.shuffle.", 0) == 0) continue;
+    if (name.rfind("mr.spill.", 0) == 0) continue;
     out += "counter " + name + "=" + std::to_string(value) + "\n";
   }
   out += "events=" + std::to_string(r.events.size()) + "\n";
@@ -145,16 +149,19 @@ inline std::vector<std::string> GoldenDriverNames() {
 // the execution engine: the MR contract makes the dump byte-identical
 // across backends, which executor_diff_test checks against the fixtures.
 // `threads` overrides GoldenCluster()'s execution_threads when > 0.
+// `budget` sets the shuffle memory budget (default: spilling off) — the
+// dump must not depend on it.
 inline std::string RunGoldenDriver(
     const std::string& name, TraceRecorder* trace = nullptr,
     ExecutionBackend backend = ExecutionBackend::kSimulated,
-    int threads = 0) {
+    int threads = 0, const ShuffleBudget& budget = {}) {
   const GoldenWorkload w = MakeGoldenWorkload();
   const SortedNeighborMechanism sn;
   ClusterConfig cluster = GoldenCluster();
   cluster.backend = backend;
   if (threads > 0) cluster.execution_threads = threads;
   cluster.trace = trace;
+  cluster.shuffle_budget = budget;
   if (name == "basic") {
     // Basic uses the main blocking functions only.
     std::vector<FamilySpec> mains;

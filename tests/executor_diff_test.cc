@@ -396,6 +396,8 @@ TEST(ThreadedTraceTest, SpansReconcileWithMrCounters) {
   int64_t shuffles = 0;
   int64_t saves = 0;
   int64_t restores = 0;
+  int64_t spill_writes = 0;
+  int64_t spill_merges = 0;
   for (const TraceSpan& span : recorder.spans()) {
     // Wall-clock stamps: monotone, and placed on worker lanes (the
     // threaded backend has no machine placement).
@@ -429,6 +431,14 @@ TEST(ThreadedTraceTest, SpansReconcileWithMrCounters) {
       case SpanKind::kRetryBackoff:
         ADD_FAILURE() << "no backoff configured, yet a backoff span exists";
         break;
+      case SpanKind::kSpillWrite:
+        ++spill_writes;
+        EXPECT_GE(span.records_in, 0);
+        EXPECT_GE(span.bytes, 0);
+        break;
+      case SpanKind::kSpillMerge:
+        ++spill_merges;
+        break;
     }
   }
 
@@ -440,6 +450,8 @@ TEST(ThreadedTraceTest, SpansReconcileWithMrCounters) {
   EXPECT_EQ(shuffles, kReduceTasks);
   EXPECT_EQ(saves, r.counters.Get("mr.checkpoint.saved"));
   EXPECT_EQ(restores, r.counters.Get("mr.checkpoint.restored"));
+  EXPECT_EQ(spill_writes, r.counters.Get("mr.spill.runs"));
+  EXPECT_EQ(spill_merges, r.counters.Get("mr.spill.merge_passes"));
   // The plan actually produced retries, a timeout kill and checkpoint
   // traffic — the reconciliation above is not vacuous.
   EXPECT_GT(failed, 0);

@@ -44,10 +44,30 @@ def load(path):
     calibration = report.get("calibration_ops_per_sec", 0.0)
     if not calibration or calibration <= 0.0:
         sys.exit(f"{path}: missing or non-positive calibration_ops_per_sec")
-    metrics = {m["name"]: m for m in report.get("metrics", [])}
+    metrics = {}
+    for m in report.get("metrics", []):
+        name = m.get("name")
+        if not name:
+            sys.exit(f"{path}: metric entry without a \"name\": {m!r}")
+        metrics[name] = m
     if not metrics:
         sys.exit(f"{path}: no metrics")
     return report, calibration, metrics
+
+
+def malformed(metric):
+    """Reason a metric entry cannot be compared, or None if it is fine.
+
+    A hand-edited or truncated baseline can lack "kind" or "value"; the gate
+    reports that as a per-metric failure instead of dying with a KeyError,
+    so the rest of the report still prints.
+    """
+    if metric.get("kind") not in ("sim", "wall"):
+        return f"bad kind {metric.get('kind')!r}"
+    if not isinstance(metric.get("value"), (int, float)) or isinstance(
+            metric.get("value"), bool):
+        return f"bad value {metric.get('value')!r}"
+    return None
 
 
 def main():
@@ -78,6 +98,18 @@ def main():
     failures = 0
     for name, base in sorted(base_metrics.items()):
         cur = cur_metrics.get(name)
+        broken = malformed(base)
+        if broken:
+            print(f"{name:44s} {'?':5s} {'-':>14s} {'-':>14s} {'-':>9s}  "
+                  f"FAIL (baseline metric malformed: {broken})")
+            failures += 1
+            continue
+        if cur is not None and malformed(cur):
+            print(f"{name:44s} {base['kind']:5s} {base['value']:14.6g} "
+                  f"{'-':>14s} {'-':>9s}  FAIL (current metric malformed: "
+                  f"{malformed(cur)})")
+            failures += 1
+            continue
         if cur is None:
             print(f"{name:44s} {base['kind']:5s} {base['value']:14.6g} "
                   f"{'MISSING':>14s} {'-':>9s}  FAIL (metric disappeared)")

@@ -8,6 +8,7 @@
 //       --train-truth=train_truth.tsv --machines=10 --out=pairs.tsv
 //       [--basic] [--budget=50000] [--scheduler=ours|nosplit|lpt]
 //       [--backend=simulated|threaded] [--threads=N]
+//       [--shuffle-max-mem=256] [--spill-dir=/tmp/spills]
 //       [--fault-prob=0.1] [--fault-seed=1] [--max-attempts=4]
 //       [--hang-prob=0.05] [--task-timeout=600]
 //       [--shuffle-corrupt-prob=0.01] [--poison-records=3,17,90]
@@ -250,6 +251,14 @@ int CmdResolve(const std::map<std::string, std::string>& flags) {
         1, std::min(hw, std::max(cluster.map_slots(),
                                  cluster.reduce_slots())));
   }
+  // Shuffle memory budget: --shuffle-max-mem=MB caps the in-memory map
+  // output per job; overflow spills to sorted runs under --spill-dir (or
+  // the system temp directory). 0 or absent = unbounded, never spill.
+  if (flags.count("shuffle-max-mem")) {
+    const long long mb = std::atoll(flags.at("shuffle-max-mem").c_str());
+    cluster.shuffle_budget.max_bytes = static_cast<int64_t>(mb) * 1024 * 1024;
+  }
+  cluster.shuffle_budget.spill_dir = GetFlag(flags, "spill-dir", "");
   // Any fault knob turns the fault machinery on; ValidateClusterConfig then
   // rejects out-of-range values with a labelled message.
   const bool any_fault_flag =
@@ -498,6 +507,14 @@ int Usage() {
       "  --threads=N               threaded-backend worker threads "
       "(default: hardware concurrency,\n"
       "                            capped at the cluster's slot capacity)\n"
+      "\n"
+      "resolve shuffle-budget flags:\n"
+      "  --shuffle-max-mem=MB      cap on buffered map output per job; "
+      "overflow spills to\n"
+      "                            sorted on-disk runs (default: unbounded, "
+      "never spill)\n"
+      "  --spill-dir=DIR           directory for spill runs (default: "
+      "system temp dir)\n"
       "\n"
       "resolve fault-injection flags (any of them enables fault "
       "simulation):\n"
