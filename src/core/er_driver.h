@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -69,9 +71,32 @@ class TaskStateRegistry {
   // and a re-attempt restores the latest snapshot (or a fresh State when
   // none exists) rather than replaying from scratch. `store` must outlive
   // the job's Run. State must be copyable.
+  //
+  // With `encode`/`decode` supplied, they are installed on the store as its
+  // type-erased driver-state codec, which persisted snapshots need
+  // (CheckpointStore::ConfigurePersistence): a restarted process rebuilds
+  // the State from the serialized blob instead of the dead process's
+  // pointer. `decode` returning false marks the snapshot corrupt.
   template <typename Job>
-  void InstallCheckpointRecovery(Job* job, double alpha,
-                                 CheckpointStore* store) {
+  void InstallCheckpointRecovery(
+      Job* job, double alpha, CheckpointStore* store,
+      std::function<std::string(const State&)> encode = nullptr,
+      std::function<bool(std::string_view, State*)> decode = nullptr) {
+    if (encode != nullptr && decode != nullptr) {
+      store->SetStateCodec(
+          [encode = std::move(encode)](
+              const std::shared_ptr<const void>& state) -> std::string {
+            return state == nullptr
+                       ? std::string()
+                       : encode(*static_cast<const State*>(state.get()));
+          },
+          [decode = std::move(decode)](
+              std::string_view blob) -> std::shared_ptr<const void> {
+            auto state = std::make_shared<State>();
+            if (!decode(blob, state.get())) return nullptr;
+            return state;
+          });
+    }
     job->set_checkpointing(
         alpha, store,
         [this](int task_id) -> std::shared_ptr<const void> {

@@ -1,8 +1,11 @@
 #include "core/progressive_er.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -88,6 +91,133 @@ struct KvCodec<ResolveValue> {
     return true;
   }
 };
+
+namespace {
+
+// Canonical wire form of a ResolveTaskState snapshot, used by persisted
+// checkpoints (CheckpointStore::ConfigurePersistence). Deterministic field
+// order — unordered maps are serialized sorted by key, resolved-pair sets
+// sorted by value — so equal states encode byte-identically, and a decode
+// on the restarted process rebuilds exactly the state the dead process
+// snapshotted. Doubles travel as raw IEEE bits (varint-packed) for an
+// exact round trip.
+std::string EncodeResolveTaskState(const ResolveTaskState& state) {
+  std::string out;
+  PutVarint64(state.raw_events.size(), &out);
+  for (const auto& [cost, pair] : state.raw_events) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &cost, sizeof(bits));
+    PutVarint64(bits, &out);
+    PutVarint64(pair, &out);
+  }
+  PutVarint64(static_cast<uint64_t>(state.duplicates), &out);
+  PutVarint64(static_cast<uint64_t>(state.distinct), &out);
+  PutVarint64(static_cast<uint64_t>(state.skipped), &out);
+
+  std::vector<int32_t> keys;
+  keys.reserve(state.resolved.size());
+  for (const auto& [key, pairs] : state.resolved) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  PutVarint64(keys.size(), &out);
+  for (const int32_t key : keys) {
+    PutVarint64(ZigZagEncode(key), &out);
+    const auto& set = state.resolved.at(key);
+    std::vector<PairKey> pairs(set.begin(), set.end());
+    std::sort(pairs.begin(), pairs.end());
+    PutVarint64(pairs.size(), &out);
+    for (const PairKey pair : pairs) PutVarint64(pair, &out);
+  }
+
+  keys.clear();
+  for (const auto& [key, values] : state.tree_values) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  PutVarint64(keys.size(), &out);
+  for (const int32_t key : keys) {
+    PutVarint64(ZigZagEncode(key), &out);
+    const auto& values = state.tree_values.at(key);
+    PutVarint64(values.size(), &out);
+    for (const ResolveValue& value : values) {
+      KvCodec<ResolveValue>::Encode(value, &out);
+    }
+  }
+  PutVarint64(state.next_block, &out);
+  return out;
+}
+
+bool DecodeResolveTaskState(std::string_view in, ResolveTaskState* state) {
+  size_t offset = 0;
+  const auto remaining = [&] { return in.size() - offset; };
+  uint64_t count = 0;
+  if (!GetVarint64(in, &offset, &count) || count > remaining()) return false;
+  state->raw_events.clear();
+  state->raw_events.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t bits = 0;
+    uint64_t pair = 0;
+    if (!GetVarint64(in, &offset, &bits) ||
+        !GetVarint64(in, &offset, &pair)) {
+      return false;
+    }
+    double cost = 0.0;
+    std::memcpy(&cost, &bits, sizeof(cost));
+    state->raw_events.emplace_back(cost, pair);
+  }
+  uint64_t duplicates = 0;
+  uint64_t distinct = 0;
+  uint64_t skipped = 0;
+  if (!GetVarint64(in, &offset, &duplicates) ||
+      !GetVarint64(in, &offset, &distinct) ||
+      !GetVarint64(in, &offset, &skipped)) {
+    return false;
+  }
+  state->duplicates = static_cast<int64_t>(duplicates);
+  state->distinct = static_cast<int64_t>(distinct);
+  state->skipped = static_cast<int64_t>(skipped);
+
+  if (!GetVarint64(in, &offset, &count) || count > remaining()) return false;
+  state->resolved.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t raw = 0;
+    uint64_t pairs = 0;
+    if (!GetVarint64(in, &offset, &raw) ||
+        !GetVarint64(in, &offset, &pairs) || pairs > remaining()) {
+      return false;
+    }
+    auto& set =
+        state->resolved[static_cast<int32_t>(ZigZagDecode(raw))];
+    set.reserve(pairs);
+    for (uint64_t p = 0; p < pairs; ++p) {
+      uint64_t pair = 0;
+      if (!GetVarint64(in, &offset, &pair)) return false;
+      set.insert(pair);
+    }
+  }
+
+  if (!GetVarint64(in, &offset, &count) || count > remaining()) return false;
+  state->tree_values.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t raw = 0;
+    uint64_t values = 0;
+    if (!GetVarint64(in, &offset, &raw) ||
+        !GetVarint64(in, &offset, &values) || values > remaining()) {
+      return false;
+    }
+    auto& group =
+        state->tree_values[static_cast<int32_t>(ZigZagDecode(raw))];
+    group.reserve(values);
+    for (uint64_t v = 0; v < values; ++v) {
+      ResolveValue value;
+      if (!KvCodec<ResolveValue>::Decode(in, &offset, &value)) return false;
+      group.push_back(std::move(value));
+    }
+  }
+  uint64_t next_block = 0;
+  if (!GetVarint64(in, &offset, &next_block)) return false;
+  state->next_block = static_cast<size_t>(next_block);
+  return offset == in.size();
+}
+
+}  // namespace
 
 ProgressiveEr::ProgressiveEr(const BlockingConfig& blocking,
                              const MatchFunction& match,
@@ -289,8 +419,16 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
     // and the retry resumes from the latest snapshot.
     TaskStateRegistry<ResolveTaskState> states(reduce_tasks);
     CheckpointStore checkpoints;
-    if (options_.checkpoint_recovery) {
-      states.InstallCheckpointRecovery(&job, options_.alpha, &checkpoints);
+    const bool persist = !options_.checkpoint_dir.empty();
+    if (options_.checkpoint_recovery || persist) {
+      states.InstallCheckpointRecovery(&job, options_.alpha, &checkpoints,
+                                       EncodeResolveTaskState,
+                                       DecodeResolveTaskState);
+      if (persist) {
+        checkpoints.ConfigurePersistence(options_.checkpoint_dir,
+                                         "resolution", options_.resume,
+                                         options_.crash_after_checkpoints);
+      }
     } else {
       states.InstallAbortReset(&job);
     }

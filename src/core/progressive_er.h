@@ -73,6 +73,20 @@ struct ProgressiveErOptions {
   // only the re-executed work (and so the simulated timeline and "mr."
   // bookkeeping) shrinks.
   bool checkpoint_recovery = false;
+
+  // Cross-process restart: a non-empty dir persists the resolution job's
+  // checkpoints to disk (CRC-framed, atomically replaced), implying
+  // checkpoint_recovery. With `resume`, a fresh process restores each
+  // task's surviving snapshot and replays only past it — byte-identical
+  // resolved pairs, strictly fewer re-resolved ones. A finished run deletes
+  // its snapshot files (a completed job must not be resumed).
+  std::string checkpoint_dir;
+  bool resume = false;
+
+  // > 0 kills the process (exit code 17, no unwind) after that many
+  // persisted checkpoint saves — the deterministic mid-run crash behind the
+  // restart tests and progres_cli --crash-after-checkpoints.
+  int crash_after_checkpoints = 0;
 };
 
 // The paper's parallel progressive ER approach: a statistics job

@@ -3,7 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "mapreduce/counters.h"
@@ -44,6 +47,11 @@ struct TaskCheckpoint {
   size_t outputs = 0;       // length of the task's output vector
   Counters counters;        // user counters at the boundary
   std::shared_ptr<const void> driver_state;  // driver save-hook snapshot
+  // KvCodec-encoded copy of the task's output vector at the boundary.
+  // Filled only when the store persists to disk (an in-process restore
+  // reuses the live context's outputs); a resumed *process* decodes it to
+  // rebuild the outputs a dead process can no longer hand over.
+  std::string encoded_outputs;
 };
 
 // Per-job checkpoint store: the latest snapshot plus the boundary-cost
@@ -51,11 +59,39 @@ struct TaskCheckpoint {
 // "mr.checkpoint.saved" / "mr.checkpoint.restored".
 class CheckpointStore {
  public:
+  // Type-erased codec for the driver-state half of a snapshot. Installed by
+  // the driver alongside its save/restore hooks; without one, persisted
+  // snapshots carry an empty driver blob (jobs whose reduce state lives
+  // entirely in the job-side context need none).
+  using StateEncodeFn =
+      std::function<std::string(const std::shared_ptr<const void>&)>;
+  using StateDecodeFn =
+      std::function<std::shared_ptr<const void>(std::string_view)>;
+
   CheckpointStore() = default;
+
+  // Arms disk persistence: every accepted Save is also written atomically
+  // (temp file + rename) to `dir`/`tag`-task<N>.ckpt, CRC-framed. With
+  // `resume`, the next Reset loads the surviving files back — a process
+  // killed mid-job can restart and replay only past the last persisted
+  // boundary. Snapshots failing validation on load are ignored (and
+  // tallied); the task simply replays from scratch. `crash_after_saves`
+  // > 0 kills the process (std::_Exit) after that many persisted saves —
+  // the deterministic crash hook behind the restart tests and the CLI's
+  // --crash-after-checkpoints. Empty `dir` disarms persistence.
+  void ConfigurePersistence(std::string dir, std::string tag, bool resume,
+                            int crash_after_saves = 0);
+
+  // Installs the driver-state codec used by persisted saves/loads.
+  void SetStateCodec(StateEncodeFn encode, StateDecodeFn decode);
+
+  bool persistent() const { return !dir_.empty(); }
 
   // Drops all snapshots and tallies and resizes to `num_tasks` slots.
   // MapReduceJob::Run calls this at submission, so a store can be reused
-  // across runs.
+  // across runs. Persistence config survives; with resume armed, each
+  // task's persisted snapshot (if any, and valid) is loaded back and
+  // marked preloaded.
   void Reset(int num_tasks);
 
   int num_tasks() const { return static_cast<int>(slots_.size()); }
@@ -76,9 +112,20 @@ class CheckpointStore {
   // points for machine-killed attempts.
   const std::vector<double>& RecoveryPoints(int t) const;
 
+  // True while task `t`'s latest snapshot is one loaded from disk by a
+  // resume (no save from this process has replaced it yet) — the signal
+  // job.h turns into "mr.restart.restored_tasks" and kRestartRestore spans.
+  bool Preloaded(int t) const;
+
   // Job-wide tallies.
   int64_t saved() const;
   int64_t restored() const;
+  // Persisted snapshots that failed validation on a resume load.
+  int64_t corrupt_checkpoints() const { return corrupt_checkpoints_; }
+
+  // Deletes this store's persisted files (called after a successful job —
+  // a finished job must not be "resumed").
+  void CleanupPersisted();
 
  private:
   struct Slot {
@@ -86,8 +133,22 @@ class CheckpointStore {
     std::vector<double> points;
     int64_t saved = 0;
     int64_t restored = 0;
+    bool preloaded = false;
   };
+
+  std::string PersistPath(int t) const;
+  void PersistSave(int t, const TaskCheckpoint& checkpoint);
+  bool LoadPersisted(int t, TaskCheckpoint* checkpoint);
+
   std::vector<Slot> slots_;
+  std::string dir_;
+  std::string tag_;
+  bool resume_ = false;
+  int crash_after_saves_ = 0;
+  int64_t persisted_saves_ = 0;
+  int64_t corrupt_checkpoints_ = 0;
+  StateEncodeFn encode_state_;
+  StateDecodeFn decode_state_;
 };
 
 }  // namespace progres

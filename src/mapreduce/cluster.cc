@@ -182,6 +182,32 @@ std::string ValidateClusterConfig(const ClusterConfig& cluster) {
              std::to_string(fault.poison_records[i]) + ")";
     }
   }
+  if (fault.spill_enospc_prob < 0.0 || fault.spill_enospc_prob > 1.0) {
+    return "fault.spill_enospc_prob must be in [0, 1] (got " +
+           std::to_string(fault.spill_enospc_prob) + ")";
+  }
+  if (fault.spill_write_error_prob < 0.0 ||
+      fault.spill_write_error_prob > 1.0) {
+    return "fault.spill_write_error_prob must be in [0, 1] (got " +
+           std::to_string(fault.spill_write_error_prob) + ")";
+  }
+  if (fault.spill_torn_write_prob < 0.0 ||
+      fault.spill_torn_write_prob > 1.0) {
+    return "fault.spill_torn_write_prob must be in [0, 1] (got " +
+           std::to_string(fault.spill_torn_write_prob) + ")";
+  }
+  if (fault.spill_corrupt_prob < 0.0 || fault.spill_corrupt_prob > 1.0) {
+    return "fault.spill_corrupt_prob must be in [0, 1] (got " +
+           std::to_string(fault.spill_corrupt_prob) + ")";
+  }
+  if (fault.max_spill_retries < 0) {
+    return "fault.max_spill_retries must be >= 0 (got " +
+           std::to_string(fault.max_spill_retries) + ")";
+  }
+  if (fault.spill_retry_backoff_seconds < 0.0) {
+    return "fault.spill_retry_backoff_seconds must be >= 0 (got " +
+           std::to_string(fault.spill_retry_backoff_seconds) + ")";
+  }
   return "";
 }
 

@@ -26,6 +26,11 @@ struct ShuffleBudget {
   int64_t max_bytes = 0;
   int64_t block_bytes = 256 * 1024;
   std::string spill_dir;
+  // Optional secondary spill directory. A map task whose primary dir
+  // becomes unusable mid-attempt (ENOSPC, exhausted write retries) fails
+  // over here instead of failing the job; empty means no fallback and the
+  // historical sticky-spill-error behaviour.
+  std::string fallback_spill_dir;
 };
 
 // Configuration of the simulated Hadoop-style cluster. Mirrors the paper's

@@ -39,6 +39,22 @@ namespace progres {
 //   mr.checkpoint.saved     reduce-task snapshots saved (checkpointing only)
 //   mr.checkpoint.restored  snapshots restored by re-attempts (ditto)
 //   mr.skipped.records      poison records quarantined by skip-bad-records
+//   mr.disk.write_errors    spill write tries that failed (injected + real)
+//   mr.disk.retries         spill writes retried after a transient error
+//                           (reconciles 1:1 with kSpillRetry trace spans)
+//   mr.disk.retry_backoff_seconds  modeled spill-retry backoff (rounded)
+//   mr.disk.enospc          planned full-disk discoveries on the primary
+//                           spill dir
+//   mr.disk.torn_writes     spill runs truncated after an apparent success
+//   mr.disk.corrupt_runs    spill runs failing CRC validation at the map
+//                           barrier (reconciles 1:1 with kRunCorrupt spans)
+//   mr.disk.map_reruns      map re-runs triggered by corrupt spill runs
+//   mr.disk.dir_failovers   primary -> fallback spill-dir switches
+//   mr.restart.restored_tasks  reduce tasks resumed from checkpoints
+//                           persisted by an earlier process (reconciles 1:1
+//                           with kRestartRestore spans)
+//   mr.restart.corrupt_checkpoints  persisted snapshots failing validation
+//                           on load (ignored; the task replays instead)
 // Counters that would be zero stay absent, so a fault-free job's counter
 // set is unchanged by these features. User counters merge independently of
 // the reserved ones: the runtime only ever increments "mr." names, and a

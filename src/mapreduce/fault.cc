@@ -37,6 +37,21 @@ constexpr uint64_t kMachineTimeSalt = 0x7139e0a1ULL;
 constexpr uint64_t kHangSalt = 0x4a46c0deULL;
 constexpr uint64_t kHangPointSalt = 0x51e9d2b7ULL;
 constexpr uint64_t kFetchSalt = 0xc0221f7eULL;
+constexpr uint64_t kDiskFullSalt = 0xe205bcf1ULL;
+constexpr uint64_t kDiskWriteSalt = 0xe10aa3d7ULL;
+constexpr uint64_t kDiskTornSalt = 0x70a2f9b3ULL;
+constexpr uint64_t kDiskFlipSalt = 0xb17f11b5ULL;
+constexpr uint64_t kDiskOffsetSalt = 0x0ff5e7c9ULL;
+
+// Hash chain for per-(task, run, generation[, try]) spill decisions.
+uint64_t HashSpill(uint64_t seed, uint64_t salt, int task, int run,
+                   int generation) {
+  uint64_t h = SplitMix64(seed ^ salt);
+  h = SplitMix64(h ^ static_cast<uint64_t>(task));
+  h = SplitMix64(h ^ static_cast<uint64_t>(run));
+  h = SplitMix64(h ^ static_cast<uint64_t>(generation));
+  return h;
+}
 
 uint64_t HashMachine(uint64_t seed, int machine, uint64_t salt) {
   uint64_t h = SplitMix64(seed ^ salt);
@@ -138,6 +153,72 @@ int FaultPlan::CorruptFetches(int map_task, int reduce_task, int cap) const {
     ++corrupt;
   }
   return corrupt;
+}
+
+bool FaultPlan::HasDiskFaults() const {
+  return config_.enabled && (config_.spill_enospc_prob > 0.0 ||
+                             config_.spill_write_error_prob > 0.0 ||
+                             config_.spill_torn_write_prob > 0.0 ||
+                             config_.spill_corrupt_prob > 0.0);
+}
+
+bool FaultPlan::SpillPrimaryFull(int task) const {
+  if (!config_.enabled) return false;
+  const double prob = config_.spill_enospc_prob;
+  if (prob <= 0.0) return false;
+  if (prob >= 1.0) return true;
+  uint64_t h = SplitMix64(config_.seed ^ kDiskFullSalt);
+  h = SplitMix64(h ^ static_cast<uint64_t>(task));
+  return HashToUnit(h) < prob;
+}
+
+bool FaultPlan::SpillWriteError(int task, int run, int generation,
+                                int try_index) const {
+  if (!config_.enabled) return false;
+  const double prob = config_.spill_write_error_prob;
+  if (prob <= 0.0) return false;
+  if (prob >= 1.0) return true;
+  uint64_t h = HashSpill(config_.seed, kDiskWriteSalt, task, run, generation);
+  h = SplitMix64(h ^ static_cast<uint64_t>(try_index));
+  return HashToUnit(h) < prob;
+}
+
+int FaultPlan::SpillWriteErrors(int task, int run, int generation,
+                                int cap) const {
+  int errors = 0;
+  while (errors < cap && SpillWriteError(task, run, generation, errors)) {
+    ++errors;
+  }
+  return errors;
+}
+
+bool FaultPlan::SpillTornWrite(int task, int run, int generation) const {
+  if (!config_.enabled) return false;
+  const double prob = config_.spill_torn_write_prob;
+  if (prob <= 0.0) return false;
+  if (prob >= 1.0) return true;
+  return HashToUnit(HashSpill(config_.seed, kDiskTornSalt, task, run,
+                              generation)) < prob;
+}
+
+bool FaultPlan::SpillCorrupted(int task, int run, int generation) const {
+  if (!config_.enabled) return false;
+  const double prob = config_.spill_corrupt_prob;
+  if (prob <= 0.0) return false;
+  if (prob >= 1.0) return true;
+  return HashToUnit(HashSpill(config_.seed, kDiskFlipSalt, task, run,
+                              generation)) < prob;
+}
+
+uint64_t FaultPlan::SpillCorruptOffset(int task, int run, int generation,
+                                       uint64_t file_bytes) const {
+  if (file_bytes == 0) return 0;
+  return HashSpill(config_.seed, kDiskOffsetSalt, task, run, generation) %
+         file_bytes;
+}
+
+int FaultPlan::max_spill_retries() const {
+  return std::max(0, config_.max_spill_retries);
 }
 
 bool FaultPlan::IsPoisonRecord(int64_t record) const {

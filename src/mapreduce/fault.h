@@ -112,6 +112,41 @@ struct FaultConfig {
   double shuffle_corrupt_prob = 0.0;
   int max_fetch_retries = 3;
 
+  // ---- Storage (spill I/O) faults ----
+  // Disk faults hit the map-side spill path of the out-of-core shuffle.
+  // The fault domain is each map task's local disk: every decision is a
+  // pure function of (seed, map task, run index, generation, write try), so
+  // the threaded backend reproduces the simulated one exactly. `generation`
+  // counts the task's executions (retried attempts and barrier-time re-runs
+  // both advance it), so a regenerated run eventually comes clean.
+  //
+  //   * spill_enospc_prob — per map task: its primary spill dir is "full";
+  //     every write there fails until the task fails over to the secondary
+  //     dir (ShuffleBudget::fallback_spill_dir). Without a fallback the job
+  //     fails with the labelled spill error. "mr.disk.enospc".
+  //   * spill_write_error_prob — per (task, run, try): a transient EIO; the
+  //     write is retried with a flat backoff up to max_spill_retries times,
+  //     then the task fails over (or errors). "mr.disk.write_errors" /
+  //     "mr.disk.retries" / "mr.disk.retry_backoff_seconds".
+  //   * spill_torn_write_prob — per (task, run, generation): the write
+  //     "succeeds" but the file is truncated short; undetectable at write
+  //     time, caught by the run's CRC at the map barrier.
+  //     "mr.disk.torn_writes".
+  //   * spill_corrupt_prob — per (task, run, generation): one byte of the
+  //     written file is flipped at rest; caught by the CRC at the barrier.
+  //
+  // A run failing its barrier CRC check re-runs the producing map task
+  // (mirroring the shuffle-corruption map re-run), "mr.disk.corrupt_runs" /
+  // "mr.disk.map_reruns", up to max_attempts re-runs before the job fails.
+  double spill_enospc_prob = 0.0;
+  double spill_write_error_prob = 0.0;
+  double spill_torn_write_prob = 0.0;
+  double spill_corrupt_prob = 0.0;
+  // Retries per spill-run write after a transient error, and the simulated
+  // delay charged per retry.
+  int max_spill_retries = 3;
+  double spill_retry_backoff_seconds = 0.0;
+
   // ---- Poison records (Hadoop's skip-bad-records feature) ----
   // Global input-record indices that deterministically crash any map
   // attempt processing them. With `skip_bad_records` set, a record that has
@@ -189,6 +224,41 @@ class FaultPlan {
   // starting at fetch 0, capped at `cap`. A return value >= cap means
   // re-fetching never succeeded within the retry budget.
   int CorruptFetches(int map_task, int reduce_task, int cap) const;
+
+  // Whether any storage-fault probability is configured — the runtime's
+  // gate for the spill-path injection and barrier CRC validation.
+  bool HasDiskFaults() const;
+
+  // Whether map task `task`'s primary spill directory is planned "full"
+  // (ENOSPC on every write there). Per-task: a re-run of the task sees the
+  // same full disk and fails over again.
+  bool SpillPrimaryFull(int task) const;
+
+  // Whether write try `try_index` (0 = the initial write) of spill run
+  // `run` in the task's execution `generation` hits a transient error.
+  bool SpillWriteError(int task, int run, int generation,
+                       int try_index) const;
+
+  // Consecutive transient write errors for the run starting at try 0,
+  // capped at `cap`. >= cap means the retry budget never sufficed.
+  int SpillWriteErrors(int task, int run, int generation, int cap) const;
+
+  // Whether the run's write is planned torn (file truncated short although
+  // the write reports success).
+  bool SpillTornWrite(int task, int run, int generation) const;
+
+  // Whether the run's file is planned bit-flipped at rest after a
+  // successful write.
+  bool SpillCorrupted(int task, int run, int generation) const;
+
+  // Deterministic byte offset to corrupt in a `file_bytes`-long run file.
+  uint64_t SpillCorruptOffset(int task, int run, int generation,
+                              uint64_t file_bytes) const;
+
+  int max_spill_retries() const;
+  double spill_retry_backoff_seconds() const {
+    return config_.spill_retry_backoff_seconds;
+  }
 
   // Whether the global input record index is configured as poison.
   bool IsPoisonRecord(int64_t record) const;

@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -297,6 +298,22 @@ class MapReduceJob {
           finish_wall();
           return result;
         }
+        // The optional fallback dir is resolved and probed with the same
+        // rigour — a failover target discovered broken mid-spill would turn
+        // graceful degradation into a second outage.
+        if (!budget.fallback_spill_dir.empty()) {
+          std::string fallback_error;
+          spill.fallback_dir =
+              ResolveSpillDir(budget.fallback_spill_dir, &fallback_error);
+          if (spill.fallback_dir.empty()) {
+            result.failed = true;
+            result.error = "shuffle budget unusable: " + fallback_error;
+            result.timing.map_end = submit_time;
+            result.timing.end = submit_time;
+            finish_wall();
+            return result;
+          }
+        }
         spill.enabled = true;
         spill.task_buffer_bytes =
             std::max(budget.block_bytes,
@@ -314,7 +331,27 @@ class MapReduceJob {
     result.timing.wall.threads = threaded ? wall->threads() : 1;
     if (checkpointing()) checkpoint_store_->Reset(num_reduce_tasks_);
 
-    const FaultPlan plan(cluster.fault);
+    // PROGRES_DISK_FAULTS drives the storage fault domain through
+    // unmodified configs, mirroring PROGRES_FORCE_SPILL: whenever spilling
+    // is active, small planned disk-fault probabilities are overlaid so
+    // test suites exercise retry/re-run recovery everywhere. Enabling the
+    // plan with every other fault family at zero probability changes
+    // nothing else — outputs stay byte-identical by design.
+    FaultConfig fault_config = cluster.fault;
+    if (shuffle_.spill_config().enabled &&
+        std::getenv("PROGRES_DISK_FAULTS") != nullptr) {
+      fault_config.enabled = true;
+      if (fault_config.spill_write_error_prob == 0.0) {
+        fault_config.spill_write_error_prob = 0.02;
+      }
+      if (fault_config.spill_torn_write_prob == 0.0) {
+        fault_config.spill_torn_write_prob = 0.01;
+      }
+      if (fault_config.spill_corrupt_prob == 0.0) {
+        fault_config.spill_corrupt_prob = 0.01;
+      }
+    }
+    const FaultPlan plan(fault_config);
     const std::vector<MachineFault> machine_failures =
         plan.MachineFailures(cluster.machines);
     const bool heterogeneous = !cluster.machine_speed.empty();
@@ -385,6 +422,29 @@ class MapReduceJob {
     // counter and the spill-merge trace spans.
     std::vector<typename JobShuffle::GatherStats> gather_stats(
         static_cast<size_t>(num_reduce_tasks_));
+    // Storage-fault bookkeeping. `map_generation[t]` numbers every
+    // execution of map task t (attempt retries and barrier re-runs alike)
+    // so each draws fresh disk-fault decisions and unique run-file names;
+    // `disk_totals[t]` accumulates the surviving executions' disk stats
+    // (failed attempts' are discarded with the rest of their artifacts);
+    // `corrupt_run_events` records every spill run that failed CRC
+    // validation at the barrier, for the kRunCorrupt trace spans.
+    std::vector<int> map_generation(static_cast<size_t>(num_map_tasks_), 0);
+    std::vector<typename JobShuffle::MapOutput::DiskStats> disk_totals(
+        static_cast<size_t>(num_map_tasks_));
+    struct CorruptRunEvent {
+      int task;
+      int64_t records;
+      int64_t bytes;
+    };
+    std::vector<CorruptRunEvent> corrupt_run_events;
+    // Cross-process restart bookkeeping: reduce tasks whose first restore
+    // this run came from a checkpoint persisted by an earlier process, and
+    // the restored boundary cost (for the kRestartRestore spans).
+    std::vector<char> restart_restored(static_cast<size_t>(num_reduce_tasks_),
+                                       0);
+    std::vector<double> restart_restore_cost(
+        static_cast<size_t>(num_reduce_tasks_), 0.0);
     // Poison-record state, keyed by FaultPlan::PoisonIndex. Records
     // partition into disjoint per-map-task ranges, so each entry is only
     // ever touched by one task's thread.
@@ -436,7 +496,6 @@ class MapReduceJob {
       for (int t = 0; t < num_map_tasks_; ++t) {
         const auto& runs =
             map_ctx[static_cast<size_t>(t)].output_.spill_runs();
-        if (runs.empty()) continue;
         WallAttempt winner;
         if (!wall->WinningAttempt(TaskPhase::kMap, t, &winner)) continue;
         for (const SpillRun& run : runs) {
@@ -454,6 +513,42 @@ class MapReduceJob {
           span.bytes = run.bytes;
           cluster.trace->RecordSpan(span);
         }
+        // Spill-retry marks, one per retried write — reconciled 1:1 with
+        // "mr.disk.retries".
+        for (int64_t i = 0; i < disk_totals[static_cast<size_t>(t)].retries;
+             ++i) {
+          TraceSpan span;
+          span.kind = SpanKind::kSpillRetry;
+          span.phase = TaskPhase::kMap;
+          span.pid = pid;
+          span.task = t;
+          span.attempt = winner.attempt;
+          span.machine = -1;
+          span.slot = winner.worker;
+          span.start = winner.end;
+          span.end = winner.end;
+          cluster.trace->RecordSpan(span);
+        }
+      }
+      // Corrupt-run marks at the barrier (where CRC validation runs) —
+      // reconciled 1:1 with "mr.disk.corrupt_runs".
+      for (const CorruptRunEvent& event : corrupt_run_events) {
+        TraceSpan span;
+        span.kind = SpanKind::kRunCorrupt;
+        span.phase = TaskPhase::kMap;
+        span.pid = pid;
+        span.task = event.task;
+        span.machine = -1;
+        WallAttempt winner;
+        span.slot = wall->WinningAttempt(TaskPhase::kMap, event.task, &winner)
+                        ? winner.worker
+                        : -1;
+        span.attempt = winner.attempt;
+        span.start = map_wall_end;
+        span.end = map_wall_end;
+        span.records_in = event.records;
+        span.bytes = event.bytes;
+        cluster.trace->RecordSpan(span);
       }
       for (size_t t = 0; t < result.reduce_stats.size(); ++t) {
         WallAttempt winner;
@@ -489,6 +584,22 @@ class MapReduceJob {
           merge.bytes = gs.spilled_bytes;
           cluster.trace->RecordSpan(merge);
         }
+        // Restart-restore marks, one per task resumed from a persisted
+        // checkpoint — reconciled 1:1 with "mr.restart.restored_tasks".
+        if (restart_restored[t]) {
+          TraceSpan restore;
+          restore.kind = SpanKind::kRestartRestore;
+          restore.phase = TaskPhase::kReduce;
+          restore.pid = pid;
+          restore.task = static_cast<int>(t);
+          restore.attempt = winner.attempt;
+          restore.machine = -1;
+          restore.slot = winner.worker;
+          restore.start = winner.start;
+          restore.end = winner.start;
+          restore.cost_units = restart_restore_cost[t];
+          cluster.trace->RecordSpan(restore);
+        }
       }
     };
     {
@@ -497,11 +608,16 @@ class MapReduceJob {
       for (int t = 0; t < num_map_tasks_; ++t) {
         map_ctx[static_cast<size_t>(t)].task_id_ = t;
       }
-      map_runner.RunAll(
-          pool, wall.get(),
-          [this, &map_ctx](int t) {
-            ResetMapContext(&map_ctx[static_cast<size_t>(t)]);
-          },
+      // Hoisted so the barrier's CRC-recovery loop can re-run a map task
+      // whose spill runs failed validation: reset, then the body, exactly
+      // as a scheduled attempt would. Each execution bumps the task's
+      // generation — fresh disk-fault decisions, fresh run-file names.
+      const auto reset_map = [this, &map_ctx, &map_generation, &plan](int t) {
+        ResetMapContext(&map_ctx[static_cast<size_t>(t)]);
+        map_ctx[static_cast<size_t>(t)].output_.ConfigureSpill(
+            &plan, map_generation[static_cast<size_t>(t)]++);
+      };
+      const auto run_map_body =
           [this, &input, &map_fn, &map_ctx, n, &plan, &cluster,
            poison_active, &poison_crashes, &poison_quarantined,
            &quarantined_by_task](const TaskAttemptRunner::Attempt& attempt) {
@@ -551,8 +667,9 @@ class MapReduceJob {
             }
             out.cost = ctx.clock_.units();
             return out;
-          },
-          task_abort_);
+          };
+      map_runner.RunAll(pool, wall.get(), reset_map, run_map_body,
+                        task_abort_);
       if (threaded) wall->EndPhase(TaskPhase::kMap);
       result.timing.wall.map_seconds = wall_watch.ElapsedSeconds();
 
@@ -611,6 +728,120 @@ class MapReduceJob {
         stamp_wall_trace();
         finish_wall();
         return result;
+      }
+
+      // ---- CRC validation of the spill runs the merges will trust ----
+      // Torn writes and flipped bytes are silent at write time; the barrier
+      // re-reads every winning run against its CRC before any reduce-side
+      // merge trusts the bytes. A task with an invalid run re-runs in place
+      // — a fresh generation with fresh fault decisions, mirroring the
+      // shuffle-corruption map re-run — and each re-run stalls the reduce
+      // tasks it feeds for the map's run time. The attempt budget caps the
+      // rounds; exhausting it fails the job with a labelled error.
+      if (shuffle_.spill_config().enabled && plan.HasDiskFaults()) {
+        const auto accumulate_disk = [&map_ctx, &disk_totals](int t) {
+          const auto& stats =
+              map_ctx[static_cast<size_t>(t)].output_.disk_stats();
+          auto& total = disk_totals[static_cast<size_t>(t)];
+          total.write_errors += stats.write_errors;
+          total.retries += stats.retries;
+          total.enospc += stats.enospc;
+          total.torn_writes += stats.torn_writes;
+          total.dir_failovers += stats.dir_failovers;
+          total.backoff_seconds += stats.backoff_seconds;
+        };
+        int64_t corrupt_runs = 0;
+        int64_t disk_map_reruns = 0;
+        for (int t = 0; t < num_map_tasks_ && !result.failed; ++t) {
+          MapContext& ctx = map_ctx[static_cast<size_t>(t)];
+          for (int round = 1;; ++round) {
+            int64_t bad = 0;
+            for (const SpillRun& run : ctx.output_.spill_runs()) {
+              if (ValidateSpillRun(run)) continue;
+              ++bad;
+              ++corrupt_runs;
+              corrupt_run_events.push_back({t, run.records, run.bytes});
+            }
+            if (bad == 0) break;
+            if (round >= plan.max_attempts()) {
+              result.failed = true;
+              result.error = "map task " + std::to_string(t) +
+                             ": spill runs failed CRC validation after " +
+                             std::to_string(round) + " generations";
+              break;
+            }
+            ++disk_map_reruns;
+            for (int r = 0; r < num_reduce_tasks_; ++r) {
+              fetch_stalls[static_cast<size_t>(r)] +=
+                  map_runner.attempt_costs()[static_cast<size_t>(t)].back() *
+                  cluster.seconds_per_cost_unit;
+            }
+            accumulate_disk(t);
+            reset_map(t);
+            TaskAttemptRunner::Attempt rerun;
+            rerun.task = t;
+            run_map_body(rerun);
+            if (!ctx.output_.spill_error().empty()) {
+              result.failed = true;
+              result.error = "map task " + std::to_string(t) + ": " +
+                             ctx.output_.spill_error();
+              break;
+            }
+          }
+        }
+        for (int t = 0; t < num_map_tasks_; ++t) accumulate_disk(t);
+        // The surviving executions' storage-fault tallies, exported under
+        // "mr.disk.*" (zero counters stay absent, as everywhere).
+        typename JobShuffle::MapOutput::DiskStats sum;
+        for (const auto& total : disk_totals) {
+          sum.write_errors += total.write_errors;
+          sum.retries += total.retries;
+          sum.enospc += total.enospc;
+          sum.torn_writes += total.torn_writes;
+          sum.dir_failovers += total.dir_failovers;
+          sum.backoff_seconds += total.backoff_seconds;
+        }
+        if (sum.write_errors > 0) {
+          result.counters.Increment("mr.disk.write_errors", sum.write_errors);
+        }
+        if (sum.retries > 0) {
+          result.counters.Increment("mr.disk.retries", sum.retries);
+        }
+        if (sum.backoff_seconds > 0.0) {
+          result.counters.Increment(
+              "mr.disk.retry_backoff_seconds",
+              static_cast<int64_t>(std::llround(sum.backoff_seconds)));
+        }
+        if (sum.enospc > 0) {
+          result.counters.Increment("mr.disk.enospc", sum.enospc);
+        }
+        if (sum.torn_writes > 0) {
+          result.counters.Increment("mr.disk.torn_writes", sum.torn_writes);
+        }
+        if (sum.dir_failovers > 0) {
+          result.counters.Increment("mr.disk.dir_failovers",
+                                    sum.dir_failovers);
+        }
+        if (corrupt_runs > 0) {
+          result.counters.Increment("mr.disk.corrupt_runs", corrupt_runs);
+        }
+        if (disk_map_reruns > 0) {
+          result.counters.Increment("mr.disk.map_reruns", disk_map_reruns);
+        }
+        if (result.failed) {
+          AttemptScheduleOutcome map_schedule = ScheduleTaskAttemptsOnCluster(
+              map_runner.attempt_costs(),
+              phase_options(TaskPhase::kMap, map_speeds,
+                            cluster.map_slots_per_machine, submit_time,
+                            map_runner));
+          MergeRecoveryCounters(map_schedule, &result.counters);
+          result.timing.map_attempts = std::move(map_schedule.attempts);
+          result.timing.map_end = map_schedule.end_time;
+          result.timing.end = map_schedule.end_time;
+          stamp_wall_trace();
+          finish_wall();
+          return result;
+        }
       }
 
       // Post-combine shuffle volume of the winning map attempts.
@@ -712,11 +943,20 @@ class MapReduceJob {
       reduce_runner.RunAll(
           pool, wall.get(),
           [this, &reduce_ctx, &reduce_attempt_bases, &attempt_base,
-           &attempt_skip, &wall, &cluster, threaded](int t) {
+           &attempt_skip, &restart_restored, &restart_restore_cost, &wall,
+           &cluster, threaded](int t) {
             ReduceContext& ctx = reduce_ctx[static_cast<size_t>(t)];
             const TaskCheckpoint* checkpoint =
                 checkpointing() ? checkpoint_store_->Latest(t) : nullptr;
             if (checkpoint != nullptr) {
+              // A snapshot still marked preloaded came off disk from an
+              // earlier process — this restore is a cross-process restart,
+              // tallied separately under "mr.restart.restored_tasks".
+              if (checkpoint_store_->Preloaded(t)) {
+                restart_restored[static_cast<size_t>(t)] = 1;
+                restart_restore_cost[static_cast<size_t>(t)] =
+                    checkpoint->cost;
+              }
               RestoreReduceContext(&ctx, *checkpoint);
               if (checkpoint_restore_) {
                 checkpoint_restore_(t, checkpoint->driver_state.get());
@@ -845,6 +1085,18 @@ class MapReduceJob {
         result.counters.Increment("mr.checkpoint.restored",
                                   checkpoint_store_->restored());
       }
+      if (checkpointing()) {
+        int64_t restored_tasks = 0;
+        for (const char flag : restart_restored) restored_tasks += flag;
+        if (restored_tasks > 0) {
+          result.counters.Increment("mr.restart.restored_tasks",
+                                    restored_tasks);
+        }
+        if (checkpoint_store_->corrupt_checkpoints() > 0) {
+          result.counters.Increment("mr.restart.corrupt_checkpoints",
+                                    checkpoint_store_->corrupt_checkpoints());
+        }
+      }
     }
 
     // ---- Simulated timing (failed attempts, retries, machine faults) ----
@@ -887,6 +1139,50 @@ class MapReduceJob {
           span.bytes = run.bytes;
           cluster.trace->RecordSpan(span);
         }
+        // One zero-duration retry mark per transient spill-write retry the
+        // task survived — reconciles with "mr.disk.retries".
+        for (int64_t i = 0;
+             i < disk_totals[static_cast<size_t>(a.task)].retries; ++i) {
+          TraceSpan span;
+          span.kind = SpanKind::kSpillRetry;
+          span.phase = TaskPhase::kMap;
+          span.pid = cluster.trace->current_pid();
+          span.task = a.task;
+          span.attempt = a.attempt;
+          span.machine = a.slot / cluster.map_slots_per_machine;
+          span.slot = a.slot;
+          span.start = a.end;
+          span.end = a.end;
+          cluster.trace->RecordSpan(span);
+        }
+      }
+      // Corrupt spill runs surface at the map barrier, where the CRC
+      // validation pass reads them back — reconciles with
+      // "mr.disk.corrupt_runs".
+      for (const CorruptRunEvent& event : corrupt_run_events) {
+        int slot = -1;
+        int attempt = 0;
+        for (const TaskAttemptTiming& a : result.timing.map_attempts) {
+          if (a.won && a.task == event.task) {
+            slot = a.slot;
+            attempt = a.attempt;
+            break;
+          }
+        }
+        TraceSpan span;
+        span.kind = SpanKind::kRunCorrupt;
+        span.phase = TaskPhase::kMap;
+        span.pid = cluster.trace->current_pid();
+        span.task = event.task;
+        span.attempt = attempt;
+        span.machine =
+            slot >= 0 ? slot / cluster.map_slots_per_machine : -1;
+        span.slot = slot;
+        span.start = result.timing.map_end;
+        span.end = result.timing.map_end;
+        span.records_in = event.records;
+        span.bytes = event.bytes;
+        cluster.trace->RecordSpan(span);
       }
     }
 
@@ -982,12 +1278,35 @@ class MapReduceJob {
           merge.bytes = gs.spilled_bytes;
           cluster.trace->RecordSpan(merge);
         }
+        // A task resumed from a previous process's persisted snapshot marks
+        // the restore at its winning attempt's start — reconciles with
+        // "mr.restart.restored_tasks".
+        if (restart_restored[static_cast<size_t>(a.task)]) {
+          TraceSpan span;
+          span.kind = SpanKind::kRestartRestore;
+          span.phase = TaskPhase::kReduce;
+          span.pid = cluster.trace->current_pid();
+          span.task = a.task;
+          span.attempt = a.attempt;
+          span.machine = a.slot / cluster.reduce_slots_per_machine;
+          span.slot = a.slot;
+          span.start = a.start;
+          span.end = a.start;
+          span.cost_units =
+              restart_restore_cost[static_cast<size_t>(a.task)];
+          cluster.trace->RecordSpan(span);
+        }
       }
     }
 
     MergeSpeculationCounters(result.timing, &result.counters);
     stamp_wall_trace();
     finish_wall();
+    // A finished job must not be resumable: drop its persisted snapshots.
+    if (checkpointing() && checkpoint_store_->persistent() &&
+        !result.failed) {
+      checkpoint_store_->CleanupPersisted();
+    }
     return result;
   }
 
@@ -1022,6 +1341,23 @@ class MapReduceJob {
     ctx->stats_ = TaskStats();
     ctx->stats_.records_in = checkpoint.records_in;
     ctx->stats_.pairs_out = checkpoint.pairs_out;
+    if (ctx->outputs_.size() < checkpoint.outputs &&
+        !checkpoint.encoded_outputs.empty()) {
+      // A snapshot loaded from disk by a restarted process: the live
+      // context never held the outputs, so decode the persisted copy.
+      ctx->outputs_.clear();
+      const std::string_view view(checkpoint.encoded_outputs);
+      size_t offset = 0;
+      while (offset < view.size()) {
+        K key;
+        V value;
+        if (!KvCodec<K>::Decode(view, &offset, &key) ||
+            !KvCodec<V>::Decode(view, &offset, &value)) {
+          break;
+        }
+        ctx->outputs_.emplace_back(std::move(key), std::move(value));
+      }
+    }
     if (ctx->outputs_.size() > checkpoint.outputs) {
       ctx->outputs_.erase(
           ctx->outputs_.begin() +
@@ -1055,6 +1391,14 @@ class MapReduceJob {
     checkpoint.pairs_out = ctx->stats_.pairs_out;
     checkpoint.outputs = ctx->outputs_.size();
     checkpoint.counters = ctx->counters_;
+    if (checkpoint_store_->persistent()) {
+      // A restarted process can't reuse this context's live outputs, so a
+      // persisted snapshot carries an encoded copy of them.
+      for (const auto& kv : ctx->outputs_) {
+        KvCodec<K>::Encode(kv.first, &checkpoint.encoded_outputs);
+        KvCodec<V>::Encode(kv.second, &checkpoint.encoded_outputs);
+      }
+    }
     if (checkpoint_save_) checkpoint.driver_state = checkpoint_save_(task);
     checkpoint_store_->Save(task, std::move(checkpoint));
     if (wall != nullptr && wall_trace != nullptr) {

@@ -59,7 +59,11 @@ struct StageReport {
 // Outcome of a Pipeline run.
 struct PipelineResult {
   // Counters merged across every executed stage, including a failing one
-  // (so the runtime's "mr." bookkeeping survives failures).
+  // (so the runtime's "mr." bookkeeping survives failures). The data-plane
+  // fault tallies ("mr.disk.*", "mr.restart.*") merge like any other "mr."
+  // counter: a pipeline whose statistics and resolution jobs both hit
+  // injected disk faults reports their sum here, while the per-stage
+  // reports keep the per-job values the trace spans reconcile against.
   Counters counters;
   std::vector<StageReport> stages;
   double start = 0.0;

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "mapreduce/fault.h"
 #include "mapreduce/serde.h"
 #include "mapreduce/spill.h"
 
@@ -72,6 +73,11 @@ class Shuffle {
     int64_t task_buffer_bytes = 0;
     int64_t block_bytes = 256 * 1024;
     std::string dir;  // resolved, writable spill directory
+    // Optional secondary spill directory (resolved). A map task whose
+    // primary dir becomes unusable — planned ENOSPC, or a write-retry
+    // budget exhausted — fails over here for the rest of the attempt
+    // instead of failing the job. Empty means no fallback.
+    std::string fallback_dir;
   };
 
   // Merge accounting of one GatherSorted call, reconciled against the
@@ -115,6 +121,18 @@ class Shuffle {
   // run files (winning outputs live until the job's map contexts die).
   class MapOutput {
    public:
+    // Storage-fault tallies of one map attempt's spill writes, merged into
+    // the "mr.disk.*" counters from winning attempts only (Reset discards a
+    // failed attempt's, like every other per-attempt artifact).
+    struct DiskStats {
+      int64_t write_errors = 0;     // failed write tries (injected or real)
+      int64_t retries = 0;          // retried tries (== kSpillRetry spans)
+      int64_t enospc = 0;           // planned full-disk discoveries
+      int64_t torn_writes = 0;      // runs truncated after a "success"
+      int64_t dir_failovers = 0;    // primary -> fallback switches
+      double backoff_seconds = 0;   // modeled retry backoff, accumulated
+    };
+
     MapOutput() = default;
     MapOutput(const MapOutput&) = delete;
     MapOutput& operator=(const MapOutput&) = delete;
@@ -132,6 +150,21 @@ class Shuffle {
       mem_bytes_ = 0;
       spilled_volume_ = {};
       spill_error_.clear();
+      fault_plan_ = nullptr;
+      generation_ = 0;
+      use_fallback_ = false;
+      disk_stats_ = {};
+    }
+
+    // Arms (or, with a null plan, disarms) storage-fault injection for the
+    // attempt about to run. `generation` numbers this execution of the task
+    // — attempt retries and barrier-triggered re-runs each bump it — so
+    // every execution draws fresh fault decisions and names its run files
+    // uniquely (no collision with a stale file from a killed attempt).
+    // Call after Reset: Reset clears the fault context.
+    void ConfigureSpill(const FaultPlan* plan, int generation) {
+      fault_plan_ = plan != nullptr && plan->HasDiskFaults() ? plan : nullptr;
+      generation_ = generation;
     }
 
     // Routes one pair to its partition's block chain, encoded. Crossing the
@@ -169,6 +202,10 @@ class Shuffle {
     // map barrier (the buffered data stayed in memory, but the budget
     // contract is broken and the configuration needs fixing, not retrying).
     const std::string& spill_error() const { return spill_error_; }
+    // Storage-fault tallies of this attempt's spill writes so far.
+    const DiskStats& disk_stats() const { return disk_stats_; }
+    // This execution's generation number (set by ConfigureSpill).
+    int generation() const { return generation_; }
 
    private:
     friend class Shuffle;
@@ -232,12 +269,7 @@ class Shuffle {
         records[static_cast<size_t>(r)] = static_cast<int64_t>(pairs.size());
       }
       SpillRun run;
-      if (!WriteSpillRun(NextSpillPath(shuffle_->spill_.dir, task_), payloads,
-                         records, &run)) {
-        spill_error_ = "spill write failed in " + shuffle_->spill_.dir +
-                       " (map task " + std::to_string(task_) + ")";
-        return;
-      }
+      if (!WriteRunWithFaults(payloads, records, &run)) return;
       for (int r = 0; r < shuffle_->num_partitions_; ++r) {
         spill_crc_[static_cast<size_t>(r)] =
             Crc32(payloads[static_cast<size_t>(r)],
@@ -249,6 +281,93 @@ class Shuffle {
       buckets_.clear();
       buckets_.resize(static_cast<size_t>(shuffle_->num_partitions_));
       mem_bytes_ = 0;
+    }
+
+    // Writes the run under the storage-fault discipline: a planned ENOSPC
+    // on the task's first primary write fails the whole attempt over to the
+    // fallback dir; transient write errors (injected by the plan, or real)
+    // are retried with modeled backoff up to the plan's budget, exhaustion
+    // failing over too; with no fallback available the attempt keeps the
+    // existing sticky spill_error_ behaviour. After a successful *primary*
+    // write the plan may materialize a torn write (truncated tail) or a
+    // flipped byte — silent here, caught by ValidateSpillRun at the map
+    // barrier. Fallback-dir writes are injection-free, so re-runs converge.
+    // False when spill_error_ was set (the run is dropped, buffers stay).
+    bool WriteRunWithFaults(const std::vector<std::string>& payloads,
+                            const std::vector<int64_t>& records,
+                            SpillRun* run) {
+      const int run_index = static_cast<int>(runs_.size());
+      const FaultPlan* plan = fault_plan_;
+      if (!use_fallback_ && plan != nullptr &&
+          plan->SpillPrimaryFull(task_)) {
+        ++disk_stats_.enospc;
+        if (!FailOver()) return false;
+      }
+      const int max_retries =
+          plan != nullptr ? plan->max_spill_retries() : 0;
+      int tries = 0;
+      for (;;) {
+        const bool injected_error =
+            !use_fallback_ && plan != nullptr &&
+            plan->SpillWriteError(task_, run_index, generation_, tries);
+        const bool ok =
+            !injected_error &&
+            WriteSpillRun(NextSpillPath(dir(), task_, generation_), payloads,
+                          records, run);
+        if (ok) break;
+        ++disk_stats_.write_errors;
+        if (tries < max_retries) {
+          ++tries;
+          ++disk_stats_.retries;
+          if (plan != nullptr) {
+            disk_stats_.backoff_seconds += plan->spill_retry_backoff_seconds();
+          }
+          continue;
+        }
+        // Retry budget exhausted: this directory is unusable.
+        if (!use_fallback_ && plan != nullptr) {
+          if (!FailOver()) return false;
+          tries = 0;
+          continue;
+        }
+        spill_error_ = "spill write failed in " + dir() + " (map task " +
+                       std::to_string(task_) + ")";
+        return false;
+      }
+      if (!use_fallback_ && plan != nullptr && run->bytes > 0) {
+        if (plan->SpillTornWrite(task_, run_index, generation_)) {
+          if (TruncateSpillFile(run->path, run->bytes - 1)) {
+            ++disk_stats_.torn_writes;
+          }
+        } else if (plan->SpillCorrupted(task_, run_index, generation_)) {
+          CorruptSpillByte(
+              run->path,
+              static_cast<int64_t>(plan->SpillCorruptOffset(
+                  task_, run_index, generation_,
+                  static_cast<uint64_t>(run->bytes))));
+        }
+      }
+      return true;
+    }
+
+    // Switches this attempt's remaining spill writes to the fallback dir.
+    // Without one configured, sets the labelled sticky spill_error_.
+    bool FailOver() {
+      if (shuffle_->spill_.fallback_dir.empty()) {
+        spill_error_ = "spill dir " + shuffle_->spill_.dir +
+                       " unusable and no fallback spill dir configured "
+                       "(map task " + std::to_string(task_) + ")";
+        return false;
+      }
+      use_fallback_ = true;
+      ++disk_stats_.dir_failovers;
+      return true;
+    }
+
+    // The directory this attempt's next spill write targets.
+    const std::string& dir() const {
+      return use_fallback_ ? shuffle_->spill_.fallback_dir
+                           : shuffle_->spill_.dir;
     }
 
     void DeleteSpillFiles() {
@@ -271,6 +390,11 @@ class Shuffle {
     Volume spilled_volume_;
     std::string spill_error_;
     std::string scratch_;
+    // Storage-fault context of the current execution (see ConfigureSpill).
+    const FaultPlan* fault_plan_ = nullptr;
+    int generation_ = 0;
+    bool use_fallback_ = false;
+    DiskStats disk_stats_;
   };
 
   // Applies the combiner to every partition's *in-memory* records of a

@@ -8,6 +8,8 @@
 #include <filesystem>
 #include <system_error>
 
+#include "mapreduce/serde.h"
+
 namespace progres {
 
 namespace fs = std::filesystem;
@@ -44,12 +46,13 @@ std::string ResolveSpillDir(const std::string& dir, std::string* error) {
   return path.string();
 }
 
-std::string NextSpillPath(const std::string& dir, int task) {
+std::string NextSpillPath(const std::string& dir, int task, int attempt) {
   static std::atomic<uint64_t> counter{0};
   const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
   return (fs::path(dir) /
           ("progres-spill-" + std::to_string(::getpid()) + "-" +
-           std::to_string(n) + "-map" + std::to_string(task) + ".run"))
+           std::to_string(n) + "-map" + std::to_string(task) + "-a" +
+           std::to_string(attempt) + ".run"))
       .string();
 }
 
@@ -62,6 +65,7 @@ bool WriteSpillRun(const std::string& path,
   run->segments.reserve(partitions.size());
   run->records = 0;
   run->bytes = 0;
+  run->crc = 0;
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
   int64_t offset = 0;
@@ -73,6 +77,7 @@ bool WriteSpillRun(const std::string& path,
       RemoveSpillFile(path);
       return false;
     }
+    run->crc = Crc32(payload, run->crc);
     SpillSegment segment;
     segment.offset = offset;
     segment.bytes = static_cast<int64_t>(payload.size());
@@ -93,6 +98,42 @@ bool WriteSpillRun(const std::string& path,
 void RemoveSpillFile(const std::string& path) {
   std::error_code ec;
   fs::remove(path, ec);
+}
+
+bool ValidateSpillRun(const SpillRun& run) {
+  std::ifstream in(run.path, std::ios::binary);
+  if (!in) return false;
+  uint32_t crc = 0;
+  int64_t bytes = 0;
+  char buffer[1 << 16];
+  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+    const std::streamsize got = in.gcount();
+    crc = Crc32(std::string_view(buffer, static_cast<size_t>(got)), crc);
+    bytes += got;
+    if (bytes > run.bytes) return false;  // overlong file: not what we wrote
+    if (in.eof()) break;
+    if (!in) return false;
+  }
+  return bytes == run.bytes && crc == run.crc;
+}
+
+bool TruncateSpillFile(const std::string& path, int64_t bytes) {
+  std::error_code ec;
+  fs::resize_file(path, static_cast<uintmax_t>(std::max<int64_t>(0, bytes)),
+                  ec);
+  return !ec;
+}
+
+bool CorruptSpillByte(const std::string& path, int64_t offset) {
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  if (!file || !file.seekg(offset)) return false;
+  char byte = 0;
+  if (!file.get(byte)) return false;
+  byte = static_cast<char>(byte ^ 0x40);
+  if (!file.seekp(offset) || !file.put(byte)) return false;
+  file.flush();
+  return static_cast<bool>(file);
 }
 
 SpillSegmentReader::SpillSegmentReader(const std::string& path,

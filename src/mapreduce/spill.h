@@ -24,12 +24,16 @@ struct SpillSegment {
   int64_t records = 0;
 };
 
-// One spill run: the file plus its partition index and totals.
+// One spill run: the file plus its partition index and totals. `crc` is
+// the CRC32 of the whole file as written; ValidateSpillRun re-reads the
+// file against it to catch torn writes and at-rest corruption before the
+// reduce-side merge trusts the bytes.
 struct SpillRun {
   std::string path;
   std::vector<SpillSegment> segments;
   int64_t records = 0;  // across all partitions
-  int64_t bytes = 0;    // file size
+  int64_t bytes = 0;    // file size as written
+  uint32_t crc = 0;     // CRC32 over the file as written
 };
 
 // Resolves and prepares the spill directory: `dir` itself, or the system
@@ -39,10 +43,13 @@ struct SpillRun {
 // with it instead of discovering the problem mid-spill.
 std::string ResolveSpillDir(const std::string& dir, std::string* error);
 
-// A collision-free path for the next spill run of map task `task`, under
-// `dir`. Uniqueness combines the process id with a process-wide counter, so
-// concurrent jobs (and map tasks on pool workers) never reuse a name.
-std::string NextSpillPath(const std::string& dir, int task);
+// A collision-free path for the next spill run of map task `task`'s
+// execution `attempt`, under `dir`. Uniqueness combines the process id with
+// a process-wide counter, so concurrent jobs (and map tasks on pool
+// workers) never reuse a name; the attempt id keeps a re-run or speculative
+// execution of the task from ever resolving to a stale run file left by a
+// killed attempt.
+std::string NextSpillPath(const std::string& dir, int task, int attempt = 0);
 
 // Writes `partitions` (one encoded payload per partition, concatenated in
 // partition order) to `path` and fills `*run` with the path, segment index
@@ -55,6 +62,19 @@ bool WriteSpillRun(const std::string& path,
 
 // Removes a spill-run file, ignoring errors (cleanup paths must not throw).
 void RemoveSpillFile(const std::string& path);
+
+// Re-reads the run's file and checks it against the size and CRC32 recorded
+// at write time. False on a short/overlong file, a CRC mismatch, or any
+// read error — the run cannot be trusted and its producer must re-run.
+bool ValidateSpillRun(const SpillRun& run);
+
+// Deterministic storage-fault materializers (spill fault injection).
+// TruncateSpillFile shortens the file to `bytes` (a torn write: the writer
+// saw success, the tail never hit the platter). CorruptSpillByte flips one
+// bit of the byte at `offset` (at-rest corruption). Both return false when
+// the file cannot be rewritten.
+bool TruncateSpillFile(const std::string& path, int64_t bytes);
+bool CorruptSpillByte(const std::string& path, int64_t offset);
 
 // Buffered sequential reader over one segment of a spill-run file. The
 // caller decodes records from window() and Consume()s them; when a decode

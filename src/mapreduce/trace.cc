@@ -152,6 +152,12 @@ std::string SpanName(const TraceSpan& span) {
       return "spill run task " + std::to_string(span.task);
     case SpanKind::kSpillMerge:
       return "spill merge task " + std::to_string(span.task);
+    case SpanKind::kSpillRetry:
+      return "spill retry task " + std::to_string(span.task);
+    case SpanKind::kRunCorrupt:
+      return "corrupt spill run task " + std::to_string(span.task);
+    case SpanKind::kRestartRestore:
+      return "restart restore task " + std::to_string(span.task);
   }
   return "span";
 }
@@ -170,6 +176,11 @@ const char* SpanCategory(const TraceSpan& span) {
     case SpanKind::kSpillWrite:
     case SpanKind::kSpillMerge:
       return "spill";
+    case SpanKind::kSpillRetry:
+    case SpanKind::kRunCorrupt:
+      return "disk-fault";
+    case SpanKind::kRestartRestore:
+      return "restart";
   }
   return "span";
 }
@@ -404,11 +415,13 @@ std::string TraceRecorder::ToSlotTimeline() const {
         } else if (span->kind == SpanKind::kShuffle) {
           out += " records_in=" + std::to_string(span->records_in);
         } else if (span->kind == SpanKind::kSpillWrite ||
-                   span->kind == SpanKind::kSpillMerge) {
+                   span->kind == SpanKind::kSpillMerge ||
+                   span->kind == SpanKind::kRunCorrupt) {
           out += " records=" + std::to_string(span->records_in) +
                  " bytes=" + std::to_string(span->bytes);
         } else if (span->kind == SpanKind::kCheckpointSave ||
-                   span->kind == SpanKind::kCheckpointRestore) {
+                   span->kind == SpanKind::kCheckpointRestore ||
+                   span->kind == SpanKind::kRestartRestore) {
           out += " @" + FormatFixed(span->cost_units);
         }
         out += "\n";

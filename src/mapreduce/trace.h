@@ -40,6 +40,9 @@ enum class SpanKind {
   kRetryBackoff,       // re-dispatch delay after a failure
   kSpillWrite,         // a map task wrote a sorted spill run to disk
   kSpillMerge,         // a reduce gather k-way merged spill runs
+  kSpillRetry,         // a spill write failed transiently and was retried
+  kRunCorrupt,         // a spill run failed CRC validation at the barrier
+  kRestartRestore,     // a task resumed from a persisted checkpoint file
 };
 
 // How an attempt span ended. Non-attempt spans keep kNone.

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <utility>
 #include <vector>
@@ -97,7 +98,9 @@ const ChaosWorld& World() {
   return *world;
 }
 
-// All fault families at once, derived from one seed.
+// All fault families at once, derived from one seed — including the
+// storage domain: transient spill-write errors, torn writes, run
+// corruption and planned ENOSPC on the primary spill dir.
 FaultConfig ChaosFault(uint64_t seed, double machine_death_time) {
   FaultConfig fault;
   fault.enabled = true;
@@ -114,7 +117,25 @@ FaultConfig ChaosFault(uint64_t seed, double machine_death_time) {
   fault.max_fetch_retries = 1;
   fault.poison_records = kPoisonRecords;
   fault.skip_bad_records = true;
+  fault.spill_write_error_prob = 0.1;
+  fault.spill_torn_write_prob = 0.05;
+  fault.spill_corrupt_prob = 0.05;
+  fault.spill_enospc_prob = 0.05;
+  fault.spill_retry_backoff_seconds = 0.1;
   return fault;
+}
+
+// Spills every map output through run files so the storage faults have a
+// surface to hit; ENOSPC discoveries fail over to the fallback dir.
+ShuffleBudget ChaosBudget() {
+  const std::filesystem::path fallback =
+      std::filesystem::temp_directory_path() / "progres_chaos_fallback";
+  std::filesystem::create_directories(fallback);
+  ShuffleBudget budget;
+  budget.max_bytes = 1;
+  budget.block_bytes = 4096;
+  budget.fallback_spill_dir = fallback.string();
+  return budget;
 }
 
 TEST(ChaosTest, TenSeedsResolveIdenticalNonQuarantinedPairs) {
@@ -129,6 +150,7 @@ TEST(ChaosTest, TenSeedsResolveIdenticalNonQuarantinedPairs) {
     TraceRecorder trace;
     ProgressiveErOptions options = w.base;
     options.cluster.fault = ChaosFault(seed, w.clean.total_time * 0.4);
+    options.cluster.shuffle_budget = ChaosBudget();
     options.cluster.trace = &trace;
     options.checkpoint_recovery = true;
     const ErRunResult run =
@@ -155,6 +177,13 @@ TEST(ChaosTest, TenSeedsResolveIdenticalNonQuarantinedPairs) {
       if (span.outcome == SpanOutcome::kTimedOut) ++timed_out_spans;
       if (span.outcome == SpanOutcome::kMachineLost) ++machine_lost_spans;
     }
+    int64_t spill_retry_spans = 0;
+    int64_t run_corrupt_spans = 0;
+    for (const TraceSpan& span : trace.spans()) {
+      if (span.pid != pid) continue;
+      if (span.kind == SpanKind::kSpillRetry) ++spill_retry_spans;
+      if (span.kind == SpanKind::kRunCorrupt) ++run_corrupt_spans;
+    }
     int64_t corruption_instants = 0;
     int64_t quarantine_instants = 0;
     for (const TraceInstant& instant : trace.instants()) {
@@ -177,6 +206,10 @@ TEST(ChaosTest, TenSeedsResolveIdenticalNonQuarantinedPairs) {
     // Every checksum error was re-fetched exactly once.
     EXPECT_EQ(run.counters.Get("mr.shuffle.refetches"),
               run.counters.Get("mr.shuffle.checksum_errors"));
+    // Storage-domain ledger: one kSpillRetry span per counted spill retry,
+    // one kRunCorrupt span per run failing CRC validation at the barrier.
+    EXPECT_EQ(spill_retry_spans, run.counters.Get("mr.disk.retries"));
+    EXPECT_EQ(run_corrupt_spans, run.counters.Get("mr.disk.corrupt_runs"));
     EXPECT_EQ(quarantine_instants,
               static_cast<int64_t>(kPoisonRecords.size()));
   }
@@ -187,9 +220,11 @@ TEST(ChaosTest, TenSeedsResolveIdenticalNonQuarantinedPairs) {
 TEST(ChaosTest, SoakCoversEveryFaultFamily) {
   const ChaosWorld& w = World();
   int64_t timeouts = 0, errors = 0, lost = 0, failed = 0;
+  int64_t disk_retries = 0, corrupt_runs = 0, enospc = 0, failovers = 0;
   for (uint64_t seed = 1; seed <= 10; ++seed) {
     ProgressiveErOptions options = w.base;
     options.cluster.fault = ChaosFault(seed, w.clean.total_time * 0.4);
+    options.cluster.shuffle_budget = ChaosBudget();
     const ErRunResult run =
         ProgressiveEr(w.blocking, w.match, w.sn, w.prob, options)
             .Run(w.data.dataset);
@@ -198,12 +233,22 @@ TEST(ChaosTest, SoakCoversEveryFaultFamily) {
     errors += run.counters.Get("mr.shuffle.checksum_errors");
     lost += run.counters.Get("mr.faults.machine_lost");
     failed += run.counters.Get("mr.failed_attempts");
+    disk_retries += run.counters.Get("mr.disk.retries");
+    corrupt_runs += run.counters.Get("mr.disk.corrupt_runs");
+    enospc += run.counters.Get("mr.disk.enospc");
+    failovers += run.counters.Get("mr.disk.dir_failovers");
   }
   EXPECT_GE(timeouts, 1);
   EXPECT_GE(errors, 1);
   EXPECT_GE(lost, 1);
   // Crashes + hangs + poison crashes all feed mr.failed_attempts.
   EXPECT_GE(failed, 10);
+  // The storage domain gets exercised too: transient write errors retried,
+  // corrupt runs caught at the barrier, ENOSPC failed over to the fallback.
+  EXPECT_GE(disk_retries, 1);
+  EXPECT_GE(corrupt_runs, 1);
+  EXPECT_GE(enospc, 1);
+  EXPECT_GE(failovers, 1);
 }
 
 // The tentpole's checkpoint interaction: a reduce attempt killed by the

@@ -129,6 +129,9 @@ TEST_P(DriverMatrixTest, PipelineInvariantsHold) {
 class GoldenEquivalenceTest : public testing::TestWithParam<std::string> {};
 
 TEST_P(GoldenEquivalenceTest, MatchesFrozenFixture) {
+  if (testing_util::DiskFaultOverlayActive()) {
+    GTEST_SKIP() << "fixtures frozen without the disk-fault overlay";
+  }
   const std::string name = GetParam();
   std::ifstream in(std::string(PROGRES_GOLDEN_DIR) + "/" + name + ".golden",
                    std::ios::binary);
@@ -145,6 +148,9 @@ TEST_P(GoldenEquivalenceTest, MatchesFrozenFixture) {
 // untraced run, which the fixture above already pins. The recorder itself
 // must not be left empty, or the check would pass vacuously.
 TEST_P(GoldenEquivalenceTest, TracingLeavesOutputByteIdentical) {
+  if (testing_util::DiskFaultOverlayActive()) {
+    GTEST_SKIP() << "fixtures frozen without the disk-fault overlay";
+  }
   const std::string name = GetParam();
   std::ifstream in(std::string(PROGRES_GOLDEN_DIR) + "/" + name + ".golden",
                    std::ios::binary);

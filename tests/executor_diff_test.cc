@@ -83,6 +83,9 @@ std::vector<GoldenCase> GoldenCases() {
 class BackendGoldenTest : public ::testing::TestWithParam<GoldenCase> {};
 
 TEST_P(BackendGoldenTest, ThreadedRunMatchesFrozenFixture) {
+  if (testing_util::DiskFaultOverlayActive()) {
+    GTEST_SKIP() << "fixtures frozen without the disk-fault overlay";
+  }
   const GoldenCase c = GetParam();
   const std::string threaded =
       RunGoldenDriver(c.driver, nullptr, ExecutionBackend::kThreaded,

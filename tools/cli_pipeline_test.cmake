@@ -53,3 +53,89 @@ if(NOT err MATCHES "invalid trace config")
   message(FATAL_ERROR "unwritable --trace-out error not labelled: ${err}")
 endif()
 message(STATUS "unwritable --trace-out rejected: ${err}")
+
+# An unwritable --spill-dir must be rejected up front, not at the first
+# spill of a long run: point it at a regular file.
+file(WRITE ${WORK}/spill_blocker "x")
+execute_process(COMMAND ${CLI} resolve --data=${WORK}/data.tsv --basic
+                --machines=4 --out=${WORK}/pairs_reject.tsv
+                --spill-dir=${WORK}/spill_blocker
+                RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(code EQUAL 0)
+  message(FATAL_ERROR "unwritable --spill-dir was accepted")
+endif()
+if(NOT err MATCHES "invalid spill config")
+  message(FATAL_ERROR "unwritable --spill-dir error not labelled: ${err}")
+endif()
+message(STATUS "unwritable --spill-dir rejected: ${err}")
+
+# --resume without --checkpoint-dir is a config error.
+execute_process(COMMAND ${CLI} resolve --data=${WORK}/data.tsv
+                --train=${WORK}/train.tsv --train-truth=${WORK}/train_truth.tsv
+                --machines=4 --out=${WORK}/pairs_reject.tsv --resume
+                RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(code EQUAL 0)
+  message(FATAL_ERROR "--resume without --checkpoint-dir was accepted")
+endif()
+if(NOT err MATCHES "invalid checkpoint config")
+  message(FATAL_ERROR "--resume error not labelled: ${err}")
+endif()
+message(STATUS "--resume without --checkpoint-dir rejected: ${err}")
+
+# Disk-fault smoke: forced spilling plus injected storage faults (transient
+# write errors, torn writes, run corruption, ENOSPC onto a fallback dir)
+# must leave the resolved pairs byte-identical to the fault-free run.
+file(MAKE_DIRECTORY ${WORK}/spill_fallback)
+execute_process(COMMAND ${CMAKE_COMMAND} -E env PROGRES_FORCE_SPILL=1
+                ${CLI} resolve --data=${WORK}/data.tsv
+                --train=${WORK}/train.tsv --train-truth=${WORK}/train_truth.tsv
+                --machines=4 --out=${WORK}/pairs_diskfault.tsv
+                --spill-fault-prob=0.05 --spill-enospc-prob=0.1
+                --fallback-spill-dir=${WORK}/spill_fallback
+                RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "disk-faulted resolve failed (${code}): ${out}${err}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK}/pairs.tsv ${WORK}/pairs_diskfault.tsv
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "disk faults changed the resolved pairs")
+endif()
+message(STATUS "disk-faulted resolve is byte-identical")
+
+# Cross-process restart: the crash hook kills the process (exit 17) after
+# the first persisted checkpoint; the --resume rerun restores the dead
+# process's snapshots and must resolve the exact same pairs as an
+# uninterrupted run with the same flags.
+run_cli(resolve --data=${WORK}/data.tsv --train=${WORK}/train.tsv
+        --train-truth=${WORK}/train_truth.tsv --machines=4 --alpha=200
+        --out=${WORK}/pairs_alpha.tsv)
+execute_process(COMMAND ${CLI} resolve --data=${WORK}/data.tsv
+                --train=${WORK}/train.tsv --train-truth=${WORK}/train_truth.tsv
+                --machines=4 --alpha=200 --out=${WORK}/pairs_crashed.tsv
+                --checkpoint-dir=${WORK}/ckpt --crash-after-checkpoints=1
+                RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT code EQUAL 17)
+  message(FATAL_ERROR
+          "crash hook did not kill the process (exit ${code}): ${out}${err}")
+endif()
+file(GLOB leftover_ckpts ${WORK}/ckpt/*.ckpt)
+if(NOT leftover_ckpts)
+  message(FATAL_ERROR "killed process left no persisted checkpoints")
+endif()
+run_cli(resolve --data=${WORK}/data.tsv --train=${WORK}/train.tsv
+        --train-truth=${WORK}/train_truth.tsv --machines=4 --alpha=200
+        --out=${WORK}/pairs_resumed.tsv
+        --checkpoint-dir=${WORK}/ckpt --resume)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK}/pairs_alpha.tsv ${WORK}/pairs_resumed.tsv
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "resumed run changed the resolved pairs")
+endif()
+file(GLOB leftover_ckpts ${WORK}/ckpt/*.ckpt)
+if(leftover_ckpts)
+  message(FATAL_ERROR "finished resume left checkpoints: ${leftover_ckpts}")
+endif()
+message(STATUS "crash + --resume round trip is byte-identical")

@@ -9,10 +9,14 @@
 //       [--basic] [--budget=50000] [--scheduler=ours|nosplit|lpt]
 //       [--backend=simulated|threaded] [--threads=N]
 //       [--shuffle-max-mem=256] [--spill-dir=/tmp/spills]
+//       [--fallback-spill-dir=/mnt/spare]
 //       [--fault-prob=0.1] [--fault-seed=1] [--max-attempts=4]
 //       [--hang-prob=0.05] [--task-timeout=600]
 //       [--shuffle-corrupt-prob=0.01] [--poison-records=3,17,90]
 //       [--skip-bad-records] [--checkpoint-recovery]
+//       [--spill-fault-prob=0.01] [--spill-enospc-prob=0.5]
+//       [--checkpoint-dir=/tmp/ckpt] [--resume]
+//       [--crash-after-checkpoints=N]
 //       [--trace-out=trace.json] [--trace-timeline=timeline.txt]
 //   progres_cli explain --data=data.tsv --train=train.tsv
 //       --train-truth=train_truth.tsv [--machines=10] [--blocks=5]
@@ -27,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
@@ -131,6 +136,27 @@ bool ConfigForSchema(const Dataset& dataset, PipelineConfig* out) {
 bool ProbeWritable(const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   return static_cast<bool>(out);
+}
+
+// Same fail-fast probe for a directory (spill or checkpoint dir): creates
+// and removes a probe file, so a missing directory, a plain file passed as
+// one, or a permission problem surfaces before the run instead of at the
+// first spill or checkpoint save.
+bool ProbeWritableDir(const std::string& dir) {
+  const std::string probe = dir + "/.progres-probe";
+  std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.close();
+  std::remove(probe.c_str());
+  return true;
+}
+
+// Creates the directory if missing (mkdir -p), then probes it: a fresh
+// --checkpoint-dir path is a request, not an error.
+bool EnsureWritableDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return ProbeWritableDir(dir);
 }
 
 bool SavePairs(const std::string& path, const std::vector<PairKey>& pairs) {
@@ -259,13 +285,33 @@ int CmdResolve(const std::map<std::string, std::string>& flags) {
     cluster.shuffle_budget.max_bytes = static_cast<int64_t>(mb) * 1024 * 1024;
   }
   cluster.shuffle_budget.spill_dir = GetFlag(flags, "spill-dir", "");
+  cluster.shuffle_budget.fallback_spill_dir =
+      GetFlag(flags, "fallback-spill-dir", "");
+  // Fail fast on an unusable spill directory (same pattern as --trace-out):
+  // a long resolve run must not discover it at the first spill.
+  if (!cluster.shuffle_budget.spill_dir.empty() &&
+      !ProbeWritableDir(cluster.shuffle_budget.spill_dir)) {
+    std::fprintf(stderr,
+                 "invalid spill config: spill-dir is not writable (got %s)\n",
+                 cluster.shuffle_budget.spill_dir.c_str());
+    return 1;
+  }
+  if (!cluster.shuffle_budget.fallback_spill_dir.empty() &&
+      !ProbeWritableDir(cluster.shuffle_budget.fallback_spill_dir)) {
+    std::fprintf(
+        stderr,
+        "invalid spill config: fallback-spill-dir is not writable (got %s)\n",
+        cluster.shuffle_budget.fallback_spill_dir.c_str());
+    return 1;
+  }
   // Any fault knob turns the fault machinery on; ValidateClusterConfig then
   // rejects out-of-range values with a labelled message.
   const bool any_fault_flag =
       flags.count("fault-prob") || flags.count("hang-prob") ||
       flags.count("task-timeout") || flags.count("shuffle-corrupt-prob") ||
       flags.count("poison-records") || flags.count("skip-bad-records") ||
-      flags.count("max-attempts");
+      flags.count("max-attempts") || flags.count("spill-fault-prob") ||
+      flags.count("spill-enospc-prob");
   if (any_fault_flag) {
     cluster.fault.enabled = true;
     cluster.fault.seed =
@@ -312,12 +358,42 @@ int CmdResolve(const std::map<std::string, std::string>& flags) {
         pos = comma + 1;
       }
     }
+    if (flags.count("spill-fault-prob")) {
+      // One knob covers the three recoverable storage faults; ENOSPC (which
+      // needs a fallback dir to survive) stays on its own flag.
+      const double prob = std::atof(flags.at("spill-fault-prob").c_str());
+      cluster.fault.spill_write_error_prob = prob;
+      cluster.fault.spill_torn_write_prob = prob;
+      cluster.fault.spill_corrupt_prob = prob;
+    }
+    if (flags.count("spill-enospc-prob")) {
+      cluster.fault.spill_enospc_prob =
+          std::atof(flags.at("spill-enospc-prob").c_str());
+    }
     cluster.fault.skip_bad_records = flags.count("skip-bad-records") > 0;
   }
   const std::string cluster_error = ValidateClusterConfig(cluster);
   if (!cluster_error.empty()) {
     std::fprintf(stderr, "invalid cluster config: %s\n",
                  cluster_error.c_str());
+    return 1;
+  }
+  // Cross-process restart flags (progressive resolve only): checkpoints
+  // persist under --checkpoint-dir and --resume restores them after a kill.
+  const std::string checkpoint_dir = GetFlag(flags, "checkpoint-dir", "");
+  if (!checkpoint_dir.empty() && !EnsureWritableDir(checkpoint_dir)) {
+    std::fprintf(
+        stderr,
+        "invalid checkpoint config: checkpoint-dir is not writable (got "
+        "%s)\n",
+        checkpoint_dir.c_str());
+    return 1;
+  }
+  if ((flags.count("resume") || flags.count("crash-after-checkpoints")) &&
+      checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "invalid checkpoint config: --resume and "
+                 "--crash-after-checkpoints require --checkpoint-dir\n");
     return 1;
   }
   const std::string trace_out = GetFlag(flags, "trace-out", "");
@@ -371,6 +447,13 @@ int CmdResolve(const std::map<std::string, std::string>& flags) {
     ProgressiveErOptions options;
     options.cluster = cluster;
     options.checkpoint_recovery = flags.count("checkpoint-recovery") > 0;
+    if (flags.count("alpha")) {
+      options.alpha = std::atof(flags.at("alpha").c_str());
+    }
+    options.checkpoint_dir = checkpoint_dir;
+    options.resume = flags.count("resume") > 0;
+    options.crash_after_checkpoints =
+        std::atoi(GetFlag(flags, "crash-after-checkpoints", "0").c_str());
     options.per_task_cost_budget =
         std::atof(GetFlag(flags, "budget", "0").c_str());
     const std::string scheduler = GetFlag(flags, "scheduler", "ours");
@@ -515,6 +598,10 @@ int Usage() {
       "never spill)\n"
       "  --spill-dir=DIR           directory for spill runs (default: "
       "system temp dir)\n"
+      "  --fallback-spill-dir=DIR  secondary spill directory the job fails "
+      "over to when the\n"
+      "                            primary becomes unusable (ENOSPC, "
+      "exhausted retries)\n"
       "\n"
       "resolve fault-injection flags (any of them enables fault "
       "simulation):\n"
@@ -531,7 +618,28 @@ int Usage() {
       "  --skip-bad-records        quarantine poison records instead of "
       "failing the job\n"
       "  --checkpoint-recovery     resume reduce retries from "
-      "alpha-boundary checkpoints\n");
+      "alpha-boundary checkpoints\n"
+      "  --spill-fault-prob=P      per-run spill-write fault probability "
+      "in [0, 1] (transient\n"
+      "                            write errors, torn writes, bit-flip "
+      "corruption)\n"
+      "  --spill-enospc-prob=P     per-task probability the primary spill "
+      "dir is full in [0, 1]\n"
+      "\n"
+      "resolve cross-process restart flags (progressive resolve only):\n"
+      "  --alpha=COST              incremental-output interval in cost "
+      "units (default 5000);\n"
+      "                            also the checkpoint boundary spacing\n"
+      "  --checkpoint-dir=DIR      persist reduce-task checkpoints here "
+      "(CRC-framed files)\n"
+      "  --resume                  restore persisted checkpoints from "
+      "--checkpoint-dir and\n"
+      "                            replay only past them (byte-identical "
+      "output)\n"
+      "  --crash-after-checkpoints=N  kill the process (exit 17) after N "
+      "persisted saves —\n"
+      "                            deterministic mid-run crash for restart "
+      "testing\n");
   return 2;
 }
 
