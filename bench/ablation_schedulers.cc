@@ -1,0 +1,276 @@
+// Ablation: reduce-side schedulers on a head-heavy workload. The
+// mega-block datagen profile concentrates ~30% of the entities in one
+// title-prefix block, the skew regime the pair-level load balancers of
+// Kolb/Thor/Rahm ("Load Balancing for MapReduce-based Entity Resolution")
+// were designed for. All five schedulers run on the same workload:
+// the three tree schedulers assign whole blocks or trees, BlockSplit
+// carves the oversized block into single/cross sub-block match tasks, and
+// PairRange slices the global pair enumeration into near-equal contiguous
+// ranges. Reported per scheduler: simulated makespan, mean reduce-slot
+// utilisation (from trace attempt spans), time to 70% recall, and the
+// threaded backend's wall time. The resolved pairs must be identical
+// across all five — scheduling decides when pairs are compared and where,
+// never which.
+//
+// "--json[=path]" writes a BENCH_ablation_schedulers.json report for the
+// CI regression gate (tools/compare_bench.py).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/progressive_er.h"
+#include "eval/report.h"
+#include "mechanism/sorted_neighbor.h"
+
+namespace progres {
+namespace {
+
+constexpr int64_t kEntities = 6000;
+constexpr int kMachines = 8;  // 16 reduce slots: the mega block overflows
+                              // the per-task average and must be split
+constexpr double kMegaFraction = 0.3;
+
+struct Variant {
+  const char* label;
+  TreeScheduler scheduler;
+};
+
+const std::vector<Variant>& Variants() {
+  static const std::vector<Variant> variants = {
+      {"nosplit", TreeScheduler::kNoSplit},
+      {"lpt", TreeScheduler::kLpt},
+      {"ours", TreeScheduler::kOurs},
+      {"blocksplit", TreeScheduler::kBlockSplit},
+      {"pairrange", TreeScheduler::kPairRange},
+  };
+  return variants;
+}
+
+// The publication setup with the mega-block skew profile dialed in.
+bench::PublicationSetup MakeMegaSetup() {
+  bench::PublicationSetup setup;
+  PublicationConfig train_gen;
+  train_gen.num_entities = std::max<int64_t>(500, kEntities / 5);
+  train_gen.seed = 2018;
+  setup.train = GeneratePublications(train_gen);
+  PublicationConfig gen;
+  gen.num_entities = kEntities;
+  gen.seed = 2017;
+  gen.mega_block_fraction = kMegaFraction;
+  setup.data = GeneratePublications(gen);
+  setup.blocking = BlockingConfig({{"X", kPubTitle, {2, 4, 8}, -1},
+                                   {"Y", kPubAbstract, {3, 5}, -1},
+                                   {"Z", kPubVenue, {3, 5}, -1}});
+  setup.match = MatchFunction(
+      {{kPubTitle, AttributeSimilarity::kEditDistance, 0.5, 0},
+       {kPubAbstract, AttributeSimilarity::kEditDistance, 0.3, 350},
+       {kPubVenue, AttributeSimilarity::kEditDistance, 0.2, 0}},
+      0.75);
+  setup.prob = ProbabilityModel::Train(setup.train.dataset, setup.train.truth,
+                                       setup.blocking);
+  return setup;
+}
+
+struct VariantResult {
+  ErRunResult simulated;
+  double utilisation = 0.0;     // mean reduce-slot busy fraction
+  double time_to_recall = 0.0;  // simulated seconds to 70% recall
+  double threaded_wall = 0.0;   // threaded backend, real seconds
+};
+
+// Mean busy fraction of the resolution job's reduce slots over the reduce
+// phase's extent, from the recorded attempt spans. Deterministic: the
+// simulated timeline is a pure function of the inputs.
+double ReduceSlotUtilisation(const TraceRecorder& trace, int machines) {
+  const int pid = trace.PidOf("resolution job");
+  if (pid < 0) return 0.0;
+  double busy = 0.0;
+  double lo = 0.0, hi = 0.0;
+  bool any = false;
+  for (const TraceSpan& span : trace.spans()) {
+    if (span.pid != pid || span.kind != SpanKind::kAttempt ||
+        span.phase != TaskPhase::kReduce || span.slot < 0) {
+      continue;
+    }
+    busy += span.end - span.start;
+    if (!any || span.start < lo) lo = span.start;
+    if (!any || span.end > hi) hi = span.end;
+    any = true;
+  }
+  const double slots = 2.0 * machines;
+  return any && hi > lo ? busy / (slots * (hi - lo)) : 0.0;
+}
+
+VariantResult RunVariant(const bench::PublicationSetup& setup,
+                         const Variant& v) {
+  const SortedNeighborMechanism sn;
+  VariantResult out;
+
+  TraceRecorder trace;
+  ProgressiveErOptions options;
+  options.cluster = bench::MakeCluster(kMachines);
+  options.cluster.trace = &trace;
+  options.scheduler = v.scheduler;
+  const ProgressiveEr er(setup.blocking, setup.match, sn, setup.prob,
+                         options);
+  out.simulated = er.Run(setup.data.dataset);
+  if (out.simulated.failed) return out;
+  out.utilisation = ReduceSlotUtilisation(trace, kMachines);
+  const RecallCurve curve =
+      RecallCurve::FromEvents(out.simulated.events, setup.data.truth);
+  out.time_to_recall = curve.TimeToRecall(0.7);
+
+  ProgressiveErOptions threaded_options;
+  threaded_options.cluster = bench::MakeCluster(kMachines);
+  threaded_options.cluster.backend = ExecutionBackend::kThreaded;
+  threaded_options.cluster.execution_threads = 8;
+  threaded_options.scheduler = v.scheduler;
+  const ProgressiveEr threaded_er(setup.blocking, setup.match, sn, setup.prob,
+                                  threaded_options);
+  const ErRunResult threaded = threaded_er.Run(setup.data.dataset);
+  if (threaded.failed) {
+    out.simulated.failed = true;
+    out.simulated.error = "threaded backend: " + threaded.error;
+    return out;
+  }
+  if (threaded.duplicates != out.simulated.duplicates) {
+    out.simulated.failed = true;
+    out.simulated.error = "threaded backend diverged from simulated pairs";
+    return out;
+  }
+  out.threaded_wall = threaded.wall_seconds;
+  return out;
+}
+
+void Main() {
+  const bench::PublicationSetup setup = MakeMegaSetup();
+
+  std::printf(
+      "=== Ablation: schedulers on the mega-block skew profile ===\n");
+  std::printf(
+      "publications=%lld mega_fraction=%.1f machines=%d (reduce slots=%d)\n\n",
+      static_cast<long long>(kEntities), kMegaFraction, kMachines,
+      2 * kMachines);
+
+  std::vector<VariantResult> results;
+  TextTable table({"scheduler", "sim_makespan_s", "slot_util",
+                   "t(recall=0.7)_s", "wall_threaded_s", "comparisons",
+                   "pairs"});
+  for (const Variant& v : Variants()) {
+    const VariantResult r = RunVariant(setup, v);
+    if (r.simulated.failed) {
+      std::printf("run failed: %s\n", r.simulated.error.c_str());
+      return;
+    }
+    // "comparisons" exposes the pair-level schedulers' price: blocks span
+    // tasks, so the per-tree incremental dedup no longer spans the whole
+    // tree and window-nested pairs are re-compared. "pairs" is the final
+    // deduplicated set — identical for all five.
+    table.AddRow({v.label, FormatDouble(r.simulated.total_time, 1),
+                  FormatDouble(r.utilisation, 3),
+                  FormatDouble(r.time_to_recall, 1),
+                  FormatDouble(r.threaded_wall, 2),
+                  std::to_string(r.simulated.comparisons),
+                  std::to_string(r.simulated.duplicates.size())});
+    results.push_back(r);
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  bool identical_pairs = true;
+  for (const VariantResult& r : results) {
+    if (r.simulated.duplicates != results.front().simulated.duplicates) {
+      identical_pairs = false;
+    }
+  }
+  const double nosplit = results[0].simulated.total_time;
+  const double blocksplit = results[3].simulated.total_time;
+  const double pairrange = results[4].simulated.total_time;
+  std::printf(
+      "\nidentical resolved pairs across all schedulers: %s\n",
+      identical_pairs ? "HELD" : "VIOLATED");
+  std::printf("blocksplit makespan < nosplit (%.1f < %.1f): %s\n", blocksplit,
+              nosplit, blocksplit < nosplit ? "HELD" : "VIOLATED");
+  std::printf("pairrange makespan < nosplit (%.1f < %.1f): %s\n", pairrange,
+              nosplit, pairrange < nosplit ? "HELD" : "VIOLATED");
+  std::printf(
+      "\nthe tree schedulers cannot divide the mega block: whichever task "
+      "owns it runs long after every other slot drains. BlockSplit's "
+      "single/cross sub-tasks and PairRange's contiguous enumeration ranges "
+      "spread exactly that block, at the price of shipping its members to "
+      "several reduce tasks (and, for PairRange, of giving up the "
+      "utility-ordered progressive emission).\n");
+}
+
+int JsonMain(const std::string& path) {
+  const bench::PublicationSetup setup = MakeMegaSetup();
+  bench::BenchReport report("ablation_schedulers");
+
+  std::vector<VariantResult> results;
+  for (const Variant& v : Variants()) {
+    const VariantResult r = RunVariant(setup, v);
+    if (r.simulated.failed) {
+      std::fprintf(stderr, "%s run failed: %s\n", v.label,
+                   r.simulated.error.c_str());
+      return 1;
+    }
+    const std::string label = v.label;
+    report.AddSim("sim_makespan_" + label, "sim_s",
+                  r.simulated.total_time);
+    report.AddSim("slot_utilisation_" + label, "fraction", r.utilisation,
+                  /*higher_is_better=*/true);
+    report.AddSim("time_to_recall70_" + label, "sim_s", r.time_to_recall);
+    report.AddSim("comparisons_" + label, "pairs",
+                  static_cast<double>(r.simulated.comparisons));
+    report.AddSim("final_pairs_" + label, "pairs",
+                  static_cast<double>(r.simulated.duplicates.size()),
+                  /*higher_is_better=*/true);
+    report.AddWall("wall_threaded_seconds_" + label, "wall_s",
+                   r.threaded_wall, /*higher_is_better=*/false,
+                   /*gated=*/false);
+    results.push_back(r);
+  }
+
+  bool identical_pairs = true;
+  for (const VariantResult& r : results) {
+    if (r.simulated.duplicates != results.front().simulated.duplicates) {
+      identical_pairs = false;
+    }
+  }
+  report.AddSim("identical_pairs_held", "bool", identical_pairs ? 1.0 : 0.0,
+                /*higher_is_better=*/true);
+  report.AddSim("blocksplit_beats_nosplit", "bool",
+                results[3].simulated.total_time <
+                        results[0].simulated.total_time
+                    ? 1.0
+                    : 0.0,
+                /*higher_is_better=*/true);
+  report.AddSim("pairrange_beats_nosplit", "bool",
+                results[4].simulated.total_time <
+                        results[0].simulated.total_time
+                    ? 1.0
+                    : 0.0,
+                /*higher_is_better=*/true);
+
+  if (!report.WriteJson(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace progres
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (progres::bench::ParseJsonMode(argc, argv, "ablation_schedulers",
+                                    &json_path)) {
+    return progres::JsonMain(json_path);
+  }
+  progres::Main();
+  return 0;
+}

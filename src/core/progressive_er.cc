@@ -314,13 +314,25 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
   pipe.AddStage("resolution job", [&, this](double submit_time) {
     const std::vector<AnnotatedForest>& forests = pre.forests;
     const ProgressiveSchedule& schedule = pre.schedule;
+    if (!schedule.error.empty()) {
+      StageResult stage;
+      stage.failed = true;
+      stage.error = "schedule generation: " + schedule.error;
+      stage.end_time = submit_time;
+      return stage;
+    }
     const int map_tasks = options_.num_map_tasks > 0
                               ? options_.num_map_tasks
                               : options_.cluster.map_slots();
     const int reduce_tasks = schedule.num_reduce_tasks;
     const int num_families = blocking_.num_families();
     const bool redundancy = options_.redundancy_elimination;
-    const bool per_tree = options_.map_emission == MapEmission::kPerTree;
+    // The pair-level schedulers ship a block to every one of its match
+    // units, which per-tree regrouping cannot express — they force
+    // per-block emission (documented fallback).
+    const bool pair_level = schedule.pair_level;
+    const bool per_tree =
+        options_.map_emission == MapEmission::kPerTree && !pair_level;
 
     // Sequence value -> block lookup for the reduce side.
     std::unordered_map<int64_t, BlockRef> block_of_sequence;
@@ -394,6 +406,26 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
             ctx->counters().Increment("shuffle.bytes",
                                       WireSize(it->second, value));
             ctx->Emit(it->second, std::move(value));
+          } else if (pair_level) {
+            // Every match unit of the block receives the full membership:
+            // sub-block restrictions are over positions in the full block's
+            // sorted order, so each unit must see every member (the extra
+            // shuffle volume is the price of pair-level balancing).
+            const auto it =
+                schedule.unit_sequences.find(BlockRefKey(f, node));
+            if (it == schedule.unit_sequences.end()) continue;
+            ResolveValue value;
+            value.id = e.id;
+            if (redundancy) {
+              value.list =
+                  BuildDominanceList(e, f, node, blocking_, forests, schedule);
+            }
+            for (const int64_t sq : it->second) {
+              ctx->clock().Charge(kMapEmitCost);
+              ctx->counters().Increment("map.emitted_pairs");
+              ctx->counters().Increment("shuffle.bytes", WireSize(sq, value));
+              ctx->Emit(sq, value);
+            }
           } else {
             const int64_t sq = schedule.SequenceOf(f, node);
             if (sq < 0) continue;  // budget-truncated block
@@ -434,9 +466,10 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
     }
 
     // Resolves one scheduled block given its members (and their dominance
-    // lists); shared by both emission modes.
+    // lists); shared by both emission modes. `unit` carries a pair-level
+    // match task's sub-block or slice restriction (null: whole block).
     const auto resolve_block =
-        [&, this](const BlockRef& ref,
+        [&, this](const BlockRef& ref, const MatchTask* unit,
                   const std::vector<const Entity*>& members,
                   const std::unordered_map<EntityId, const DominanceList*>&
                       lists,
@@ -458,6 +491,17 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
           request.options.window = block.window;
           request.options.termination_distinct =
               block.tree_root ? -1 : block.th;
+          if (unit != nullptr) {
+            if (unit->kind == MatchTask::Kind::kSub) {
+              request.options.sub_a_lo = unit->a_lo;
+              request.options.sub_a_hi = unit->a_hi;
+              request.options.sub_b_lo = unit->b_lo;
+              request.options.sub_b_hi = unit->b_hi;
+            } else if (unit->kind == MatchTask::Kind::kSlice) {
+              request.options.slice_begin = unit->begin;
+              request.options.slice_end = unit->end;
+            }
+          }
           request.clock = &ctx->clock();
 
           std::function<bool(const Entity&, const Entity&)> predicate;
@@ -512,7 +556,7 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
           members.push_back(&e);
           lists.emplace(value.id, &value.list);
         }
-        resolve_block(ref, members, lists, ctx);
+        resolve_block(ref, /*unit=*/nullptr, members, lists, ctx);
       }
     };
 
@@ -530,7 +574,17 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
         drain_pending(sq, ctx);
         return;
       }
-      const BlockRef ref = block_of_sequence.at(sq);
+      const MatchTask* unit = nullptr;
+      BlockRef ref;
+      if (pair_level) {
+        // Unit positions are the sequence layout: SQ = task * range + index.
+        unit = &schedule.task_units[static_cast<size_t>(
+            sq / schedule.range_per_task)][static_cast<size_t>(
+            sq % schedule.range_per_task)];
+        ref = unit->ref;
+      } else {
+        ref = block_of_sequence.at(sq);
+      }
       std::vector<const Entity*> members;
       members.reserve(values->size());
       std::unordered_map<EntityId, const DominanceList*> lists;
@@ -539,7 +593,7 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
         members.push_back(&dataset.entity(value.id));
         lists.emplace(value.id, &value.list);
       }
-      resolve_block(ref, members, lists, ctx);
+      resolve_block(ref, unit, members, lists, ctx);
     };
 
     if (per_tree) {

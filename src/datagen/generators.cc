@@ -31,16 +31,25 @@ std::vector<std::string> BuildVocabulary(int size, Rng* rng) {
 }
 
 // Draws `count` words: the first via a Zipf over the vocabulary (to induce
-// skewed prefix blocks), the rest uniformly.
+// skewed prefix blocks), the rest uniformly. With `mega_fraction` > 0 the
+// first word is pinned to the vocabulary head word with that probability
+// (the mega-block skew profile); the extra Bernoulli draw only happens when
+// the knob is on, so the default draw sequence is unchanged.
 std::string MakePhrase(const std::vector<std::string>& vocabulary,
-                       double first_word_zipf, int count, Rng* rng) {
+                       double first_word_zipf, int count, Rng* rng,
+                       double mega_fraction = 0.0) {
   std::string phrase;
   for (int i = 0; i < count; ++i) {
     if (i > 0) phrase.push_back(' ');
-    const size_t w =
-        i == 0 ? static_cast<size_t>(rng->Zipf(
-                     static_cast<int64_t>(vocabulary.size()), first_word_zipf))
-               : rng->UniformU64(vocabulary.size());
+    size_t w;
+    if (i > 0) {
+      w = rng->UniformU64(vocabulary.size());
+    } else if (mega_fraction > 0.0 && rng->Bernoulli(mega_fraction)) {
+      w = 0;
+    } else {
+      w = static_cast<size_t>(rng->Zipf(
+          static_cast<int64_t>(vocabulary.size()), first_word_zipf));
+    }
     phrase += vocabulary[w];
   }
   return phrase;
@@ -104,7 +113,8 @@ void GeneratePublicationsInto(const PublicationConfig& config, Rng* rng,
     std::vector<std::string> base(3);
     base[kPubTitle] =
         MakePhrase(vocabulary, config.first_word_zipf,
-                   static_cast<int>(4 + rng->UniformU64(4)), rng);
+                   static_cast<int>(4 + rng->UniformU64(4)), rng,
+                   config.mega_block_fraction);
     base[kPubAbstract] =
         MakePhrase(vocabulary, config.first_word_zipf,
                    static_cast<int>(15 + rng->UniformU64(16)), rng);

@@ -35,6 +35,12 @@ struct PublicationConfig {
   int max_cluster_size = 12;
   // Zipf exponent for the title's first word (controls block skew).
   double first_word_zipf = 1.1;
+  // Head-heavy "mega-block" profile: with this probability a title's first
+  // word is pinned to the vocabulary's head word, concentrating roughly
+  // this fraction of entities in one title-prefix block while the rest
+  // keep the Zipf tail. 0 disables and leaves the RNG draw sequence
+  // byte-identical to before the knob existed.
+  double mega_block_fraction = 0.0;
   int vocabulary_size = 2000;
   int num_venues = 24;
   CorruptionConfig corruption;

@@ -37,6 +37,21 @@ struct ResolveOptions {
   // <= 0 disables.
   double popcorn_threshold = 0.0;
   int popcorn_window = 1000;
+
+  // Sub-block restriction (the BlockSplit scheduler's single/cross match
+  // tasks): only pairs whose sorted positions (i, j), i < j, satisfy
+  // sub_a_lo <= i < sub_a_hi and sub_b_lo <= j < sub_b_hi are enumerated.
+  // Excluded pairs cost nothing — they belong to another match task.
+  // Disabled when sub_a_hi < 0.
+  int64_t sub_a_lo = 0;
+  int64_t sub_a_hi = -1;
+  int64_t sub_b_lo = 0;
+  int64_t sub_b_hi = -1;
+  // Enumeration-slice restriction (the PairRange scheduler): only pairs
+  // whose 0-based index in the mechanism's canonical d-major enumeration
+  // falls in [slice_begin, slice_end). Disabled when slice_end < 0.
+  int64_t slice_begin = 0;
+  int64_t slice_end = -1;
 };
 
 // What happened while resolving one block.

@@ -17,15 +17,24 @@ ResolveOutcome PsnmMechanism::Resolve(const ResolveRequest& request) const {
       mechanism_internal::SortedOrder(block, request.sort_attribute);
 
   const int64_t p = partition_size_;
+  const mechanism_internal::PairRestriction restriction(request.options);
+  int64_t index = -1;
   const int64_t max_distance =
       std::min<int64_t>(request.options.window - 1, n - 1);
   for (int64_t d = 1; d <= max_distance; ++d) {
     // Partition-major sweep: each partition covers the pairs (i, i+d) whose
     // left index falls inside it, including pairs that straddle into the
-    // next partition (PSNM keeps two partitions loaded while sliding).
+    // next partition (PSNM keeps two partitions loaded while sliding). The
+    // left index still advances 0..n-d-1 within each d, so the enumeration
+    // index matches the canonical d-major order the schedulers count.
     for (int64_t start = 0; start < n; start += p) {
       const int64_t end = std::min(start + p, n - d);
       for (int64_t i = start; i < end; ++i) {
+        ++index;
+        if (restriction.active()) {
+          if (restriction.Exhausted(index)) return loop.Finish();
+          if (!restriction.Admits(i, i + d, index)) continue;
+        }
         const Entity& a =
             *block[static_cast<size_t>(order[static_cast<size_t>(i)])];
         const Entity& b =

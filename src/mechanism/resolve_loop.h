@@ -95,6 +95,44 @@ class ResolveLoop {
   int64_t popcorn_dups_ = 0;
 };
 
+// Pair-restriction view over ResolveOptions for sub-block match tasks (the
+// BlockSplit/PairRange schedulers). Mechanisms consult it with each
+// candidate pair's sorted positions (i, j) and its index in the canonical
+// d-major enumeration; pairs it rejects belong to another match task and
+// are passed over without charging any cost.
+class PairRestriction {
+ public:
+  explicit PairRestriction(const ResolveOptions& options)
+      : sub_(options.sub_a_hi >= 0),
+        slice_(options.slice_end >= 0),
+        options_(options) {}
+
+  bool active() const { return sub_ || slice_; }
+
+  bool Admits(int64_t i, int64_t j, int64_t index) const {
+    if (sub_ && (i < options_.sub_a_lo || i >= options_.sub_a_hi ||
+                 j < options_.sub_b_lo || j >= options_.sub_b_hi)) {
+      return false;
+    }
+    if (slice_ &&
+        (index < options_.slice_begin || index >= options_.slice_end)) {
+      return false;
+    }
+    return true;
+  }
+
+  // True once no later enumeration index can be admitted, so the mechanism
+  // may stop enumerating (the slice restriction is a contiguous range).
+  bool Exhausted(int64_t index) const {
+    return slice_ && index >= options_.slice_end;
+  }
+
+ private:
+  bool sub_;
+  bool slice_;
+  const ResolveOptions& options_;
+};
+
 // Returns the indexes of `block` sorted by the given attribute value
 // (ties broken by entity id for determinism).
 std::vector<int> SortedOrder(const std::vector<const Entity*>& block,

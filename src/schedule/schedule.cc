@@ -190,6 +190,240 @@ int SplitTree(AnnotatedForest* forest, int root,
   return splits;
 }
 
+// Pairs of a kSub unit: (i, i + d) with d = 1..window-1, a_lo <= i < a_hi
+// and b_lo <= i + d < b_hi over the block's sorted order.
+int64_t SubPairCount(int64_t a_lo, int64_t a_hi, int64_t b_lo, int64_t b_hi,
+                     int window) {
+  int64_t pairs = 0;
+  for (int64_t d = 1; d < window; ++d) {
+    const int64_t lo = std::max(a_lo, b_lo - d);
+    const int64_t hi = std::min(a_hi, b_hi - d);
+    pairs += std::max<int64_t>(0, hi - lo);
+  }
+  return pairs;
+}
+
+// One live block with the data the pair-level schedulers need, in canonical
+// (family, node) order.
+struct PairBlock {
+  BlockRef ref;
+  int64_t size = 0;
+  int window = 0;
+  double util = 0.0;
+  double cost = 0.0;
+  int64_t pairs = 0;
+};
+
+std::vector<PairBlock> CollectPairBlocks(
+    const std::vector<AnnotatedForest>& forests) {
+  std::vector<PairBlock> blocks;
+  for (const AnnotatedForest& forest : forests) {
+    for (int n = 0; n < forest.num_blocks(); ++n) {
+      const AnnotatedBlock& b = forest.block(n);
+      if (b.eliminated) continue;
+      blocks.push_back({{forest.family(), n},
+                        b.size,
+                        b.window,
+                        b.util,
+                        b.cost,
+                        WindowPairCount(b.size, b.window)});
+    }
+  }
+  return blocks;
+}
+
+// BlockSplit (Kolb et al., Sec. 4): blocks whose candidate-pair count
+// exceeds the per-task average are split into m contiguous sub-ranges of
+// their sorted order, yielding m "single" match tasks (both endpoints
+// inside one range) and m-1 adjacent "cross" tasks (pairs straddling a
+// boundary). Sub-ranges are kept at least `window` wide so, under the
+// windowed enumeration (max rank distance window-1), no pair straddles two
+// boundaries and the single + cross tasks partition the block's pair space
+// exactly. All units are then assigned greedily by descending pair count to
+// the least-loaded reduce task.
+std::vector<std::vector<MatchTask>> AssignBlockSplit(
+    const std::vector<PairBlock>& blocks, int num_reduce_tasks) {
+  int64_t total = 0;
+  for (const PairBlock& b : blocks) total += b.pairs;
+  const double threshold =
+      static_cast<double>(total) / static_cast<double>(num_reduce_tasks);
+
+  std::vector<MatchTask> units;
+  for (const PairBlock& b : blocks) {
+    int64_t m = 1;
+    if (threshold > 0.0 && static_cast<double>(b.pairs) > threshold &&
+        b.window > 1) {
+      const int64_t by_cost = static_cast<int64_t>(
+          std::ceil(static_cast<double>(b.pairs) / threshold));
+      const int64_t by_width = b.size / static_cast<int64_t>(b.window);
+      m = std::max<int64_t>(1, std::min(by_cost, by_width));
+    }
+    if (m <= 1) {
+      MatchTask unit;
+      unit.ref = b.ref;
+      unit.pairs = b.pairs;
+      units.push_back(unit);
+      continue;
+    }
+    const auto boundary = [&](int64_t k) { return k * b.size / m; };
+    for (int64_t k = 0; k < m; ++k) {
+      MatchTask single;
+      single.ref = b.ref;
+      single.kind = MatchTask::Kind::kSub;
+      single.a_lo = single.b_lo = boundary(k);
+      single.a_hi = single.b_hi = boundary(k + 1);
+      single.pairs = SubPairCount(single.a_lo, single.a_hi, single.b_lo,
+                                  single.b_hi, b.window);
+      units.push_back(single);
+    }
+    for (int64_t k = 0; k + 1 < m; ++k) {
+      MatchTask cross;
+      cross.ref = b.ref;
+      cross.kind = MatchTask::Kind::kSub;
+      cross.a_lo = boundary(k);
+      cross.a_hi = boundary(k + 1);
+      cross.b_lo = boundary(k + 1);
+      cross.b_hi = boundary(k + 2);
+      cross.pairs = SubPairCount(cross.a_lo, cross.a_hi, cross.b_lo,
+                                 cross.b_hi, b.window);
+      units.push_back(cross);
+    }
+  }
+
+  // Greedy descending-cost assignment (deterministic tie-breaks).
+  std::sort(units.begin(), units.end(),
+            [](const MatchTask& a, const MatchTask& b) {
+              if (a.pairs != b.pairs) return a.pairs > b.pairs;
+              if (!(a.ref == b.ref)) {
+                if (a.ref.family != b.ref.family)
+                  return a.ref.family < b.ref.family;
+                return a.ref.node < b.ref.node;
+              }
+              if (a.a_lo != b.a_lo) return a.a_lo < b.a_lo;
+              return a.b_lo < b.b_lo;
+            });
+  std::vector<std::vector<MatchTask>> task_units(
+      static_cast<size_t>(num_reduce_tasks));
+  std::vector<int64_t> load(static_cast<size_t>(num_reduce_tasks), 0);
+  for (const MatchTask& unit : units) {
+    int best = 0;
+    for (int t = 1; t < num_reduce_tasks; ++t) {
+      if (load[static_cast<size_t>(t)] < load[static_cast<size_t>(best)]) {
+        best = t;
+      }
+    }
+    load[static_cast<size_t>(best)] += unit.pairs;
+    task_units[static_cast<size_t>(best)].push_back(unit);
+  }
+  return task_units;
+}
+
+// PairRange (Kolb et al., Sec. 5): the global comparison space — every live
+// block's windowed pair enumeration, concatenated in canonical (family,
+// node) order — is carved into num_reduce_tasks near-equal contiguous
+// ranges. A block overlapping a range boundary contributes a kSlice unit
+// restricted to the overlapping enumeration indices; zero-pair blocks ride
+// with the task owning their (empty) global offset.
+std::vector<std::vector<MatchTask>> AssignPairRange(
+    const std::vector<PairBlock>& blocks, int num_reduce_tasks) {
+  int64_t total = 0;
+  for (const PairBlock& b : blocks) total += b.pairs;
+  const auto task_begin = [&](int64_t t) {
+    return t * total / num_reduce_tasks;
+  };
+  const auto task_of_index = [&](int64_t g) {
+    // The task whose [task_begin(t), task_begin(t+1)) range owns global
+    // pair index g; empty ranges are skipped by scanning forward.
+    int64_t t = std::min<int64_t>(num_reduce_tasks - 1,
+                                  g * num_reduce_tasks / std::max<int64_t>(
+                                                             1, total));
+    while (t > 0 && task_begin(t) > g) --t;
+    while (t + 1 < num_reduce_tasks && task_begin(t + 1) <= g) ++t;
+    return t;
+  };
+
+  std::vector<std::vector<MatchTask>> task_units(
+      static_cast<size_t>(num_reduce_tasks));
+  int64_t offset = 0;
+  for (const PairBlock& b : blocks) {
+    if (b.pairs == 0) {
+      MatchTask unit;
+      unit.ref = b.ref;
+      task_units[static_cast<size_t>(task_of_index(offset))].push_back(unit);
+      continue;
+    }
+    int64_t local = 0;
+    while (local < b.pairs) {
+      const int64_t t = task_of_index(offset + local);
+      const int64_t range_end =
+          t + 1 < num_reduce_tasks ? task_begin(t + 1) : total;
+      const int64_t take = std::min(b.pairs - local, range_end - offset - local);
+      MatchTask unit;
+      unit.ref = b.ref;
+      unit.pairs = take;
+      if (local == 0 && take == b.pairs) {
+        unit.kind = MatchTask::Kind::kWhole;
+      } else {
+        unit.kind = MatchTask::Kind::kSlice;
+        unit.begin = local;
+        unit.end = local + take;
+      }
+      task_units[static_cast<size_t>(t)].push_back(unit);
+      local += take;
+    }
+    offset += b.pairs;
+  }
+  return task_units;
+}
+
+// Within-task unit order for BlockSplit: by non-increasing block utility
+// (units of one block adjacent, sub-ranges in position order), then fixed
+// up so that units of a block's in-tree descendants present in the same
+// task precede the block's own units — the bottom-up property the
+// progressive mechanisms' incremental resolution exploits.
+void OrderUnitsBottomUp(const std::vector<AnnotatedForest>& forests,
+                        std::vector<MatchTask>* units) {
+  std::sort(units->begin(), units->end(),
+            [&](const MatchTask& a, const MatchTask& b) {
+              const double ua =
+                  forests[static_cast<size_t>(a.ref.family)].block(a.ref.node)
+                      .util;
+              const double ub =
+                  forests[static_cast<size_t>(b.ref.family)].block(b.ref.node)
+                      .util;
+              if (ua != ub) return ua > ub;
+              if (a.ref.family != b.ref.family)
+                return a.ref.family < b.ref.family;
+              if (a.ref.node != b.ref.node) return a.ref.node < b.ref.node;
+              if (a.a_lo != b.a_lo) return a.a_lo < b.a_lo;
+              return a.b_lo < b.b_lo;
+            });
+  std::unordered_map<uint64_t, std::vector<MatchTask>> of_block;
+  std::vector<BlockRef> block_order;
+  for (const MatchTask& unit : *units) {
+    auto& group = of_block[BlockRefKey(unit.ref)];
+    if (group.empty()) block_order.push_back(unit.ref);
+    group.push_back(unit);
+  }
+  std::vector<MatchTask> out;
+  out.reserve(units->size());
+  std::unordered_map<uint64_t, bool> emitted;
+  const std::function<void(const BlockRef&)> emit = [&](const BlockRef& ref) {
+    bool& done = emitted[BlockRefKey(ref)];
+    if (done) return;
+    done = true;
+    const AnnotatedForest& forest = forests[static_cast<size_t>(ref.family)];
+    for (int c : SortedInTreeChildren(forest, ref.node)) {
+      emit({ref.family, c});
+    }
+    const auto it = of_block.find(BlockRefKey(ref));
+    if (it == of_block.end()) return;
+    for (const MatchTask& unit : it->second) out.push_back(unit);
+  };
+  for (const BlockRef& ref : block_order) emit(ref);
+  *units = std::move(out);
+}
+
 struct TreeInfo {
   BlockRef root;
   std::vector<double> vc;
@@ -265,6 +499,41 @@ std::vector<double> MakeStepWeights(int k, double cutoff_fraction) {
   return w;
 }
 
+std::string ValidateScheduleParams(const ScheduleParams& params) {
+  if (params.num_reduce_tasks <= 0) {
+    return "schedule: num_reduce_tasks must be positive, got " +
+           std::to_string(params.num_reduce_tasks);
+  }
+  for (size_t i = 0; i < params.cost_vector.size(); ++i) {
+    if (params.cost_vector[i] <= 0.0) {
+      return "schedule: cost_vector values must be positive (c[" +
+             std::to_string(i) + "] = " +
+             std::to_string(params.cost_vector[i]) + ")";
+    }
+    if (i > 0 && params.cost_vector[i] <= params.cost_vector[i - 1]) {
+      return "schedule: cost_vector must be strictly increasing (c[" +
+             std::to_string(i - 1) + "] = " +
+             std::to_string(params.cost_vector[i - 1]) + ", c[" +
+             std::to_string(i) + "] = " +
+             std::to_string(params.cost_vector[i]) + ")";
+    }
+  }
+  if (!params.weights.empty() &&
+      params.weights.size() != params.cost_vector.size()) {
+    return "schedule: weights length " + std::to_string(params.weights.size()) +
+           " does not match cost_vector length " +
+           std::to_string(params.cost_vector.size());
+  }
+  return "";
+}
+
+int64_t WindowPairCount(int64_t n, int window) {
+  int64_t pairs = 0;
+  const int64_t max_distance = std::min<int64_t>(window - 1, n - 1);
+  for (int64_t d = 1; d <= max_distance; ++d) pairs += n - d;
+  return pairs;
+}
+
 std::string DescribeSchedule(const ProgressiveSchedule& schedule,
                              const std::vector<AnnotatedForest>& forests,
                              int blocks_per_task) {
@@ -312,9 +581,99 @@ double TotalEstimatedCost(const std::vector<AnnotatedForest>& forests) {
   return total;
 }
 
+namespace {
+
+// Sequence values, task_blocks mirror and dominance values for a pair-level
+// (unit-based) schedule; the counterpart of GenerateSchedule's step 4.
+void FinishPairLevelSchedule(const std::vector<AnnotatedForest>& forests,
+                             ProgressiveSchedule* schedule) {
+  size_t max_units = 1;
+  for (const auto& units : schedule->task_units) {
+    max_units = std::max(max_units, units.size());
+  }
+  schedule->range_per_task = static_cast<int64_t>(max_units) + 1;
+  schedule->task_blocks.resize(schedule->task_units.size());
+  for (size_t t = 0; t < schedule->task_units.size(); ++t) {
+    const auto& units = schedule->task_units[t];
+    auto& blocks = schedule->task_blocks[t];
+    blocks.clear();
+    blocks.reserve(units.size());
+    for (size_t i = 0; i < units.size(); ++i) {
+      const int64_t sq = static_cast<int64_t>(t) * schedule->range_per_task +
+                         static_cast<int64_t>(i);
+      const uint64_t key = BlockRefKey(units[i].ref);
+      schedule->unit_sequences[key].push_back(sq);
+      const auto it = schedule->sequence.find(key);
+      if (it == schedule->sequence.end() || sq < it->second) {
+        schedule->sequence[key] = sq;
+      }
+      blocks.push_back(units[i].ref);
+    }
+  }
+  for (auto& [key, sqs] : schedule->unit_sequences) {
+    std::sort(sqs.begin(), sqs.end());
+  }
+  int32_t next_dom = 1;
+  for (const AnnotatedForest& forest : forests) {
+    for (int root : forest.tree_roots()) {
+      schedule->dominance[BlockRefKey(forest.family(), root)] = next_dom++;
+    }
+  }
+}
+
+}  // namespace
+
 ProgressiveSchedule GenerateSchedule(std::vector<AnnotatedForest>* forests,
                                      const ScheduleParams& params) {
+  {
+    ProgressiveSchedule invalid;
+    invalid.error = ValidateScheduleParams(params);
+    if (!invalid.error.empty()) return invalid;
+  }
   ScheduleParams p = params;
+
+  // ---- Pair-level schedulers (Kolb et al.) ----
+  if (p.scheduler == TreeScheduler::kBlockSplit ||
+      p.scheduler == TreeScheduler::kPairRange) {
+    ProgressiveSchedule schedule;
+    schedule.num_reduce_tasks = p.num_reduce_tasks;
+    schedule.pair_level = true;
+    const std::vector<PairBlock> blocks = CollectPairBlocks(*forests);
+    if (p.scheduler == TreeScheduler::kBlockSplit) {
+      schedule.task_units = AssignBlockSplit(blocks, p.num_reduce_tasks);
+      for (auto& units : schedule.task_units) {
+        OrderUnitsBottomUp(*forests, &units);
+      }
+    } else {
+      // PairRange keeps range order (canonical enumeration order): batch
+      // semantics, documented — progressive utility ordering does not apply.
+      schedule.task_units = AssignPairRange(blocks, p.num_reduce_tasks);
+    }
+    if (p.per_task_budget > 0.0) {
+      // Prorate each block's estimated cost over its units by pair share.
+      for (auto& units : schedule.task_units) {
+        double cumulative = 0.0;
+        size_t keep = 0;
+        while (keep < units.size()) {
+          const MatchTask& unit = units[keep];
+          const AnnotatedBlock& b =
+              (*forests)[static_cast<size_t>(unit.ref.family)].block(
+                  unit.ref.node);
+          const int64_t block_pairs = WindowPairCount(b.size, b.window);
+          cumulative += block_pairs > 0
+                            ? b.cost * static_cast<double>(unit.pairs) /
+                                  static_cast<double>(block_pairs)
+                            : b.cost;
+          if (cumulative > p.per_task_budget) break;
+          ++keep;
+        }
+        units.resize(keep);
+      }
+    }
+    FinishPairLevelSchedule(*forests, &schedule);
+    return schedule;
+  }
+
   if (p.cost_vector.empty()) {
     p.cost_vector =
         MakeUniformCostVector(TotalEstimatedCost(*forests),
@@ -549,6 +908,20 @@ ProgressiveSchedule GenerateSchedule(std::vector<AnnotatedForest>* forests,
   for (const AnnotatedForest& forest : *forests) {
     for (int root : forest.tree_roots()) {
       schedule.dominance[BlockRefKey(forest.family(), root)] = next_dom++;
+    }
+  }
+
+  // Mirror the block schedules as kWhole units so unit-level consumers (the
+  // coverage harness, DescribeSchedule) see one uniform representation.
+  schedule.task_units.resize(schedule.task_blocks.size());
+  for (size_t t = 0; t < schedule.task_blocks.size(); ++t) {
+    for (const BlockRef& ref : schedule.task_blocks[t]) {
+      const AnnotatedBlock& b =
+          (*forests)[static_cast<size_t>(ref.family)].block(ref.node);
+      MatchTask unit;
+      unit.ref = ref;
+      unit.pairs = WindowPairCount(b.size, b.window);
+      schedule.task_units[t].push_back(unit);
     }
   }
   return schedule;

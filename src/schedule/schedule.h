@@ -29,11 +29,16 @@ inline uint64_t BlockRefKey(const BlockRef& ref) {
   return BlockRefKey(ref.family, ref.node);
 }
 
-// Which tree-scheduling algorithm to use (Sec. VI-B2 compares all three).
+// Which reduce-side scheduling algorithm to use. The first three are the
+// tree schedulers Sec. VI-B2 compares; the last two are Kolb/Thor/Rahm's
+// pair-level load balancers ("Load Balancing for MapReduce-based Entity
+// Resolution"), which schedule match-task units finer than a block.
 enum class TreeScheduler {
-  kOurs,     // split overflowed trees + slack-based greedy partitioning
-  kNoSplit,  // our partitioning without the tree-split mechanism
-  kLpt,      // Longest Processing Time load balancing [23]
+  kOurs,        // split overflowed trees + slack-based greedy partitioning
+  kNoSplit,     // our partitioning without the tree-split mechanism
+  kLpt,         // Longest Processing Time load balancing [23]
+  kBlockSplit,  // split oversized blocks into single/cross sub-block tasks
+  kPairRange,   // carve the global pair enumeration into contiguous ranges
 };
 
 // Inputs to schedule generation (Sec. IV-C).
@@ -70,6 +75,37 @@ std::vector<double> MakeExponentialWeights(int k, double decay);
 // after — "only results before the deadline matter".
 std::vector<double> MakeStepWeights(int k, double cutoff_fraction);
 
+// Validates scheduling parameters. Returns "" when valid, otherwise a
+// labelled error ("schedule: ..."). Rejects num_reduce_tasks <= 0, a
+// cost_vector that is not strictly increasing and positive, and a
+// weights/cost_vector length mismatch (both non-empty). Empty cost_vector
+// or weights are valid: GenerateSchedule fills in documented defaults.
+std::string ValidateScheduleParams(const ScheduleParams& params);
+
+// Candidate pairs a windowed mechanism enumerates over a block of `n`
+// entities: sum over d = 1..window-1 of max(0, n - d) — the d-major order
+// both mechanisms (sorted neighborhood, PSNM) share.
+int64_t WindowPairCount(int64_t n, int window);
+
+// One reduce-side match unit. The tree schedulers assign whole blocks
+// (kWhole); the pair-level schedulers also produce sub-block tasks:
+// BlockSplit's single/cross tasks restrict the sorted positions of a
+// pair's endpoints (kSub), PairRange slices the block's canonical d-major
+// pair enumeration by index (kSlice). Every unit ships the full block
+// membership; the restriction is applied during enumeration.
+struct MatchTask {
+  enum class Kind { kWhole, kSub, kSlice };
+  BlockRef ref;
+  Kind kind = Kind::kWhole;
+  // kSub: only pairs (i, j), i < j, with a_lo <= i < a_hi and
+  // b_lo <= j < b_hi over the block's sorted order.
+  int64_t a_lo = 0, a_hi = -1, b_lo = 0, b_hi = -1;
+  // kSlice: only pairs whose d-major enumeration index is in [begin, end).
+  int64_t begin = 0, end = -1;
+  // Candidate pairs this unit enumerates (its scheduling cost).
+  int64_t pairs = 0;
+};
+
 // The generated progressive schedule: one tree schedule (tree -> reduce
 // task) plus one block schedule per reduce task (Sec. III-B).
 struct ProgressiveSchedule {
@@ -90,8 +126,23 @@ struct ProgressiveSchedule {
   // Unique across all trees of all families (Sec. V).
   std::unordered_map<uint64_t, int32_t> dominance;
 
-  // Reduce task of each tree root.
+  // Reduce task of each tree root. Empty for the pair-level schedulers,
+  // whose trees may span tasks.
   std::unordered_map<uint64_t, int> task_of_tree;
+
+  // True for kBlockSplit/kPairRange: the schedule's unit of assignment is a
+  // match task, not a block. task_units parallels task_blocks one-to-one
+  // (task_blocks[t][i] == task_units[t][i].ref); for the tree schedulers
+  // every unit is kWhole. Pair-level drivers route on unit sequence values:
+  // SQ(unit) = task * range_per_task + position, with `sequence` keeping a
+  // block's first SQ and unit_sequences all of them (ascending).
+  bool pair_level = false;
+  std::vector<std::vector<MatchTask>> task_units;
+  std::unordered_map<uint64_t, std::vector<int64_t>> unit_sequences;
+
+  // Non-empty when the input parameters failed validation; the rest of the
+  // schedule is empty and must not be used.
+  std::string error;
 
   int64_t SequenceOf(int family, int node) const {
     const auto it = sequence.find(BlockRefKey(family, node));

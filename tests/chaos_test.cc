@@ -251,6 +251,77 @@ TEST(ChaosTest, SoakCoversEveryFaultFamily) {
   EXPECT_GE(failovers, 1);
 }
 
+// The pair-level schedulers under fire: BlockSplit and PairRange ship
+// sub-block match tasks through the same faulty fabric — machine loss,
+// crashes, hangs, shuffle corruption, storage faults, poison records — and
+// must still resolve exactly the clean run's non-quarantined pairs, with
+// the fault counters reconciling one-for-one against the trace. This pins
+// the multi-emit map side (one block shipped to several reduce tasks)
+// against attempt re-runs: a replayed task must re-receive every unit.
+TEST(ChaosTest, PairLevelSchedulersSurviveFaultsWithIdenticalPairs) {
+  const ChaosWorld& w = World();
+  ASSERT_FALSE(w.clean.failed) << w.clean.error;
+
+  for (const TreeScheduler scheduler :
+       {TreeScheduler::kBlockSplit, TreeScheduler::kPairRange}) {
+    for (uint64_t seed = 11; seed <= 13; ++seed) {
+      SCOPED_TRACE("scheduler " +
+                   std::string(scheduler == TreeScheduler::kBlockSplit
+                                   ? "blocksplit"
+                                   : "pairrange") +
+                   " fault seed " + std::to_string(seed));
+      TraceRecorder trace;
+      ProgressiveErOptions options = w.base;
+      options.scheduler = scheduler;
+      options.cluster.fault = ChaosFault(seed, w.clean.total_time * 0.4);
+      options.cluster.shuffle_budget = ChaosBudget();
+      options.cluster.trace = &trace;
+      const ErRunResult run =
+          ProgressiveEr(w.blocking, w.match, w.sn, w.prob, options)
+              .Run(w.data.dataset);
+      ASSERT_FALSE(run.failed) << run.error;
+
+      EXPECT_EQ(run.quarantined_ids, w.poison_ids);
+      EXPECT_EQ(run.duplicates, w.expected_pairs);
+
+      const int pid = trace.PidOf("resolution job");
+      ASSERT_GE(pid, 0);
+      int64_t timed_out_spans = 0;
+      int64_t machine_lost_spans = 0;
+      int64_t spill_retry_spans = 0;
+      int64_t run_corrupt_spans = 0;
+      for (const TraceSpan& span : trace.spans()) {
+        if (span.pid != pid) continue;
+        if (span.kind == SpanKind::kAttempt) {
+          if (span.outcome == SpanOutcome::kTimedOut) ++timed_out_spans;
+          if (span.outcome == SpanOutcome::kMachineLost) ++machine_lost_spans;
+        }
+        if (span.kind == SpanKind::kSpillRetry) ++spill_retry_spans;
+        if (span.kind == SpanKind::kRunCorrupt) ++run_corrupt_spans;
+      }
+      int64_t corruption_instants = 0;
+      int64_t quarantine_instants = 0;
+      for (const TraceInstant& instant : trace.instants()) {
+        if (instant.pid != pid) continue;
+        if (instant.kind == InstantKind::kShuffleCorruption) {
+          ++corruption_instants;
+        }
+        if (instant.kind == InstantKind::kRecordQuarantined) {
+          ++quarantine_instants;
+        }
+      }
+      EXPECT_EQ(timed_out_spans, run.counters.Get("mr.faults.task_timeouts"));
+      EXPECT_EQ(machine_lost_spans,
+                run.counters.Get("mr.faults.machine_lost"));
+      EXPECT_EQ(corruption_instants,
+                run.counters.Get("mr.shuffle.checksum_errors"));
+      EXPECT_EQ(quarantine_instants, run.counters.Get("mr.skipped.records"));
+      EXPECT_EQ(spill_retry_spans, run.counters.Get("mr.disk.retries"));
+      EXPECT_EQ(run_corrupt_spans, run.counters.Get("mr.disk.corrupt_runs"));
+    }
+  }
+}
+
 // The tentpole's checkpoint interaction: a reduce attempt killed by the
 // heartbeat timeout resumes from its last alpha-boundary checkpoint, so the
 // run replays strictly fewer pairs than the same run without checkpointed

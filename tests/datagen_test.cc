@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <map>
 #include <set>
 #include <unordered_map>
 
@@ -207,6 +209,39 @@ TEST(StreamGeneratorTest, PublicationsMatchBatchAsMultiset) {
                                           batch.truth.cluster_of(i)));
   }
   EXPECT_EQ(streamed, materialized);
+}
+
+// The mega-block knob must keep the batch/stream draw-sequence contract:
+// both entry points see the same entities, and the head-heavy skew is
+// visible as a dominant shared title prefix.
+TEST(StreamGeneratorTest, MegaBlockPublicationsMatchBatchAsMultiset) {
+  PublicationConfig config;
+  config.num_entities = 500;
+  config.seed = 99;
+  config.mega_block_fraction = 0.3;
+
+  std::multiset<std::string> streamed;
+  std::map<std::string, int64_t> prefix_counts;
+  StreamPublications(config, [&](std::vector<std::string> attributes,
+                                 int32_t cluster) {
+    ++prefix_counts[attributes[kPubTitle].substr(0, 2)];
+    streamed.insert(EntityFingerprint(attributes, cluster));
+  });
+
+  const LabeledDataset batch = GeneratePublications(config);
+  std::multiset<std::string> materialized;
+  for (EntityId i = 0; i < batch.dataset.size(); ++i) {
+    materialized.insert(EntityFingerprint(batch.dataset.entity(i).attributes,
+                                          batch.truth.cluster_of(i)));
+  }
+  EXPECT_EQ(streamed, materialized);
+
+  int64_t max_prefix = 0;
+  for (const auto& [prefix, count] : prefix_counts) {
+    max_prefix = std::max(max_prefix, count);
+  }
+  EXPECT_GE(max_prefix, config.num_entities / 5)
+      << "mega-block profile did not concentrate one title-prefix block";
 }
 
 TEST(StreamGeneratorTest, BooksMatchBatchAsMultiset) {

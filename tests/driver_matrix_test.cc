@@ -3,10 +3,12 @@
 // cluster size x workload) — plus the golden-equivalence check that pins
 // every migrated driver's observable output to the pre-refactor fixtures.
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -30,9 +32,11 @@ struct MatrixParams {
 
   std::string Label() const {
     std::string label;
-    label += scheduler == TreeScheduler::kOurs      ? "ours"
-             : scheduler == TreeScheduler::kNoSplit ? "nosplit"
-                                                    : "lpt";
+    label += scheduler == TreeScheduler::kOurs         ? "ours"
+             : scheduler == TreeScheduler::kNoSplit    ? "nosplit"
+             : scheduler == TreeScheduler::kLpt        ? "lpt"
+             : scheduler == TreeScheduler::kBlockSplit ? "blocksplit"
+                                                       : "pairrange";
     label += emission == MapEmission::kPerBlock ? "_perblock" : "_pertree";
     label += "_m" + std::to_string(machines);
     label += books ? "_books" : "_pubs";
@@ -164,6 +168,77 @@ TEST_P(GoldenEquivalenceTest, TracingLeavesOutputByteIdentical) {
       << name << " recorded no spans while traced";
 }
 
+// Differential: the final duplicate set is a function of the workload, not
+// of how the pair space is partitioned across reduce tasks. Every
+// scheduler — including the pair-level BlockSplit/PairRange, which carve
+// blocks into sub-block match tasks — must reproduce exactly the "pair"
+// lines of the frozen progressive fixture, and therefore byte-identical
+// final clusterings. Fixture parsing, not regeneration: a scheduler that
+// drops or duplicates pairs diverges from the seed here.
+TEST(SchedulerDifferentialTest, FinalDuplicatesInvariantAcrossSchedulers) {
+  std::ifstream in(
+      std::string(PROGRES_GOLDEN_DIR) + "/progressive_perblock.golden",
+      std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> frozen_pairs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("pair ", 0) == 0) frozen_pairs.push_back(line.substr(5));
+  }
+  ASSERT_FALSE(frozen_pairs.empty());
+  std::sort(frozen_pairs.begin(), frozen_pairs.end());
+
+  const testing_util::GoldenWorkload w = testing_util::MakeGoldenWorkload();
+  const ProbabilityModel prob =
+      ProbabilityModel::Train(w.train.dataset, w.train.truth, w.blocking);
+  const SortedNeighborMechanism sn;
+  std::vector<int32_t> first_clusters;
+  for (const TreeScheduler scheduler :
+       {TreeScheduler::kOurs, TreeScheduler::kNoSplit, TreeScheduler::kLpt,
+        TreeScheduler::kBlockSplit, TreeScheduler::kPairRange}) {
+    SCOPED_TRACE("scheduler=" + std::to_string(static_cast<int>(scheduler)));
+    ProgressiveErOptions options;
+    options.cluster = testing_util::GoldenCluster();
+    options.scheduler = scheduler;
+    const ProgressiveEr er(w.blocking, w.match, sn, prob, options);
+    const ErRunResult result = er.Run(w.data.dataset);
+    ASSERT_FALSE(result.failed) << result.error;
+
+    std::vector<std::string> pairs;
+    for (const PairKey pair : result.duplicates) {
+      const auto [a, b] = PairKeyIds(pair);
+      pairs.push_back(std::to_string(a) + "-" + std::to_string(b));
+    }
+    std::sort(pairs.begin(), pairs.end());
+    EXPECT_EQ(pairs, frozen_pairs);
+
+    const std::vector<int32_t> clusters =
+        TransitiveClosure(w.data.dataset.size(), result.duplicates);
+    if (first_clusters.empty()) {
+      first_clusters = clusters;
+    } else {
+      EXPECT_EQ(clusters, first_clusters);
+    }
+  }
+}
+
+// Invalid schedule parameters must fail the run with a labelled error, not
+// crash or silently produce an empty result.
+TEST(SchedulerDifferentialTest, InvalidScheduleParamsFailTheRun) {
+  const testing_util::GoldenWorkload w = testing_util::MakeGoldenWorkload();
+  const ProbabilityModel prob =
+      ProbabilityModel::Train(w.train.dataset, w.train.truth, w.blocking);
+  const SortedNeighborMechanism sn;
+  ProgressiveErOptions options;
+  options.cluster = testing_util::GoldenCluster();
+  options.cost_vector = {5.0, 1.0};  // not strictly increasing
+  const ProgressiveEr er(w.blocking, w.match, sn, prob, options);
+  const ErRunResult result = er.Run(w.data.dataset);
+  EXPECT_TRUE(result.failed);
+  EXPECT_NE(result.error.find("schedule generation"), std::string::npos)
+      << result.error;
+}
+
 INSTANTIATE_TEST_SUITE_P(Drivers, GoldenEquivalenceTest,
                          testing::ValuesIn(testing_util::GoldenDriverNames()),
                          [](const testing::TestParamInfo<std::string>& info) {
@@ -180,7 +255,17 @@ INSTANTIATE_TEST_SUITE_P(
         MatrixParams{TreeScheduler::kLpt, MapEmission::kPerBlock, 2, false},
         MatrixParams{TreeScheduler::kOurs, MapEmission::kPerBlock, 5, false},
         MatrixParams{TreeScheduler::kOurs, MapEmission::kPerTree, 5, true},
-        MatrixParams{TreeScheduler::kOurs, MapEmission::kPerBlock, 2, true}),
+        MatrixParams{TreeScheduler::kOurs, MapEmission::kPerBlock, 2, true},
+        MatrixParams{TreeScheduler::kBlockSplit, MapEmission::kPerBlock, 2,
+                     false},
+        MatrixParams{TreeScheduler::kPairRange, MapEmission::kPerBlock, 2,
+                     false},
+        // Pair-level schedules cannot regroup by tree; per-tree emission
+        // must fall back to per-block without breaking any invariant.
+        MatrixParams{TreeScheduler::kBlockSplit, MapEmission::kPerTree, 3,
+                     false},
+        MatrixParams{TreeScheduler::kPairRange, MapEmission::kPerBlock, 2,
+                     true}),
     [](const testing::TestParamInfo<MatrixParams>& info) {
       return info.param.Label();
     });

@@ -315,5 +315,98 @@ TEST(ScheduleTest, TotalEstimatedCostPositive) {
   EXPECT_GT(TotalEstimatedCost(forests), 0.0);
 }
 
+TEST(ScheduleTest, WindowPairCountMatchesEnumeration) {
+  for (const int64_t n : {0, 1, 2, 5, 14, 15, 16, 100}) {
+    for (const int w : {1, 2, 5, 15}) {
+      int64_t expected = 0;
+      for (int64_t d = 1; d <= std::min<int64_t>(w - 1, n - 1); ++d) {
+        expected += n - d;
+      }
+      EXPECT_EQ(WindowPairCount(n, w), expected) << "n=" << n << " w=" << w;
+    }
+  }
+}
+
+// Regression cases for the validation gap: these parameter mistakes used to
+// silently misbehave (crash on zero tasks, negative bucket capacities from
+// a non-monotone cost vector, weights silently replaced on mismatch).
+TEST(ScheduleValidationTest, RejectsNonPositiveReduceTasks) {
+  ScheduleParams p;
+  p.num_reduce_tasks = 0;
+  EXPECT_NE(ValidateScheduleParams(p).find("num_reduce_tasks"),
+            std::string::npos);
+  p.num_reduce_tasks = -3;
+  EXPECT_NE(ValidateScheduleParams(p).find("num_reduce_tasks"),
+            std::string::npos);
+}
+
+TEST(ScheduleValidationTest, RejectsNonMonotoneCostVector) {
+  ScheduleParams p;
+  p.cost_vector = {10.0, 5.0, 20.0};
+  EXPECT_NE(ValidateScheduleParams(p).find("strictly increasing"),
+            std::string::npos);
+  p.cost_vector = {10.0, 10.0};
+  EXPECT_NE(ValidateScheduleParams(p).find("strictly increasing"),
+            std::string::npos);
+  p.cost_vector = {-1.0, 5.0};
+  EXPECT_NE(ValidateScheduleParams(p).find("positive"), std::string::npos);
+}
+
+TEST(ScheduleValidationTest, RejectsWeightCostLengthMismatch) {
+  ScheduleParams p;
+  p.cost_vector = {1.0, 2.0, 3.0};
+  p.weights = {1.0, 0.5};
+  EXPECT_NE(ValidateScheduleParams(p).find("does not match"),
+            std::string::npos);
+  p.weights = {1.0, 0.5, 0.2};
+  EXPECT_EQ(ValidateScheduleParams(p), "");
+}
+
+TEST(ScheduleValidationTest, AcceptsDefaultsAndLabelsGenerateErrors) {
+  EXPECT_EQ(ValidateScheduleParams(ScheduleParams()), "");
+
+  Fixture fx(1500);
+  std::vector<AnnotatedForest> forests = fx.Annotate();
+  ScheduleParams p = DefaultParams(0, TreeScheduler::kOurs);
+  const ProgressiveSchedule schedule = GenerateSchedule(&forests, p);
+  EXPECT_NE(schedule.error.find("schedule:"), std::string::npos);
+  EXPECT_TRUE(schedule.task_blocks.empty());
+}
+
+TEST(ScheduleTest, PairLevelSchedulersPopulateUnits) {
+  for (const TreeScheduler scheduler :
+       {TreeScheduler::kBlockSplit, TreeScheduler::kPairRange}) {
+    Fixture fx(1500);
+    std::vector<AnnotatedForest> forests = fx.Annotate();
+    const ProgressiveSchedule schedule =
+        GenerateSchedule(&forests, DefaultParams(4, scheduler));
+    ASSERT_EQ(schedule.error, "");
+    EXPECT_TRUE(schedule.pair_level);
+    ASSERT_EQ(schedule.task_units.size(), 4u);
+    ASSERT_EQ(schedule.task_blocks.size(), 4u);
+    size_t units = 0;
+    for (size_t t = 0; t < schedule.task_units.size(); ++t) {
+      ASSERT_EQ(schedule.task_units[t].size(),
+                schedule.task_blocks[t].size());
+      for (size_t i = 0; i < schedule.task_units[t].size(); ++i) {
+        EXPECT_TRUE(schedule.task_units[t][i].ref ==
+                    schedule.task_blocks[t][i]);
+      }
+      units += schedule.task_units[t].size();
+    }
+    EXPECT_GT(units, 0u);
+    // Every unit sequence value routes back to its task and position.
+    for (const auto& [key, sqs] : schedule.unit_sequences) {
+      for (const int64_t sq : sqs) {
+        const auto t = static_cast<size_t>(sq / schedule.range_per_task);
+        const auto i = static_cast<size_t>(sq % schedule.range_per_task);
+        ASSERT_LT(t, schedule.task_units.size());
+        ASSERT_LT(i, schedule.task_units[t].size());
+        EXPECT_EQ(BlockRefKey(schedule.task_units[t][i].ref), key);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace progres

@@ -6,7 +6,8 @@
 //   progres_cli stats --data=data.tsv --out=forests.tsv
 //   progres_cli resolve --data=data.tsv --train=train.tsv
 //       --train-truth=train_truth.tsv --machines=10 --out=pairs.tsv
-//       [--basic] [--budget=50000] [--scheduler=ours|nosplit|lpt]
+//       [--basic] [--budget=50000]
+//       [--scheduler=ours|nosplit|lpt|blocksplit|pairrange]
 //       [--backend=simulated|threaded] [--threads=N]
 //       [--shuffle-max-mem=256] [--spill-dir=/tmp/spills]
 //       [--fallback-spill-dir=/mnt/spare]
@@ -457,9 +458,23 @@ int CmdResolve(const std::map<std::string, std::string>& flags) {
     options.per_task_cost_budget =
         std::atof(GetFlag(flags, "budget", "0").c_str());
     const std::string scheduler = GetFlag(flags, "scheduler", "ours");
-    options.scheduler = scheduler == "lpt"       ? TreeScheduler::kLpt
-                        : scheduler == "nosplit" ? TreeScheduler::kNoSplit
-                                                 : TreeScheduler::kOurs;
+    if (scheduler == "ours") {
+      options.scheduler = TreeScheduler::kOurs;
+    } else if (scheduler == "nosplit") {
+      options.scheduler = TreeScheduler::kNoSplit;
+    } else if (scheduler == "lpt") {
+      options.scheduler = TreeScheduler::kLpt;
+    } else if (scheduler == "blocksplit") {
+      options.scheduler = TreeScheduler::kBlockSplit;
+    } else if (scheduler == "pairrange") {
+      options.scheduler = TreeScheduler::kPairRange;
+    } else {
+      std::fprintf(stderr,
+                   "invalid scheduler config: unknown --scheduler=%s "
+                   "(expected ours|nosplit|lpt|blocksplit|pairrange)\n",
+                   scheduler.c_str());
+      return 1;
+    }
     const ProgressiveEr er(config.blocking, config.match, sn, prob, options);
     result = er.Run(dataset);
   }
