@@ -3,6 +3,11 @@
 // that fit, maximizing result quality within the budget. Sweeps the budget
 // and reports achieved recall — the pay-as-you-go value proposition of the
 // paper's introduction.
+//
+// "--json[=path]" writes a BENCH_ablation_budget.json report for the CI
+// regression gate (tools/compare_bench.py): comparisons, recall and the
+// simulated makespan at every budget point are deterministic, so they are
+// gated exactly like golden numbers.
 
 #include <algorithm>
 #include <cstdio>
@@ -19,23 +24,46 @@ namespace {
 constexpr int64_t kEntities = 16000;
 constexpr int kMachines = 10;
 
+const std::vector<int>& BudgetPercents() {
+  static const std::vector<int> percents = {5, 10, 25, 50, 75, 100};
+  return percents;
+}
+
+ErRunResult RunUnlimited(const bench::PublicationSetup& setup) {
+  const SortedNeighborMechanism sn;
+  ProgressiveErOptions options;
+  options.cluster = bench::MakeCluster(kMachines);
+  return ProgressiveEr(setup.blocking, setup.match, sn, setup.prob, options)
+      .Run(setup.data.dataset);
+}
+
+ErRunResult RunBudgeted(const bench::PublicationSetup& setup,
+                        double per_task_cost_budget) {
+  const SortedNeighborMechanism sn;
+  ProgressiveErOptions options;
+  options.cluster = bench::MakeCluster(kMachines);
+  options.per_task_cost_budget = per_task_cost_budget;
+  return ProgressiveEr(setup.blocking, setup.match, sn, setup.prob, options)
+      .Run(setup.data.dataset);
+}
+
+double MaxTaskCost(const ErRunResult& full) {
+  double cost = 0.0;
+  for (const ResultChunk& chunk : full.chunks) {
+    cost = std::max(cost, chunk.cost_end);
+  }
+  return cost;
+}
+
 void Main() {
   const bench::PublicationSetup setup =
       bench::MakePublicationSetup(kEntities);
-  const SortedNeighborMechanism sn;
 
   std::printf("=== Ablation: per-task cost budget ===\n\n");
 
   // Reference: unlimited run.
-  ProgressiveErOptions unlimited;
-  unlimited.cluster = bench::MakeCluster(kMachines);
-  const ErRunResult full =
-      ProgressiveEr(setup.blocking, setup.match, sn, setup.prob, unlimited)
-          .Run(setup.data.dataset);
-  double full_task_cost = 0.0;
-  for (const ResultChunk& chunk : full.chunks) {
-    full_task_cost = std::max(full_task_cost, chunk.cost_end);
-  }
+  const ErRunResult full = RunUnlimited(setup);
+  const double full_task_cost = MaxTaskCost(full);
   const RecallCurve full_curve =
       RecallCurve::FromEvents(full.events, setup.data.truth);
   std::printf("unlimited: per-task cost %.0f units, recall %.3f, "
@@ -44,13 +72,9 @@ void Main() {
 
   TextTable table({"budget_%", "comparisons_%", "recall", "recall_%_of_full",
                    "total_time_sec"});
-  for (int pct : {5, 10, 25, 50, 75, 100}) {
-    ProgressiveErOptions options;
-    options.cluster = bench::MakeCluster(kMachines);
-    options.per_task_cost_budget = full_task_cost * pct / 100.0;
+  for (int pct : BudgetPercents()) {
     const ErRunResult result =
-        ProgressiveEr(setup.blocking, setup.match, sn, setup.prob, options)
-            .Run(setup.data.dataset);
+        RunBudgeted(setup, full_task_cost * pct / 100.0);
     const RecallCurve curve =
         RecallCurve::FromEvents(result.events, setup.data.truth);
     table.AddRow(
@@ -65,10 +89,63 @@ void Main() {
   std::printf("%s", table.ToString().c_str());
 }
 
+int JsonMain(const std::string& path) {
+  const bench::PublicationSetup setup =
+      bench::MakePublicationSetup(kEntities);
+  bench::BenchReport report("ablation_budget");
+
+  const ErRunResult full = RunUnlimited(setup);
+  if (full.failed) {
+    std::fprintf(stderr, "unlimited run failed: %s\n", full.error.c_str());
+    return 1;
+  }
+  const double full_task_cost = MaxTaskCost(full);
+  const RecallCurve full_curve =
+      RecallCurve::FromEvents(full.events, setup.data.truth);
+  report.AddSim("per_task_cost_unlimited", "cost_units", full_task_cost);
+  report.AddSim("recall_unlimited", "recall", full_curve.final_recall(),
+                /*higher_is_better=*/true);
+  report.AddSim("sim_total_seconds_unlimited", "sim_s", full.total_time);
+  report.AddWall("wall_total_seconds_unlimited", "wall_s", full.wall_seconds,
+                 /*higher_is_better=*/false, /*gated=*/false);
+
+  // Every budget point is deterministic: comparisons, recall and makespan
+  // are sim metrics, gated exactly.
+  for (int pct : BudgetPercents()) {
+    const ErRunResult result =
+        RunBudgeted(setup, full_task_cost * pct / 100.0);
+    if (result.failed) {
+      std::fprintf(stderr, "budget %d%% run failed: %s\n", pct,
+                   result.error.c_str());
+      return 1;
+    }
+    const RecallCurve curve =
+        RecallCurve::FromEvents(result.events, setup.data.truth);
+    const std::string label = std::to_string(pct);
+    report.AddSim("comparisons_" + label, "pairs",
+                  static_cast<double>(result.comparisons));
+    report.AddSim("recall_" + label, "recall", curve.final_recall(),
+                  /*higher_is_better=*/true);
+    report.AddSim("sim_total_seconds_" + label, "sim_s", result.total_time);
+  }
+
+  if (!report.WriteJson(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace progres
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (progres::bench::ParseJsonMode(argc, argv, "ablation_budget",
+                                    &json_path)) {
+    return progres::JsonMain(json_path);
+  }
   progres::Main();
   return 0;
 }

@@ -1,0 +1,289 @@
+// Ablation: deadline-driven graceful degradation. A job supervisor with a
+// simulated-clock deadline cancels outstanding work at the cutoff and
+// finalizes best-effort from the reduce tasks' alpha-boundary checkpoints.
+// The sweep tightens the deadline from 25% to 100%+ of the fault-free
+// makespan and reports the recall-vs-deadline curve; a fault-storm variant
+// layers heavy attempt crashes over a small retry budget so the ledger
+// denies retries and quarantines the doomed tasks instead of failing the
+// job. Invariants printed as HELD/VIOLATED for the CI smoke grep:
+//
+//   * degraded runs resolve a subset of the clean run's pairs (degradation
+//     truncates, it never invents),
+//   * coverage and resolved pairs grow monotonically with the deadline,
+//   * a deadline at/past the makespan changes nothing (byte-identical), and
+//   * the supervisor counters agree with the per-task completeness report.
+//
+// "--json[=path]" writes a BENCH_ablation_degradation.json report for the
+// CI regression gate (tools/compare_bench.py): coverage, recall, pair
+// counts and the supervisor ledger are pure functions of the seed and the
+// deadline, so they are gated exactly like golden numbers.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/progressive_er.h"
+#include "eval/report.h"
+#include "mechanism/sorted_neighbor.h"
+
+namespace progres {
+namespace {
+
+constexpr int64_t kEntities = 6000;
+constexpr int kMachines = 10;
+constexpr uint64_t kFaultSeed = 777;
+
+const std::vector<double>& DeadlineFractions() {
+  static const std::vector<double> fractions = {0.25, 0.5, 0.75, 1.5};
+  return fractions;
+}
+
+ErRunResult RunWithDeadline(const bench::PublicationSetup& setup,
+                            double deadline_seconds) {
+  const SortedNeighborMechanism sn;
+  ProgressiveErOptions options;
+  options.cluster = bench::MakeCluster(kMachines);
+  if (deadline_seconds > 0.0) {
+    options.cluster.control.deadline_seconds = deadline_seconds;
+    options.cluster.control.allow_degraded = true;
+  }
+  return ProgressiveEr(setup.blocking, setup.match, sn, setup.prob, options)
+      .Run(setup.data.dataset);
+}
+
+// Heavy attempt crashes over a small retry budget: the ledger funds the
+// first retries, then the budget breaker trips and the remaining doomed
+// tasks are quarantined instead of failing the job.
+ErRunResult RunFaultStorm(const bench::PublicationSetup& setup,
+                          int64_t fault_budget) {
+  const SortedNeighborMechanism sn;
+  ProgressiveErOptions options;
+  options.cluster = bench::MakeCluster(kMachines);
+  options.cluster.fault.enabled = true;
+  options.cluster.fault.seed = kFaultSeed;
+  options.cluster.fault.map_failure_prob = 0.1;
+  options.cluster.fault.reduce_failure_prob = 0.3;
+  options.cluster.fault.max_attempts = 12;
+  options.cluster.fault.retry_backoff_seconds = 0.5;
+  options.cluster.control.allow_degraded = true;
+  options.cluster.control.fault_budget = fault_budget;
+  return ProgressiveEr(setup.blocking, setup.match, sn, setup.prob, options)
+      .Run(setup.data.dataset);
+}
+
+// The supervisor counters must agree with the per-task completeness report:
+// one deadline_cancels per task whose attempt the deadline cancelled —
+// kCut when it delivered a checkpointed prefix, kCancelled when it had
+// nothing — and one quarantined_tasks per kQuarantined task.
+bool LedgerAgreesWithReport(const ErRunResult& run) {
+  int64_t cancelled = 0;
+  int64_t quarantined = 0;
+  for (const TaskReport& task : run.completeness.tasks) {
+    if (task.kind == TaskOutcomeKind::kCancelled ||
+        task.kind == TaskOutcomeKind::kCut) {
+      ++cancelled;
+    }
+    if (task.kind == TaskOutcomeKind::kQuarantined) ++quarantined;
+  }
+  return cancelled == run.counters.Get("mr.supervisor.deadline_cancels") &&
+         quarantined == run.counters.Get("mr.supervisor.quarantined_tasks");
+}
+
+bool IsSubsetOfClean(const ErRunResult& run,
+                     const std::vector<PairKey>& clean_sorted) {
+  for (const PairKey pair : run.duplicates) {
+    if (!std::binary_search(clean_sorted.begin(), clean_sorted.end(), pair)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Main() {
+  const bench::PublicationSetup setup = bench::MakePublicationSetup(kEntities);
+
+  std::printf("=== Ablation: deadline-driven graceful degradation ===\n\n");
+
+  const ErRunResult clean = RunWithDeadline(setup, 0.0);
+  if (clean.failed) {
+    std::printf("clean run failed: %s\n", clean.error.c_str());
+    return;
+  }
+  std::vector<PairKey> clean_sorted = clean.duplicates;
+  std::sort(clean_sorted.begin(), clean_sorted.end());
+  const RecallCurve clean_curve =
+      RecallCurve::FromEvents(clean.events, setup.data.truth);
+  std::printf("fault-free makespan %.0f sim seconds, recall %.3f, "
+              "%lld pairs\n\n",
+              clean.total_time, clean_curve.final_recall(),
+              static_cast<long long>(clean.duplicate_count));
+
+  TextTable table({"deadline_%", "covered_%", "recall", "duplicates",
+                   "cancels", "sim_total_s"});
+  bool subset_held = true;
+  bool monotone_held = true;
+  bool ledger_held = true;
+  bool noop_held = true;
+  double prev_covered = -1.0;
+  int64_t prev_pairs = -1;
+  for (const double fraction : DeadlineFractions()) {
+    const ErRunResult run =
+        RunWithDeadline(setup, clean.total_time * fraction);
+    if (run.failed) {
+      std::printf("deadline run failed: %s\n", run.error.c_str());
+      return;
+    }
+    const RecallCurve curve =
+        RecallCurve::FromEvents(run.events, setup.data.truth);
+    table.AddRow(
+        {FormatDouble(fraction * 100.0, 0),
+         FormatDouble(run.completeness.covered_fraction * 100.0, 1),
+         FormatDouble(curve.final_recall(), 3),
+         std::to_string(run.duplicate_count),
+         std::to_string(run.counters.Get("mr.supervisor.deadline_cancels")),
+         FormatDouble(run.total_time, 0)});
+    subset_held = subset_held && IsSubsetOfClean(run, clean_sorted);
+    monotone_held = monotone_held &&
+                    run.completeness.covered_fraction >= prev_covered &&
+                    run.duplicate_count >= prev_pairs;
+    ledger_held = ledger_held && LedgerAgreesWithReport(run);
+    prev_covered = run.completeness.covered_fraction;
+    prev_pairs = run.duplicate_count;
+    if (fraction >= 1.0) {
+      noop_held = !run.completeness.degraded &&
+                  run.duplicates == clean.duplicates;
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  std::printf("\n--- fault storm under a retry-budget ledger ---\n");
+  const ErRunResult storm = RunFaultStorm(setup, /*fault_budget=*/4);
+  if (storm.failed) {
+    std::printf("storm run failed: %s\n", storm.error.c_str());
+    return;
+  }
+  std::printf(
+      "budget 4: covered %.1f%%, quarantined %lld, retries denied %lld, "
+      "breaker trips %lld, %lld pairs\n",
+      storm.completeness.covered_fraction * 100.0,
+      static_cast<long long>(
+          storm.counters.Get("mr.supervisor.quarantined_tasks")),
+      static_cast<long long>(
+          storm.counters.Get("mr.supervisor.retries_denied")),
+      static_cast<long long>(
+          storm.counters.Get("mr.supervisor.breaker_trips")),
+      static_cast<long long>(storm.duplicate_count));
+  const ErRunResult funded = RunFaultStorm(setup, /*fault_budget=*/0);
+  if (funded.failed) {
+    std::printf("funded run failed: %s\n", funded.error.c_str());
+    return;
+  }
+  const bool funded_held = !funded.completeness.degraded &&
+                           funded.duplicates == clean.duplicates;
+  subset_held = subset_held && IsSubsetOfClean(storm, clean_sorted);
+  ledger_held = ledger_held && LedgerAgreesWithReport(storm);
+
+  std::printf("\ndegraded pairs are a subset of the clean run's: %s\n",
+              subset_held ? "HELD" : "VIOLATED");
+  std::printf("coverage and pairs grow monotonically with the deadline: %s\n",
+              monotone_held ? "HELD" : "VIOLATED");
+  std::printf("deadline at/past the makespan changes nothing: %s\n",
+              noop_held ? "HELD" : "VIOLATED");
+  std::printf("supervisor counters agree with the completeness report: %s\n",
+              ledger_held ? "HELD" : "VIOLATED");
+  std::printf(
+      "an unlimited retry budget absorbs the storm byte-identically: %s\n",
+      funded_held ? "HELD" : "VIOLATED");
+}
+
+int JsonMain(const std::string& path) {
+  const bench::PublicationSetup setup = bench::MakePublicationSetup(kEntities);
+  bench::BenchReport report("ablation_degradation");
+
+  const ErRunResult clean = RunWithDeadline(setup, 0.0);
+  if (clean.failed) {
+    std::fprintf(stderr, "clean run failed: %s\n", clean.error.c_str());
+    return 1;
+  }
+  const RecallCurve clean_curve =
+      RecallCurve::FromEvents(clean.events, setup.data.truth);
+  report.AddSim("sim_total_seconds_clean", "sim_s", clean.total_time);
+  report.AddSim("recall_clean", "recall", clean_curve.final_recall(),
+                /*higher_is_better=*/true);
+  report.AddSim("duplicates_clean", "pairs",
+                static_cast<double>(clean.duplicate_count),
+                /*higher_is_better=*/true);
+
+  // Coverage, recall, pair counts and the supervisor ledger are pure
+  // functions of the seed and the deadline: all sim metrics, gated exactly.
+  for (const double fraction : DeadlineFractions()) {
+    const ErRunResult run =
+        RunWithDeadline(setup, clean.total_time * fraction);
+    if (run.failed) {
+      std::fprintf(stderr, "deadline run failed: %s\n", run.error.c_str());
+      return 1;
+    }
+    const RecallCurve curve =
+        RecallCurve::FromEvents(run.events, setup.data.truth);
+    const std::string label = std::to_string(static_cast<int>(
+        fraction * 100.0));
+    report.AddSim("covered_fraction_" + label, "fraction",
+                  run.completeness.covered_fraction,
+                  /*higher_is_better=*/true);
+    report.AddSim("recall_" + label, "recall", curve.final_recall(),
+                  /*higher_is_better=*/true);
+    report.AddSim("duplicates_" + label, "pairs",
+                  static_cast<double>(run.duplicate_count),
+                  /*higher_is_better=*/true);
+    report.AddSim(
+        "deadline_cancels_" + label, "tasks",
+        static_cast<double>(
+            run.counters.Get("mr.supervisor.deadline_cancels")));
+    report.AddWall("wall_total_seconds_" + label, "wall_s", run.wall_seconds,
+                   /*higher_is_better=*/false, /*gated=*/false);
+  }
+
+  const ErRunResult storm = RunFaultStorm(setup, /*fault_budget=*/4);
+  if (storm.failed) {
+    std::fprintf(stderr, "storm run failed: %s\n", storm.error.c_str());
+    return 1;
+  }
+  report.AddSim("storm_covered_fraction", "fraction",
+                storm.completeness.covered_fraction,
+                /*higher_is_better=*/true);
+  report.AddSim(
+      "storm_quarantined_tasks", "tasks",
+      static_cast<double>(
+          storm.counters.Get("mr.supervisor.quarantined_tasks")));
+  report.AddSim("storm_retries_denied", "retries",
+                static_cast<double>(
+                    storm.counters.Get("mr.supervisor.retries_denied")));
+  report.AddSim("storm_breaker_trips", "trips",
+                static_cast<double>(
+                    storm.counters.Get("mr.supervisor.breaker_trips")));
+  report.AddSim("storm_duplicates", "pairs",
+                static_cast<double>(storm.duplicate_count),
+                /*higher_is_better=*/true);
+
+  if (!report.WriteJson(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace progres
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (progres::bench::ParseJsonMode(argc, argv, "ablation_degradation",
+                                    &json_path)) {
+    return progres::JsonMain(json_path);
+  }
+  progres::Main();
+  return 0;
+}

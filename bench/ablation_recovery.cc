@@ -6,7 +6,13 @@
 // attempt had already resolved, while a checkpointed retry resumes from the
 // last alpha-emission snapshot and replays strictly fewer pairs, pulling
 // every recall milestone earlier on the simulated clock.
+//
+// "--json[=path]" writes a BENCH_ablation_recovery.json report for the CI
+// regression gate (tools/compare_bench.py): the fault ledger, replayed-pair
+// counts and recall milestones are pure functions of the fault seed, so
+// they are gated exactly like golden numbers.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -29,33 +35,61 @@ struct Variant {
   bool checkpoint;
 };
 
-void Main() {
-  const bench::PublicationSetup setup = bench::MakePublicationSetup(kEntities);
-  const SortedNeighborMechanism sn;
-
-  std::printf("=== Ablation: machine faults & checkpointed recovery ===\n\n");
-
-  // A fault-free dry run fixes the timeline so the injected machine deaths
-  // land mid-resolution regardless of workload tweaks.
-  double clean_total = 0.0;
-  {
-    ProgressiveErOptions options;
-    options.cluster = bench::MakeCluster(kMachines);
-    const ErRunResult dry =
-        ProgressiveEr(setup.blocking, setup.match, sn, setup.prob, options)
-            .Run(setup.data.dataset);
-    if (dry.failed) {
-      std::printf("dry run failed: %s\n", dry.error.c_str());
-      return;
-    }
-    clean_total = dry.total_time;
-  }
-
-  const std::vector<Variant> variants = {
+const std::vector<Variant>& Variants() {
+  static const std::vector<Variant> variants = {
       {"fault-free", false, false},
       {"faults+scratch", true, false},
       {"faults+resume", true, true},
   };
+  return variants;
+}
+
+// A fault-free dry run fixes the timeline so the injected machine deaths
+// land mid-resolution regardless of workload tweaks. Returns a negative
+// total on failure.
+double CleanTotal(const bench::PublicationSetup& setup) {
+  const SortedNeighborMechanism sn;
+  ProgressiveErOptions options;
+  options.cluster = bench::MakeCluster(kMachines);
+  const ErRunResult dry =
+      ProgressiveEr(setup.blocking, setup.match, sn, setup.prob, options)
+          .Run(setup.data.dataset);
+  if (dry.failed) {
+    std::fprintf(stderr, "dry run failed: %s\n", dry.error.c_str());
+    return -1.0;
+  }
+  return dry.total_time;
+}
+
+ErRunResult RunVariant(const bench::PublicationSetup& setup, const Variant& v,
+                       double clean_total, bench::ScopedTrace* trace) {
+  const SortedNeighborMechanism sn;
+  ClusterConfig cluster = bench::MakeCluster(kMachines);
+  if (v.faults) {
+    cluster.fault.enabled = true;
+    cluster.fault.seed = kFaultSeed;
+    cluster.fault.reduce_failure_prob = 0.15;
+    cluster.fault.max_attempts = 12;
+    // Two machines die mid-resolution; their in-flight attempts are
+    // killed and requeued on the eight survivors.
+    cluster.fault.machine_failures = {{2, clean_total * 0.35},
+                                      {7, clean_total * 0.55}};
+  }
+  ProgressiveErOptions options;
+  options.cluster = cluster;
+  if (trace != nullptr) trace->Attach(&options.cluster);
+  options.checkpoint_recovery = v.checkpoint;
+  return ProgressiveEr(setup.blocking, setup.match, sn, setup.prob, options)
+      .Run(setup.data.dataset);
+}
+
+void Main() {
+  const bench::PublicationSetup setup = bench::MakePublicationSetup(kEntities);
+
+  std::printf("=== Ablation: machine faults & checkpointed recovery ===\n\n");
+
+  const double clean_total = CleanTotal(setup);
+  if (clean_total < 0.0) return;
 
   // With PROGRES_TRACE_OUT set, every variant records into one trace (the
   // pipeline stages repeat per variant, giving distinct process ids).
@@ -70,26 +104,8 @@ void Main() {
   int64_t resumed_replayed = -1;
   double scratch_total = 0.0;
   double resumed_total = 0.0;
-  for (const Variant& v : variants) {
-    ClusterConfig cluster = bench::MakeCluster(kMachines);
-    if (v.faults) {
-      cluster.fault.enabled = true;
-      cluster.fault.seed = kFaultSeed;
-      cluster.fault.reduce_failure_prob = 0.15;
-      cluster.fault.max_attempts = 12;
-      // Two machines die mid-resolution; their in-flight attempts are
-      // killed and requeued on the eight survivors.
-      cluster.fault.machine_failures = {{2, clean_total * 0.35},
-                                        {7, clean_total * 0.55}};
-    }
-
-    ProgressiveErOptions options;
-    options.cluster = cluster;
-    trace.Attach(&options.cluster);
-    options.checkpoint_recovery = v.checkpoint;
-    const ErRunResult run =
-        ProgressiveEr(setup.blocking, setup.match, sn, setup.prob, options)
-            .Run(setup.data.dataset);
+  for (const Variant& v : Variants()) {
+    const ErRunResult run = RunVariant(setup, v, clean_total, &trace);
     if (run.failed) {
       std::printf("run failed: %s\n", run.error.c_str());
       return;
@@ -133,10 +149,73 @@ void Main() {
               scratch_total, resumed_total);
 }
 
+int JsonMain(const std::string& path) {
+  const bench::PublicationSetup setup = bench::MakePublicationSetup(kEntities);
+  bench::BenchReport report("ablation_recovery");
+
+  const double clean_total = CleanTotal(setup);
+  if (clean_total < 0.0) return 1;
+  report.AddSim("sim_total_seconds_clean", "sim_s", clean_total);
+
+  int64_t scratch_replayed = -1;
+  int64_t resumed_replayed = -1;
+  for (const Variant& v : Variants()) {
+    const ErRunResult run =
+        RunVariant(setup, v, clean_total, /*trace=*/nullptr);
+    if (run.failed) {
+      std::fprintf(stderr, "%s run failed: %s\n", v.label, run.error.c_str());
+      return 1;
+    }
+    const RecallCurve curve =
+        RecallCurve::FromEvents(run.events, setup.data.truth);
+    const int64_t replayed = run.counters.Get("mr.recovery.replayed_pairs");
+    // The fault ledger, replay accounting and recall milestones are pure
+    // functions of the fault seed: sim metrics, gated exactly.
+    std::string label = v.label;
+    std::replace(label.begin(), label.end(), '+', '_');
+    std::replace(label.begin(), label.end(), '-', '_');
+    report.AddSim("failed_attempts_" + label, "attempts",
+                  static_cast<double>(run.counters.Get("mr.failed_attempts")));
+    report.AddSim(
+        "machines_dead_" + label, "machines",
+        static_cast<double>(run.counters.Get("mr.faults.machines_dead")));
+    report.AddSim("replayed_pairs_" + label, "pairs",
+                  static_cast<double>(replayed));
+    report.AddSim(
+        "checkpoints_restored_" + label, "snapshots",
+        static_cast<double>(run.counters.Get("mr.checkpoint.restored")));
+    report.AddSim("time_to_recall_60_" + label, "sim_s",
+                  curve.TimeToRecall(0.6));
+    report.AddSim("sim_total_seconds_" + label, "sim_s", run.total_time);
+    report.AddSim("duplicates_" + label, "pairs",
+                  static_cast<double>(run.duplicate_count),
+                  /*higher_is_better=*/true);
+    report.AddWall("wall_total_seconds_" + label, "wall_s", run.wall_seconds,
+                   /*higher_is_better=*/false, /*gated=*/false);
+    if (v.faults && !v.checkpoint) scratch_replayed = replayed;
+    if (v.faults && v.checkpoint) resumed_replayed = replayed;
+  }
+  report.AddSim("resume_replays_fewer", "bool",
+                resumed_replayed < scratch_replayed ? 1.0 : 0.0,
+                /*higher_is_better=*/true);
+
+  if (!report.WriteJson(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace progres
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (progres::bench::ParseJsonMode(argc, argv, "ablation_recovery",
+                                    &json_path)) {
+    return progres::JsonMain(json_path);
+  }
   progres::Main();
   return 0;
 }

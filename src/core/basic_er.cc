@@ -69,7 +69,14 @@ ErRunResult BasicEr::Run(const Dataset& dataset) const {
     };
 
     TaskStateRegistry<ErTaskState> states(reduce_tasks);
-    states.InstallAbortReset(&job);
+    CheckpointStore checkpoints;
+    if (options_.cluster.control.active()) {
+      // Supervised runs snapshot task state at alpha boundaries so a
+      // deadline cut or quarantine can deliver a checkpointed prefix.
+      states.InstallCheckpointRecovery(&job, options_.alpha, &checkpoints);
+    } else {
+      states.InstallAbortReset(&job);
+    }
 
     const auto reduce_fn = [&, this](const std::string& key,
                                      std::vector<EntityId>* values,
@@ -108,6 +115,7 @@ ErRunResult BasicEr::Run(const Dataset& dataset) const {
     Job::Result run = job.Run(dataset.entities(), map_fn, reduce_fn,
                               options_.cluster, submit_time);
     SurfaceQuarantinedIds(run.quarantined, dataset.entities(), &result);
+    result.completeness.MergeFrom(run.completeness);
     if (!run.failed) {
       result.preprocessing_end = run.timing.map_end;
       AccumulateReduceTasks(states.states(), run.timing, run.reduce_stats,

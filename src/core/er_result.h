@@ -8,6 +8,7 @@
 #include "eval/recall_curve.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/fault.h"
+#include "mapreduce/supervisor.h"
 #include "model/entity.h"
 
 namespace progres {
@@ -57,6 +58,13 @@ struct ErRunResult {
   // Pairs touching these entities are the only ones a faulty run may miss
   // relative to a fault-free run.
   std::vector<EntityId> quarantined_ids;
+
+  // Job-supervision completeness report, merged across the run's MR jobs
+  // (multi-pass drivers fold one report per pass). Inert — degraded=false,
+  // covered_fraction=1.0 — unless ClusterConfig::control is active. A
+  // degraded run keeps failed=false; this report tells callers what the
+  // delivered output covers.
+  CompletenessReport completeness;
 
   // Set when an underlying MR job exhausted its fault-injection
   // max_attempts budget; events/duplicates/chunks are empty in that case.

@@ -145,8 +145,15 @@ ErRunResult MrsnEr::Run(const Dataset& dataset) const {
 
       // Retried attempts replay the pass's whole partition; the registry's
       // abort hook clears the task's sliding-window state and events first.
+      // Supervised runs snapshot the state at alpha boundaries instead so a
+      // deadline cut or quarantine can deliver a checkpointed prefix.
       TaskStateRegistry<MrsnTaskState> states(reduce_tasks);
-      states.InstallAbortReset(&job);
+      CheckpointStore checkpoints;
+      if (options_.cluster.control.active()) {
+        states.InstallCheckpointRecovery(&job, options_.alpha, &checkpoints);
+      } else {
+        states.InstallAbortReset(&job);
+      }
 
       const auto reduce_fn = [&](const int64_t& /*key*/,
                                  std::vector<SlideValue>* values,
@@ -180,6 +187,7 @@ ErRunResult MrsnEr::Run(const Dataset& dataset) const {
       Job::Result run = job.Run(dataset.entities(), map_fn, reduce_fn,
                                 options_.cluster, submit_time);
       SurfaceQuarantinedIds(run.quarantined, dataset.entities(), &result);
+      result.completeness.MergeFrom(run.completeness);
       if (!run.failed) {
         AccumulateReduceTasks(states.states(), run.timing, run.reduce_stats,
                               spc, options_.alpha, &result,

@@ -452,7 +452,10 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
     TaskStateRegistry<ResolveTaskState> states(reduce_tasks);
     CheckpointStore checkpoints;
     const bool persist = !options_.checkpoint_dir.empty();
-    if (options_.checkpoint_recovery || persist) {
+    // Job supervision needs the snapshots too: a deadline cut or
+    // quarantine restores the latest alpha-boundary state.
+    if (options_.checkpoint_recovery || persist ||
+        options_.cluster.control.active()) {
       states.InstallCheckpointRecovery(&job, options_.alpha, &checkpoints,
                                        EncodeResolveTaskState,
                                        DecodeResolveTaskState);
@@ -606,6 +609,7 @@ ErRunResult ProgressiveEr::Run(const Dataset& dataset) const {
     Job::Result run = job.Run(dataset.entities(), map_fn, reduce_fn,
                               options_.cluster, submit_time);
     SurfaceQuarantinedIds(run.quarantined, dataset.entities(), &result);
+    result.completeness.MergeFrom(run.completeness);
     if (!run.failed) {
       AccumulateReduceTasks(states.states(), run.timing, run.reduce_stats,
                             options_.cluster.seconds_per_cost_unit,

@@ -71,6 +71,13 @@ StatsJobOutput RunStatisticsJob(const Dataset& dataset,
                                 double submit_time) {
   StatsJobOutput output;
 
+  // Preprocessing is all-or-nothing: the degradation budget applies to
+  // resolution output, not the statistics pre-pass (a partial forest would
+  // silently skew every downstream schedule), so the pre-pass runs with job
+  // supervision stripped and its failures stay hard failures.
+  ClusterConfig stats_cluster = cluster;
+  stats_cluster.control = JobControl{};
+
   // Per-reduce-task record sinks (each task writes only its own slot). A
   // failed reduce attempt may have flushed records into its sink; the
   // registry's abort hook drops them so the retry starts clean.
@@ -162,8 +169,8 @@ StatsJobOutput RunStatisticsJob(const Dataset& dataset,
       }
     };
 
-    Job::Result run =
-        job.Run(dataset.entities(), map_fn, reduce_fn, cluster, stage_submit);
+    Job::Result run = job.Run(dataset.entities(), map_fn, reduce_fn,
+                              stats_cluster, stage_submit);
     output.timing = run.timing;
     return StageResultFromJob(std::move(run), "statistics job");
   });

@@ -125,6 +125,9 @@ void CheckpointStore::Reset(int num_tasks) {
     slot.points.push_back(checkpoint.cost);
     slot.latest = std::make_unique<TaskCheckpoint>(std::move(checkpoint));
     slot.preloaded = true;
+    if (keep_history_) {
+      slot.history.push_back(std::make_unique<TaskCheckpoint>(*slot.latest));
+    }
   }
 }
 
@@ -143,7 +146,25 @@ void CheckpointStore::Save(int t, TaskCheckpoint checkpoint) {
   slot.latest = std::make_unique<TaskCheckpoint>(std::move(checkpoint));
   slot.preloaded = false;
   ++slot.saved;
+  if (keep_history_) {
+    slot.history.push_back(std::make_unique<TaskCheckpoint>(*slot.latest));
+  }
   if (persistent()) PersistSave(t, *slot.latest);
+}
+
+const TaskCheckpoint* CheckpointStore::LatestAtOrBelow(int t,
+                                                       double cost) const {
+  if (t < 0 || t >= num_tasks()) return nullptr;
+  const Slot& slot = slots_[static_cast<size_t>(t)];
+  // History is ascending by cost (Save rejects non-advancing snapshots),
+  // so the first qualifying entry from the back is the highest one.
+  for (auto it = slot.history.rbegin(); it != slot.history.rend(); ++it) {
+    if ((*it)->cost <= cost) return it->get();
+  }
+  if (slot.latest != nullptr && slot.latest->cost <= cost) {
+    return slot.latest.get();
+  }
+  return nullptr;
 }
 
 void CheckpointStore::NoteRestore(int t) {

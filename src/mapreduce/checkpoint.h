@@ -99,6 +99,19 @@ class CheckpointStore {
   // Latest snapshot of task `t`, or nullptr if none was saved yet.
   const TaskCheckpoint* Latest(int t) const;
 
+  // Arms boundary-history retention: every accepted Save also keeps a copy
+  // of the snapshot, so LatestAtOrBelow can cut a task back to *any*
+  // crossed boundary — what deadline enforcement needs. Off by default
+  // (only the latest snapshot is kept, the historical memory footprint).
+  // Armed by MapReduceJob when job supervision is active; survives Reset.
+  void set_keep_history(bool keep) { keep_history_ = keep; }
+  bool keep_history() const { return keep_history_; }
+
+  // Highest-cost retained snapshot of task `t` with cost <= `cost`, or
+  // nullptr if no crossed boundary qualifies. Requires keep_history();
+  // without it only the latest snapshot is consulted.
+  const TaskCheckpoint* LatestAtOrBelow(int t, double cost) const;
+
   // Saves a snapshot of task `t`, replacing the previous one and appending
   // the boundary's cost to the task's recovery points. Snapshots must
   // advance: a save at or below the latest cost is ignored (a resumed
@@ -130,6 +143,8 @@ class CheckpointStore {
  private:
   struct Slot {
     std::unique_ptr<TaskCheckpoint> latest;
+    // Every accepted snapshot in ascending cost order (keep_history only).
+    std::vector<std::unique_ptr<TaskCheckpoint>> history;
     std::vector<double> points;
     int64_t saved = 0;
     int64_t restored = 0;
@@ -143,6 +158,7 @@ class CheckpointStore {
   std::vector<Slot> slots_;
   std::string dir_;
   std::string tag_;
+  bool keep_history_ = false;
   bool resume_ = false;
   int crash_after_saves_ = 0;
   int64_t persisted_saves_ = 0;

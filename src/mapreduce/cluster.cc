@@ -89,6 +89,23 @@ std::string ValidateClusterConfig(const ClusterConfig& cluster) {
     return "speculation.min_remaining_seconds must be >= 0 (got " +
            std::to_string(cluster.speculation.min_remaining_seconds) + ")";
   }
+  if (cluster.control.deadline_seconds < 0.0) {
+    return "control.deadline_seconds must be >= 0 (got " +
+           std::to_string(cluster.control.deadline_seconds) + ")";
+  }
+  if (cluster.control.wall_deadline_seconds < 0.0) {
+    return "control.wall_deadline_seconds must be >= 0 (got " +
+           std::to_string(cluster.control.wall_deadline_seconds) + ")";
+  }
+  if (cluster.control.fault_budget < 0) {
+    return "control.fault_budget must be >= 0 (got " +
+           std::to_string(cluster.control.fault_budget) + ")";
+  }
+  if (cluster.control.active() && cluster.speculation.enabled) {
+    return "job supervision (deadline/allow_degraded/fault_budget) does not "
+           "support speculative execution: a deadline cut needs exactly one "
+           "winning attempt per task";
+  }
   if (cluster.shuffle_budget.max_bytes < 0) {
     return "shuffle_budget.max_bytes must be >= 0 (got " +
            std::to_string(cluster.shuffle_budget.max_bytes) + ")";
@@ -360,7 +377,13 @@ AttemptScheduleOutcome ScheduleTaskAttemptsOnCluster(
       }
     }
     if (best < 0) {
-      // Every machine is dead or blacklisted: the phase cannot finish.
+      // Every machine is dead or blacklisted: the phase cannot finish this
+      // task. Fail fast, or — in degraded mode — skip the task and keep
+      // placing the rest (it is never re-queued, so it is recorded once).
+      if (options.tolerate_unplaced) {
+        outcome.unplaced_tasks.push_back(p.task);
+        continue;
+      }
       outcome.failed = true;
       outcome.failed_task = p.task;
       break;

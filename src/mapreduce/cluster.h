@@ -73,6 +73,12 @@ struct ClusterConfig {
   FaultConfig fault;
   SpeculationConfig speculation;
 
+  // Job supervision: deadline-driven graceful degradation, the job-wide
+  // retry-budget ledger and task quarantine (see mapreduce/supervisor.h).
+  // Inactive by default — with `control.active()` false every run is byte-
+  // and timing-identical to the unsupervised runtime.
+  JobControl control;
+
   // Optional execution tracing (see mapreduce/trace.h). Strictly
   // observational: attaching a recorder never changes outputs, counters or
   // timings. Not owned; must outlive every job run with this config.
@@ -105,10 +111,14 @@ struct ClusterConfig {
 // machine-failure events inside the cluster, backoff/blacklist knobs
 // non-negative, task_timeout_seconds non-negative, injected hang fractions
 // in (0, 1], fetch-retry and skip knobs within range, shuffle-budget bytes
-// non-negative with a positive block size. The threaded backend
-// additionally requires execution_threads in [1, slot capacity] and rejects
-// speculation and machine failures (both live in the simulated timing
-// model). Returns an empty string when valid, otherwise a labelled
+// non-negative with a positive block size, supervisor deadlines and the
+// fault budget non-negative. Job supervision (`control.active()`) rejects
+// speculative execution: a deadline cut needs one unambiguous winning
+// attempt per task to anchor the cut point, and a backup racing its
+// original has two. The threaded backend additionally requires
+// execution_threads in [1, slot capacity] and rejects speculation and
+// machine failures (both live in the simulated timing model). Returns an
+// empty string when valid, otherwise a labelled
 // description of the first violation.
 // MapReduceJob::Run fails cleanly (Result::failed) on a non-empty result
 // instead of running with a silently "normalized" config.
@@ -272,6 +282,12 @@ struct AttemptScheduleOptions {
   // starts. Later occurrences re-use the repaired fetches. Empty = none.
   std::vector<double> fetch_stall_seconds;
 
+  // Degraded-mode placement: when a task cannot be placed because every
+  // machine is dead or blacklisted, record it in `unplaced_tasks` and keep
+  // scheduling the remaining tasks instead of failing the phase. Off by
+  // default — the historical fail-fast behaviour.
+  bool tolerate_unplaced = false;
+
   // Optional trace sink: attempt spans (with nested checkpoint/backoff
   // children) and machine-death/blacklist instants are recorded under
   // `trace_pid` with `trace_phase` lanes. Purely observational.
@@ -287,9 +303,14 @@ struct AttemptScheduleOutcome {
   double end_time = 0.0;
   std::vector<double> winning_starts;
   // Some task could not be placed because every machine was dead or
-  // blacklisted — the job must fail cleanly.
+  // blacklisted — the job must fail cleanly. Never set with
+  // `tolerate_unplaced`, which routes such tasks to `unplaced_tasks`.
   bool failed = false;
   int failed_task = -1;
+  // Tasks skipped under `tolerate_unplaced`, in dispatch order (each at
+  // most once — an unplaced task is never re-queued). They have no winning
+  // attempt; `winning_starts` keeps `start_time` for them.
+  std::vector<int> unplaced_tasks;
   // Attempts killed by a machine death ("mr.faults.machine_lost").
   int64_t machine_lost_attempts = 0;
   // Hung attempts killed by the heartbeat timeout

@@ -55,6 +55,20 @@ namespace progres {
 //                           with kRestartRestore spans)
 //   mr.restart.corrupt_checkpoints  persisted snapshots failing validation
 //                           on load (ignored; the task replays instead)
+//   mr.supervisor.deadline_cancels  tasks cut or cancelled at the job
+//                           deadline (reconciles 1:1 with kDeadlineCancel
+//                           spans; job supervision only, see supervisor.h)
+//   mr.supervisor.quarantined_tasks  permanently failing tasks quarantined
+//                           under allow_degraded (1:1 with kTaskQuarantine)
+//   mr.supervisor.breaker_trips  fault-domain circuit breakers tripped
+//                           (1:1 with kBreakerTrip spans)
+//   mr.supervisor.retries_denied  retries the budget ledger refused to fund
+//   mr.supervisor.retry_spend.task     ledger spend: failed task attempts
+//   mr.supervisor.retry_spend.machine  ledger spend: machine-lost attempts
+//   mr.supervisor.retry_spend.disk     ledger spend: spill retries + map
+//                           re-runs after corrupt spill runs
+//   mr.supervisor.retry_spend.data     ledger spend: shuffle re-fetches +
+//                           map re-runs after corrupt fetches
 // Counters that would be zero stay absent, so a fault-free job's counter
 // set is unchanged by these features. User counters merge independently of
 // the reserved ones: the runtime only ever increments "mr." names, and a

@@ -169,6 +169,44 @@ struct QuarantinedRecord {
   int64_t record = 0;
 };
 
+// Job-level supervision: deadline-driven graceful degradation. All fields
+// default off; with every field at its default the runtime behaves exactly
+// as before (byte-identical outputs, counters and traces).
+//
+//   * deadline_seconds — absolute simulated-clock deadline. A job whose
+//     makespan would cross it is cut at the deadline: reduce tasks flush
+//     the progressive output they had emitted by then (their latest
+//     alpha-boundary checkpoint at or below the cut), later work is
+//     cancelled. Deterministic: the cut is a pure function of
+//     (seed, fault plan, deadline), identical on both backends.
+//   * wall_deadline_seconds — real-time safety valve checked at the
+//     map/reduce barrier; past it the reduce phase is skipped entirely.
+//     Inherently nondeterministic (it races the host machine), so it is
+//     excluded from golden fixtures and differential tests.
+//   * allow_degraded — permanent task failures (retry exhaustion, sticky
+//     spill errors, CRC-exhausted runs, unplaceable reduce tasks) are
+//     quarantined instead of failing the job: the task contributes its
+//     checkpointed partial output (or nothing) and the job finalizes
+//     best-effort with Result::completeness reporting the damage. Without
+//     it a deadline overrun is a hard, labelled failure.
+//   * fault_budget — job-wide retry budget: planned retries (crashes and
+//     hangs, walked in deterministic task order) are granted from this
+//     ledger; once it runs dry the budget breaker trips and later tasks
+//     get no retries. 0 = unlimited.
+struct JobControl {
+  double deadline_seconds = 0.0;       // 0 = no simulated deadline
+  double wall_deadline_seconds = 0.0;  // 0 = no wall-clock deadline
+  bool allow_degraded = false;
+  int64_t fault_budget = 0;  // 0 = unlimited retries
+
+  // Whether any supervision is configured — the runtime's gate for the
+  // supervisor machinery (ledger, breakers, completeness reporting).
+  bool active() const {
+    return deadline_seconds > 0.0 || wall_deadline_seconds > 0.0 ||
+           allow_degraded || fault_budget > 0;
+  }
+};
+
 // Speculative execution (Hadoop's backup tasks) in the timing model. When a
 // slot frees with no queued work and some task's remaining time exceeds
 // `min_remaining_seconds`, a backup copy is launched on the free slot if it

@@ -22,6 +22,7 @@
 #include "mapreduce/fault.h"
 #include "mapreduce/shuffle.h"
 #include "mapreduce/spill.h"
+#include "mapreduce/supervisor.h"
 #include "mapreduce/task_runner.h"
 #include "mapreduce/trace.h"
 
@@ -65,7 +66,15 @@ namespace progres {
 //     leaves the cluster, orphaned tasks re-queue (with exponential
 //     backoff) on the survivors, and the replacement attempt is costed from
 //     the task's best recovery point. Losing every machine fails the job
-//     cleanly.
+//     cleanly;
+//   * with job supervision (ClusterConfig::control, supervisor.h) the
+//     fail-fast rules above soften into deadline-driven graceful
+//     degradation: a retry-budget ledger caps per-task attempts, permanent
+//     task failures are quarantined instead of failing the job, the
+//     simulated deadline cuts late reduce tasks back to their last
+//     checkpointed prefix, and Result::completeness reports exactly what
+//     was delivered. All of it is opt-in — an inactive JobControl leaves
+//     every run byte- and timing-identical to the unsupervised runtime.
 //
 // The cluster configuration is validated at submission
 // (ValidateClusterConfig); an invalid config fails the job with a labelled
@@ -162,6 +171,11 @@ class MapReduceJob {
     // records were *not* processed — their absence from `outputs` is the
     // only permitted divergence from a fault-free run.
     std::vector<QuarantinedRecord> quarantined;
+    // Job-supervision completeness report (supervisor.h). Inert — default
+    // values — unless ClusterConfig::control is active. `degraded` set
+    // means some task delivered less than its full output while `failed`
+    // stayed false (degraded success).
+    CompletenessReport completeness;
     // Set when some task exhausted FaultConfig::max_attempts. `outputs`,
     // stats and non-"mr." counters are empty/unspecified in that case.
     bool failed = false;
@@ -329,6 +343,12 @@ class MapReduceJob {
       wall = std::make_unique<ThreadedExecutor>(cluster.execution_threads);
     }
     result.timing.wall.threads = threaded ? wall->threads() : 1;
+    // Deadline cuts restore *historical* alpha boundaries, not just the
+    // latest one — arm snapshot history before the store resets (and
+    // preloads any persisted snapshots into it).
+    if (cluster.control.active() && checkpointing()) {
+      checkpoint_store_->set_keep_history(true);
+    }
     if (checkpointing()) checkpoint_store_->Reset(num_reduce_tasks_);
 
     // PROGRES_DISK_FAULTS drives the storage fault domain through
@@ -371,6 +391,59 @@ class MapReduceJob {
     TaskAttemptRunner reduce_runner(TaskPhase::kReduce, num_reduce_tasks_,
                                     &plan);
 
+    // ---- Job supervision (deadline-driven graceful degradation) ----
+    // The supervisor precomputes the retry-budget ledger and the breaker
+    // state from the fault plan — pure functions, identical under both
+    // backends. Everything below is gated on `supervisor.active()`; an
+    // inactive JobControl leaves the run byte- and timing-identical to the
+    // unsupervised runtime.
+    const JobControl& control = cluster.control;
+    const JobSupervisor supervisor(control, &plan, num_map_tasks_,
+                                   num_reduce_tasks_);
+    if (supervisor.active()) {
+      map_runner.set_attempt_caps(supervisor.map_attempt_caps());
+      reduce_runner.set_attempt_caps(supervisor.reduce_attempt_caps());
+    }
+    // Disk circuit breaker: armed only when a fallback dir exists to fail
+    // over to — without one the sticky spill error must surface unchanged.
+    const bool disk_breaker = supervisor.active() &&
+                              supervisor.disk_breaker_tripped() &&
+                              shuffle_.spill_config().enabled &&
+                              !shuffle_.spill_config().fallback_dir.empty();
+    // Supervisor events, one per kDeadlineCancel / kTaskQuarantine /
+    // kBreakerTrip span. The "mr.supervisor.*" activity counters are
+    // derived from this same list, so counters and spans reconcile by
+    // construction.
+    struct SupervisorEvent {
+      SpanKind kind;
+      TaskPhase phase;
+      int task;
+      int domain;      // FaultDomain index for breaker trips, else -1
+      double cost;     // restored boundary cost (cut/quarantine), else 0
+      double deadline; // the cut deadline, anchoring kDeadlineCancel spans
+    };
+    std::vector<SupervisorEvent> supervisor_events;
+    if (supervisor.active() && supervisor.budget_breaker_tripped()) {
+      supervisor_events.push_back({SpanKind::kBreakerTrip, TaskPhase::kMap,
+                                   -1, static_cast<int>(FaultDomain::kTask),
+                                   0.0, 0.0});
+    }
+    if (disk_breaker) {
+      supervisor_events.push_back({SpanKind::kBreakerTrip, TaskPhase::kMap,
+                                   supervisor.first_full_task(),
+                                   static_cast<int>(FaultDomain::kDisk), 0.0,
+                                   0.0});
+    }
+    // Per-task completeness slots, assembled into Result::completeness once
+    // the timing model has run (deadline cuts are post-hoc).
+    std::vector<TaskReport> map_report(static_cast<size_t>(num_map_tasks_));
+    std::vector<char> map_affected(static_cast<size_t>(num_map_tasks_), 0);
+    std::vector<TaskReport> reduce_report(
+        static_cast<size_t>(num_reduce_tasks_));
+    std::vector<char> reduce_affected(static_cast<size_t>(num_reduce_tasks_),
+                                      0);
+    bool wall_expired = false;
+
     // Shared scheduler inputs of both phases: the machine fault domain, the
     // retry-hygiene knobs, and the phase's hung attempts with the heartbeat
     // timeout that kills them.
@@ -402,6 +475,64 @@ class MapReduceJob {
 
     // ---- Map phase ----
     std::vector<MapContext> map_ctx(static_cast<size_t>(num_map_tasks_));
+    // Reduce contexts and the map-output pointer list live at Run scope
+    // (not in the phase block) because the supervisor's post-hoc deadline
+    // enforcement rewrites contexts after the timing model has run.
+    std::vector<ReduceContext> reduce_ctx(
+        static_cast<size_t>(num_reduce_tasks_));
+    for (int r = 0; r < num_reduce_tasks_; ++r) {
+      reduce_ctx[static_cast<size_t>(r)].task_id_ = r;
+    }
+    std::vector<typename JobShuffle::MapOutput*> map_outputs;
+    map_outputs.reserve(map_ctx.size());
+    for (MapContext& ctx : map_ctx) map_outputs.push_back(&ctx.output_);
+    // Full gathered input of reduce task `t` — the denominator a degraded
+    // task's coverage is reported against. Re-gathers (cheap, in-memory or
+    // a re-read of the spill runs); a failing gather yields its partial
+    // size, floored at the covered count by the callers.
+    const auto gathered_total = [&](int t) -> int64_t {
+      typename JobShuffle::GatherStats probe;
+      return static_cast<int64_t>(
+          shuffle_.GatherSorted(map_outputs, t, &probe).size());
+    };
+    // Quarantines reduce task `t` under allow_degraded: the delivered
+    // output becomes the latest checkpointed prefix (nothing without one),
+    // driver state is rewound to match, and the completeness report records
+    // the loss against the task's full gathered input.
+    const auto quarantine_reduce = [&, this](int t) {
+      ReduceContext& ctx = reduce_ctx[static_cast<size_t>(t)];
+      const int64_t total = gathered_total(t);
+      const TaskCheckpoint* ck =
+          checkpointing() ? checkpoint_store_->Latest(t) : nullptr;
+      int64_t covered = 0;
+      double boundary = 0.0;
+      if (ck != nullptr) {
+        RestoreReduceContext(&ctx, *ck);
+        if (checkpoint_restore_) checkpoint_restore_(t, ck->driver_state.get());
+        ctx.stats_.cost = ck->cost;
+        covered = ck->records_in;
+        boundary = ck->cost;
+      } else {
+        ResetReduceContext(&ctx);
+        if (checkpointing() && checkpoint_restore_) {
+          checkpoint_restore_(t, nullptr);
+        }
+      }
+      TaskReport& report = reduce_report[static_cast<size_t>(t)];
+      report.phase = TaskPhase::kReduce;
+      report.task = t;
+      report.kind = TaskOutcomeKind::kQuarantined;
+      report.records_total = std::max(total, covered);
+      report.records_covered = covered;
+      report.covered_fraction =
+          report.records_total > 0
+              ? static_cast<double>(covered) /
+                    static_cast<double>(report.records_total)
+              : 0.0;
+      reduce_affected[static_cast<size_t>(t)] = 1;
+      supervisor_events.push_back({SpanKind::kTaskQuarantine,
+                                   TaskPhase::kReduce, t, -1, boundary, 0.0});
+    };
     // Per-attempt recovery bookkeeping of the reduce phase, consumed by the
     // machine-aware timing model after the pool scope closes: the absolute
     // progress each executed attempt started from, and the input values a
@@ -612,10 +743,17 @@ class MapReduceJob {
       // whose spill runs failed validation: reset, then the body, exactly
       // as a scheduled attempt would. Each execution bumps the task's
       // generation — fresh disk-fault decisions, fresh run-file names.
-      const auto reset_map = [this, &map_ctx, &map_generation, &plan](int t) {
+      const auto reset_map = [this, &map_ctx, &map_generation, &plan,
+                              disk_breaker, &supervisor](int t) {
         ResetMapContext(&map_ctx[static_cast<size_t>(t)]);
         map_ctx[static_cast<size_t>(t)].output_.ConfigureSpill(
             &plan, map_generation[static_cast<size_t>(t)]++);
+        // Disk breaker: once the first task discovered the primary spill
+        // dir full, later tasks start directly on the fallback — one global
+        // failover instead of a per-task ENOSPC retry storm.
+        if (disk_breaker && supervisor.StartOnFallback(t)) {
+          map_ctx[static_cast<size_t>(t)].output_.StartOnFallback();
+        }
       };
       const auto run_map_body =
           [this, &input, &map_fn, &map_ctx, n, &plan, &cluster,
@@ -668,6 +806,26 @@ class MapReduceJob {
             out.cost = ctx.clock_.units();
             return out;
           };
+      // Quarantines map task `t` under allow_degraded: its output is
+      // dropped (the chunk's records vanish from every downstream
+      // partition) and the loss is recorded against the chunk size.
+      const auto quarantine_map = [&, this](int t) {
+        ResetMapContext(&map_ctx[static_cast<size_t>(t)]);
+        const size_t lo = n * static_cast<size_t>(t) /
+                          static_cast<size_t>(num_map_tasks_);
+        const size_t hi = n * static_cast<size_t>(t + 1) /
+                          static_cast<size_t>(num_map_tasks_);
+        TaskReport& report = map_report[static_cast<size_t>(t)];
+        report.phase = TaskPhase::kMap;
+        report.task = t;
+        report.kind = TaskOutcomeKind::kQuarantined;
+        report.records_total = static_cast<int64_t>(hi - lo);
+        report.records_covered = 0;
+        report.covered_fraction = 0.0;
+        map_affected[static_cast<size_t>(t)] = 1;
+        supervisor_events.push_back(
+            {SpanKind::kTaskQuarantine, TaskPhase::kMap, t, -1, 0.0, 0.0});
+      };
       map_runner.RunAll(pool, wall.get(), reset_map, run_map_body,
                         task_abort_);
       if (threaded) wall->EndPhase(TaskPhase::kMap);
@@ -690,7 +848,10 @@ class MapReduceJob {
         }
       }
       const int doomed_map = map_runner.FirstDoomed();
-      if (doomed_map >= 0) {
+      if (doomed_map >= 0 && control.allow_degraded) {
+        // Degraded mode: quarantine every doomed map task and keep going.
+        for (const int t : map_runner.DoomedTasks()) quarantine_map(t);
+      } else if (doomed_map >= 0) {
         result.failed = true;
         result.error = map_runner.DoomedError(doomed_map);
         AttemptScheduleOutcome map_schedule = ScheduleTaskAttemptsOnCluster(
@@ -714,6 +875,12 @@ class MapReduceJob {
         const std::string& spill_error =
             map_ctx[static_cast<size_t>(t)].output_.spill_error();
         if (spill_error.empty()) continue;
+        if (control.allow_degraded) {
+          // Degraded mode: the memory budget cannot be honoured for this
+          // task — quarantine it instead of failing the job.
+          quarantine_map(t);
+          continue;
+        }
         result.failed = true;
         result.error = "map task " + std::to_string(t) + ": " + spill_error;
         AttemptScheduleOutcome map_schedule = ScheduleTaskAttemptsOnCluster(
@@ -764,6 +931,10 @@ class MapReduceJob {
             }
             if (bad == 0) break;
             if (round >= plan.max_attempts()) {
+              if (control.allow_degraded) {
+                quarantine_map(t);
+                break;
+              }
               result.failed = true;
               result.error = "map task " + std::to_string(t) +
                              ": spill runs failed CRC validation after " +
@@ -782,6 +953,10 @@ class MapReduceJob {
             rerun.task = t;
             run_map_body(rerun);
             if (!ctx.output_.spill_error().empty()) {
+              if (control.allow_degraded) {
+                quarantine_map(t);
+                break;
+              }
               result.failed = true;
               result.error = "map task " + std::to_string(t) + ": " +
                              ctx.output_.spill_error();
@@ -923,15 +1098,34 @@ class MapReduceJob {
         }
       }
 
-      // ---- Reduce phase ----
-      std::vector<typename JobShuffle::MapOutput*> map_outputs;
-      map_outputs.reserve(map_ctx.size());
-      for (MapContext& ctx : map_ctx) map_outputs.push_back(&ctx.output_);
-      std::vector<ReduceContext> reduce_ctx(
-          static_cast<size_t>(num_reduce_tasks_));
-      for (int r = 0; r < num_reduce_tasks_; ++r) {
-        reduce_ctx[static_cast<size_t>(r)].task_id_ = r;
+      // ---- Wall-clock deadline at the map/reduce barrier ----
+      // The supervisor's coarse wall-clock guard: a job already past its
+      // wall deadline when the map barrier closes does not start reduce
+      // work. Degraded mode cancels every reduce task (best-effort
+      // finalization below); otherwise the job fails with a labelled error.
+      if (control.wall_deadline_seconds > 0.0 &&
+          wall_watch.ElapsedSeconds() > control.wall_deadline_seconds) {
+        if (!control.allow_degraded) {
+          result.failed = true;
+          result.error =
+              "job wall-clock deadline exceeded at the map/reduce barrier";
+          AttemptScheduleOutcome map_schedule = ScheduleTaskAttemptsOnCluster(
+              map_runner.attempt_costs(),
+              phase_options(TaskPhase::kMap, map_speeds,
+                            cluster.map_slots_per_machine, submit_time,
+                            map_runner));
+          MergeRecoveryCounters(map_schedule, &result.counters);
+          result.timing.map_attempts = std::move(map_schedule.attempts);
+          result.timing.map_end = map_schedule.end_time;
+          result.timing.end = map_schedule.end_time;
+          stamp_wall_trace();
+          finish_wall();
+          return result;
+        }
+        wall_expired = true;
       }
+
+      if (!wall_expired) {  // ---- Reduce phase ----
       // Per-task cursors of the checkpoint-aware attempt loop: the restored
       // base cost and group watermark of the currently running attempt.
       // Each task only ever touches its own slot.
@@ -1024,18 +1218,28 @@ class MapReduceJob {
 
       reduce_runner.MergeFaultCounters(&result.counters);
       const int doomed_reduce = reduce_runner.FirstDoomed();
-      if (doomed_reduce >= 0) {
+      if (doomed_reduce >= 0 && control.allow_degraded) {
+        // Degraded mode: quarantine, restoring each doomed task's
+        // checkpointed prefix, and keep the job alive.
+        for (const int t : reduce_runner.DoomedTasks()) quarantine_reduce(t);
+      } else if (doomed_reduce >= 0) {
         result.failed = true;
         result.error = reduce_runner.DoomedError(doomed_reduce);
       }
       if (!result.failed) {
         // A gather that could not read its spill runs back (unreadable or
         // corrupt files) fails the job with the labelled error, like any
-        // other data-plane fault.
+        // other data-plane fault — or, degraded, quarantines the task.
         for (int t = 0; t < num_reduce_tasks_; ++t) {
           const std::string& gather_error =
               gather_stats[static_cast<size_t>(t)].error;
           if (gather_error.empty()) continue;
+          if (control.allow_degraded) {
+            if (!reduce_affected[static_cast<size_t>(t)]) {
+              quarantine_reduce(t);
+            }
+            continue;
+          }
           result.failed = true;
           result.error =
               "reduce task " + std::to_string(t) + ": " + gather_error;
@@ -1056,18 +1260,10 @@ class MapReduceJob {
         }
       }
 
-      if (!result.failed) {
-        // ---- Collect stats, counters & outputs ----
-        for (MapContext& ctx : map_ctx) {
-          result.map_stats.push_back(ctx.stats_);
-          result.counters.MergeFrom(ctx.counters_);
-        }
-        for (ReduceContext& ctx : reduce_ctx) {
-          result.reduce_stats.push_back(ctx.stats_);
-          result.counters.MergeFrom(ctx.counters_);
-          for (auto& kv : ctx.outputs_) result.outputs.push_back(std::move(kv));
-        }
-      }
+      }  // if (!wall_expired): reduce phase
+      // (Stats, counters & outputs are collected after the timing model and
+      // the supervisor's deadline enforcement — a cut task's context must
+      // hold exactly its restored prefix when it is read.)
     }
 
     // ---- Checkpoint & replay bookkeeping ----
@@ -1220,6 +1416,9 @@ class MapReduceJob {
         result.timing.map_end, reduce_runner);
     reduce_options.attempt_bases = std::move(reduce_attempt_bases);
     reduce_options.fetch_stall_seconds = std::move(fetch_stalls);
+    // Degraded-mode placement: machine loss that leaves reduce tasks
+    // unplaceable quarantines them (below) instead of failing the job.
+    reduce_options.tolerate_unplaced = control.allow_degraded;
     if (checkpointing()) {
       reduce_options.recovery_points.resize(
           static_cast<size_t>(num_reduce_tasks_));
@@ -1228,18 +1427,258 @@ class MapReduceJob {
             checkpoint_store_->RecoveryPoints(t);
       }
     }
-    AttemptScheduleOutcome reduce_schedule = ScheduleTaskAttemptsOnCluster(
-        reduce_runner.attempt_costs(), reduce_options);
-    MergeRecoveryCounters(reduce_schedule, &result.counters);
-    result.timing.reduce_attempts = std::move(reduce_schedule.attempts);
-    result.timing.reduce_start = std::move(reduce_schedule.winning_starts);
-    result.timing.end = reduce_schedule.end_time;
-    if (reduce_schedule.failed && !result.failed) {
-      FailOnLostCluster(&result, TaskPhase::kReduce,
-                        reduce_schedule.failed_task);
+    AttemptScheduleOutcome reduce_schedule;
+    if (!wall_expired) {
+      reduce_schedule = ScheduleTaskAttemptsOnCluster(
+          reduce_runner.attempt_costs(), reduce_options);
+      MergeRecoveryCounters(reduce_schedule, &result.counters);
+      result.timing.reduce_attempts = std::move(reduce_schedule.attempts);
+      result.timing.reduce_start = std::move(reduce_schedule.winning_starts);
+      result.timing.end = reduce_schedule.end_time;
+      if (reduce_schedule.failed && !result.failed) {
+        FailOnLostCluster(&result, TaskPhase::kReduce,
+                          reduce_schedule.failed_task);
+        stamp_wall_trace();
+        finish_wall();
+        return result;
+      }
+    } else {
+      // Past the wall deadline no reduce attempt ever started: the job
+      // finalizes at the map barrier and every reduce task is cancelled.
+      result.timing.reduce_start.assign(
+          static_cast<size_t>(num_reduce_tasks_), result.timing.map_end);
+      result.timing.end = result.timing.map_end;
+      for (int t = 0; t < num_reduce_tasks_; ++t) {
+        TaskReport& report = reduce_report[static_cast<size_t>(t)];
+        report.phase = TaskPhase::kReduce;
+        report.task = t;
+        report.kind = TaskOutcomeKind::kCancelled;
+        report.records_total = gathered_total(t);
+        report.records_covered = 0;
+        report.covered_fraction = 0.0;
+        reduce_affected[static_cast<size_t>(t)] = 1;
+        supervisor_events.push_back({SpanKind::kDeadlineCancel,
+                                     TaskPhase::kReduce, t, -1, 0.0,
+                                     result.timing.map_end});
+      }
+    }
+
+    // ---- Job supervision: deadline enforcement, best-effort finalization ----
+    // The simulated deadline is enforced post-hoc on the results clock —
+    // identical under both backends, since the threaded backend computes
+    // the same simulated timeline. Without allow_degraded an overrun is a
+    // clean labelled failure; with it, each late reduce task is cut back to
+    // its last checkpoint at or below the progress the deadline allowed
+    // (cancelled outright without one) and the job finalizes at the
+    // deadline.
+    if (!result.failed && control.deadline_seconds > 0.0 &&
+        result.timing.end > control.deadline_seconds &&
+        !control.allow_degraded) {
+      result.failed = true;
+      result.error = "job deadline exceeded: finished at " +
+                     std::to_string(result.timing.end) + "s > deadline " +
+                     std::to_string(control.deadline_seconds) + "s";
       stamp_wall_trace();
       finish_wall();
       return result;
+    }
+    if (!result.failed && supervisor.active()) {
+      for (const int t : reduce_schedule.unplaced_tasks) {
+        if (!reduce_affected[static_cast<size_t>(t)]) quarantine_reduce(t);
+      }
+      if (control.deadline_seconds > 0.0) {
+        const double deadline = control.deadline_seconds;
+        for (const TaskAttemptTiming& a : result.timing.reduce_attempts) {
+          if (!a.won || a.end <= deadline) continue;
+          const int t = a.task;
+          if (reduce_affected[static_cast<size_t>(t)]) continue;
+          // Progress the deadline allowed: the winning attempt advances
+          // from its restored base at its slot's speed. (A mid-attempt
+          // machine-kill resume point is above the base — the cut then
+          // restores an earlier checkpoint: conservative, still
+          // deterministic.)
+          const auto& bases =
+              reduce_options.attempt_bases[static_cast<size_t>(t)];
+          const double base = bases.empty() ? 0.0 : bases.back();
+          const double speed =
+              a.slot >= 0 && a.slot < static_cast<int>(reduce_speeds.size())
+                  ? reduce_speeds[static_cast<size_t>(a.slot)]
+                  : 1.0;
+          const double start =
+              result.timing.reduce_start[static_cast<size_t>(t)];
+          const double cut_cost =
+              base + std::max(0.0, deadline - start) * speed /
+                         cluster.seconds_per_cost_unit;
+          ReduceContext& ctx = reduce_ctx[static_cast<size_t>(t)];
+          TaskReport& report = reduce_report[static_cast<size_t>(t)];
+          report.phase = TaskPhase::kReduce;
+          report.task = t;
+          report.records_total = ctx.stats_.records_in;
+          const TaskCheckpoint* ck =
+              checkpointing()
+                  ? checkpoint_store_->LatestAtOrBelow(t, cut_cost)
+                  : nullptr;
+          if (ck != nullptr) {
+            RestoreReduceContext(&ctx, *ck);
+            if (checkpoint_restore_) {
+              checkpoint_restore_(t, ck->driver_state.get());
+            }
+            ctx.stats_.cost = ck->cost;
+            report.kind = TaskOutcomeKind::kCut;
+            report.records_covered = ck->records_in;
+          } else {
+            ResetReduceContext(&ctx);
+            if (checkpointing() && checkpoint_restore_) {
+              checkpoint_restore_(t, nullptr);
+            }
+            report.kind = TaskOutcomeKind::kCancelled;
+            report.records_covered = 0;
+          }
+          report.covered_fraction =
+              report.records_total > 0
+                  ? static_cast<double>(report.records_covered) /
+                        static_cast<double>(report.records_total)
+                  : 0.0;
+          reduce_affected[static_cast<size_t>(t)] = 1;
+          supervisor_events.push_back(
+              {SpanKind::kDeadlineCancel, TaskPhase::kReduce, t, -1,
+               ck != nullptr ? ck->cost : 0.0, deadline});
+        }
+        // The job finalizes at the deadline: everything past it was
+        // cancelled. (Reaching here with an overrun implies
+        // allow_degraded — the fail-fast branch above returned otherwise.)
+        if (result.timing.end > deadline) result.timing.end = deadline;
+      }
+    }
+
+    if (!result.failed) {
+      // ---- Collect stats, counters & outputs ----
+      for (MapContext& ctx : map_ctx) {
+        result.map_stats.push_back(ctx.stats_);
+        result.counters.MergeFrom(ctx.counters_);
+      }
+      for (ReduceContext& ctx : reduce_ctx) {
+        result.reduce_stats.push_back(ctx.stats_);
+        result.counters.MergeFrom(ctx.counters_);
+        for (auto& kv : ctx.outputs_) result.outputs.push_back(std::move(kv));
+      }
+    }
+
+    // ---- Completeness report, supervisor counters & spans ----
+    // Counters and spans are derived from the same event list, so
+    // "mr.supervisor.*" reconciles 1:1 against the supervisor span kinds by
+    // construction; zero counters stay absent, as everywhere.
+    if (!result.failed && supervisor.active()) {
+      CompletenessReport& completeness = result.completeness;
+      for (int t = 0; t < num_map_tasks_; ++t) {
+        if (map_affected[static_cast<size_t>(t)]) {
+          completeness.tasks.push_back(map_report[static_cast<size_t>(t)]);
+        }
+      }
+      for (int t = 0; t < num_reduce_tasks_; ++t) {
+        if (reduce_affected[static_cast<size_t>(t)]) {
+          completeness.tasks.push_back(reduce_report[static_cast<size_t>(t)]);
+        } else {
+          const int64_t records =
+              result.reduce_stats[static_cast<size_t>(t)].records_in;
+          completeness.records_total += records;
+          completeness.records_covered += records;
+        }
+      }
+      for (const TaskReport& report : completeness.tasks) {
+        completeness.records_total += report.records_total;
+        completeness.records_covered += report.records_covered;
+      }
+      completeness.covered_fraction =
+          completeness.records_total > 0
+              ? static_cast<double>(completeness.records_covered) /
+                    static_cast<double>(completeness.records_total)
+              : 1.0;
+      completeness.degraded = !completeness.tasks.empty();
+      for (const SupervisorEvent& event : supervisor_events) {
+        switch (event.kind) {
+          case SpanKind::kDeadlineCancel:
+            ++completeness.deadline_cancels;
+            break;
+          case SpanKind::kTaskQuarantine:
+            ++completeness.quarantined_tasks;
+            break;
+          case SpanKind::kBreakerTrip:
+            ++completeness.breaker_trips;
+            break;
+          default:
+            break;
+        }
+      }
+      completeness.retries_denied = supervisor.retries_denied();
+      const auto spend = [&result](const char* name, int64_t value) {
+        if (value > 0) result.counters.Increment(name, value);
+      };
+      spend("mr.supervisor.deadline_cancels", completeness.deadline_cancels);
+      spend("mr.supervisor.quarantined_tasks",
+            completeness.quarantined_tasks);
+      spend("mr.supervisor.breaker_trips", completeness.breaker_trips);
+      spend("mr.supervisor.retries_denied", completeness.retries_denied);
+      spend("mr.supervisor.retry_spend.task",
+            result.counters.Get("mr.failed_attempts"));
+      spend("mr.supervisor.retry_spend.machine",
+            result.counters.Get("mr.faults.machine_lost"));
+      spend("mr.supervisor.retry_spend.disk",
+            result.counters.Get("mr.disk.retries") +
+                result.counters.Get("mr.disk.map_reruns"));
+      spend("mr.supervisor.retry_spend.data",
+            result.counters.Get("mr.shuffle.refetches") +
+                result.counters.Get("mr.shuffle.map_reruns"));
+      if (cluster.trace != nullptr) {
+        // Simulated anchors: a breaker trips at submission, a quarantine
+        // marks its task's last attempt, a deadline cancel spans the cut
+        // point to the work it threw away. The threaded backend anchors the
+        // same spans on its wall clock instead (counts match either way —
+        // reconciliation tests count span kinds).
+        const auto win_end_of = [&result](TaskPhase phase, int task) {
+          const auto& attempts = phase == TaskPhase::kMap
+                                     ? result.timing.map_attempts
+                                     : result.timing.reduce_attempts;
+          for (const TaskAttemptTiming& a : attempts) {
+            if (a.won && a.task == task) return a.end;
+          }
+          return result.timing.end;
+        };
+        const int pid = cluster.trace->current_pid();
+        for (const SupervisorEvent& event : supervisor_events) {
+          TraceSpan span;
+          span.kind = event.kind;
+          span.phase = event.phase;
+          span.pid = pid;
+          span.task = event.task;
+          span.machine = -1;
+          span.slot = -1;
+          span.domain = event.domain;
+          span.cost_units = event.cost;
+          if (threaded) {
+            double anchor = 0.0;
+            if (event.kind != SpanKind::kBreakerTrip) {
+              WallAttempt winner;
+              anchor = wall->WinningAttempt(event.phase, event.task, &winner)
+                           ? winner.end
+                           : wall->phase_end(event.phase);
+            }
+            span.start = anchor;
+            span.end = anchor;
+          } else if (event.kind == SpanKind::kBreakerTrip) {
+            span.start = submit_time;
+            span.end = submit_time;
+          } else if (event.kind == SpanKind::kTaskQuarantine) {
+            span.start = win_end_of(event.phase, event.task);
+            span.end = span.start;
+          } else {
+            span.start = event.deadline;
+            span.end = std::max(event.deadline,
+                                win_end_of(event.phase, event.task));
+          }
+          cluster.trace->RecordSpan(span);
+        }
+      }
     }
 
     // Shuffle delivery marks: each winning reduce attempt starts by pulling

@@ -167,6 +167,18 @@ class Shuffle {
       generation_ = generation;
     }
 
+    // Starts this execution directly on the fallback spill dir — the disk
+    // circuit breaker's global failover (supervisor.h): once one task has
+    // discovered the primary dir full, later tasks skip the per-task
+    // ENOSPC discovery and go straight to the fallback. Counts as a
+    // dir_failover like the discovery path (false with no fallback
+    // configured, leaving the sticky spill_error_). Call after
+    // ConfigureSpill; only meaningful under job supervision.
+    bool StartOnFallback() {
+      if (use_fallback_) return true;
+      return FailOver();
+    }
+
     // Routes one pair to its partition's block chain, encoded. Crossing the
     // task's budget share triggers a spill.
     void Add(K key, V value) {

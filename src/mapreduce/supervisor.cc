@@ -1,0 +1,133 @@
+#include "mapreduce/supervisor.h"
+
+#include <algorithm>
+
+namespace progres {
+
+const char* FaultDomainName(FaultDomain domain) {
+  switch (domain) {
+    case FaultDomain::kTask:
+      return "task";
+    case FaultDomain::kMachine:
+      return "machine";
+    case FaultDomain::kDisk:
+      return "disk";
+    case FaultDomain::kData:
+      return "data";
+  }
+  return "unknown";
+}
+
+const char* TaskOutcomeName(TaskOutcomeKind kind) {
+  switch (kind) {
+    case TaskOutcomeKind::kComplete:
+      return "complete";
+    case TaskOutcomeKind::kCut:
+      return "cut";
+    case TaskOutcomeKind::kCancelled:
+      return "cancelled";
+    case TaskOutcomeKind::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+void CompletenessReport::MergeFrom(const CompletenessReport& other) {
+  degraded = degraded || other.degraded;
+  records_total += other.records_total;
+  records_covered += other.records_covered;
+  covered_fraction =
+      records_total > 0
+          ? static_cast<double>(records_covered) /
+                static_cast<double>(records_total)
+          : 1.0;
+  tasks.insert(tasks.end(), other.tasks.begin(), other.tasks.end());
+  deadline_cancels += other.deadline_cancels;
+  quarantined_tasks += other.quarantined_tasks;
+  breaker_trips += other.breaker_trips;
+  retries_denied += other.retries_denied;
+}
+
+std::string CompletenessReport::ToString() const {
+  std::string out = "completeness: ";
+  out += degraded ? "degraded" : "complete";
+  // Two-decimal percentage, rounded half away from zero; coverage is
+  // always in [0, 1].
+  const double pct = covered_fraction * 100.0;
+  const int64_t hundredths = static_cast<int64_t>(pct * 100.0 + 0.5);
+  out += ", covered ";
+  out += std::to_string(hundredths / 100);
+  out += ".";
+  const int64_t frac = hundredths % 100;
+  if (frac < 10) out += "0";
+  out += std::to_string(frac);
+  out += "% (";
+  out += std::to_string(records_covered);
+  out += "/";
+  out += std::to_string(records_total);
+  out += " records)";
+  if (deadline_cancels > 0) {
+    out += ", deadline_cancels=" + std::to_string(deadline_cancels);
+  }
+  if (quarantined_tasks > 0) {
+    out += ", quarantined=" + std::to_string(quarantined_tasks);
+  }
+  if (breaker_trips > 0) {
+    out += ", breaker_trips=" + std::to_string(breaker_trips);
+  }
+  if (retries_denied > 0) {
+    out += ", retries_denied=" + std::to_string(retries_denied);
+  }
+  for (const TaskReport& task : tasks) {
+    out += "\n  ";
+    out += task.phase == TaskPhase::kMap ? "map" : "reduce";
+    out += " task " + std::to_string(task.task) + ": ";
+    out += TaskOutcomeName(task.kind);
+    out += " (" + std::to_string(task.records_covered) + "/" +
+           std::to_string(task.records_total) + " records)";
+  }
+  return out;
+}
+
+JobSupervisor::JobSupervisor(const JobControl& control, const FaultPlan* plan,
+                             int num_map_tasks, int num_reduce_tasks)
+    : control_(control) {
+  if (plan == nullptr) return;
+  // Disk breaker: pure plan lookup, independent of the retry budget.
+  if (plan->enabled() && plan->HasDiskFaults()) {
+    for (int t = 0; t < num_map_tasks; ++t) {
+      if (plan->SpillPrimaryFull(t)) {
+        first_full_task_ = t;
+        break;
+      }
+    }
+  }
+  // Retry-budget ledger: grant each task's *planned* retries (consecutive
+  // pre-winner failures, which is also what a doomed task burns) in
+  // deterministic task order until the budget runs out. A task's cap stays
+  // at max_attempts while its grant is whole — so a sufficient budget
+  // changes nothing — and drops to 1 + granted retries once the ledger
+  // comes up short.
+  if (!plan->enabled() || control_.fault_budget <= 0) return;
+  const int max_attempts = plan->max_attempts();
+  int64_t remaining = control_.fault_budget;
+  const auto grant = [&](TaskPhase phase, int t) {
+    const int desired = std::min(
+        plan->FailuresBeforeSuccess(phase, t, max_attempts), max_attempts - 1);
+    const int granted =
+        static_cast<int>(std::min<int64_t>(desired, remaining));
+    remaining -= granted;
+    retries_denied_ += desired - granted;
+    return granted == desired ? max_attempts : 1 + granted;
+  };
+  map_caps_.reserve(static_cast<size_t>(std::max(0, num_map_tasks)));
+  for (int t = 0; t < num_map_tasks; ++t) {
+    map_caps_.push_back(grant(TaskPhase::kMap, t));
+  }
+  reduce_caps_.reserve(static_cast<size_t>(std::max(0, num_reduce_tasks)));
+  for (int t = 0; t < num_reduce_tasks; ++t) {
+    reduce_caps_.push_back(grant(TaskPhase::kReduce, t));
+  }
+}
+
+}  // namespace progres

@@ -1,0 +1,139 @@
+#ifndef PROGRES_MAPREDUCE_SUPERVISOR_H_
+#define PROGRES_MAPREDUCE_SUPERVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapreduce/fault.h"
+
+namespace progres {
+
+// Job supervision: deadline-driven graceful degradation (JobControl in
+// fault.h). The supervisor turns the runtime's hard failure modes into
+// bounded, *reported* degradation:
+//
+//   * a job-wide retry-budget ledger — planned retries (crashes and hangs,
+//     walked in deterministic task order: map tasks 0..M-1, then reduce
+//     tasks 0..R-1) are granted from JobControl::fault_budget. A task whose
+//     planned retries the ledger cannot fund gets a reduced attempt cap;
+//     the first denial trips the budget circuit breaker. When the budget
+//     funds every planned retry, every cap equals max_attempts and the run
+//     is byte-identical to an unsupervised one. Dynamic failures the plan
+//     cannot see (poison-record crashes) spend attempts outside the
+//     ledger — the caps bound planned fault storms, not adversarial input;
+//   * a disk circuit breaker — once the fault plan marks one map task's
+//     primary spill dir full, later tasks skip the per-task ENOSPC
+//     discovery and start directly on the fallback dir (one global
+//     failover instead of a per-task retry storm). MapReduceJob arms it
+//     only when a fallback dir is configured;
+//   * completeness reporting — per-task outcomes (complete / cut /
+//     cancelled / quarantined) with record coverage, aggregated into the
+//     covered-pair fraction callers use to tell a 100% run from a 96% one.
+//
+// Everything here is a pure function of (JobControl, FaultPlan, task
+// counts): both execution backends derive identical ledgers, caps and
+// reports. The runtime exports the supervisor's activity under
+// "mr.supervisor.*" counters, reconciled 1:1 against the
+// kDeadlineCancel / kTaskQuarantine / kBreakerTrip trace spans.
+
+// Fault domains of the retry-budget ledger and its circuit breakers. The
+// enum values double as TraceSpan::domain indices.
+enum class FaultDomain { kTask = 0, kMachine = 1, kDisk = 2, kData = 3 };
+
+const char* FaultDomainName(FaultDomain domain);
+
+// Outcome of one task in a supervised job.
+enum class TaskOutcomeKind {
+  kComplete = 0,     // full output delivered
+  kCut = 1,          // deadline cut back to a checkpointed prefix
+  kCancelled = 2,    // deadline/placement cancelled; no output delivered
+  kQuarantined = 3,  // permanently failed; checkpointed prefix (or nothing)
+};
+
+const char* TaskOutcomeName(TaskOutcomeKind kind);
+
+// Per-task completeness entry. Reports carry entries only for tasks whose
+// outcome is not kComplete — a fully successful supervised run has none.
+struct TaskReport {
+  TaskPhase phase = TaskPhase::kReduce;
+  int task = 0;
+  TaskOutcomeKind kind = TaskOutcomeKind::kComplete;
+  int64_t records_total = 0;    // input records/values of a full run
+  int64_t records_covered = 0;  // records the delivered output covers
+  double covered_fraction = 0.0;
+};
+
+// Job-level completeness report (Job::Result::completeness and
+// ErRunResult::completeness). Inert — all fields zero/default — unless job
+// supervision is active.
+struct CompletenessReport {
+  // True when any task delivered less than its full output. Degraded
+  // success: the job's `failed` stays false, this flag tells callers the
+  // result is partial.
+  bool degraded = false;
+  // Aggregate record coverage: records_covered / records_total across all
+  // tasks (1.0 when nothing was lost or nothing was supervised).
+  double covered_fraction = 1.0;
+  int64_t records_total = 0;
+  int64_t records_covered = 0;
+  // Affected tasks only (kind != kComplete), map tasks before reduce
+  // tasks, ascending task ids within a phase.
+  std::vector<TaskReport> tasks;
+  // Supervisor activity, mirroring the "mr.supervisor.*" counters.
+  int64_t deadline_cancels = 0;
+  int64_t quarantined_tasks = 0;
+  int64_t breaker_trips = 0;
+  int64_t retries_denied = 0;
+
+  // Folds another stage's report into this one (multi-stage drivers run
+  // one supervised job per stage). Sums record totals and activity,
+  // re-derives the aggregate fraction, appends the tasks.
+  void MergeFrom(const CompletenessReport& other);
+
+  // Human-readable multi-line summary (the CLI's degraded report).
+  std::string ToString() const;
+};
+
+// The per-job supervisor: precomputes the retry-budget ledger and the
+// breaker state from the fault plan. Constructed (cheaply) by
+// MapReduceJob::Run whenever JobControl::active().
+class JobSupervisor {
+ public:
+  JobSupervisor(const JobControl& control, const FaultPlan* plan,
+                int num_map_tasks, int num_reduce_tasks);
+
+  bool active() const { return control_.active(); }
+  const JobControl& control() const { return control_; }
+
+  // Per-task attempt caps funded by the ledger, map tasks then reduce
+  // tasks. Empty when no budget is configured or no faults are planned —
+  // the global max_attempts applies unchanged.
+  const std::vector<int>& map_attempt_caps() const { return map_caps_; }
+  const std::vector<int>& reduce_attempt_caps() const { return reduce_caps_; }
+
+  // Planned retries the ledger refused to fund, and whether that tripped
+  // the budget breaker.
+  int64_t retries_denied() const { return retries_denied_; }
+  bool budget_breaker_tripped() const { return retries_denied_ > 0; }
+
+  // Disk breaker: the lowest map task whose primary spill dir the plan
+  // marks full (-1 when none), and whether map task `task` should skip the
+  // ENOSPC discovery and start directly on the fallback dir.
+  int first_full_task() const { return first_full_task_; }
+  bool disk_breaker_tripped() const { return first_full_task_ >= 0; }
+  bool StartOnFallback(int task) const {
+    return first_full_task_ >= 0 && task > first_full_task_;
+  }
+
+ private:
+  JobControl control_;
+  std::vector<int> map_caps_;
+  std::vector<int> reduce_caps_;
+  int64_t retries_denied_ = 0;
+  int first_full_task_ = -1;
+};
+
+}  // namespace progres
+
+#endif  // PROGRES_MAPREDUCE_SUPERVISOR_H_

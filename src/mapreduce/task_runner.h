@@ -63,6 +63,20 @@ class TaskAttemptRunner {
         attempt_hangs_(static_cast<size_t>(num_tasks)),
         doomed_(static_cast<size_t>(num_tasks), 0) {}
 
+  // Per-task attempt caps from the supervisor's retry-budget ledger
+  // (supervisor.h). Empty (the default) means every task gets the plan's
+  // global max_attempts — the historical behaviour. A capped task that
+  // exhausts its cap is doomed exactly like one exhausting max_attempts.
+  void set_attempt_caps(std::vector<int> caps) { caps_ = std::move(caps); }
+
+  // Attempt cap of task `t`: its ledger grant, or the global max_attempts.
+  int EffectiveCap(int t) const {
+    if (t >= 0 && t < static_cast<int>(caps_.size())) {
+      return caps_[static_cast<size_t>(t)];
+    }
+    return plan_->max_attempts();
+  }
+
   // Runs every task's attempt chain and waits for completion: one chain per
   // task concurrently on `pool` workers when `pool` is non-null (the
   // threaded backend), serially in task order on the calling thread when it
@@ -75,9 +89,8 @@ class TaskAttemptRunner {
   // real winner — so the loop re-evaluates after every attempt.
   void RunAll(ThreadPool* pool, ThreadedExecutor* wall, const ResetFn& reset,
               const BodyFn& body, const AbortFn& abort) {
-    const int max_attempts = plan_->max_attempts();
-    const auto chain = [this, wall, &reset, &body, &abort, max_attempts](
-                           int t) {
+    const auto chain = [this, wall, &reset, &body, &abort](int t) {
+      const int max_attempts = EffectiveCap(t);
       int attempt = 0;
       while (true) {
         Attempt a;
@@ -138,11 +151,23 @@ class TaskAttemptRunner {
     return -1;
   }
 
-  // Error message for a doomed task's clean job failure.
+  // Every task that exhausted its attempt cap, ascending — what quarantine
+  // iterates under allow_degraded (a fail-fast job only needs FirstDoomed).
+  std::vector<int> DoomedTasks() const {
+    std::vector<int> tasks;
+    for (int t = 0; t < num_tasks_; ++t) {
+      if (doomed_[static_cast<size_t>(t)]) tasks.push_back(t);
+    }
+    return tasks;
+  }
+
+  // Error message for a doomed task's clean job failure. Reports the task's
+  // effective cap — identical to the historical max_attempts message
+  // whenever no ledger cap is installed.
   std::string DoomedError(int task) const {
     return std::string(phase_ == TaskPhase::kMap ? "map" : "reduce") +
            " task " + std::to_string(task) + " failed after " +
-           std::to_string(plan_->max_attempts()) + " attempts";
+           std::to_string(EffectiveCap(task)) + " attempts";
   }
 
   // Attempt/failure totals for this phase under the reserved "mr." counter
@@ -167,6 +192,7 @@ class TaskAttemptRunner {
   std::vector<std::vector<double>> attempt_costs_;
   std::vector<std::vector<char>> attempt_hangs_;
   std::vector<char> doomed_;
+  std::vector<int> caps_;
 };
 
 // Machine-fault-domain and retry-hygiene totals of one phase's schedule,

@@ -110,10 +110,32 @@ std::string InstantArgs(const TraceInstant& instant) {
          ",\"phase\":\"" + std::string(PhaseName(instant.phase)) + "\"}";
 }
 
+// Fault-domain names of supervisor breaker spans (FaultDomain indices).
+const char* DomainName(int domain) {
+  switch (domain) {
+    case 0:
+      return "task";
+    case 1:
+      return "machine";
+    case 2:
+      return "disk";
+    case 3:
+      return "data";
+    default:
+      return "unknown";
+  }
+}
+
+bool IsSupervisorSpan(SpanKind kind) {
+  return kind == SpanKind::kDeadlineCancel ||
+         kind == SpanKind::kTaskQuarantine || kind == SpanKind::kBreakerTrip;
+}
+
 int LaneOf(const TraceSpan& span) {
   if (span.kind == SpanKind::kRetryBackoff) {
     return BackoffLane(span.phase, span.task);
   }
+  if (IsSupervisorSpan(span.kind)) return kClusterLane;
   return SlotLane(span.phase, span.slot);
 }
 
@@ -158,6 +180,14 @@ std::string SpanName(const TraceSpan& span) {
       return "corrupt spill run task " + std::to_string(span.task);
     case SpanKind::kRestartRestore:
       return "restart restore task " + std::to_string(span.task);
+    case SpanKind::kDeadlineCancel:
+      return "deadline cancel " + std::string(PhaseName(span.phase)) +
+             " task " + std::to_string(span.task);
+    case SpanKind::kTaskQuarantine:
+      return "quarantine " + std::string(PhaseName(span.phase)) + " task " +
+             std::to_string(span.task);
+    case SpanKind::kBreakerTrip:
+      return "breaker trip (" + std::string(DomainName(span.domain)) + ")";
   }
   return "span";
 }
@@ -181,6 +211,10 @@ const char* SpanCategory(const TraceSpan& span) {
       return "disk-fault";
     case SpanKind::kRestartRestore:
       return "restart";
+    case SpanKind::kDeadlineCancel:
+    case SpanKind::kTaskQuarantine:
+    case SpanKind::kBreakerTrip:
+      return "supervisor";
   }
   return "span";
 }
@@ -203,6 +237,9 @@ std::string SpanArgs(const TraceSpan& span) {
   }
   if (span.cost_units >= 0.0) {
     args += ",\"cost_units\":" + FormatDouble(span.cost_units);
+  }
+  if (span.domain >= 0) {
+    args += ",\"domain\":\"" + std::string(DomainName(span.domain)) + "\"";
   }
   args += "}";
   return args;
@@ -423,6 +460,9 @@ std::string TraceRecorder::ToSlotTimeline() const {
                    span->kind == SpanKind::kCheckpointRestore ||
                    span->kind == SpanKind::kRestartRestore) {
           out += " @" + FormatFixed(span->cost_units);
+        } else if (span->kind == SpanKind::kDeadlineCancel &&
+                   span->cost_units >= 0.0) {
+          out += " cut@" + FormatFixed(span->cost_units);
         }
         out += "\n";
       }

@@ -43,6 +43,11 @@ enum class SpanKind {
   kSpillRetry,         // a spill write failed transiently and was retried
   kRunCorrupt,         // a spill run failed CRC validation at the barrier
   kRestartRestore,     // a task resumed from a persisted checkpoint file
+  // Job-supervisor events (see mapreduce/supervisor.h). Recorded on the
+  // cluster lane; each reconciles 1:1 against an "mr.supervisor.*" counter.
+  kDeadlineCancel,     // a task was cut or cancelled at the job deadline
+  kTaskQuarantine,     // a permanently failing task was quarantined
+  kBreakerTrip,        // a fault-domain circuit breaker tripped
 };
 
 // How an attempt span ended. Non-attempt spans keep kNone.
@@ -76,6 +81,10 @@ struct TraceSpan {
   int64_t bytes = -1;
   // Checkpoint spans: the boundary's absolute task progress (-1 unset).
   double cost_units = -1.0;
+  // Supervisor breaker spans: the fault domain that tripped, as an index
+  // into {task, machine, disk, data} (FaultDomain in supervisor.h;
+  // -1 unset and omitted from the exports).
+  int domain = -1;
 };
 
 enum class InstantKind {

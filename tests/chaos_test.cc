@@ -357,5 +357,65 @@ TEST(ChaosTest, CheckpointRecoveryReplaysFewerPairsAfterReduceHang) {
             scratch.counters.Get("mr.recovery.replayed_pairs"));
 }
 
+// Deadline sweep in the chaos matrix: the same chaotic world — crashes,
+// hangs, a machine death, shuffle corruption, storage faults, poison
+// records — run degraded under successively looser job deadlines. Coverage
+// and the resolved-pair count must grow monotonically with the deadline,
+// every resolved pair must come from the clean run (degradation truncates,
+// it never invents), and the supervisor counters must reconcile one-for-one
+// with the kDeadlineCancel / kTaskQuarantine spans of the resolution job.
+TEST(ChaosTest, DeadlineSweepDegradesMonotonically) {
+  const ChaosWorld& w = World();
+  ASSERT_FALSE(w.clean.failed) << w.clean.error;
+
+  std::vector<PairKey> clean_sorted = w.clean.duplicates;
+  std::sort(clean_sorted.begin(), clean_sorted.end());
+
+  double prev_covered = -1.0;
+  size_t prev_pairs = 0;
+  for (const double fraction : {0.25, 0.5, 0.75}) {
+    SCOPED_TRACE("deadline fraction " + std::to_string(fraction));
+    TraceRecorder trace;
+    ProgressiveErOptions options = w.base;
+    options.cluster.fault = ChaosFault(3, w.clean.total_time * 0.4);
+    options.cluster.shuffle_budget = ChaosBudget();
+    options.cluster.trace = &trace;
+    options.cluster.control.deadline_seconds = w.clean.total_time * fraction;
+    options.cluster.control.allow_degraded = true;
+    const ErRunResult run =
+        ProgressiveEr(w.blocking, w.match, w.sn, w.prob, options)
+            .Run(w.data.dataset);
+    ASSERT_FALSE(run.failed) << run.error;
+    EXPECT_TRUE(run.completeness.degraded);
+    EXPECT_LT(run.completeness.covered_fraction, 1.0);
+
+    for (const PairKey pair : run.duplicates) {
+      EXPECT_TRUE(std::binary_search(clean_sorted.begin(), clean_sorted.end(),
+                                     pair));
+    }
+    // More deadline, more coverage, more pairs.
+    EXPECT_GE(run.completeness.covered_fraction, prev_covered);
+    EXPECT_GE(run.duplicates.size(), prev_pairs);
+    prev_covered = run.completeness.covered_fraction;
+    prev_pairs = run.duplicates.size();
+
+    // Supervisor-ledger reconciliation, restricted to the resolution job's
+    // trace process like the fault-counter checks above.
+    const int pid = trace.PidOf("resolution job");
+    ASSERT_GE(pid, 0);
+    int64_t cancel_spans = 0;
+    int64_t quarantine_spans = 0;
+    for (const TraceSpan& span : trace.spans()) {
+      if (span.pid != pid) continue;
+      if (span.kind == SpanKind::kDeadlineCancel) ++cancel_spans;
+      if (span.kind == SpanKind::kTaskQuarantine) ++quarantine_spans;
+    }
+    EXPECT_EQ(cancel_spans, run.counters.Get("mr.supervisor.deadline_cancels"));
+    EXPECT_EQ(quarantine_spans,
+              run.counters.Get("mr.supervisor.quarantined_tasks"));
+    EXPECT_GE(cancel_spans, 1);
+  }
+}
+
 }  // namespace
 }  // namespace progres

@@ -139,3 +139,55 @@ if(leftover_ckpts)
   message(FATAL_ERROR "finished resume left checkpoints: ${leftover_ckpts}")
 endif()
 message(STATUS "crash + --resume round trip is byte-identical")
+
+# Exit-code taxonomy for job supervision. A missed deadline without
+# --allow-degraded is a hard failure: exit 1 with a labelled error. The
+# pairs_alpha run above finishes near 199 simulated seconds, so a 100 s
+# deadline always lands mid-run.
+execute_process(COMMAND ${CLI} resolve --data=${WORK}/data.tsv
+                --train=${WORK}/train.tsv --train-truth=${WORK}/train_truth.tsv
+                --machines=4 --alpha=200 --deadline=100
+                --out=${WORK}/pairs_reject.tsv
+                RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT code EQUAL 1)
+  message(FATAL_ERROR
+          "hard deadline miss should exit 1, got ${code}: ${out}${err}")
+endif()
+if(NOT err MATCHES "job deadline exceeded")
+  message(FATAL_ERROR "hard deadline miss not labelled: ${err}")
+endif()
+message(STATUS "hard deadline miss rejected: ${err}")
+
+# With --allow-degraded the same deadline is a degraded success: exit 2,
+# a completeness report on stdout, and a written prefix of the full run's
+# pairs (every degraded pair appears in pairs_alpha.tsv).
+execute_process(COMMAND ${CLI} resolve --data=${WORK}/data.tsv
+                --train=${WORK}/train.tsv --train-truth=${WORK}/train_truth.tsv
+                --machines=4 --alpha=200 --deadline=100 --allow-degraded
+                --out=${WORK}/pairs_degraded.tsv
+                RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR
+          "degraded resolve should exit 2, got ${code}: ${out}${err}")
+endif()
+if(NOT out MATCHES "completeness: degraded")
+  message(FATAL_ERROR "degraded resolve printed no completeness report: ${out}")
+endif()
+if(NOT EXISTS ${WORK}/pairs_degraded.tsv)
+  message(FATAL_ERROR "degraded resolve wrote no pairs file")
+endif()
+file(STRINGS ${WORK}/pairs_degraded.tsv degraded_pairs)
+file(STRINGS ${WORK}/pairs_alpha.tsv full_pairs)
+list(LENGTH degraded_pairs num_degraded)
+list(LENGTH full_pairs num_full)
+if(num_degraded EQUAL 0 OR NOT num_degraded LESS num_full)
+  message(FATAL_ERROR "degraded run should write a non-empty strict subset "
+          "of the full pairs (${num_degraded} vs ${num_full})")
+endif()
+foreach(pair ${degraded_pairs})
+  list(FIND full_pairs "${pair}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "degraded pair not in the full run: ${pair}")
+  endif()
+endforeach()
+message(STATUS "degraded resolve: exit 2, ${num_degraded}/${num_full} pairs")

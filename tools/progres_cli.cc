@@ -18,6 +18,8 @@
 //       [--spill-fault-prob=0.01] [--spill-enospc-prob=0.5]
 //       [--checkpoint-dir=/tmp/ckpt] [--resume]
 //       [--crash-after-checkpoints=N]
+//       [--deadline=120] [--wall-deadline=30] [--allow-degraded]
+//       [--fault-budget=8]
 //       [--trace-out=trace.json] [--trace-timeline=timeline.txt]
 //   progres_cli explain --data=data.tsv --train=train.tsv
 //       --train-truth=train_truth.tsv [--machines=10] [--blocks=5]
@@ -373,6 +375,20 @@ int CmdResolve(const std::map<std::string, std::string>& flags) {
     }
     cluster.fault.skip_bad_records = flags.count("skip-bad-records") > 0;
   }
+  // Job-supervision flags. Independent of fault injection: a deadline can
+  // degrade a fault-free run too.
+  if (flags.count("deadline")) {
+    cluster.control.deadline_seconds = std::atof(flags.at("deadline").c_str());
+  }
+  if (flags.count("wall-deadline")) {
+    cluster.control.wall_deadline_seconds =
+        std::atof(flags.at("wall-deadline").c_str());
+  }
+  cluster.control.allow_degraded = flags.count("allow-degraded") > 0;
+  if (flags.count("fault-budget")) {
+    cluster.control.fault_budget =
+        std::atoll(flags.at("fault-budget").c_str());
+  }
   const std::string cluster_error = ValidateClusterConfig(cluster);
   if (!cluster_error.empty()) {
     std::fprintf(stderr, "invalid cluster config: %s\n",
@@ -522,6 +538,12 @@ int CmdResolve(const std::map<std::string, std::string>& flags) {
               static_cast<long long>(result.comparisons), result.total_time,
               result.wall_seconds, ToString(cluster.backend),
               result.duplicates.size());
+  if (result.completeness.degraded) {
+    // Degraded success: the pairs were written but coverage is partial.
+    // Exit 2 so scripts can tell it from a hard failure (1).
+    std::printf("%s\n", result.completeness.ToString().c_str());
+    return 2;
+  }
   return 0;
 }
 
@@ -654,7 +676,24 @@ int Usage() {
       "  --crash-after-checkpoints=N  kill the process (exit 17) after N "
       "persisted saves —\n"
       "                            deterministic mid-run crash for restart "
-      "testing\n");
+      "testing\n"
+      "\n"
+      "resolve job-supervision flags (degraded success exits with code 2 "
+      "and prints a\n"
+      "completeness report; hard failures stay exit code 1):\n"
+      "  --deadline=T              simulated-seconds job deadline; "
+      "deterministic cut of\n"
+      "                            reduce output at checkpointed "
+      "alpha boundaries\n"
+      "  --wall-deadline=T         wall-clock safety valve checked at the "
+      "map/reduce barrier\n"
+      "  --allow-degraded          quarantine permanently-failing tasks and "
+      "finalize\n"
+      "                            best-effort instead of failing the job\n"
+      "  --fault-budget=N          job-wide retry budget; once spent, the "
+      "budget breaker\n"
+      "                            trips and later tasks get no retries "
+      "(0 = unlimited)\n");
   return 2;
 }
 
